@@ -1,0 +1,152 @@
+//! Fault-criticality analysis: which structural faults matter for
+//! inference accuracy (experiment E9).
+
+use crate::{Dataset, Mlp, PeFault, SystolicModel};
+
+/// Coarse classes of PE fault sites, grouped by product bit position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSiteClass {
+    /// Product bits 0-4.
+    DatapathLsb,
+    /// Product bits 5-10.
+    DatapathMid,
+    /// Product bits 11-15 (including the sign).
+    DatapathMsb,
+}
+
+impl FaultSiteClass {
+    /// Class of a product-bit index.
+    pub fn of_bit(bit: u8) -> FaultSiteClass {
+        match bit {
+            0..=4 => FaultSiteClass::DatapathLsb,
+            5..=10 => FaultSiteClass::DatapathMid,
+            _ => FaultSiteClass::DatapathMsb,
+        }
+    }
+
+    /// Table label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultSiteClass::DatapathLsb => "LSB(0-4)",
+            FaultSiteClass::DatapathMid => "MID(5-10)",
+            FaultSiteClass::DatapathMsb => "MSB(11-15)",
+        }
+    }
+
+    /// All classes, table order.
+    pub const ALL: [FaultSiteClass; 3] = [
+        FaultSiteClass::DatapathLsb,
+        FaultSiteClass::DatapathMid,
+        FaultSiteClass::DatapathMsb,
+    ];
+}
+
+/// Accuracy statistics per fault-site class.
+#[derive(Debug, Clone)]
+pub struct CriticalityReport {
+    /// Fault-free accuracy.
+    pub baseline: f64,
+    /// `(class, mean faulty accuracy, worst faulty accuracy, samples)`.
+    pub per_class: Vec<(FaultSiteClass, f64, f64, usize)>,
+}
+
+impl CriticalityReport {
+    /// Mean accuracy drop for a class, if measured.
+    pub fn drop_for(&self, class: FaultSiteClass) -> Option<f64> {
+        self.per_class
+            .iter()
+            .find(|(c, ..)| *c == class)
+            .map(|(_, mean, ..)| self.baseline - mean)
+    }
+}
+
+/// Sweeps stuck-bit faults over every product bit of every `stride`-th
+/// PE (PE-level sampling keeps every bit class represented), measuring
+/// classifier accuracy per fault.
+pub fn criticality_sweep(
+    model: &Mlp,
+    array_rows: usize,
+    array_cols: usize,
+    data: &Dataset,
+    stride: usize,
+) -> CriticalityReport {
+    let clean = SystolicModel::new(array_rows, array_cols);
+    let baseline = model.accuracy(&clean, data);
+    let mut acc: Vec<(FaultSiteClass, Vec<f64>)> = FaultSiteClass::ALL
+        .iter()
+        .map(|&c| (c, Vec::new()))
+        .collect();
+    for row in 0..array_rows {
+        for col in 0..array_cols {
+            if stride > 1 && (row * array_cols + col) % stride != 0 {
+                continue;
+            }
+            for bit in 0..16u8 {
+                for stuck in [false, true] {
+                    let faulty = clean.clone().with_fault(PeFault {
+                        row,
+                        col,
+                        bit,
+                        stuck,
+                    });
+                    let a = model.accuracy(&faulty, data);
+                    let class = FaultSiteClass::of_bit(bit);
+                    acc.iter_mut().find(|(c, _)| *c == class).unwrap().1.push(a);
+                }
+            }
+        }
+    }
+    let per_class = acc
+        .into_iter()
+        .map(|(c, v)| {
+            let n = v.len();
+            let mean = if n == 0 {
+                baseline
+            } else {
+                v.iter().sum::<f64>() / n as f64
+            };
+            let worst = v.iter().copied().fold(baseline, f64::min);
+            (c, mean, worst, n)
+        })
+        .collect();
+    CriticalityReport {
+        baseline,
+        per_class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(FaultSiteClass::of_bit(0), FaultSiteClass::DatapathLsb);
+        assert_eq!(FaultSiteClass::of_bit(7), FaultSiteClass::DatapathMid);
+        assert_eq!(FaultSiteClass::of_bit(15), FaultSiteClass::DatapathMsb);
+    }
+
+    #[test]
+    fn msb_class_is_most_critical() {
+        let data = Dataset::synthetic(8, 16, 200, 11);
+        let mlp = data.prototype_classifier(2);
+        let report = criticality_sweep(&mlp, 4, 4, &data, 8);
+        assert!(report.baseline > 0.9, "baseline {}", report.baseline);
+        let lsb = report.drop_for(FaultSiteClass::DatapathLsb).unwrap();
+        let msb = report.drop_for(FaultSiteClass::DatapathMsb).unwrap();
+        assert!(
+            msb >= lsb,
+            "MSB drop {msb} should be >= LSB drop {lsb} ({report:?})"
+        );
+        assert!(lsb < 0.05, "LSB faults should be nearly benign: {lsb}");
+    }
+
+    #[test]
+    fn report_counts_sampled_faults() {
+        let data = Dataset::synthetic(4, 8, 60, 5);
+        let mlp = data.prototype_classifier(3);
+        let report = criticality_sweep(&mlp, 2, 2, &data, 1);
+        let total: usize = report.per_class.iter().map(|(.., n)| *n).sum();
+        assert_eq!(total, 2 * 2 * 16 * 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Hierarchical test of replicated identical cores.
+//!
+//! AI chips replicate one PE/core design tens to hundreds of times. The
+//! case-study methodology the tutorial presents: run ATPG **once** on the
+//! core, then *broadcast* the same stimulus to every core in parallel and
+//! compare/compact each core's responses locally — turning an `N x`
+//! pattern cost into `~1x` plus a constant.
+
+use std::time::Duration;
+
+use dft_atpg::{Atpg, AtpgConfig};
+use dft_netlist::Netlist;
+use dft_scan::{insert_scan, ScanConfig, TestTimeModel};
+
+/// SoC description: one core design replicated `num_cores` times.
+#[derive(Debug, Clone, Copy)]
+pub struct SocConfig {
+    /// Number of identical core instances.
+    pub num_cores: usize,
+    /// Scan chains inside each core.
+    pub chains_per_core: usize,
+    /// Scan shift clock (MHz).
+    pub shift_mhz: u32,
+    /// Scan pins available at the SoC level (limits how many cores can be
+    /// accessed in parallel without broadcast).
+    pub soc_scan_pins: usize,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            num_cores: 16,
+            chains_per_core: 4,
+            shift_mhz: 100,
+            soc_scan_pins: 16,
+        }
+    }
+}
+
+/// Comparison of flat (per-core sequential) vs broadcast (hierarchical
+/// pattern reuse) test application.
+#[derive(Debug, Clone)]
+pub struct CoreTestPlan {
+    /// Patterns generated for one core.
+    pub patterns_per_core: usize,
+    /// Core-level stuck-at test coverage.
+    pub core_coverage: f64,
+    /// Tester cycles when each core is tested one after another through
+    /// the shared scan pins.
+    pub flat_cycles: u64,
+    /// Tester cycles when stimulus is broadcast to all cores in parallel
+    /// (responses compacted per core).
+    pub broadcast_cycles: u64,
+    /// ATPG wall-clock for the single core (reused for all).
+    pub atpg_time: Duration,
+}
+
+impl CoreTestPlan {
+    /// Test-time speedup of broadcast over flat.
+    pub fn speedup(&self) -> f64 {
+        if self.broadcast_cycles == 0 {
+            return 1.0;
+        }
+        self.flat_cycles as f64 / self.broadcast_cycles as f64
+    }
+}
+
+/// Builds the hierarchical test plan for `core` replicated per `cfg`:
+/// runs core-level ATPG once and derives both application schedules.
+pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> CoreTestPlan {
+    let run = Atpg::new(core).run(atpg);
+    let scan = insert_scan(
+        core,
+        &ScanConfig {
+            num_chains: cfg.chains_per_core,
+        },
+    );
+    let per_core = TestTimeModel::for_architecture(&scan, run.patterns.len(), cfg.shift_mhz);
+
+    // Flat: cores share the SoC scan pins; at most
+    // `soc_scan_pins / (2 * chains_per_core)` cores can shift at once.
+    let concurrent = (cfg.soc_scan_pins / (2 * cfg.chains_per_core)).max(1);
+    let sequential_groups = cfg.num_cores.div_ceil(concurrent);
+    let flat_cycles = per_core.total_cycles() * sequential_groups as u64;
+
+    // Broadcast: every core receives the same stimulus simultaneously;
+    // one application suffices. Responses are compacted on-core (MISR),
+    // adding a constant signature-unload tail per core group.
+    let signature_unload = 32u64; // cycles to stream out one MISR signature
+    let broadcast_cycles =
+        per_core.total_cycles() + signature_unload * cfg.num_cores as u64 / concurrent.max(1) as u64;
+
+    CoreTestPlan {
+        patterns_per_core: run.patterns.len(),
+        core_coverage: run.fault_list.fault_coverage(),
+        flat_cycles,
+        broadcast_cycles,
+        atpg_time: run.elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_atpg::AtpgConfig;
+    use dft_netlist::generators::mac_pe;
+
+    fn quick_atpg() -> AtpgConfig {
+        AtpgConfig {
+            random_patterns: 64,
+            ..AtpgConfig::default()
+        }
+    }
+
+    #[test]
+    fn broadcast_beats_flat_and_scales() {
+        let core = mac_pe(4);
+        let plan16 = hierarchical_plan(
+            &core,
+            &SocConfig {
+                num_cores: 16,
+                ..SocConfig::default()
+            },
+            &quick_atpg(),
+        );
+        assert!(plan16.core_coverage > 0.95);
+        assert!(
+            plan16.speedup() > 4.0,
+            "speedup {} (flat {} vs broadcast {})",
+            plan16.speedup(),
+            plan16.flat_cycles,
+            plan16.broadcast_cycles
+        );
+        let plan64 = hierarchical_plan(
+            &core,
+            &SocConfig {
+                num_cores: 64,
+                ..SocConfig::default()
+            },
+            &quick_atpg(),
+        );
+        // Speedup grows with core count (broadcast cost is ~constant).
+        assert!(plan64.speedup() > plan16.speedup());
+    }
+
+    #[test]
+    fn single_core_soc_has_no_benefit() {
+        let core = mac_pe(4);
+        let plan = hierarchical_plan(
+            &core,
+            &SocConfig {
+                num_cores: 1,
+                ..SocConfig::default()
+            },
+            &quick_atpg(),
+        );
+        assert!(plan.speedup() <= 1.0 + 1e-9);
+    }
+}

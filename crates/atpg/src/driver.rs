@@ -1,0 +1,441 @@
+//! The production-shaped ATPG flow: random phase, deterministic top-off,
+//! compaction, and sign-off fault simulation.
+
+use std::time::{Duration, Instant};
+
+use dft_fault::{
+    collapse_equivalent, universe_stuck_at, Fault, FaultList, FaultStatus,
+};
+use dft_logicsim::{FaultSim, PatternSet, TestCube};
+use dft_netlist::Netlist;
+
+use crate::{compact_cubes, AtpgResult, Podem, PodemStats};
+
+/// How the driver compacts deterministic cubes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionMode {
+    /// One pattern per generated cube.
+    None,
+    /// Greedy merging of compatible cubes after generation.
+    #[default]
+    Static,
+    /// Multi-target cube filling during generation (each cube is extended
+    /// with tests for additional faults before fill), then static merging.
+    Dynamic,
+}
+
+/// Configuration of an ATPG run.
+#[derive(Debug, Clone)]
+pub struct AtpgConfig {
+    /// Number of random patterns simulated before deterministic top-off.
+    /// Zero disables the random phase.
+    pub random_patterns: usize,
+    /// Seed for random patterns and cube fill.
+    pub seed: u64,
+    /// PODEM backtrack limit per fault.
+    pub backtrack_limit: u32,
+    /// Cube compaction mode.
+    pub compaction: CompactionMode,
+    /// Use SCOAP-guided backtrace (`false` = naive; the E3 ablation).
+    pub guided_backtrace: bool,
+    /// Secondary targets attempted per cube under dynamic compaction.
+    pub dynamic_targets: usize,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            random_patterns: 128,
+            seed: 0x5EED,
+            backtrack_limit: 256,
+            compaction: CompactionMode::Static,
+            guided_backtrace: true,
+            dynamic_targets: 16,
+        }
+    }
+}
+
+/// Counters and results of a full ATPG run.
+#[derive(Debug)]
+pub struct AtpgRun {
+    /// The final pattern set (random keepers + deterministic patterns).
+    pub patterns: PatternSet,
+    /// Status of every fault in the *full* (uncollapsed) universe after
+    /// sign-off fault simulation of `patterns`.
+    pub fault_list: FaultList,
+    /// Deterministic cubes (post-compaction), for the compression crate.
+    pub cubes: Vec<TestCube>,
+    /// Faults detected by the random phase (collapsed universe).
+    pub random_detected: usize,
+    /// Faults detected during deterministic top-off (collapsed universe).
+    pub deterministic_detected: usize,
+    /// Collapsed faults proven untestable.
+    pub untestable: usize,
+    /// Collapsed faults aborted at the backtrack limit.
+    pub aborted: usize,
+    /// Aggregate PODEM effort.
+    pub podem: PodemStats,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl AtpgRun {
+    /// Test coverage (detected / (total - untestable)) on the full
+    /// universe.
+    pub fn test_coverage(&self) -> f64 {
+        self.fault_list.test_coverage()
+    }
+}
+
+/// The ATPG driver bound to one netlist.
+#[derive(Debug)]
+pub struct Atpg<'a> {
+    nl: &'a Netlist,
+}
+
+impl<'a> Atpg<'a> {
+    /// Creates a driver for `nl`.
+    pub fn new(nl: &'a Netlist) -> Atpg<'a> {
+        Atpg { nl }
+    }
+
+    /// Runs the full flow on the single stuck-at universe.
+    pub fn run(&self, config: &AtpgConfig) -> AtpgRun {
+        let universe = universe_stuck_at(self.nl);
+        self.run_on(config, universe)
+    }
+
+    /// Runs the full flow on a caller-provided stuck-at universe.
+    pub fn run_on(&self, config: &AtpgConfig, universe: Vec<Fault>) -> AtpgRun {
+        let start = Instant::now();
+        let collapsed = collapse_equivalent(self.nl, &universe);
+        let mut reps = FaultList::new(collapsed.representatives().to_vec());
+        let sim = FaultSim::new(self.nl);
+        let mut podem = Podem::new(self.nl);
+        podem.guided = config.guided_backtrace;
+
+        let mut patterns = PatternSet::for_netlist(self.nl);
+
+        // Phase 1: random patterns with fault dropping.
+        if config.random_patterns > 0 {
+            let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
+            sim.run(&random, &mut reps);
+            patterns.extend_from(&random);
+        }
+        let random_detected = reps.num_detected();
+
+        // Phase 2: deterministic top-off, then (optionally) static
+        // compaction. Compaction re-fills merged cubes with fresh random
+        // values, which can lose *collateral* detections of the replaced
+        // patterns, so after a rebuild the flow re-simulates and tops off
+        // again; the final top-off appends without rebuilding, which
+        // guarantees convergence.
+        let mut cubes: Vec<TestCube> = Vec::new();
+        let mut podem_stats = PodemStats::default();
+        let mut untestable = 0usize;
+        let mut aborted = 0usize;
+        let mut fill_seed = config.seed ^ 0xF111;
+        let compaction_rounds = if matches!(config.compaction, CompactionMode::None) {
+            0
+        } else {
+            1
+        };
+        let mut pre_compaction: Option<(PatternSet, Vec<TestCube>)> = None;
+        for round in 0..=compaction_rounds {
+            self.topoff(
+                config,
+                &podem,
+                &sim,
+                &mut reps,
+                &mut patterns,
+                &mut cubes,
+                &mut podem_stats,
+                &mut untestable,
+                &mut aborted,
+                &mut fill_seed,
+            );
+            if round == compaction_rounds || cubes.is_empty() {
+                break;
+            }
+            let merged = compact_cubes(&cubes);
+            if merged.len() == cubes.len() {
+                break; // nothing merged: patterns already final
+            }
+            pre_compaction = Some((patterns.clone(), cubes.clone()));
+            // Rebuild the pattern set: random prefix + merged cubes.
+            let mut rebuilt = PatternSet::for_netlist(self.nl);
+            if config.random_patterns > 0 {
+                let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
+                rebuilt.extend_from(&random);
+            }
+            for cube in &merged {
+                fill_seed = fill_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                rebuilt.push(cube.random_fill(fill_seed));
+            }
+            patterns = rebuilt;
+            cubes = merged;
+            // Re-simulate from scratch to find lost collateral detections.
+            let mut fresh = FaultList::new(reps.faults().to_vec());
+            for i in 0..reps.len() {
+                match reps.status(i) {
+                    FaultStatus::Untestable => fresh.set_status(i, FaultStatus::Untestable),
+                    FaultStatus::Aborted => fresh.set_status(i, FaultStatus::Aborted),
+                    _ => {}
+                }
+            }
+            sim.run(&patterns, &mut fresh);
+            reps = fresh;
+        }
+        // On small circuits the re-top-off can outweigh the merge savings;
+        // keep whichever complete set is smaller.
+        if let Some((pre_p, pre_c)) = pre_compaction {
+            if pre_p.len() < patterns.len() {
+                patterns = pre_p;
+                cubes = pre_c;
+            }
+        }
+        let deterministic_detected = reps.num_detected().saturating_sub(random_detected);
+
+        // Sign-off: fault-simulate the final pattern set against the full
+        // universe, then project untestable/aborted statuses from the
+        // collapsed list.
+        let mut fault_list = FaultList::new(universe);
+        sim.run(&patterns, &mut fault_list);
+        for (i, &f) in fault_list.faults().to_vec().iter().enumerate() {
+            let rep = collapsed.representative(f);
+            if let Some(status) = reps.status_of(rep) {
+                match status {
+                    FaultStatus::Untestable => {
+                        fault_list.set_status(i, FaultStatus::Untestable)
+                    }
+                    FaultStatus::Aborted => {
+                        if !fault_list.status(i).is_detected() {
+                            fault_list.set_status(i, FaultStatus::Aborted);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        AtpgRun {
+            patterns,
+            fault_list,
+            cubes,
+            random_detected,
+            deterministic_detected,
+            untestable,
+            aborted,
+            podem: podem_stats,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// One deterministic top-off pass: PODEM every remaining undetected
+    /// fault, fault-dropping each new pattern against the list.
+    #[allow(clippy::too_many_arguments)]
+    fn topoff(
+        &self,
+        config: &AtpgConfig,
+        podem: &Podem<'_>,
+        sim: &FaultSim<'_>,
+        reps: &mut FaultList,
+        patterns: &mut PatternSet,
+        cubes: &mut Vec<TestCube>,
+        podem_stats: &mut PodemStats,
+        untestable: &mut usize,
+        aborted: &mut usize,
+        fill_seed: &mut u64,
+    ) {
+        loop {
+            let target_idx = match reps.undetected().next() {
+                Some(i) => i,
+                None => break,
+            };
+            let target = reps.faults()[target_idx];
+            let (result, st) = podem.generate(target, config.backtrack_limit);
+            podem_stats.backtracks += st.backtracks;
+            podem_stats.simulations += st.simulations;
+            podem_stats.decisions += st.decisions;
+            match result {
+                AtpgResult::Test(mut cube) => {
+                    if config.compaction == CompactionMode::Dynamic {
+                        cube = self.extend_cube(podem, cube, reps, target_idx, config, podem_stats);
+                    }
+                    *fill_seed = fill_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                    let pattern = cube.random_fill(*fill_seed);
+                    let mut single = PatternSet::for_netlist(self.nl);
+                    single.push(pattern.clone());
+                    sim.run(&single, reps);
+                    // Guard against a PODEM/fault-sim disagreement leaving
+                    // the target undetected (would loop forever).
+                    if !reps.status(target_idx).is_detected() {
+                        reps.set_status(target_idx, FaultStatus::Aborted);
+                        *aborted += 1;
+                    }
+                    patterns.push(pattern);
+                    cubes.push(cube);
+                }
+                AtpgResult::Untestable => {
+                    reps.set_status(target_idx, FaultStatus::Untestable);
+                    *untestable += 1;
+                }
+                AtpgResult::Aborted => {
+                    reps.set_status(target_idx, FaultStatus::Aborted);
+                    *aborted += 1;
+                }
+            }
+        }
+    }
+
+    /// Dynamic compaction: extend `cube` with tests for additional
+    /// undetected faults while the merged cube stays consistent.
+    fn extend_cube(
+        &self,
+        podem: &Podem<'_>,
+        mut cube: TestCube,
+        reps: &FaultList,
+        primary_idx: usize,
+        config: &AtpgConfig,
+        stats: &mut PodemStats,
+    ) -> TestCube {
+        let mut tried = 0usize;
+        for idx in reps.undetected() {
+            if idx == primary_idx {
+                continue;
+            }
+            if tried >= config.dynamic_targets {
+                break;
+            }
+            tried += 1;
+            let secondary = reps.faults()[idx];
+            // A short-leash attempt: secondary targets must be cheap.
+            let limit = (config.backtrack_limit / 8).max(8);
+            let (result, st) =
+                podem.generate_constrained(secondary, &[], limit, Some(&cube));
+            stats.backtracks += st.backtracks;
+            stats.simulations += st.simulations;
+            stats.decisions += st.decisions;
+            if let AtpgResult::Test(extended) = result {
+                cube = extended;
+            }
+        }
+        cube
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::generators::{alu, c17, decoder, mac_pe, ripple_adder, s27};
+
+    #[test]
+    fn c17_full_coverage_few_patterns() {
+        let nl = c17();
+        let run = Atpg::new(&nl).run(&AtpgConfig {
+            random_patterns: 0, // pure deterministic
+            ..AtpgConfig::default()
+        });
+        assert!((run.test_coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(run.untestable, 0);
+        assert_eq!(run.aborted, 0);
+        // Deterministic c17 test sets are classically under 10 patterns.
+        assert!(run.patterns.len() <= 12, "{} patterns", run.patterns.len());
+    }
+
+    #[test]
+    fn decoder_needs_topoff_after_random() {
+        let nl = decoder(5);
+        let cfg = AtpgConfig {
+            random_patterns: 32,
+            ..AtpgConfig::default()
+        };
+        let run = Atpg::new(&nl).run(&cfg);
+        assert!(
+            run.deterministic_detected > 0,
+            "decoder should be random-resistant"
+        );
+        assert!((run.test_coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_logic_is_classified_untestable() {
+        use dft_netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("red");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and = nl.add_gate(GateKind::And, vec![a, b], "and");
+        let or = nl.add_gate(GateKind::Or, vec![a, and], "or");
+        nl.add_output(or, "po");
+        let run = Atpg::new(&nl).run(&AtpgConfig::default());
+        assert!(run.untestable >= 1);
+        // Test coverage can still be 100% (untestable excluded).
+        assert!((run.test_coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_compaction_reduces_pattern_count() {
+        let nl = alu(8);
+        let base = AtpgConfig {
+            random_patterns: 0,
+            compaction: CompactionMode::None,
+            ..AtpgConfig::default()
+        };
+        let run_none = Atpg::new(&nl).run(&base);
+        let run_static = Atpg::new(&nl).run(&AtpgConfig {
+            compaction: CompactionMode::Static,
+            ..base.clone()
+        });
+        // Compaction may be a wash on cube-dense circuits but must never
+        // make the set larger (the driver falls back if it would).
+        assert!(
+            run_static.patterns.len() <= run_none.patterns.len(),
+            "static {} vs none {}",
+            run_static.patterns.len(),
+            run_none.patterns.len()
+        );
+        assert!(run_static.test_coverage() >= run_none.test_coverage() - 1e-9);
+    }
+
+    #[test]
+    fn dynamic_compaction_beats_none() {
+        let nl = ripple_adder(8);
+        let base = AtpgConfig {
+            random_patterns: 0,
+            ..AtpgConfig::default()
+        };
+        let run_dyn = Atpg::new(&nl).run(&AtpgConfig {
+            compaction: CompactionMode::Dynamic,
+            ..base.clone()
+        });
+        let run_none = Atpg::new(&nl).run(&AtpgConfig {
+            compaction: CompactionMode::None,
+            ..base
+        });
+        assert!(run_dyn.patterns.len() <= run_none.patterns.len());
+        assert!((run_dyn.test_coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_s27_full_scan_coverage() {
+        let nl = s27();
+        let run = Atpg::new(&nl).run(&AtpgConfig::default());
+        assert!(
+            run.test_coverage() > 0.99,
+            "s27 coverage {}",
+            run.test_coverage()
+        );
+    }
+
+    #[test]
+    fn mac_pe_signoff() {
+        let nl = mac_pe(4);
+        let run = Atpg::new(&nl).run(&AtpgConfig::default());
+        assert!(
+            run.test_coverage() > 0.98,
+            "mac coverage {} aborted {}",
+            run.test_coverage(),
+            run.aborted
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion: EDT encode (GF(2) solve) throughput (cubes/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dft_core::compress::EdtCodec;
+use dft_core::logicsim::TestCube;
+
+fn make_cubes(codec: &EdtCodec, n: usize, care: usize, seed: u64) -> Vec<TestCube> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            let mut cube = TestCube::all_x(codec.flat_bits());
+            for _ in 0..care {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let idx = (s >> 17) as usize % codec.flat_bits();
+                cube.set(idx, s & 1 == 1);
+            }
+            cube
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edt_encode");
+    for (chains, chain_len) in [(16usize, 32usize), (64, 64)] {
+        let codec = EdtCodec::new(chains, chain_len, 2, 32, 0xBE);
+        let cubes = make_cubes(&codec, 32, codec.capacity_hint() / 2, 7);
+        group.throughput(Throughput::Elements(32));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{chains}x{chain_len}")),
+            &chains,
+            |b, _| {
+                b.iter(|| {
+                    cubes
+                        .iter()
+                        .filter(|cube| codec.encode(cube).is_some())
+                        .count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let codec = EdtCodec::new(64, 64, 2, 32, 0xBE);
+    let cube = make_cubes(&codec, 1, 20, 3).pop().unwrap();
+    let compressed = codec.encode(&cube).expect("encodes");
+    c.bench_function("edt_expand_64x64", |b| b.iter(|| codec.expand(&compressed)));
+}
+
+criterion_group!(benches, bench_encode, bench_expand);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: quantized inference throughput (MACs/second) on the
+//! behavioural systolic model, clean vs fault-injected.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dft_core::aichip::{Dataset, PeFault, SystolicModel};
+
+fn bench_inference(c: &mut Criterion) {
+    let data = Dataset::synthetic(10, 64, 64, 0x1F);
+    let model = data.prototype_classifier(1);
+    let macs = (data.samples.len() * data.classes * data.dim) as u64;
+
+    let clean = SystolicModel::new(8, 8);
+    let mut group = c.benchmark_group("inference");
+    group.throughput(Throughput::Elements(macs));
+    group.bench_function("clean_8x8", |b| {
+        b.iter(|| model.accuracy(&clean, &data));
+    });
+    let faulty = clean.clone().with_fault(PeFault {
+        row: 3,
+        col: 3,
+        bit: 12,
+        stuck: true,
+    });
+    group.bench_function("faulty_8x8", |b| {
+        b.iter(|| model.accuracy(&faulty, &data));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: good-machine simulation throughput (patterns/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dft_core::logicsim::{GoodSim, PatternSet};
+use dft_core::netlist::generators::{random_logic, systolic_array, SystolicConfig};
+
+fn bench_goodsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goodsim");
+    for gates in [1000usize, 5000, 20000] {
+        let nl = random_logic(64, gates, 0xB1);
+        let sim = GoodSim::new(&nl);
+        let ps = PatternSet::random(&nl, 256, 1);
+        group.throughput(Throughput::Elements(256));
+        group.bench_with_input(BenchmarkId::new("random_logic", gates), &gates, |b, _| {
+            b.iter(|| sim.simulate_all(&ps));
+        });
+    }
+    let nl = systolic_array(SystolicConfig {
+        rows: 4,
+        cols: 4,
+        width: 4,
+    });
+    let sim = GoodSim::new(&nl);
+    let ps = PatternSet::random(&nl, 256, 2);
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("systolic4x4", |b| b.iter(|| sim.simulate_all(&ps)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_goodsim);
+criterion_main!(benches);

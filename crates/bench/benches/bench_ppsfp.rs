@@ -1,0 +1,41 @@
+//! Criterion: PPSFP fault-simulation throughput (fault-pattern pairs/s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dft_core::fault::{universe_stuck_at, FaultList};
+use dft_core::logicsim::{FaultSim, PatternSet};
+use dft_core::netlist::generators::{mac_pe, random_logic};
+
+fn bench_ppsfp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppsfp");
+    group.sample_size(10);
+    for gates in [500usize, 2000] {
+        let nl = random_logic(32, gates, 0xFA);
+        let sim = FaultSim::new(&nl);
+        let faults = universe_stuck_at(&nl);
+        let ps = PatternSet::random(&nl, 64, 3);
+        group.throughput(Throughput::Elements((faults.len() * 64) as u64));
+        group.bench_with_input(BenchmarkId::new("random_logic", gates), &gates, |b, _| {
+            b.iter(|| {
+                let mut list = FaultList::new(faults.clone());
+                sim.run(&ps, &mut list);
+                list.num_detected()
+            });
+        });
+    }
+    let nl = mac_pe(8);
+    let sim = FaultSim::new(&nl);
+    let faults = universe_stuck_at(&nl);
+    let ps = PatternSet::random(&nl, 64, 5);
+    group.throughput(Throughput::Elements((faults.len() * 64) as u64));
+    group.bench_function("mac8", |b| {
+        b.iter(|| {
+            let mut list = FaultList::new(faults.clone());
+            sim.run(&ps, &mut list);
+            list.num_detected()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppsfp);
+criterion_main!(benches);

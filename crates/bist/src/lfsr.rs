@@ -1,0 +1,144 @@
+//! A maximal-length-style LFSR used as the BIST pattern source.
+
+/// A Fibonacci LFSR over up to 64 bits with known-primitive polynomials
+/// for common widths (falls back to a dense tap set otherwise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u64,
+    width: u32,
+    taps: u64,
+}
+
+/// Galois feedback masks (maximal-length polynomials from the classic
+/// XAPP052 table) for selected widths; a dense fallback otherwise.
+fn primitive_taps(width: u32) -> u64 {
+    match width {
+        4 => 0xC,                 // taps 4,3
+        8 => 0xB8,                // taps 8,6,5,4
+        16 => 0xB400,             // taps 16,15,13,4
+        24 => 0xE1_0000,          // taps 24,23,22,17
+        32 => 0xA300_0000,        // taps 32,30,26,25
+        _ => {
+            // Dense fallback (not guaranteed maximal, adequate spread).
+            let mut t = 1u64 << (width - 1) | 1;
+            if width > 2 {
+                t |= 1 << (width / 2);
+            }
+            if width > 3 {
+                t |= 1 << (width / 3);
+            }
+            t
+        }
+    }
+}
+
+impl Lfsr {
+    /// Creates an LFSR of `width` bits (1..=64) with the given nonzero
+    /// seed (zero seeds are mapped to 1: the all-zero state is a fixed
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn new(width: u32, seed: u64) -> Lfsr {
+        assert!(width >= 1 && width <= 64, "width out of range");
+        let mask = if width == 64 { !0 } else { (1u64 << width) - 1 };
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Lfsr {
+            state,
+            width,
+            taps: primitive_taps(width) & mask,
+        }
+    }
+
+    /// LFSR register width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current state.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances one cycle (Galois right shift) and returns the output bit
+    /// (the bit shifted out).
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            self.state ^= self.taps;
+        }
+        out
+    }
+
+    /// Produces the next `n` output bits.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+impl Iterator for Lfsr {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr4_has_period_15() {
+        let mut l = Lfsr::new(4, 1);
+        let start = l.state();
+        let mut period = 0usize;
+        loop {
+            l.step();
+            period += 1;
+            if l.state() == start || period > 20 {
+                break;
+            }
+        }
+        assert_eq!(period, 15);
+    }
+
+    #[test]
+    fn lfsr8_visits_many_states() {
+        let mut l = Lfsr::new(8, 0xA5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..255 {
+            seen.insert(l.state());
+            l.step();
+        }
+        assert!(seen.len() >= 200, "only {} states", seen.len());
+    }
+
+    #[test]
+    fn zero_seed_is_fixed() {
+        let l = Lfsr::new(16, 0);
+        assert_ne!(l.state(), 0);
+    }
+
+    #[test]
+    fn bit_stream_is_balanced() {
+        let mut l = Lfsr::new(16, 0xBEEF);
+        let bits = l.bits(4096);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((1700..=2400).contains(&ones), "{ones} ones");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<bool> = Lfsr::new(16, 7).take(100).collect();
+        let b: Vec<bool> = Lfsr::new(16, 7).take(100).collect();
+        let c: Vec<bool> = Lfsr::new(16, 8).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

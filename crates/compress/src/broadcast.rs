@@ -1,0 +1,155 @@
+//! Illinois (broadcast) scan: the classic low-cost compression baseline.
+//!
+//! In broadcast mode one tester channel feeds every chain the *same*
+//! data; a cube is applicable iff its care bits agree across chains at
+//! every shift position. Incompatible cubes fall back to serial mode
+//! (all chains concatenated behind the single pin). EDT's ring generator
+//! removes exactly this compatibility restriction — comparing the two is
+//! the point of the E4 extension table.
+
+use dft_logicsim::TestCube;
+
+/// An Illinois-scan configuration: `chains` chains of `chain_len` cells
+/// behind a single scan-in pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllinoisScan {
+    /// Number of chains fed in parallel in broadcast mode.
+    pub chains: usize,
+    /// Cells per chain.
+    pub chain_len: usize,
+}
+
+/// Per-cube application cost under Illinois scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IllinoisMode {
+    /// All chains loaded with one `chain_len` stream.
+    Broadcast,
+    /// Chains loaded serially: `chains * chain_len` cycles.
+    Serial,
+}
+
+impl IllinoisScan {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(chains: usize, chain_len: usize) -> IllinoisScan {
+        assert!(chains > 0 && chain_len > 0);
+        IllinoisScan { chains, chain_len }
+    }
+
+    /// Flat cells per pattern.
+    pub fn flat_bits(&self) -> usize {
+        self.chains * self.chain_len
+    }
+
+    /// Tries to broadcast-encode a cube (flat cell indexing: chain `c`,
+    /// position `p` = index `c * chain_len + p`). Returns the shared load
+    /// (position-indexed) or `None` on a care-bit conflict.
+    pub fn encode_broadcast(&self, cube: &TestCube) -> Option<Vec<bool>> {
+        assert_eq!(cube.width(), self.flat_bits(), "cube width");
+        let mut shared: Vec<Option<bool>> = vec![None; self.chain_len];
+        for c in 0..self.chains {
+            for p in 0..self.chain_len {
+                if let Some(v) = cube.get(c * self.chain_len + p) {
+                    match shared[p] {
+                        None => shared[p] = Some(v),
+                        Some(existing) if existing == v => {}
+                        Some(_) => return None,
+                    }
+                }
+            }
+        }
+        Some(shared.into_iter().map(|b| b.unwrap_or(false)).collect())
+    }
+
+    /// Chooses the mode for a cube and returns `(mode, load cycles)`.
+    pub fn apply(&self, cube: &TestCube) -> (IllinoisMode, usize) {
+        match self.encode_broadcast(cube) {
+            Some(_) => (IllinoisMode::Broadcast, self.chain_len),
+            None => (IllinoisMode::Serial, self.flat_bits()),
+        }
+    }
+
+    /// Aggregate stimulus cycles for a cube set, plus the broadcast rate.
+    pub fn total_cycles(&self, cubes: &[TestCube]) -> (u64, f64) {
+        let mut cycles = 0u64;
+        let mut broadcast = 0usize;
+        for cube in cubes {
+            let (mode, c) = self.apply(cube);
+            cycles += c as u64;
+            if mode == IllinoisMode::Broadcast {
+                broadcast += 1;
+            }
+        }
+        let rate = if cubes.is_empty() {
+            1.0
+        } else {
+            broadcast as f64 / cubes.len() as f64
+        };
+        (cycles, rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatible_cube_broadcasts() {
+        let il = IllinoisScan::new(4, 8);
+        let mut cube = TestCube::all_x(32);
+        cube.set(3, true); // chain 0 pos 3
+        cube.set(8 + 3, true); // chain 1 pos 3 agrees
+        cube.set(2 * 8 + 5, false);
+        let load = il.encode_broadcast(&cube).expect("compatible");
+        assert!(load[3]);
+        assert!(!load[5]);
+        assert_eq!(il.apply(&cube), (IllinoisMode::Broadcast, 8));
+    }
+
+    #[test]
+    fn conflicting_cube_falls_back_to_serial() {
+        let il = IllinoisScan::new(2, 4);
+        let mut cube = TestCube::all_x(8);
+        cube.set(1, true); // chain 0 pos 1
+        cube.set(4 + 1, false); // chain 1 pos 1 conflicts
+        assert!(il.encode_broadcast(&cube).is_none());
+        assert_eq!(il.apply(&cube), (IllinoisMode::Serial, 8));
+    }
+
+    #[test]
+    fn aggregate_accounting() {
+        let il = IllinoisScan::new(2, 4);
+        let mut ok = TestCube::all_x(8);
+        ok.set(0, true);
+        let mut bad = TestCube::all_x(8);
+        bad.set(1, true);
+        bad.set(5, false);
+        let (cycles, rate) = il.total_cycles(&[ok, bad]);
+        assert_eq!(cycles, 4 + 8);
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_cubes_usually_broadcast_dense_ones_do_not() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let il = IllinoisScan::new(8, 16);
+        let mut rng = StdRng::seed_from_u64(4);
+        let gen = |care: usize, rng: &mut StdRng| {
+            let mut c = TestCube::all_x(il.flat_bits());
+            for _ in 0..care {
+                let i = rng.gen_range(0..il.flat_bits());
+                c.set(i, rng.gen_bool(0.5));
+            }
+            c
+        };
+        let sparse: Vec<TestCube> = (0..40).map(|_| gen(3, &mut rng)).collect();
+        let dense: Vec<TestCube> = (0..40).map(|_| gen(60, &mut rng)).collect();
+        let (_, sparse_rate) = il.total_cycles(&sparse);
+        let (_, dense_rate) = il.total_cycles(&dense);
+        assert!(sparse_rate > dense_rate);
+    }
+}

@@ -1,0 +1,266 @@
+//! Response compaction: MISR signatures and X-masking.
+
+/// A multiple-input signature register.
+///
+/// Each cycle the register shifts (with feedback) and XORs one parallel
+/// input word — the per-chain scan-out bits. After all unload cycles the
+/// state is the *signature*; comparing it against the fault-free signature
+/// replaces per-cycle comparison. A single unknown (X) response bit
+/// corrupts the signature, which is why X-masking exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    state: Vec<bool>,
+    taps: Vec<usize>,
+}
+
+impl Misr {
+    /// Creates a `width`-bit MISR (one input per scan chain) with a fixed
+    /// characteristic polynomial derived from the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 2`.
+    pub fn new(width: usize) -> Misr {
+        assert!(width >= 2, "MISR needs at least 2 bits");
+        // Taps: last bit plus a small spread — primitive-ish; exactness is
+        // not required for aliasing statistics at these widths.
+        let mut taps = vec![width - 1];
+        if width > 3 {
+            taps.push(width / 2);
+        }
+        if width > 5 {
+            taps.push(width / 3);
+        }
+        Misr {
+            state: vec![false; width],
+            taps,
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Resets the signature to zero.
+    pub fn reset(&mut self) {
+        self.state.fill(false);
+    }
+
+    /// Absorbs one cycle of parallel response bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != width`.
+    pub fn absorb(&mut self, inputs: &[bool]) {
+        assert_eq!(inputs.len(), self.state.len(), "input width");
+        // Galois-free shift: feedback (which taps the last bit) replaces
+        // the wrapped-around element, making the transition nonsingular.
+        let fb = self.taps.iter().fold(false, |acc, &t| acc ^ self.state[t]);
+        self.state.rotate_right(1);
+        self.state[0] = fb;
+        for (s, &i) in self.state.iter_mut().zip(inputs) {
+            *s ^= i;
+        }
+    }
+
+    /// Absorbs a whole unload (one word per cycle).
+    pub fn absorb_all<'a, I: IntoIterator<Item = &'a [bool]>>(&mut self, cycles: I) {
+        for c in cycles {
+            self.absorb(c);
+        }
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Signature as a hex string (MSB first) for logs and tables.
+    pub fn signature_hex(&self) -> String {
+        let mut out = String::new();
+        for chunk in self.state.chunks(4) {
+            let mut v = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                if b {
+                    v |= 1 << (3 - i);
+                }
+            }
+            out.push(char::from_digit(v as u32, 16).unwrap());
+        }
+        out
+    }
+}
+
+/// A per-cycle X-masking controller: masked (chain, cycle) positions are
+/// forced to 0 before entering the MISR so unknown response bits cannot
+/// corrupt the signature.
+#[derive(Debug, Clone, Default)]
+pub struct XMask {
+    /// `masked[cycle]` is the set of chain indices to suppress.
+    masked: Vec<Vec<usize>>,
+}
+
+impl XMask {
+    /// Creates an empty mask over `cycles` unload cycles.
+    pub fn new(cycles: usize) -> XMask {
+        XMask {
+            masked: vec![Vec::new(); cycles],
+        }
+    }
+
+    /// Masks chain `chain` during `cycle`.
+    pub fn mask(&mut self, cycle: usize, chain: usize) {
+        if !self.masked[cycle].contains(&chain) {
+            self.masked[cycle].push(chain);
+        }
+    }
+
+    /// Number of masked positions.
+    pub fn count(&self) -> usize {
+        self.masked.iter().map(|m| m.len()).sum()
+    }
+
+    /// Applies the mask to one cycle of response bits (in place).
+    pub fn apply(&self, cycle: usize, bits: &mut [bool]) {
+        if let Some(m) = self.masked.get(cycle) {
+            for &c in m {
+                bits[c] = false;
+            }
+        }
+    }
+}
+
+/// Runs a full signature computation over per-cycle responses with
+/// optional masking. `responses[cycle][chain]`; `None` bits model X values
+/// (unknown): unmasked X bits corrupt the signature pseudo-randomly, which
+/// the return value reports.
+///
+/// Returns `(signature_hex, x_corrupted)`.
+pub fn signature_with_mask(
+    width: usize,
+    responses: &[Vec<Option<bool>>],
+    mask: Option<&XMask>,
+) -> (String, bool) {
+    let mut misr = Misr::new(width);
+    let mut corrupted = false;
+    for (cycle, resp) in responses.iter().enumerate() {
+        let mut bits: Vec<bool> = resp
+            .iter()
+            .enumerate()
+            .map(|(chain, b)| match b {
+                Some(v) => *v,
+                None => {
+                    let is_masked = mask
+                        .map(|m| m.masked.get(cycle).is_some_and(|s| s.contains(&chain)))
+                        .unwrap_or(false);
+                    if !is_masked {
+                        corrupted = true;
+                    }
+                    // Model the unknown as an arbitrary (here: deterministic
+                    // pseudo-random) electrical value.
+                    (cycle ^ chain) & 1 == 1
+                }
+            })
+            .collect();
+        if let Some(m) = mask {
+            m.apply(cycle, &mut bits);
+        }
+        misr.absorb(&bits);
+    }
+    (misr.signature_hex(), corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64, cycles: usize, width: usize) -> Vec<Vec<bool>> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..cycles)
+            .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let s = stream(3, 50, 8);
+        let mut m1 = Misr::new(8);
+        let mut m2 = Misr::new(8);
+        m1.absorb_all(s.iter().map(|c| c.as_slice()));
+        m2.absorb_all(s.iter().map(|c| c.as_slice()));
+        assert_eq!(m1.signature(), m2.signature());
+    }
+
+    #[test]
+    fn misr_is_linear() {
+        // sig(a ^ b) == sig(a) ^ sig(b) for zero-initialized MISRs.
+        let a = stream(1, 40, 8);
+        let b = stream(2, 40, 8);
+        let xor: Vec<Vec<bool>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        let sig = |s: &[Vec<bool>]| {
+            let mut m = Misr::new(8);
+            m.absorb_all(s.iter().map(|c| c.as_slice()));
+            m.signature().to_vec()
+        };
+        let sa = sig(&a);
+        let sb = sig(&b);
+        let sx = sig(&xor);
+        let combined: Vec<bool> = sa.iter().zip(&sb).map(|(p, q)| p ^ q).collect();
+        assert_eq!(sx, combined);
+    }
+
+    #[test]
+    fn single_bit_error_changes_signature() {
+        let s = stream(7, 30, 8);
+        let mut m1 = Misr::new(8);
+        m1.absorb_all(s.iter().map(|c| c.as_slice()));
+        for cycle in 0..30 {
+            for chain in 0..8 {
+                let mut bad = s.clone();
+                bad[cycle][chain] = !bad[cycle][chain];
+                let mut m2 = Misr::new(8);
+                m2.absorb_all(bad.iter().map(|c| c.as_slice()));
+                assert_ne!(
+                    m1.signature(),
+                    m2.signature(),
+                    "error at ({cycle},{chain}) aliased"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masking_suppresses_x_corruption() {
+        let responses: Vec<Vec<Option<bool>>> = vec![
+            vec![Some(true), Some(false), None, Some(true)],
+            vec![Some(false), Some(false), Some(true), Some(true)],
+        ];
+        let (_, corrupted) = signature_with_mask(4, &responses, None);
+        assert!(corrupted);
+        let mut mask = XMask::new(2);
+        mask.mask(0, 2);
+        let (sig_masked, corrupted) = signature_with_mask(4, &responses, Some(&mask));
+        assert!(!corrupted);
+        // And the masked signature matches the one where the X was 0.
+        let clean: Vec<Vec<Option<bool>>> = vec![
+            vec![Some(true), Some(false), Some(false), Some(true)],
+            vec![Some(false), Some(false), Some(true), Some(true)],
+        ];
+        let (sig_clean, _) = signature_with_mask(4, &clean, None);
+        assert_eq!(sig_masked, sig_clean);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let mut m = Misr::new(8);
+        m.absorb(&[true, false, true, false, false, false, false, true]);
+        assert_eq!(m.signature_hex().len(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! `aidft` — command-line front end for the DFT toolkit.
+//!
+//! ```text
+//! aidft stats    <design.bench>            netlist statistics
+//! aidft atpg     <design.bench>            run ATPG, print sign-off
+//! aidft flow     <design.bench> [chains]   full flow (scan+ATPG+EDT)
+//! aidft bist     <design.bench> [patterns] logic-BIST session
+//! aidft gen      <name> <out.bench>        write a generated circuit
+//! aidft diagnose <design.bench> <log.json> diagnose a failure log
+//! ```
+//!
+//! Generator names for `gen`: anything from the benchmark suite (`c17`,
+//! `s27`, `add8`, `mult8`, `alu8`, `mac4`, `sys4x4`, ...).
+
+use std::fs;
+use std::process::ExitCode;
+
+use dft_core::atpg::{Atpg, AtpgConfig};
+use dft_core::bist::LogicBist;
+use dft_core::diagnosis::{diagnose, FailureLog};
+use dft_core::logicsim::PatternSet;
+use dft_core::netlist::generators::benchmark_suite;
+use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
+use dft_core::DftFlow;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => with_design(&args, 2, |nl, _| {
+            println!("{}", NetlistStats::of(nl));
+            for (kind, count) in kind_histogram(nl) {
+                println!("  {kind:<8} {count}");
+            }
+            Ok(())
+        }),
+        Some("atpg") => with_design(&args, 2, |nl, _| {
+            let run = Atpg::new(nl).run(&AtpgConfig::default());
+            println!(
+                "{}: {} patterns, FC {:.2}%, TC {:.2}%, {} untestable, {} aborted, {:?}",
+                nl.name(),
+                run.patterns.len(),
+                run.fault_list.fault_coverage() * 100.0,
+                run.test_coverage() * 100.0,
+                run.untestable,
+                run.aborted,
+                run.elapsed
+            );
+            Ok(())
+        }),
+        Some("flow") => with_design(&args, 2, |nl, rest| {
+            let chains = rest
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4usize);
+            let report = DftFlow::new(nl).chains(chains).run();
+            print!("{report}");
+            Ok(())
+        }),
+        Some("bist") => with_design(&args, 2, |nl, rest| {
+            let patterns = rest
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1024usize);
+            let r = LogicBist::new(nl, 32).run(patterns, 0xB157);
+            println!(
+                "{}: {} PRPG patterns, coverage {:.2}%, signature {:016x}, {} undetected",
+                nl.name(),
+                r.patterns,
+                r.coverage * 100.0,
+                r.signature,
+                r.undetected
+            );
+            Ok(())
+        }),
+        Some("gen") => {
+            if args.len() != 3 {
+                Err("usage: aidft gen <name> <out.bench>".to_string())
+            } else {
+                match benchmark_suite().into_iter().find(|c| c.name == args[1]) {
+                    Some(c) => fs::write(&args[2], write_bench(&c.netlist))
+                        .map_err(|e| format!("write {}: {e}", args[2])),
+                    None => Err(format!(
+                        "unknown circuit `{}`; available: {}",
+                        args[1],
+                        benchmark_suite()
+                            .iter()
+                            .map(|c| c.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                }
+            }
+        }
+        Some("diagnose") => with_design(&args, 3, |nl, rest| {
+            let text = fs::read_to_string(&rest[0]).map_err(|e| format!("read log: {e}"))?;
+            let log = FailureLog::from_json(&text).map_err(|e| format!("parse log: {e}"))?;
+            // The pattern set must match the one used on the tester; the
+            // CLI convention is the seeded default set.
+            let patterns = PatternSet::random(nl, 256, 0xD1A6);
+            let cands = diagnose(nl, &patterns, &log, 10);
+            if cands.is_empty() {
+                println!("clean log or no candidates");
+            }
+            for (i, c) in cands.iter().enumerate() {
+                println!(
+                    "#{:<2} {:<30} score {:<6} tfsf {} tpsf {} tfsp {}",
+                    i + 1,
+                    c.fault.describe(nl),
+                    c.score(),
+                    c.tfsf,
+                    c.tpsf,
+                    c.tfsp
+                );
+            }
+            Ok(())
+        }),
+        _ => Err(
+            "usage: aidft <stats|atpg|flow|bist|gen|diagnose> <args>; see --help in README"
+                .to_string(),
+        ),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("aidft: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses the design argument and hands off to `f` with any remaining
+/// arguments.
+fn with_design(
+    args: &[String],
+    min_args: usize,
+    f: impl FnOnce(&Netlist, &[String]) -> Result<(), String>,
+) -> Result<(), String> {
+    if args.len() < min_args {
+        return Err("missing <design.bench> argument".into());
+    }
+    let path = &args[1];
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let name = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".bench");
+    let nl = parse_bench(name, &text).map_err(|e| format!("parse {path}: {e}"))?;
+    f(&nl, &args[min_args.min(args.len())..])
+}

@@ -1,0 +1,271 @@
+//! `dft-core`: the end-to-end DFT flow for AI chips.
+//!
+//! This facade crate re-exports the whole `aidft` toolkit and adds
+//! [`DftFlow`], the sign-off pipeline a user actually runs: scan
+//! insertion → ATPG (random + deterministic, compaction) → EDT
+//! compression → test-time accounting → coverage sign-off.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dft_core::{DftFlow, netlist::generators::mac_pe};
+//!
+//! let core = mac_pe(4);
+//! let report = DftFlow::new(&core).chains(4).channels(1).run();
+//! assert!(report.test_coverage > 0.95);
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+/// Re-export of `dft-netlist`.
+pub use dft_netlist as netlist;
+
+/// Re-export of `dft-fault`.
+pub use dft_fault as fault;
+
+/// Re-export of `dft-logicsim`.
+pub use dft_logicsim as logicsim;
+
+/// Re-export of `dft-atpg`.
+pub use dft_atpg as atpg;
+
+/// Re-export of `dft-scan`.
+pub use dft_scan as scan;
+
+/// Re-export of `dft-compress`.
+pub use dft_compress as compress;
+
+/// Re-export of `dft-bist`.
+pub use dft_bist as bist;
+
+/// Re-export of `dft-diagnosis`.
+pub use dft_diagnosis as diagnosis;
+
+/// Re-export of `dft-aichip`.
+pub use dft_aichip as aichip;
+
+use dft_atpg::{Atpg, AtpgConfig};
+use dft_compress::{CompressionStats, ScanEdt};
+use dft_netlist::Netlist;
+use dft_scan::{insert_scan, ScanConfig, ScanInsertion, TestTimeModel};
+
+/// The one-stop DFT sign-off flow.
+///
+/// Configure with the builder methods, then [`DftFlow::run`].
+#[derive(Debug)]
+pub struct DftFlow<'a> {
+    nl: &'a Netlist,
+    chains: usize,
+    channels: usize,
+    ring_len: Option<usize>,
+    shift_mhz: u32,
+    atpg: AtpgConfig,
+}
+
+impl<'a> DftFlow<'a> {
+    /// Starts a flow for `nl` with default settings (4 chains, 2
+    /// channels, auto-sized ring generator, 100 MHz shift, default ATPG).
+    pub fn new(nl: &'a Netlist) -> DftFlow<'a> {
+        DftFlow {
+            nl,
+            chains: 4,
+            channels: 2,
+            ring_len: None,
+            shift_mhz: 100,
+            atpg: AtpgConfig::default(),
+        }
+    }
+
+    /// Sets the scan-chain count.
+    pub fn chains(mut self, chains: usize) -> Self {
+        self.chains = chains;
+        self
+    }
+
+    /// Sets the EDT channel count.
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Sets the ring-generator length (default: auto-sized to the scan
+    /// chain length, clamped to `[8, 32]` — the warm-up cost scales with
+    /// the ring, so small designs get small rings).
+    pub fn ring_len(mut self, bits: usize) -> Self {
+        self.ring_len = Some(bits);
+        self
+    }
+
+    /// Sets the scan shift clock in MHz.
+    pub fn shift_mhz(mut self, mhz: u32) -> Self {
+        self.shift_mhz = mhz;
+        self
+    }
+
+    /// Overrides the ATPG configuration.
+    pub fn atpg_config(mut self, cfg: AtpgConfig) -> Self {
+        self.atpg = cfg;
+        self
+    }
+
+    /// Runs the full flow: scan insertion, ATPG, compression, timing.
+    pub fn run(self) -> FlowReport {
+        let scan = insert_scan(
+            self.nl,
+            &ScanConfig {
+                num_chains: self.chains,
+            },
+        );
+        let run = Atpg::new(self.nl).run(&self.atpg);
+        let timing = TestTimeModel::for_architecture(&scan, run.patterns.len(), self.shift_mhz);
+        let compression = if self.nl.num_dffs() > 0 && !run.cubes.is_empty() {
+            let ring_len = self
+                .ring_len
+                .unwrap_or_else(|| scan.shift_cycles().clamp(8, 32));
+            let edt = ScanEdt::new(self.nl, &scan, self.channels, ring_len, 0xED7);
+            Some(edt.compress_all(&run.cubes))
+        } else {
+            None
+        };
+        FlowReport {
+            design: self.nl.name().to_owned(),
+            gates: self.nl.num_gates(),
+            flops: self.nl.num_dffs(),
+            scan_added_gates: scan.added_gates,
+            chains: scan.chains.len(),
+            max_chain_len: scan.shift_cycles(),
+            patterns: run.patterns.len(),
+            fault_coverage: run.fault_list.fault_coverage(),
+            test_coverage: run.fault_list.test_coverage(),
+            untestable: run.untestable,
+            aborted: run.aborted,
+            atpg_time: run.elapsed,
+            test_cycles: timing.total_cycles(),
+            test_time_ms: timing.test_time_ms(),
+            compression,
+            scan,
+            atpg_run: run,
+        }
+    }
+}
+
+/// The sign-off report produced by [`DftFlow::run`].
+#[derive(Debug)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Gate count of the functional netlist.
+    pub gates: usize,
+    /// Flip-flop count.
+    pub flops: usize,
+    /// Gates added by scan insertion.
+    pub scan_added_gates: usize,
+    /// Scan chains built.
+    pub chains: usize,
+    /// Longest chain (shift cycles).
+    pub max_chain_len: usize,
+    /// Final pattern count.
+    pub patterns: usize,
+    /// Stuck-at fault coverage.
+    pub fault_coverage: f64,
+    /// Test coverage (untestable excluded).
+    pub test_coverage: f64,
+    /// Proven-untestable faults (collapsed).
+    pub untestable: usize,
+    /// Aborted faults (collapsed).
+    pub aborted: usize,
+    /// ATPG wall-clock time.
+    pub atpg_time: Duration,
+    /// Tester cycles for the session.
+    pub test_cycles: u64,
+    /// Tester time at the configured shift clock.
+    pub test_time_ms: f64,
+    /// EDT compression statistics (designs with flops and deterministic
+    /// cubes only).
+    pub compression: Option<CompressionStats>,
+    /// The scan architecture (for downstream tooling).
+    pub scan: ScanInsertion,
+    /// The full ATPG run (patterns, cubes, fault list).
+    pub atpg_run: dft_atpg::AtpgRun,
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DFT sign-off: {} ({} gates, {} flops)",
+            self.design, self.gates, self.flops
+        )?;
+        writeln!(
+            f,
+            "  scan: {} chains, max length {}, +{} gates",
+            self.chains, self.max_chain_len, self.scan_added_gates
+        )?;
+        writeln!(
+            f,
+            "  atpg: {} patterns, FC {:.2}%, TC {:.2}%, {} untestable, {} aborted ({:?})",
+            self.patterns,
+            self.fault_coverage * 100.0,
+            self.test_coverage * 100.0,
+            self.untestable,
+            self.aborted,
+            self.atpg_time
+        )?;
+        writeln!(
+            f,
+            "  tester: {} cycles ({:.3} ms)",
+            self.test_cycles, self.test_time_ms
+        )?;
+        if let Some(c) = &self.compression {
+            writeln!(
+                f,
+                "  edt: {:.1}x stimulus compression, {:.0}% cubes encoded",
+                c.ratio(),
+                c.encode_rate() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::generators::{c17, counter, mac_pe};
+
+    #[test]
+    fn flow_on_combinational_design() {
+        let nl = c17();
+        let report = DftFlow::new(&nl).run();
+        assert!(report.test_coverage > 0.99);
+        assert!(report.compression.is_none(), "no flops, no compression");
+        assert!(report.to_string().contains("c17"));
+    }
+
+    #[test]
+    fn flow_on_sequential_design_compresses() {
+        let nl = mac_pe(4);
+        let report = DftFlow::new(&nl)
+            .chains(4)
+            .channels(1)
+            .ring_len(24)
+            .run();
+        assert!(report.test_coverage > 0.95);
+        let c = report.compression.expect("flops present");
+        assert!(c.encoded > 0);
+        assert!(report.test_cycles > 0);
+    }
+
+    #[test]
+    fn builder_knobs_apply() {
+        let nl = counter(8);
+        let report = DftFlow::new(&nl).chains(2).shift_mhz(50).run();
+        assert_eq!(report.chains, 2);
+        assert_eq!(report.max_chain_len, 4);
+    }
+}

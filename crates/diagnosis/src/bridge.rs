@@ -1,0 +1,260 @@
+//! Bridge-defect diagnosis.
+//!
+//! Single stuck-at candidates cannot explain a short between two nets —
+//! the telltale is a log where no stuck-at candidate is exact. The
+//! standard second pass pairs the nets of the best stuck-at candidates
+//! and scores the four bridge models per pair.
+
+use dft_fault::{BridgeFault, BridgeKind};
+use dft_logicsim::{FaultSim, PatternSet, SimWorkspace};
+use dft_netlist::{GateId, Netlist};
+
+use crate::FailureLog;
+
+/// A scored bridge candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeCandidate {
+    /// The candidate short.
+    pub bridge: BridgeFault,
+    /// Predicted-and-observed failing patterns.
+    pub tfsf: u32,
+    /// Predicted-but-not-observed failures.
+    pub tpsf: u32,
+    /// Observed-but-not-predicted failures.
+    pub tfsp: u32,
+}
+
+impl BridgeCandidate {
+    /// Same composite weighting as stuck-at candidates.
+    pub fn score(&self) -> i64 {
+        self.tfsf as i64 * 4 - self.tfsp as i64 * 2 - self.tpsf as i64
+    }
+
+    /// `true` when the candidate explains the log perfectly.
+    pub fn is_exact(&self) -> bool {
+        self.tpsf == 0 && self.tfsp == 0 && self.tfsf > 0
+    }
+}
+
+/// Builds a failure log for an injected bridge defect (the synthetic
+/// tester datalog for bridge experiments).
+pub fn build_bridge_failure_log(
+    nl: &Netlist,
+    patterns: &PatternSet,
+    defect: BridgeFault,
+) -> FailureLog {
+    let sim = FaultSim::new(nl);
+    let mut ws = SimWorkspace::new(nl.num_gates());
+    let mut fails = Vec::new();
+    for (start, words, count) in patterns.blocks() {
+        let good = sim.good_sim().eval_block(&words);
+        let mask = if count >= 64 { !0u64 } else { (1u64 << count) - 1 };
+        let (det, _) = sim.detect_word_bridge(&good, mask, defect, &mut ws);
+        let mut d = det;
+        while d != 0 {
+            let k = d.trailing_zeros();
+            d &= d - 1;
+            // Which sinks fail is pattern-specific; recompute per pattern
+            // for the log (bridge responses need per-sink detail).
+            let p = patterns.pattern(start + k as usize);
+            let pw: Vec<u64> = p.iter().map(|&b| if b { !0 } else { 0 }).collect();
+            let g1 = sim.good_sim().eval_block(&pw);
+            let (_, _) = sim.detect_word_bridge(&g1, 1, defect, &mut ws);
+            // The workspace now holds the faulty overlay for this pattern.
+            let sinks = sim.good_sim().sinks();
+            let sink_words = sim.good_sim().sink_words(&g1);
+            let mut failing = Vec::new();
+            for (si, &s) in sinks.iter().enumerate() {
+                let gate = nl.gate(s);
+                let faulty = if matches!(gate.kind, dft_netlist::GateKind::Dff) {
+                    ws_value(&ws, gate.fanins[0], &g1)
+                } else {
+                    ws_value(&ws, s, &g1)
+                };
+                if (faulty ^ sink_words[si]) & 1 == 1 {
+                    failing.push(si as u32);
+                }
+            }
+            if !failing.is_empty() {
+                fails.push(crate::PatternFail {
+                    pattern: start as u32 + k,
+                    failing_sinks: failing,
+                });
+            }
+        }
+    }
+    FailureLog { fails }
+}
+
+fn ws_value(ws: &SimWorkspace, g: GateId, good: &[u64]) -> u64 {
+    ws.value_or(g, good)
+}
+
+/// Diagnoses a log allowing bridge candidates: runs stuck-at diagnosis
+/// first, then pairs the nets of the top `pair_pool` single-net
+/// candidates and scores all four bridge models for each pair. Returns
+/// bridge candidates sorted best-first.
+pub fn diagnose_bridges(
+    nl: &Netlist,
+    patterns: &PatternSet,
+    log: &FailureLog,
+    pair_pool: usize,
+    top_k: usize,
+) -> Vec<BridgeCandidate> {
+    if log.is_clean() {
+        return Vec::new();
+    }
+    // Pool of suspect nets via SLAT (single-location-at-a-time): a
+    // bridge's failures span two cones, so the all-patterns structural
+    // screen used for stuck-at candidates rejects the true nets. Instead,
+    // each failing pattern votes for the nets whose single stuck-at
+    // reproduces *exactly* that pattern's failing-sink set; the two
+    // bridged nets each explain the cycles on which they are the active
+    // victim.
+    let sim_pool = FaultSim::new(nl);
+    let good_sim = sim_pool.good_sim();
+    let sinks = good_sim.sinks();
+    let mut ws_pool = SimWorkspace::new(nl.num_gates());
+    let mut votes: Vec<(usize, GateId)> = Vec::new();
+    let net_candidates: Vec<GateId> = nl
+        .iter()
+        .filter(|(_, g)| {
+            g.kind.is_logic()
+                || matches!(g.kind, dft_netlist::GateKind::Input | dft_netlist::GateKind::Dff)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let fail_sample: Vec<&crate::PatternFail> = log.fails.iter().take(32).collect();
+    for &net in &net_candidates {
+        let mut count = 0usize;
+        for fail in &fail_sample {
+            let p = patterns.pattern(fail.pattern as usize);
+            let words: Vec<u64> = p.iter().map(|&b| if b { !0 } else { 0 }).collect();
+            let good = good_sim.eval_block(&words);
+            let mut matched = false;
+            for value in [false, true] {
+                let f = dft_fault::Fault::stuck_at_output(net, value);
+                let (det, _) = sim_pool.detect_word(&good, 1, f, &mut ws_pool);
+                if det & 1 == 0 {
+                    continue;
+                }
+                // Exact per-sink comparison using the workspace overlay.
+                let sink_words = good_sim.sink_words(&good);
+                let exact = sinks.iter().enumerate().all(|(si, &s)| {
+                    let gate = nl.gate(s);
+                    let faulty = if matches!(gate.kind, dft_netlist::GateKind::Dff) {
+                        ws_pool.value_or(gate.fanins[0], &good)
+                    } else {
+                        ws_pool.value_or(s, &good)
+                    };
+                    let fails_here = (faulty ^ sink_words[si]) & 1 == 1;
+                    fails_here == fail.failing_sinks.contains(&(si as u32))
+                });
+                if exact {
+                    matched = true;
+                    break;
+                }
+            }
+            if matched {
+                count += 1;
+            }
+        }
+        if count > 0 {
+            votes.push((count, net));
+        }
+    }
+    votes.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut nets: Vec<GateId> = votes.into_iter().take(pair_pool).map(|(_, id)| id).collect();
+    nets.sort_unstable();
+    nets.dedup();
+
+    let sim = FaultSim::new(nl);
+    let mut ws = SimWorkspace::new(nl.num_gates());
+    let observed: Vec<u32> = log.fails.iter().map(|f| f.pattern).collect();
+    let mut out = Vec::new();
+    for (i, &a) in nets.iter().enumerate() {
+        for &b in nets.iter().skip(i + 1) {
+            if nl.gate(b).fanins.contains(&a) || nl.gate(a).fanins.contains(&b) {
+                continue;
+            }
+            for kind in BridgeKind::ALL {
+                let bridge = BridgeFault { a, b, kind };
+                let mut cand = BridgeCandidate {
+                    bridge,
+                    tfsf: 0,
+                    tpsf: 0,
+                    tfsp: 0,
+                };
+                for (start, words, count) in patterns.blocks() {
+                    let good = sim.good_sim().eval_block(&words);
+                    let mask = if count >= 64 { !0u64 } else { (1u64 << count) - 1 };
+                    let (det, _) = sim.detect_word_bridge(&good, mask, bridge, &mut ws);
+                    for k in 0..count {
+                        let pat = (start + k) as u32;
+                        let predicted = (det >> k) & 1 == 1;
+                        let obs = observed.contains(&pat);
+                        match (predicted, obs) {
+                            (true, true) => cand.tfsf += 1,
+                            (true, false) => cand.tpsf += 1,
+                            (false, true) => cand.tfsp += 1,
+                            (false, false) => {}
+                        }
+                    }
+                }
+                out.push(cand);
+            }
+        }
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.score()));
+    out.truncate(top_k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::generators::ripple_adder;
+
+    #[test]
+    fn injected_bridge_is_top_candidate() {
+        let nl = ripple_adder(6);
+        let patterns = PatternSet::random(&nl, 128, 0xB12);
+        // Pick two unrelated internal nets.
+        let a = nl.find("add_fa1_axb").unwrap();
+        let b = nl.find("add_fa4_t2").unwrap();
+        let defect = BridgeFault {
+            a,
+            b,
+            kind: BridgeKind::WiredOr,
+        };
+        let log = build_bridge_failure_log(&nl, &patterns, defect);
+        assert!(!log.is_clean(), "bridge must fail some patterns");
+        let cands = diagnose_bridges(&nl, &patterns, &log, 12, 8);
+        assert!(!cands.is_empty());
+        let best = cands[0].score();
+        let found = cands
+            .iter()
+            .take_while(|c| c.score() == best)
+            .any(|c| c.bridge.a == a && c.bridge.b == b);
+        assert!(found, "injected bridge not among best: {cands:?}");
+    }
+
+    #[test]
+    fn bridge_log_matches_detection() {
+        let nl = ripple_adder(4);
+        let patterns = PatternSet::random(&nl, 48, 0xB13);
+        let a = nl.find("add_fa0_s").unwrap();
+        let b = nl.find("add_fa2_t2").unwrap();
+        let defect = BridgeFault {
+            a,
+            b,
+            kind: BridgeKind::WiredAnd,
+        };
+        let log = build_bridge_failure_log(&nl, &patterns, defect);
+        let sim = FaultSim::new(&nl);
+        for (i, p) in patterns.iter().enumerate() {
+            let in_log = log.fails.iter().any(|f| f.pattern == i as u32);
+            assert_eq!(in_log, sim.detects_bridge(p, defect), "pattern {i}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Failure logs: the tester-side artifact consumed by diagnosis.
+
+use serde::{Deserialize, Serialize};
+
+use dft_fault::Fault;
+use dft_logicsim::{FaultSim, PatternSet};
+use dft_netlist::Netlist;
+
+/// One failing pattern: which observation points (combinational sinks, in
+/// [`Netlist::combinational_sinks`] order) miscompared.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternFail {
+    /// Index of the failing pattern in the applied set.
+    pub pattern: u32,
+    /// Indices of the failing sinks, ascending.
+    pub failing_sinks: Vec<u32>,
+}
+
+/// A tester failure log for one die.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FailureLog {
+    /// Failing patterns in application order. Patterns absent from the
+    /// list passed.
+    pub fails: Vec<PatternFail>,
+}
+
+impl FailureLog {
+    /// `true` when the die passed every pattern.
+    pub fn is_clean(&self) -> bool {
+        self.fails.is_empty()
+    }
+
+    /// Total failing (pattern, sink) observations.
+    pub fn num_observations(&self) -> usize {
+        self.fails.iter().map(|f| f.failing_sinks.len()).sum()
+    }
+
+    /// The union of failing sink indices across all patterns.
+    pub fn failing_sink_union(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .fails
+            .iter()
+            .flat_map(|f| f.failing_sinks.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Serializes to JSON (the interchange format).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for this type (no non-string map keys or non-finite
+    /// floats).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("failure log serializes")
+    }
+
+    /// Parses a JSON failure log.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<FailureLog, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Simulates `defect` against `patterns` and records every miscompare —
+/// the synthetic equivalent of a tester datalog (production logs are
+/// proprietary; see DESIGN.md substitutions).
+pub fn build_failure_log(nl: &Netlist, patterns: &PatternSet, defect: Fault) -> FailureLog {
+    let sim = FaultSim::new(nl);
+    let good_sim = sim.good_sim();
+    let mut fails = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        let good = good_sim.simulate(p);
+        let faulty = sim.faulty_response(p, defect);
+        let failing: Vec<u32> = good
+            .iter()
+            .zip(&faulty)
+            .enumerate()
+            .filter(|(_, (g, f))| g != f)
+            .map(|(s, _)| s as u32)
+            .collect();
+        if !failing.is_empty() {
+            fails.push(PatternFail {
+                pattern: i as u32,
+                failing_sinks: failing,
+            });
+        }
+    }
+    FailureLog { fails }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::generators::c17;
+
+    #[test]
+    fn log_round_trips_through_json() {
+        let nl = c17();
+        let ps = PatternSet::random(&nl, 16, 3);
+        let g10 = nl.find("G10").unwrap();
+        let log = build_failure_log(&nl, &ps, Fault::stuck_at_output(g10, true));
+        assert!(!log.is_clean());
+        let json = log.to_json();
+        let back = FailureLog::from_json(&json).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn undetectable_fault_gives_clean_log() {
+        let nl = c17();
+        let mut ps = PatternSet::new(5);
+        ps.push(vec![true; 5]); // single pattern that misses most faults
+        // Find a fault this pattern does not detect.
+        let sim = FaultSim::new(&nl);
+        let fault = dft_fault::universe_stuck_at(&nl)
+            .into_iter()
+            .find(|&f| !sim.detects(ps.pattern(0), f))
+            .expect("some fault undetected by a single pattern");
+        let log = build_failure_log(&nl, &ps, fault);
+        assert!(log.is_clean());
+    }
+
+    #[test]
+    fn observations_match_detection() {
+        let nl = c17();
+        let ps = PatternSet::random(&nl, 32, 9);
+        let sim = FaultSim::new(&nl);
+        for &fault in dft_fault::universe_stuck_at(&nl).iter().take(10) {
+            let log = build_failure_log(&nl, &ps, fault);
+            let failing: Vec<u32> = log.fails.iter().map(|f| f.pattern).collect();
+            for (i, p) in ps.iter().enumerate() {
+                assert_eq!(
+                    failing.contains(&(i as u32)),
+                    sim.detects(p, fault),
+                    "{fault} pattern {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sink_union_sorted_unique() {
+        let log = FailureLog {
+            fails: vec![
+                PatternFail {
+                    pattern: 0,
+                    failing_sinks: vec![3, 1],
+                },
+                PatternFail {
+                    pattern: 2,
+                    failing_sinks: vec![1, 5],
+                },
+            ],
+        };
+        assert_eq!(log.failing_sink_union(), vec![1, 3, 5]);
+        assert_eq!(log.num_observations(), 4);
+    }
+}

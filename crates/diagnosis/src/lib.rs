@@ -1,0 +1,46 @@
+//! Scan-based fault diagnosis (effect-cause with per-pattern matching).
+//!
+//! Volume diagnosis is how AI-chip vendors debug yield: the tester logs
+//! which patterns failed at which scan cells, and diagnosis software maps
+//! the log back to candidate defect locations. This crate implements the
+//! standard flow:
+//!
+//! 1. [`FailureLog`] — the tester artifact (failing pattern, failing
+//!    sinks), JSON-serializable for interchange.
+//! 2. Structural candidate extraction — only nets whose fanout cone covers
+//!    every failing observation point can explain a single defect.
+//! 3. Per-pattern simulation scoring — each candidate stuck-at fault is
+//!    simulated against every logged pattern; candidates are ranked by how
+//!    exactly their predicted failures match the log (TFSF/TFSP/TPSF
+//!    counts, in the literature's terminology).
+//!
+//! # Example
+//!
+//! ```
+//! use dft_netlist::generators::c17;
+//! use dft_fault::Fault;
+//! use dft_logicsim::PatternSet;
+//! use dft_diagnosis::{build_failure_log, diagnose};
+//!
+//! let nl = c17();
+//! let patterns = PatternSet::random(&nl, 32, 7);
+//! let defect = Fault::stuck_at_output(nl.find("G10").unwrap(), false);
+//! let log = build_failure_log(&nl, &patterns, defect);
+//! let candidates = diagnose(&nl, &patterns, &log, 5);
+//! assert_eq!(candidates[0].fault.site.net(&nl), defect.site.net(&nl));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bridge;
+mod chain;
+mod dictionary;
+mod faillog;
+mod score;
+
+pub use bridge::{build_bridge_failure_log, diagnose_bridges, BridgeCandidate};
+pub use chain::{diagnose_chain, flush_unload, ChainDefect, ChainDiagnosis};
+pub use dictionary::FaultDictionary;
+pub use faillog::{build_failure_log, FailureLog, PatternFail};
+pub use score::{diagnose, diagnose_universe, Candidate};

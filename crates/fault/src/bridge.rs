@@ -1,0 +1,140 @@
+//! Bridging (short) fault model.
+//!
+//! A bridge electrically ties two nets together. The standard logical
+//! abstractions: wired-AND, wired-OR, and the dominant-driver models
+//! (`A dominates B`: net B reads A's value, A unaffected). Bridges matter
+//! for AI chips because dense, regular MAC arrays are dominated by
+//! inter-cell shorts rather than opens.
+
+use dft_netlist::{GateId, GateKind, Netlist};
+
+/// Logical behaviour of a two-net short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BridgeKind {
+    /// Both nets read `a AND b`.
+    WiredAnd,
+    /// Both nets read `a OR b`.
+    WiredOr,
+    /// Net `b` reads `a`; `a` unaffected.
+    ADominates,
+    /// Net `a` reads `b`; `b` unaffected.
+    BDominates,
+}
+
+impl BridgeKind {
+    /// All four kinds.
+    pub const ALL: [BridgeKind; 4] = [
+        BridgeKind::WiredAnd,
+        BridgeKind::WiredOr,
+        BridgeKind::ADominates,
+        BridgeKind::BDominates,
+    ];
+}
+
+/// A bridging fault between two distinct nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BridgeFault {
+    /// First net.
+    pub a: GateId,
+    /// Second net.
+    pub b: GateId,
+    /// Short behaviour.
+    pub kind: BridgeKind,
+}
+
+impl BridgeFault {
+    /// Faulty values `(a', b')` of the bridged nets given good values
+    /// (bit-parallel words).
+    #[inline]
+    pub fn faulty_words(&self, va: u64, vb: u64) -> (u64, u64) {
+        match self.kind {
+            BridgeKind::WiredAnd => (va & vb, va & vb),
+            BridgeKind::WiredOr => (va | vb, va | vb),
+            BridgeKind::ADominates => (va, va),
+            BridgeKind::BDominates => (vb, vb),
+        }
+    }
+}
+
+impl std::fmt::Display for BridgeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let k = match self.kind {
+            BridgeKind::WiredAnd => "AND",
+            BridgeKind::WiredOr => "OR",
+            BridgeKind::ADominates => "A>B",
+            BridgeKind::BDominates => "B>A",
+        };
+        write!(f, "bridge({},{}) {k}", self.a, self.b)
+    }
+}
+
+/// Enumerates a synthetic bridge universe: each logic net paired with its
+/// `neighborhood` successors by gate id. Gate-id proximity stands in for
+/// layout adjacency, which the netlist does not carry (see DESIGN.md
+/// substitutions) — generator ids follow structural placement order, so
+/// nearby ids are usually physically related logic.
+pub fn bridge_universe(nl: &Netlist, neighborhood: usize) -> Vec<BridgeFault> {
+    let nets: Vec<GateId> = nl
+        .iter()
+        .filter(|(_, g)| {
+            g.kind.is_logic() || matches!(g.kind, GateKind::Input | GateKind::Dff)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let mut out = Vec::new();
+    for (i, &a) in nets.iter().enumerate() {
+        for &b in nets.iter().skip(i + 1).take(neighborhood) {
+            // Skip directly connected nets (a feeding b or vice versa):
+            // those shorts behave as cell-internal defects.
+            if nl.gate(b).fanins.contains(&a) || nl.gate(a).fanins.contains(&b) {
+                continue;
+            }
+            for kind in BridgeKind::ALL {
+                out.push(BridgeFault { a, b, kind });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_word_semantics() {
+        let b = |kind| BridgeFault {
+            a: GateId(0),
+            b: GateId(1),
+            kind,
+        };
+        assert_eq!(b(BridgeKind::WiredAnd).faulty_words(0b1100, 0b1010), (0b1000, 0b1000));
+        assert_eq!(b(BridgeKind::WiredOr).faulty_words(0b1100, 0b1010), (0b1110, 0b1110));
+        assert_eq!(b(BridgeKind::ADominates).faulty_words(0b1100, 0b1010), (0b1100, 0b1100));
+        assert_eq!(b(BridgeKind::BDominates).faulty_words(0b1100, 0b1010), (0b1010, 0b1010));
+    }
+
+    #[test]
+    fn universe_skips_connected_pairs() {
+        use dft_netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, vec![a, b], "g");
+        nl.add_output(g, "po");
+        let u = bridge_universe(&nl, 4);
+        assert!(u.iter().all(|f| !(f.a == a && f.b == g)));
+        // a-b bridge exists (not connected).
+        assert!(u.iter().any(|f| f.a == a && f.b == b));
+    }
+
+    #[test]
+    fn universe_size_scales_with_neighborhood() {
+        use dft_netlist::generators::c17;
+        let nl = c17();
+        let u1 = bridge_universe(&nl, 1);
+        let u3 = bridge_universe(&nl, 3);
+        assert!(u3.len() > u1.len());
+        assert_eq!(u1.len() % 4, 0); // four kinds per pair
+    }
+}

@@ -1,0 +1,202 @@
+//! The [`Fault`] type: a fault model instance at a pin-level site.
+
+use std::fmt;
+
+use dft_netlist::{GateId, Netlist};
+
+/// A pin-level fault location.
+///
+/// `pin == None` places the fault on the gate's output net (the stem);
+/// `pin == Some(i)` places it on the branch feeding input pin `i` of the
+/// gate, affecting only what that pin sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultSite {
+    /// The gate the fault is attached to.
+    pub gate: GateId,
+    /// Input pin index, or `None` for the gate output.
+    pub pin: Option<u8>,
+}
+
+impl FaultSite {
+    /// A fault on the output net of `gate`.
+    pub fn output(gate: GateId) -> FaultSite {
+        FaultSite { gate, pin: None }
+    }
+
+    /// A fault on input pin `pin` of `gate`.
+    pub fn input(gate: GateId, pin: u8) -> FaultSite {
+        FaultSite {
+            gate,
+            pin: Some(pin),
+        }
+    }
+
+    /// The net this site reads or drives: the gate itself for an output
+    /// site, the driver of the pin for an input site.
+    pub fn net(&self, nl: &Netlist) -> GateId {
+        match self.pin {
+            None => self.gate,
+            Some(p) => nl.gate(self.gate).fanins[p as usize],
+        }
+    }
+}
+
+/// The modeled defect behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Net permanently at logic 0.
+    StuckAt0,
+    /// Net permanently at logic 1.
+    StuckAt1,
+    /// Transition fault: the net's rising transition is too slow. Detected
+    /// by a launch 0 followed by a captured 1 (behaves as stuck-at-0 on the
+    /// capture cycle).
+    SlowToRise,
+    /// Transition fault: falling transition too slow (stuck-at-1 on
+    /// capture).
+    SlowToFall,
+}
+
+impl FaultKind {
+    /// The stuck value forced at the site during the detecting (capture)
+    /// cycle.
+    #[inline]
+    pub fn stuck_value(self) -> bool {
+        matches!(self, FaultKind::StuckAt1 | FaultKind::SlowToFall)
+    }
+
+    /// `true` for the two-pattern transition-delay kinds.
+    #[inline]
+    pub fn is_transition(self) -> bool {
+        matches!(self, FaultKind::SlowToRise | FaultKind::SlowToFall)
+    }
+
+    /// The value the site must hold on the launch cycle for a transition
+    /// fault to be excited (the pre-transition value), or `None` for
+    /// stuck-at kinds.
+    #[inline]
+    pub fn launch_value(self) -> Option<bool> {
+        match self {
+            FaultKind::SlowToRise => Some(false),
+            FaultKind::SlowToFall => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::StuckAt0 => "SA0",
+            FaultKind::StuckAt1 => "SA1",
+            FaultKind::SlowToRise => "STR",
+            FaultKind::SlowToFall => "STF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single fault: a model instance at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// What the defect does.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Stuck-at fault on the output of `gate`.
+    pub fn stuck_at_output(gate: GateId, value: bool) -> Fault {
+        Fault {
+            site: FaultSite::output(gate),
+            kind: if value {
+                FaultKind::StuckAt1
+            } else {
+                FaultKind::StuckAt0
+            },
+        }
+    }
+
+    /// Stuck-at fault on input pin `pin` of `gate`.
+    pub fn stuck_at_input(gate: GateId, pin: u8, value: bool) -> Fault {
+        Fault {
+            site: FaultSite::input(gate, pin),
+            kind: if value {
+                FaultKind::StuckAt1
+            } else {
+                FaultKind::StuckAt0
+            },
+        }
+    }
+
+    /// Renders the fault with human-readable net names, e.g.
+    /// `"G16.in0 SA1"` or `"G22 SA0"`.
+    pub fn describe(&self, nl: &Netlist) -> String {
+        let gname = &nl.gate(self.site.gate).name;
+        match self.site.pin {
+            None => format!("{gname} {}", self.kind),
+            Some(p) => format!("{gname}.in{p} {}", self.kind),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.site.pin {
+            None => write!(f, "{} {}", self.site.gate, self.kind),
+            Some(p) => write!(f, "{}.in{} {}", self.site.gate, p, self.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn site_net_resolution() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, vec![a, b], "g");
+        assert_eq!(FaultSite::output(g).net(&nl), g);
+        assert_eq!(FaultSite::input(g, 0).net(&nl), a);
+        assert_eq!(FaultSite::input(g, 1).net(&nl), b);
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(!FaultKind::StuckAt0.stuck_value());
+        assert!(FaultKind::StuckAt1.stuck_value());
+        assert!(!FaultKind::SlowToRise.stuck_value());
+        assert!(FaultKind::SlowToFall.stuck_value());
+        assert_eq!(FaultKind::SlowToRise.launch_value(), Some(false));
+        assert_eq!(FaultKind::StuckAt0.launch_value(), None);
+        assert!(FaultKind::SlowToFall.is_transition());
+        assert!(!FaultKind::StuckAt1.is_transition());
+    }
+
+    #[test]
+    fn display_and_describe() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, vec![a], "inv");
+        let f = Fault::stuck_at_input(g, 0, true);
+        assert_eq!(f.describe(&nl), "inv.in0 SA1");
+        let f = Fault::stuck_at_output(a, false);
+        assert_eq!(f.describe(&nl), "a SA0");
+        assert!(f.to_string().contains("SA0"));
+    }
+
+    #[test]
+    fn fault_ordering_is_total_and_stable() {
+        let f1 = Fault::stuck_at_output(GateId(1), false);
+        let f2 = Fault::stuck_at_output(GateId(1), true);
+        let f3 = Fault::stuck_at_input(GateId(1), 0, false);
+        let mut v = vec![f3, f2, f1];
+        v.sort();
+        assert_eq!(v[0], f1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fault models, fault universes and fault-list management.
+//!
+//! Implements the single stuck-at and transition-delay fault models the
+//! tutorial's DFT section is built on, plus structural fault collapsing
+//! (equivalence and dominance) and the bookkeeping types shared by the fault
+//! simulator, ATPG, BIST and diagnosis crates.
+//!
+//! # Example
+//!
+//! ```
+//! use dft_netlist::generators::c17;
+//! use dft_fault::{universe_stuck_at, collapse_equivalent};
+//!
+//! let nl = c17();
+//! let faults = universe_stuck_at(&nl);
+//! let collapsed = collapse_equivalent(&nl, &faults);
+//! assert!(collapsed.representatives().len() < faults.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bridge;
+mod collapse;
+mod fault;
+mod list;
+mod universe;
+
+pub use bridge::{bridge_universe, BridgeFault, BridgeKind};
+pub use collapse::{collapse_dominance, collapse_equivalent, CollapsedFaults};
+pub use fault::{Fault, FaultKind, FaultSite};
+pub use list::{FaultList, FaultStatus};
+pub use universe::{universe_stuck_at, universe_stuck_at_checkpoints, universe_transition};

@@ -1,0 +1,151 @@
+//! Fault-universe enumeration.
+
+use dft_netlist::{GateKind, Netlist};
+
+use crate::{Fault, FaultKind, FaultSite};
+
+/// Enumerates the full single stuck-at universe: SA0 and SA1 on every gate
+/// output net (except primary-output markers, whose net is the driver's)
+/// and on every input pin of every logic gate and flip-flop.
+///
+/// Input-pin faults are only distinct from the driver's output fault when
+/// the driver fans out to more than one reader; they are enumerated
+/// unconditionally here so that collapsing statistics (experiment E2) match
+/// the textbook definition, and [`collapse_equivalent`] removes the
+/// redundancy.
+///
+/// [`collapse_equivalent`]: crate::collapse_equivalent
+pub fn universe_stuck_at(nl: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for (id, g) in nl.iter() {
+        match g.kind {
+            GateKind::Output => continue,
+            GateKind::Const0 | GateKind::Const1 => continue,
+            _ => {}
+        }
+        faults.push(Fault::stuck_at_output(id, false));
+        faults.push(Fault::stuck_at_output(id, true));
+        if !matches!(g.kind, GateKind::Input) {
+            for pin in 0..g.fanins.len() {
+                // Pins fed by constants are untestable by construction;
+                // exclude them from the universe like commercial tools do.
+                let driver = nl.gate(g.fanins[pin]);
+                if matches!(driver.kind, GateKind::Const0 | GateKind::Const1) {
+                    continue;
+                }
+                faults.push(Fault::stuck_at_input(id, pin as u8, false));
+                faults.push(Fault::stuck_at_input(id, pin as u8, true));
+            }
+        }
+    }
+    faults
+}
+
+/// Enumerates the checkpoint stuck-at universe: faults on primary inputs
+/// and on fanout branches only. By the checkpoint theorem, a test set
+/// detecting all checkpoint faults detects all stuck-at faults in a
+/// fanout-free-region decomposition of the circuit.
+pub fn universe_stuck_at_checkpoints(nl: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for (id, g) in nl.iter() {
+        if matches!(g.kind, GateKind::Input | GateKind::Dff) {
+            faults.push(Fault::stuck_at_output(id, false));
+            faults.push(Fault::stuck_at_output(id, true));
+        }
+        if matches!(g.kind, GateKind::Output | GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        for pin in 0..g.fanins.len() {
+            let driver = nl.gate(g.fanins[pin]);
+            if matches!(driver.kind, GateKind::Const0 | GateKind::Const1) {
+                continue;
+            }
+            if driver.num_fanouts() > 1 {
+                faults.push(Fault::stuck_at_input(id, pin as u8, false));
+                faults.push(Fault::stuck_at_input(id, pin as u8, true));
+            }
+        }
+    }
+    faults
+}
+
+/// Enumerates the transition-delay universe: slow-to-rise and slow-to-fall
+/// on every gate output net (the standard "launch/capture on stems" model).
+pub fn universe_transition(nl: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for (id, g) in nl.iter() {
+        match g.kind {
+            GateKind::Output | GateKind::Const0 | GateKind::Const1 => continue,
+            _ => {}
+        }
+        faults.push(Fault {
+            site: FaultSite::output(id),
+            kind: FaultKind::SlowToRise,
+        });
+        faults.push(Fault {
+            site: FaultSite::output(id),
+            kind: FaultKind::SlowToFall,
+        });
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::generators::c17;
+    use dft_netlist::{GateKind, Netlist};
+
+    #[test]
+    fn c17_full_universe_size() {
+        let nl = c17();
+        let faults = universe_stuck_at(&nl);
+        // c17: 5 PI + 6 NAND with 2 pins each.
+        // Outputs: 11 nets x 2 = 22; input pins: 12 x 2 = 24. Total 46.
+        assert_eq!(faults.len(), 46);
+    }
+
+    #[test]
+    fn checkpoint_universe_is_smaller() {
+        let nl = c17();
+        let full = universe_stuck_at(&nl);
+        let cp = universe_stuck_at_checkpoints(&nl);
+        assert!(cp.len() < full.len());
+        // c17 checkpoints: 5 PIs + branches of stems G1? G3(2), G11(2),
+        // G16(2), G10? ... compute: stems are nets with >1 fanout.
+        let stems = nl.iter().filter(|(_, g)| g.num_fanouts() > 1).count();
+        assert!(cp.len() >= 2 * (nl.num_inputs() + stems));
+    }
+
+    #[test]
+    fn constants_and_po_markers_excluded() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let c0 = nl.add_gate(GateKind::Const0, vec![], "c0");
+        let g = nl.add_gate(GateKind::Or, vec![a, c0], "g");
+        nl.add_output(g, "po");
+        let faults = universe_stuck_at(&nl);
+        // a out (2), g out (2), g.in0 (2). No c0 faults, no g.in1 faults,
+        // no PO marker faults.
+        assert_eq!(faults.len(), 6);
+    }
+
+    #[test]
+    fn transition_universe_covers_stems() {
+        let nl = c17();
+        let tf = universe_transition(&nl);
+        assert_eq!(tf.len(), 22); // 11 nets x 2 kinds
+        assert!(tf.iter().all(|f| f.kind.is_transition()));
+    }
+
+    #[test]
+    fn dff_pins_are_fault_sites() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a, "q");
+        nl.add_output(q, "po");
+        let faults = universe_stuck_at(&nl);
+        // a out, q out, q.in(D pin) -> 6 faults.
+        assert_eq!(faults.len(), 6);
+    }
+}

@@ -1,0 +1,249 @@
+//! Deductive fault simulation: a second, independent engine.
+//!
+//! For one pattern, a single forward pass propagates *fault lists* — for
+//! every net, the set of faults whose presence would flip that net's
+//! value. The union of the lists at the observation points is exactly the
+//! set of detected faults. Deductive simulation predates PPSFP (Armstrong
+//! 1972) and computes all-faults detection for one pattern in one pass;
+//! here it doubles as a cross-check oracle for the bit-parallel engine
+//! (see the property tests).
+//!
+//! Propagation through a gate uses the exact rule: fault `f` is in the
+//! output list iff evaluating the gate with every input `i` flipped when
+//! `f ∈ list(i)` changes the output — correct for every gate type
+//! including XOR and MUX, where the classic controlling-value shortcut
+//! does not apply.
+
+use std::collections::{HashMap, HashSet};
+
+use dft_fault::{Fault, FaultSite};
+use dft_netlist::{GateId, GateKind, Levelization, Netlist};
+
+use crate::Pattern;
+
+/// Deductive (fault-list propagation) simulator.
+#[derive(Debug)]
+pub struct DeductiveSim<'a> {
+    nl: &'a Netlist,
+    lv: Levelization,
+    sources: Vec<GateId>,
+}
+
+impl<'a> DeductiveSim<'a> {
+    /// Builds a simulator for `nl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational loop.
+    pub fn new(nl: &'a Netlist) -> DeductiveSim<'a> {
+        DeductiveSim {
+            nl,
+            lv: Levelization::compute(nl).expect("netlist must be acyclic"),
+            sources: nl.combinational_sources(),
+        }
+    }
+
+    /// Simulates `pattern` once and returns, for every fault in
+    /// `universe`, whether the pattern detects it.
+    pub fn detected(&self, pattern: &Pattern, universe: &[Fault]) -> Vec<bool> {
+        assert_eq!(pattern.len(), self.sources.len(), "pattern width");
+        let nl = self.nl;
+
+        // Index the universe by site for O(1) local-fault lookup.
+        let mut out_faults: HashMap<GateId, Vec<(u32, bool)>> = HashMap::new();
+        let mut pin_faults: HashMap<(GateId, u8), Vec<(u32, bool)>> = HashMap::new();
+        for (i, f) in universe.iter().enumerate() {
+            let stuck = f.kind.stuck_value();
+            match f.site {
+                FaultSite { gate, pin: None } => {
+                    out_faults.entry(gate).or_default().push((i as u32, stuck))
+                }
+                FaultSite {
+                    gate,
+                    pin: Some(p),
+                } => pin_faults
+                    .entry((gate, p))
+                    .or_default()
+                    .push((i as u32, stuck)),
+            }
+        }
+
+        // Good values.
+        let mut value = vec![false; nl.num_gates()];
+        for (s, &g) in self.sources.iter().enumerate() {
+            value[g.index()] = pattern[s];
+        }
+        let mut lists: Vec<HashSet<u32>> = vec![HashSet::new(); nl.num_gates()];
+
+        let add_local = |list: &mut HashSet<u32>,
+                         faults: Option<&Vec<(u32, bool)>>,
+                         good: bool| {
+            if let Some(fs) = faults {
+                for &(idx, stuck) in fs {
+                    if stuck != good {
+                        list.insert(idx);
+                    }
+                }
+            }
+        };
+
+        for &id in self.lv.order() {
+            let g = nl.gate(id);
+            match g.kind {
+                GateKind::Input | GateKind::Dff => {
+                    let mut l = HashSet::new();
+                    add_local(&mut l, out_faults.get(&id), value[id.index()]);
+                    lists[id.index()] = l;
+                    continue;
+                }
+                GateKind::Const0 | GateKind::Const1 => {
+                    value[id.index()] = matches!(g.kind, GateKind::Const1);
+                    continue; // constants carry no faults
+                }
+                _ => {}
+            }
+            // Per-pin effective lists and values.
+            let mut pin_vals: Vec<bool> = Vec::with_capacity(g.fanins.len());
+            let mut pin_lists: Vec<HashSet<u32>> = Vec::with_capacity(g.fanins.len());
+            for (p, &f) in g.fanins.iter().enumerate() {
+                let v = value[f.index()];
+                let mut l = lists[f.index()].clone();
+                add_local(&mut l, pin_faults.get(&(id, p as u8)), v);
+                pin_vals.push(v);
+                pin_lists.push(l);
+            }
+            let good_out = g.kind.eval_bool(&pin_vals);
+            value[id.index()] = good_out;
+
+            // Exact propagation: a fault flips the output iff the gate
+            // evaluated with its flipped pins differs.
+            let mut union: HashSet<u32> = HashSet::new();
+            for l in &pin_lists {
+                union.extend(l.iter().copied());
+            }
+            let mut out_list: HashSet<u32> = HashSet::new();
+            let mut flipped: Vec<bool> = pin_vals.clone();
+            for f in union {
+                for (p, l) in pin_lists.iter().enumerate() {
+                    flipped[p] = pin_vals[p] ^ l.contains(&f);
+                }
+                if g.kind.eval_bool(&flipped) != good_out {
+                    out_list.insert(f);
+                }
+            }
+            // Local output faults.
+            add_local(&mut out_list, out_faults.get(&id), good_out);
+            lists[id.index()] = out_list;
+        }
+
+        // Detection: union over PO markers and flop D pins (with the D-pin
+        // branch faults added).
+        let mut detected = vec![false; universe.len()];
+        for &s in nl.combinational_sinks().iter() {
+            let g = nl.gate(s);
+            if matches!(g.kind, GateKind::Output) {
+                for &f in &lists[s.index()] {
+                    detected[f as usize] = true;
+                }
+            } else {
+                // Flop sink: the D driver's list plus D-pin faults.
+                let d = g.fanins[0];
+                for &f in &lists[d.index()] {
+                    detected[f as usize] = true;
+                }
+                let v = value[d.index()];
+                if let Some(fs) = pin_faults.get(&(s, 0)) {
+                    for &(idx, stuck) in fs {
+                        if stuck != v {
+                            detected[idx as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultSim, PatternSet};
+    use dft_fault::universe_stuck_at;
+    use dft_netlist::generators::{alu, c17, mac_pe, random_logic, s27};
+
+    fn cross_check(nl: &Netlist, patterns: usize, seed: u64) {
+        let universe = universe_stuck_at(nl);
+        let ded = DeductiveSim::new(nl);
+        let ppsfp = FaultSim::new(nl);
+        let ps = PatternSet::random(nl, patterns, seed);
+        for p in ps.iter() {
+            let d = ded.detected(p, &universe);
+            for (i, &fault) in universe.iter().enumerate() {
+                assert_eq!(
+                    d[i],
+                    ppsfp.detects(p, fault),
+                    "engines disagree on {} ({})",
+                    fault,
+                    nl.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deductive_matches_ppsfp_on_c17() {
+        cross_check(&c17(), 24, 1);
+    }
+
+    #[test]
+    fn deductive_matches_ppsfp_on_s27() {
+        cross_check(&s27(), 24, 2);
+    }
+
+    #[test]
+    fn deductive_matches_ppsfp_on_alu() {
+        cross_check(&alu(4), 12, 3);
+    }
+
+    #[test]
+    fn deductive_matches_ppsfp_on_mac() {
+        cross_check(&mac_pe(2), 8, 4);
+    }
+
+    #[test]
+    fn deductive_matches_ppsfp_on_random_logic() {
+        for seed in 0..4 {
+            cross_check(&random_logic(8, 120, seed), 8, seed ^ 0xD);
+        }
+    }
+
+    #[test]
+    fn xor_reconvergence_handled_exactly() {
+        // A fault reaching both XOR inputs cancels: x = a XOR a' where
+        // both branches carry the same fault list. Deductive must NOT
+        // report it at the output.
+        use dft_netlist::{GateKind, Netlist};
+        let mut nl = Netlist::new("xr");
+        let a = nl.add_input("a");
+        let b1 = nl.add_gate(GateKind::Buf, vec![a], "b1");
+        let b2 = nl.add_gate(GateKind::Buf, vec![a], "b2");
+        let x = nl.add_gate(GateKind::Xor, vec![b1, b2], "x");
+        nl.add_output(x, "po");
+        let universe = universe_stuck_at(&nl);
+        let ded = DeductiveSim::new(&nl);
+        let det = ded.detected(&vec![false], &universe);
+        // a SA1 flips both XOR inputs -> output unchanged -> undetected.
+        let a_sa1 = universe
+            .iter()
+            .position(|f| *f == Fault::stuck_at_output(a, true))
+            .unwrap();
+        assert!(!det[a_sa1], "reconvergent cancellation missed");
+        // But b1 SA1 (single branch) flips the output -> detected.
+        let b1_sa1 = universe
+            .iter()
+            .position(|f| *f == Fault::stuck_at_output(b1, true))
+            .unwrap();
+        assert!(det[b1_sa1]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Logic simulation and fault simulation.
+//!
+//! Three engines, all operating on the full-scan combinational view of a
+//! [`dft_netlist::Netlist`]:
+//!
+//! * [`GoodSim`] — 64-way bit-parallel good-machine simulation (one pattern
+//!   per bit of a `u64` word).
+//! * [`FiveSim`] — five-valued (0, 1, X, D, D̄) simulation with single-fault
+//!   injection; the engine under PODEM.
+//! * [`FaultSim`] — parallel-pattern single-fault propagation (PPSFP)
+//!   stuck-at fault simulation, plus a launch/capture wrapper for
+//!   transition-delay faults ([`TransitionSim`]).
+//!
+//! Plus [`testability`]: COP signal probabilities and SCOAP
+//! controllability/observability, used for ATPG backtrace guidance and
+//! BIST test-point selection.
+//!
+//! # Example
+//!
+//! ```
+//! use dft_netlist::generators::c17;
+//! use dft_fault::{universe_stuck_at, FaultList};
+//! use dft_logicsim::{FaultSim, PatternSet};
+//!
+//! let nl = c17();
+//! let sim = FaultSim::new(&nl);
+//! let patterns = PatternSet::random(&nl, 32, 0xBEEF);
+//! let mut list = FaultList::new(universe_stuck_at(&nl));
+//! sim.run(&patterns, &mut list);
+//! assert!(list.fault_coverage() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod deductive;
+mod fivesim;
+mod goodsim;
+mod patterns;
+mod ppsfp;
+pub mod testability;
+mod transition;
+
+pub use cube::TestCube;
+pub use deductive::DeductiveSim;
+pub use fivesim::FiveSim;
+pub use goodsim::GoodSim;
+pub use patterns::{Pattern, PatternSet, Response};
+pub use ppsfp::{FaultSim, SimStats, SimWorkspace};
+pub use transition::{broadside_pairs, TransitionSim};

@@ -1,0 +1,772 @@
+//! Parallel-pattern single-fault propagation (PPSFP) fault simulation.
+//!
+//! For each block of 64 patterns the good machine is simulated once; each
+//! candidate fault is then injected and only its fanout cone re-evaluated,
+//! comparing the faulty and good values at the combinational sinks. Faults
+//! are dropped on first detection (the industry default), which is what
+//! makes random-pattern curves (experiment E1) cheap to produce.
+//!
+//! Observation model (full scan): a fault is detected by a pattern when it
+//! changes a primary output or the D-pin value captured by any flip-flop.
+//! A fault on a flop's Q net is excited by scan-loading the opposite value
+//! and must propagate through logic to a sink, exactly like a
+//! pseudo-primary-input fault.
+
+use dft_fault::{Fault, FaultList, FaultSite};
+use dft_netlist::{GateId, GateKind, Netlist};
+
+use crate::{GoodSim, Pattern, PatternSet};
+
+/// Summary counters from a fault-simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Patterns simulated.
+    pub patterns: usize,
+    /// Faults that were still undetected when the run started.
+    pub faults_simulated: usize,
+    /// Faults newly detected by this run.
+    pub detected: usize,
+    /// Total faulty-machine gate evaluations (work measure).
+    pub gate_evals: u64,
+}
+
+/// Reusable scratch memory for single-fault propagation.
+///
+/// Keeping this outside the simulator lets `detect_word` stay `&self`
+/// (usable from multiple threads, one workspace each).
+#[derive(Debug, Clone)]
+pub struct SimWorkspace {
+    faulty: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    changed: Vec<GateId>,
+    frontier: Vec<GateId>,
+}
+
+impl SimWorkspace {
+    /// Creates a workspace for a netlist with `num_gates` gates.
+    pub fn new(num_gates: usize) -> SimWorkspace {
+        SimWorkspace {
+            faulty: vec![0; num_gates],
+            stamp: vec![0; num_gates],
+            // Starts at 1 so a fresh workspace has nothing marked set even
+            // before the first injection begins.
+            epoch: 1,
+            changed: Vec::with_capacity(256),
+            frontier: Vec::with_capacity(256),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: reset (rare; 4G injections).
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.changed.clear();
+        self.frontier.clear();
+    }
+
+    #[inline]
+    fn set(&mut self, g: GateId, w: u64) {
+        if self.stamp[g.index()] != self.epoch {
+            self.stamp[g.index()] = self.epoch;
+            self.changed.push(g);
+        }
+        self.faulty[g.index()] = w;
+    }
+
+    #[inline]
+    fn get(&self, g: GateId, good: &[u64]) -> u64 {
+        if self.stamp[g.index()] == self.epoch {
+            self.faulty[g.index()]
+        } else {
+            good[g.index()]
+        }
+    }
+
+    #[inline]
+    fn is_set(&self, g: GateId) -> bool {
+        self.stamp[g.index()] == self.epoch
+    }
+
+    /// Reads the faulty value of `g` left by the most recent injection,
+    /// falling back to the good value. Valid until the next injection
+    /// performed with this workspace (used by diagnosis to extract
+    /// per-sink faulty responses).
+    #[inline]
+    pub fn value_or(&self, g: GateId, good: &[u64]) -> u64 {
+        self.get(g, good)
+    }
+}
+
+/// PPSFP stuck-at fault simulator.
+#[derive(Debug)]
+pub struct FaultSim<'a> {
+    sim: GoodSim<'a>,
+    /// For each gate, `Some(i)` if it is sink number `i`.
+    sink_index: Vec<Option<u32>>,
+}
+
+impl<'a> FaultSim<'a> {
+    /// Builds a fault simulator for `nl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational loop.
+    pub fn new(nl: &'a Netlist) -> FaultSim<'a> {
+        let sim = GoodSim::new(nl);
+        let mut sink_index = vec![None; nl.num_gates()];
+        for (i, &s) in sim.sinks().iter().enumerate() {
+            sink_index[s.index()] = Some(i as u32);
+        }
+        FaultSim { sim, sink_index }
+    }
+
+    /// The underlying good-machine simulator.
+    pub fn good_sim(&self) -> &GoodSim<'a> {
+        &self.sim
+    }
+
+    /// Runs all `patterns` against the undetected faults in `list`,
+    /// marking detections (fault dropping). Returns run statistics.
+    pub fn run(&self, patterns: &PatternSet, list: &mut FaultList) -> SimStats {
+        let mut stats = SimStats {
+            patterns: patterns.len(),
+            faults_simulated: list.undetected().count(),
+            ..SimStats::default()
+        };
+        let mut ws = SimWorkspace::new(self.sim.netlist().num_gates());
+        for (start, words, count) in patterns.blocks() {
+            let good = self.sim.eval_block(&words);
+            let mask = block_mask(count);
+            let active: Vec<usize> = list.undetected().collect();
+            for idx in active {
+                let fault = list.faults()[idx];
+                let (det, evals) = self.detect_word(&good, mask, fault, &mut ws);
+                stats.gate_evals += evals;
+                if det != 0 {
+                    let first = det.trailing_zeros();
+                    list.mark_detected(idx, (start as u32) + first);
+                    stats.detected += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Multi-threaded variant of [`FaultSim::run`]: good-machine values
+    /// are computed once per block, then the undetected faults are
+    /// partitioned across `threads` workers (each with its own
+    /// workspace). Detection results are identical to the serial run —
+    /// every fault still records its *first* detecting pattern.
+    pub fn run_parallel(
+        &self,
+        patterns: &PatternSet,
+        list: &mut FaultList,
+        threads: usize,
+    ) -> SimStats {
+        let threads = threads.max(1);
+        let mut stats = SimStats {
+            patterns: patterns.len(),
+            faults_simulated: list.undetected().count(),
+            ..SimStats::default()
+        };
+        // Precompute good values for every block (shared read-only).
+        let blocks: Vec<(usize, Vec<u64>, usize)> = patterns.blocks().collect();
+        let goods: Vec<Vec<u64>> = blocks
+            .iter()
+            .map(|(_, words, _)| self.sim.eval_block(words))
+            .collect();
+        let active: Vec<usize> = list.undetected().collect();
+        let chunk = active.len().div_ceil(threads).max(1);
+        let num_gates = self.sim.netlist().num_gates();
+        let results: Vec<(usize, u32, u64)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in active.chunks(chunk) {
+                let faults: Vec<(usize, Fault)> =
+                    part.iter().map(|&i| (i, list.faults()[i])).collect();
+                let goods = &goods;
+                let blocks = &blocks;
+                handles.push(scope.spawn(move || {
+                    let mut ws = SimWorkspace::new(num_gates);
+                    let mut out = Vec::new();
+                    let mut evals = 0u64;
+                    'fault: for (idx, fault) in faults {
+                        for ((start, _, count), good) in blocks.iter().zip(goods) {
+                            let mask = block_mask(*count);
+                            let (det, e) = self.detect_word(good, mask, fault, &mut ws);
+                            evals += e;
+                            if det != 0 {
+                                out.push((idx, *start as u32 + det.trailing_zeros(), 0));
+                                continue 'fault;
+                            }
+                        }
+                    }
+                    out.push((usize::MAX, 0, evals)); // sentinel carrying evals
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fault-sim worker panicked"))
+                .collect()
+        });
+        for (idx, pattern, evals) in results {
+            if idx == usize::MAX {
+                stats.gate_evals += evals;
+            } else {
+                list.mark_detected(idx, pattern);
+                stats.detected += 1;
+            }
+        }
+        stats
+    }
+
+    /// Computes the per-pattern detection word of `fault` for a block whose
+    /// good values are `good` (from [`GoodSim::eval_block`]); bit `k` set
+    /// means pattern `k` of the block detects the fault. Also returns the
+    /// number of faulty gate evaluations performed.
+    pub fn detect_word(
+        &self,
+        good: &[u64],
+        mask: u64,
+        fault: Fault,
+        ws: &mut SimWorkspace,
+    ) -> (u64, u64) {
+        let nl = self.sim.netlist();
+        let forced = if fault.kind.stuck_value() { !0u64 } else { 0u64 };
+
+        // Activation check: the site must differ from its good value on at
+        // least one pattern in the block.
+        let site_net = fault.site.net(nl);
+        if (good[site_net.index()] ^ forced) & mask == 0 {
+            return (0, 0);
+        }
+
+        ws.begin();
+        let mut evals = 0u64;
+        let mut det = 0u64;
+
+        match fault.site {
+            // Output (stem) fault: force the net, schedule its readers.
+            FaultSite { gate, pin: None } => {
+                ws.set(gate, forced);
+            }
+            // Branch fault: re-evaluate only the site gate with the forced
+            // pin value.
+            FaultSite {
+                gate,
+                pin: Some(pin),
+            } => {
+                let g = nl.gate(gate);
+                match g.kind {
+                    // A fault on a flop's D pin is observed directly in the
+                    // captured value (the flop is a sink).
+                    GateKind::Dff => {
+                        let d_good = good[g.fanins[0].index()];
+                        return ((forced ^ d_good) & mask, 0);
+                    }
+                    // PO markers carry no faults in our universes, but
+                    // handle them for robustness.
+                    GateKind::Output => {
+                        let d_good = good[g.fanins[0].index()];
+                        return ((forced ^ d_good) & mask, 0);
+                    }
+                    _ => {
+                        let ins: Vec<u64> = g
+                            .fanins
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &f)| {
+                                if i == pin as usize {
+                                    forced
+                                } else {
+                                    good[f.index()]
+                                }
+                            })
+                            .collect();
+                        evals += 1;
+                        let val = g.kind.eval_word(&ins);
+                        if (val ^ good[gate.index()]) & mask == 0 {
+                            return (0, evals);
+                        }
+                        ws.set(gate, val);
+                    }
+                }
+            }
+        }
+
+        let (d, e) = self.propagate_and_detect(good, mask, ws);
+        det |= d;
+        evals += e;
+        (det, evals)
+    }
+
+    /// Computes the detection word for a bridging fault (two-net short).
+    /// Both nets' values are replaced per the bridge model; propagation
+    /// and observation follow the standard PPSFP path.
+    pub fn detect_word_bridge(
+        &self,
+        good: &[u64],
+        mask: u64,
+        bridge: dft_fault::BridgeFault,
+        ws: &mut SimWorkspace,
+    ) -> (u64, u64) {
+        let va = good[bridge.a.index()];
+        let vb = good[bridge.b.index()];
+        let (fa, fb) = bridge.faulty_words(va, vb);
+        if ((fa ^ va) | (fb ^ vb)) & mask == 0 {
+            return (0, 0);
+        }
+        ws.begin();
+        // Pin BOTH nets unconditionally: even a net whose faulty value
+        // equals its good value must not be re-evaluated when it sits in
+        // the other net's fanout cone (feedback bridges resolve to the
+        // one-pass static value).
+        ws.set(bridge.a, fa);
+        ws.set(bridge.b, fb);
+        self.propagate_and_detect(good, mask, ws)
+    }
+
+    /// Convenience: does `pattern` detect `bridge`?
+    pub fn detects_bridge(&self, pattern: &Pattern, bridge: dft_fault::BridgeFault) -> bool {
+        let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        let good = self.sim.eval_block(&words);
+        let mut ws = SimWorkspace::new(self.sim.netlist().num_gates());
+        self.detect_word_bridge(&good, 1, bridge, &mut ws).0 & 1 == 1
+    }
+
+    /// Event-driven propagation from the already-injected workspace roots
+    /// (every entry currently in `ws.changed`), followed by sink
+    /// comparison. Returns `(detection word, gate evaluations)`.
+    fn propagate_and_detect(&self, good: &[u64], mask: u64, ws: &mut SimWorkspace) -> (u64, u64) {
+        let nl = self.sim.netlist();
+        let lv = self.sim.levelization();
+        let mut evals = 0u64;
+        let mut det = 0u64;
+        for ri in 0..ws.changed.len() {
+            let root = ws.changed[ri];
+            schedule_fanouts(nl, lv, root, &mut ws.frontier, 0);
+        }
+        let mut i = 0;
+        while i < ws.frontier.len() {
+            let id = ws.frontier[i];
+            i += 1;
+            let g = nl.gate(id);
+            if matches!(g.kind, GateKind::Dff | GateKind::Input) {
+                // Flops are sinks; detection is handled below. Inputs never
+                // appear as fanouts, but guard anyway.
+                continue;
+            }
+            let mut ins_changed = false;
+            let ins: Vec<u64> = g
+                .fanins
+                .iter()
+                .map(|&f| {
+                    if ws.is_set(f) {
+                        ins_changed = true;
+                        ws.faulty[f.index()]
+                    } else {
+                        good[f.index()]
+                    }
+                })
+                .collect();
+            if !ins_changed {
+                continue;
+            }
+            evals += 1;
+            let val = g.kind.eval_word(&ins);
+            if (val ^ good[id.index()]) & mask == 0 {
+                continue; // event died here
+            }
+            // A gate may itself be an injection root (bridged net): keep
+            // the forced value rather than the recomputed one.
+            if ws.is_set(id) {
+                continue;
+            }
+            ws.set(id, val);
+            schedule_fanouts(nl, lv, id, &mut ws.frontier, i);
+        }
+
+        // Detection: scan the changed set once.
+        for ci in 0..ws.changed.len() {
+            let id = ws.changed[ci];
+            let g = nl.gate(id);
+            let val = ws.faulty[id.index()];
+            // PO marker sinks observe their own (changed) value.
+            if matches!(g.kind, GateKind::Output) {
+                det |= (val ^ good[id.index()]) & mask;
+                continue;
+            }
+            // Any changed net feeding a flop's D pin is captured.
+            for &fo in &g.fanouts {
+                if matches!(nl.gate(fo).kind, GateKind::Dff)
+                    && self.sink_index[fo.index()].is_some()
+                {
+                    det |= (val ^ good[id.index()]) & mask;
+                    break;
+                }
+            }
+        }
+        (det, evals)
+    }
+
+    /// Convenience: does `pattern` detect `fault`?
+    pub fn detects(&self, pattern: &Pattern, fault: Fault) -> bool {
+        let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        let good = self.sim.eval_block(&words);
+        let mut ws = SimWorkspace::new(self.sim.netlist().num_gates());
+        self.detect_word(&good, 1, fault, &mut ws).0 & 1 == 1
+    }
+
+    /// Computes, for every fault in `faults`, the list of patterns that
+    /// detect it (no fault dropping). Used by diagnosis and BIST signature
+    /// analysis.
+    pub fn detection_matrix(&self, patterns: &PatternSet, faults: &[Fault]) -> Vec<Vec<u32>> {
+        let mut matrix = vec![Vec::new(); faults.len()];
+        let mut ws = SimWorkspace::new(self.sim.netlist().num_gates());
+        for (start, words, count) in patterns.blocks() {
+            let good = self.sim.eval_block(&words);
+            let mask = block_mask(count);
+            for (fi, &fault) in faults.iter().enumerate() {
+                let (mut det, _) = self.detect_word(&good, mask, fault, &mut ws);
+                while det != 0 {
+                    let k = det.trailing_zeros();
+                    matrix[fi].push(start as u32 + k);
+                    det &= det - 1;
+                }
+            }
+        }
+        matrix
+    }
+
+    /// Simulates one pattern with `fault` injected and returns the faulty
+    /// response (used by diagnosis to build failure logs).
+    pub fn faulty_response(&self, pattern: &Pattern, fault: Fault) -> Vec<bool> {
+        let words: Vec<u64> = pattern.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        let good = self.sim.eval_block(&words);
+        let mut ws = SimWorkspace::new(self.sim.netlist().num_gates());
+        // Run propagation to populate the workspace.
+        let _ = self.detect_word(&good, 1, fault, &mut ws);
+        let nl = self.sim.netlist();
+        self.sim
+            .sinks()
+            .iter()
+            .map(|&s| {
+                let g = nl.gate(s);
+                let w = if matches!(g.kind, GateKind::Dff) {
+                    // D-pin fault on this very flop?
+                    if fault.site == FaultSite::input(s, 0) {
+                        if fault.kind.stuck_value() {
+                            !0
+                        } else {
+                            0
+                        }
+                    } else {
+                        ws.get(g.fanins[0], &good)
+                    }
+                } else {
+                    ws.get(s, &good)
+                };
+                w & 1 == 1
+            })
+            .collect()
+    }
+}
+
+/// Inserts the fanouts of `from` into the level-sorted frontier, starting
+/// the duplicate/position scan at `cursor` (the first unprocessed slot).
+fn schedule_fanouts(
+    nl: &Netlist,
+    lv: &dft_netlist::Levelization,
+    from: GateId,
+    frontier: &mut Vec<GateId>,
+    cursor: usize,
+) {
+    for &fo in &nl.gate(from).fanouts {
+        if frontier[cursor..].contains(&fo) {
+            continue;
+        }
+        let lvl = lv.level(fo);
+        let pos = frontier[cursor..]
+            .iter()
+            .position(|&x| lv.level(x) > lvl)
+            .map(|p| p + cursor)
+            .unwrap_or(frontier.len());
+        frontier.insert(pos, fo);
+    }
+}
+
+#[inline]
+fn block_mask(count: usize) -> u64 {
+    if count >= 64 {
+        !0
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::{universe_stuck_at, FaultStatus};
+    use dft_netlist::generators::{c17, parity_tree, ripple_adder};
+    use dft_netlist::Netlist;
+
+    #[test]
+    fn c17_exhaustive_reaches_full_coverage() {
+        let nl = c17();
+        let sim = FaultSim::new(&nl);
+        let mut ps = PatternSet::new(5);
+        for v in 0..32u32 {
+            ps.push((0..5).map(|i| (v >> i) & 1 == 1).collect());
+        }
+        let mut list = FaultList::new(universe_stuck_at(&nl));
+        let stats = sim.run(&ps, &mut list);
+        // c17 has no redundant faults: exhaustive patterns detect all.
+        assert_eq!(list.num_detected(), list.len());
+        assert_eq!(stats.detected, list.len());
+        assert!((list.fault_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_single_fault_detection() {
+        // AND(a,b): a SA1 detected by (a=0, b=1) only.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, vec![a, b], "g");
+        nl.add_output(g, "po");
+        let sim = FaultSim::new(&nl);
+        let f = Fault::stuck_at_output(a, true);
+        assert!(sim.detects(&vec![false, true], f));
+        assert!(!sim.detects(&vec![true, true], f));
+        assert!(!sim.detects(&vec![false, false], f));
+    }
+
+    #[test]
+    fn input_pin_fault_differs_from_stem_fault() {
+        // a fans out to AND and OR. Branch fault a->AND SA1 is only
+        // observable through the AND.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and = nl.add_gate(GateKind::And, vec![a, b], "and");
+        let or = nl.add_gate(GateKind::Or, vec![a, b], "or");
+        nl.add_output(and, "po1");
+        nl.add_output(or, "po2");
+        let sim = FaultSim::new(&nl);
+        let branch = Fault::stuck_at_input(and, 0, true);
+        let stem = Fault::stuck_at_output(a, true);
+        let p = vec![false, true]; // a=0, b=1
+        assert!(sim.detects(&p, branch));
+        assert!(sim.detects(&p, stem));
+        // b=0: branch fault not detected (AND still 0); stem fault is
+        // detected through the OR (good 0 -> faulty 1).
+        let p = vec![false, false];
+        assert!(!sim.detects(&p, branch));
+        assert!(sim.detects(&p, stem));
+    }
+
+    #[test]
+    fn detection_through_flop_d_pin() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let inv = nl.add_gate(GateKind::Not, vec![a], "inv");
+        let q = nl.add_dff(inv, "q");
+        nl.add_output(q, "po");
+        let sim = FaultSim::new(&nl);
+        // inv SA0: with a=0, good inv=1, faulty 0, observed at q's D pin.
+        let f = Fault::stuck_at_output(inv, false);
+        assert!(sim.detects(&vec![false, false], f));
+        assert!(!sim.detects(&vec![true, false], f));
+        // Fault on q's D input pin behaves the same.
+        let f = Fault::stuck_at_input(q, 0, false);
+        assert!(sim.detects(&vec![false, false], f));
+        assert!(!sim.detects(&vec![true, false], f));
+    }
+
+    #[test]
+    fn q_output_fault_needs_logic_propagation() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a, "q");
+        let buf = nl.add_gate(GateKind::Buf, vec![q], "buf");
+        nl.add_output(buf, "po");
+        let sim = FaultSim::new(&nl);
+        let f = Fault::stuck_at_output(q, false);
+        // Pattern [a, q]: load q=1, fault forces 0, observed through buf.
+        assert!(sim.detects(&vec![false, true], f));
+        // Loading q=0 does not excite the fault. The flop's own D capture
+        // (from `a`) is NOT affected by a Q-output fault.
+        assert!(!sim.detects(&vec![true, false], f));
+    }
+
+    #[test]
+    fn parity_tree_random_patterns_converge_fast() {
+        let nl = parity_tree(16);
+        let sim = FaultSim::new(&nl);
+        let ps = PatternSet::random(&nl, 64, 3);
+        let mut list = FaultList::new(universe_stuck_at(&nl));
+        sim.run(&ps, &mut list);
+        assert!(
+            list.fault_coverage() > 0.95,
+            "coverage {}",
+            list.fault_coverage()
+        );
+    }
+
+    #[test]
+    fn run_respects_fault_dropping() {
+        let nl = ripple_adder(4);
+        let sim = FaultSim::new(&nl);
+        let ps = PatternSet::random(&nl, 128, 11);
+        let mut list = FaultList::new(universe_stuck_at(&nl));
+        sim.run(&ps, &mut list);
+        for i in 0..list.len() {
+            if let FaultStatus::Detected(p) = list.status(i) {
+                let f = list.faults()[i];
+                assert!(
+                    sim.detects(ps.pattern(p as usize), f),
+                    "fault {f} claims detection by pattern {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detection_matrix_consistent_with_detects() {
+        let nl = c17();
+        let sim = FaultSim::new(&nl);
+        let ps = PatternSet::random(&nl, 20, 2);
+        let faults = universe_stuck_at(&nl);
+        let matrix = sim.detection_matrix(&ps, &faults);
+        for (fi, dets) in matrix.iter().enumerate() {
+            for p in 0..ps.len() as u32 {
+                let expect = dets.contains(&p);
+                assert_eq!(
+                    sim.detects(ps.pattern(p as usize), faults[fi]),
+                    expect,
+                    "fault {} pattern {p}",
+                    faults[fi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wired_and_bridge_detection() {
+        use dft_fault::{BridgeFault, BridgeKind};
+        // Two independent buffers to separate POs; bridge their inputs.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let ba = nl.add_gate(GateKind::Buf, vec![a], "ba");
+        let bb = nl.add_gate(GateKind::Buf, vec![b], "bb");
+        nl.add_output(ba, "pa");
+        nl.add_output(bb, "pb");
+        let sim = FaultSim::new(&nl);
+        let br = BridgeFault {
+            a,
+            b,
+            kind: BridgeKind::WiredAnd,
+        };
+        // a=1,b=0: wired-AND pulls a to 0 -> pa flips.
+        assert!(sim.detects_bridge(&vec![true, false], br));
+        assert!(sim.detects_bridge(&vec![false, true], br));
+        // Equal values: no difference.
+        assert!(!sim.detects_bridge(&vec![true, true], br));
+        assert!(!sim.detects_bridge(&vec![false, false], br));
+        // Dominant bridge A>B only corrupts pb.
+        let br = BridgeFault {
+            a,
+            b,
+            kind: BridgeKind::ADominates,
+        };
+        assert!(sim.detects_bridge(&vec![true, false], br));
+        assert!(!sim.detects_bridge(&vec![true, true], br));
+    }
+
+    #[test]
+    fn bridge_between_cone_nets_keeps_forced_values() {
+        use dft_fault::{BridgeFault, BridgeKind};
+        // b is in a's fanout cone: a -> inv -> po1 ; bridge(a, inv).
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let inv = nl.add_gate(GateKind::Not, vec![a], "inv");
+        let buf = nl.add_gate(GateKind::Buf, vec![inv], "buf");
+        nl.add_output(buf, "po");
+        let sim = FaultSim::new(&nl);
+        let br = BridgeFault {
+            a,
+            b: inv,
+            kind: BridgeKind::WiredAnd,
+        };
+        // a=1: good inv=0; wired-AND: a'=0, inv'=0 -> po unchanged (0).
+        assert!(!sim.detects_bridge(&vec![true], br));
+        // a=0: good inv=1; wired-AND: both 0 -> po flips 1 -> 0.
+        assert!(sim.detects_bridge(&vec![false], br));
+    }
+
+    #[test]
+    fn bridge_universe_simulates_cleanly() {
+        use dft_fault::bridge_universe;
+        let nl = c17();
+        let sim = FaultSim::new(&nl);
+        let bridges = bridge_universe(&nl, 3);
+        let ps = PatternSet::random(&nl, 32, 5);
+        let mut ws = SimWorkspace::new(nl.num_gates());
+        let mut detected = 0usize;
+        for &br in &bridges {
+            let mut hit = false;
+            for (_, words, count) in ps.blocks() {
+                let good = sim.good_sim().eval_block(&words);
+                let mask = block_mask(count);
+                if sim.detect_word_bridge(&good, mask, br, &mut ws).0 != 0 {
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                detected += 1;
+            }
+        }
+        // Most random bridges in c17 are detectable by 32 patterns.
+        assert!(
+            detected * 10 > bridges.len() * 5,
+            "only {detected}/{} bridges detected",
+            bridges.len()
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let nl = ripple_adder(8);
+        let sim = FaultSim::new(&nl);
+        let ps = PatternSet::random(&nl, 96, 17);
+        let mut serial = FaultList::new(universe_stuck_at(&nl));
+        sim.run(&ps, &mut serial);
+        let mut parallel = FaultList::new(universe_stuck_at(&nl));
+        sim.run_parallel(&ps, &mut parallel, 4);
+        for i in 0..serial.len() {
+            assert_eq!(serial.status(i), parallel.status(i), "fault {i}");
+        }
+    }
+
+    #[test]
+    fn faulty_response_differs_exactly_when_detected() {
+        let nl = c17();
+        let sim = FaultSim::new(&nl);
+        let ps = PatternSet::random(&nl, 16, 9);
+        for &fault in &universe_stuck_at(&nl) {
+            for p in ps.iter() {
+                let good = sim.good_sim().simulate(p);
+                let faulty = sim.faulty_response(p, fault);
+                let differs = good != faulty;
+                assert_eq!(differs, sim.detects(p, fault), "{fault}");
+            }
+        }
+    }
+}

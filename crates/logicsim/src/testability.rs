@@ -1,0 +1,417 @@
+//! Testability analysis: COP signal probabilities and SCOAP measures.
+//!
+//! * **COP** (controllability/observability program): `c1[g]` is the
+//!   probability the net is 1 under uniform random inputs (independence
+//!   assumption), `obs[g]` the probability a fault effect on the net
+//!   reaches an observation point. The product `c * obs` estimates
+//!   random-pattern detectability — the quantity LBIST test-point
+//!   insertion optimizes (experiment E5).
+//! * **SCOAP**: integer controllability costs `cc0`/`cc1` and an
+//!   observability cost `co`, used by PODEM's backtrace to pick the
+//!   cheapest path.
+
+use dft_netlist::{GateId, GateKind, Levelization, Netlist};
+
+/// COP probabilities for every net.
+#[derive(Debug, Clone)]
+pub struct Cop {
+    /// Probability the net is 1.
+    pub c1: Vec<f64>,
+    /// Probability a fault effect on the net is observed at any sink.
+    pub obs: Vec<f64>,
+}
+
+impl Cop {
+    /// Random-pattern detectability estimate of a stuck-at-`v` fault on
+    /// net `g`: probability the net carries `!v` **and** the effect is
+    /// observed.
+    pub fn detectability(&self, g: GateId, stuck: bool) -> f64 {
+        let excite = if stuck {
+            1.0 - self.c1[g.index()]
+        } else {
+            self.c1[g.index()]
+        };
+        excite * self.obs[g.index()]
+    }
+}
+
+/// Computes COP controllability and observability for `nl`.
+///
+/// # Panics
+///
+/// Panics if the netlist has a combinational loop.
+pub fn cop(nl: &Netlist) -> Cop {
+    let lv = Levelization::compute(nl).expect("acyclic");
+    let n = nl.num_gates();
+    let mut c1 = vec![0.5f64; n];
+
+    // Forward pass: controllability.
+    for &id in lv.order() {
+        let g = nl.gate(id);
+        let p = |f: GateId| c1[f.index()];
+        c1[id.index()] = match g.kind {
+            GateKind::Input | GateKind::Dff => 0.5, // scan-loaded
+            GateKind::Const0 => 0.0,
+            GateKind::Const1 => 1.0,
+            GateKind::Output | GateKind::Buf => p(g.fanins[0]),
+            GateKind::Not => 1.0 - p(g.fanins[0]),
+            GateKind::And => g.fanins.iter().map(|&f| p(f)).product(),
+            GateKind::Nand => 1.0 - g.fanins.iter().map(|&f| p(f)).product::<f64>(),
+            GateKind::Or => 1.0 - g.fanins.iter().map(|&f| 1.0 - p(f)).product::<f64>(),
+            GateKind::Nor => g.fanins.iter().map(|&f| 1.0 - p(f)).product(),
+            GateKind::Xor => g
+                .fanins
+                .iter()
+                .map(|&f| p(f))
+                .fold(0.0, |acc, x| acc * (1.0 - x) + x * (1.0 - acc)),
+            GateKind::Xnor => {
+                1.0 - g
+                    .fanins
+                    .iter()
+                    .map(|&f| p(f))
+                    .fold(0.0, |acc, x| acc * (1.0 - x) + x * (1.0 - acc))
+            }
+            GateKind::Mux2 => {
+                let s = p(g.fanins[0]);
+                (1.0 - s) * p(g.fanins[1]) + s * p(g.fanins[2])
+            }
+        };
+    }
+
+    // Backward pass: observability, in reverse level order.
+    let mut obs = vec![0.0f64; n];
+    let mut order: Vec<GateId> = lv.order().to_vec();
+    order.reverse();
+    // Sinks: PO markers and flop D pins are directly observed (scan).
+    for &s in nl.combinational_sinks().iter() {
+        match nl.gate(s).kind {
+            GateKind::Output => obs[s.index()] = 1.0,
+            GateKind::Dff => { /* handled via the reader rule below */ }
+            _ => {}
+        }
+    }
+    for &id in &order {
+        let g = nl.gate(id);
+        let mut best = obs[id.index()];
+        for &reader_id in &g.fanouts {
+            let r = nl.gate(reader_id);
+            // Which pins of the reader does `id` drive? (A net may feed
+            // the same gate on several pins.)
+            for (pin, &f) in r.fanins.iter().enumerate() {
+                if f != id {
+                    continue;
+                }
+                let through = match r.kind {
+                    GateKind::Output | GateKind::Buf | GateKind::Not => obs[reader_id.index()],
+                    // Captured by the flop and scanned out: perfectly
+                    // observable.
+                    GateKind::Dff => 1.0,
+                    GateKind::And | GateKind::Nand => {
+                        let side: f64 = r
+                            .fanins
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != pin)
+                            .map(|(_, &o)| c1[o.index()])
+                            .product();
+                        side * obs[reader_id.index()]
+                    }
+                    GateKind::Or | GateKind::Nor => {
+                        let side: f64 = r
+                            .fanins
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != pin)
+                            .map(|(_, &o)| 1.0 - c1[o.index()])
+                            .product();
+                        side * obs[reader_id.index()]
+                    }
+                    // XOR always propagates.
+                    GateKind::Xor | GateKind::Xnor => obs[reader_id.index()],
+                    GateKind::Mux2 => {
+                        let s = c1[r.fanins[0].index()];
+                        let sel_prob = match pin {
+                            0 => {
+                                // Select observability: data inputs must
+                                // differ.
+                                let a = c1[r.fanins[1].index()];
+                                let b = c1[r.fanins[2].index()];
+                                a * (1.0 - b) + b * (1.0 - a)
+                            }
+                            1 => 1.0 - s,
+                            _ => s,
+                        };
+                        sel_prob * obs[reader_id.index()]
+                    }
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+                };
+                if through > best {
+                    best = through;
+                }
+            }
+        }
+        obs[id.index()] = best;
+    }
+
+    Cop { c1, obs }
+}
+
+/// SCOAP testability measures for every net.
+#[derive(Debug, Clone)]
+pub struct Scoap {
+    /// Cost of setting the net to 0.
+    pub cc0: Vec<u32>,
+    /// Cost of setting the net to 1.
+    pub cc1: Vec<u32>,
+    /// Cost of observing the net.
+    pub co: Vec<u32>,
+}
+
+/// Computes SCOAP combinational measures.
+///
+/// # Panics
+///
+/// Panics if the netlist has a combinational loop.
+pub fn scoap(nl: &Netlist) -> Scoap {
+    const INF: u32 = u32::MAX / 4;
+    let lv = Levelization::compute(nl).expect("acyclic");
+    let n = nl.num_gates();
+    let mut cc0 = vec![INF; n];
+    let mut cc1 = vec![INF; n];
+
+    for &id in lv.order() {
+        let g = nl.gate(id);
+        let (z, o) = match g.kind {
+            GateKind::Input | GateKind::Dff => (1, 1),
+            GateKind::Const0 => (0, INF),
+            GateKind::Const1 => (INF, 0),
+            GateKind::Output | GateKind::Buf => {
+                let f = g.fanins[0].index();
+                (cc0[f] + 1, cc1[f] + 1)
+            }
+            GateKind::Not => {
+                let f = g.fanins[0].index();
+                (cc1[f] + 1, cc0[f] + 1)
+            }
+            GateKind::And => {
+                let z = g.fanins.iter().map(|&f| cc0[f.index()]).min().unwrap() + 1;
+                let o = g.fanins.iter().map(|&f| cc1[f.index()]).sum::<u32>() + 1;
+                (z, o)
+            }
+            GateKind::Nand => {
+                let o = g.fanins.iter().map(|&f| cc0[f.index()]).min().unwrap() + 1;
+                let z = g.fanins.iter().map(|&f| cc1[f.index()]).sum::<u32>() + 1;
+                (z, o)
+            }
+            GateKind::Or => {
+                let o = g.fanins.iter().map(|&f| cc1[f.index()]).min().unwrap() + 1;
+                let z = g.fanins.iter().map(|&f| cc0[f.index()]).sum::<u32>() + 1;
+                (z, o)
+            }
+            GateKind::Nor => {
+                let z = g.fanins.iter().map(|&f| cc1[f.index()]).min().unwrap() + 1;
+                let o = g.fanins.iter().map(|&f| cc0[f.index()]).sum::<u32>() + 1;
+                (z, o)
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                // Fold pairwise: cc for parity over the fanins.
+                let mut z = cc0[g.fanins[0].index()];
+                let mut o = cc1[g.fanins[0].index()];
+                for &f in &g.fanins[1..] {
+                    let (fz, fo) = (cc0[f.index()], cc1[f.index()]);
+                    let nz = (z + fz).min(o + fo);
+                    let no = (z + fo).min(o + fz);
+                    z = nz;
+                    o = no;
+                }
+                if matches!(g.kind, GateKind::Xnor) {
+                    (o + 1, z + 1)
+                } else {
+                    (z + 1, o + 1)
+                }
+            }
+            GateKind::Mux2 => {
+                let (s, a, b) = (
+                    g.fanins[0].index(),
+                    g.fanins[1].index(),
+                    g.fanins[2].index(),
+                );
+                let z = (cc0[s] + cc0[a]).min(cc1[s] + cc0[b]) + 1;
+                let o = (cc0[s] + cc1[a]).min(cc1[s] + cc1[b]) + 1;
+                (z, o)
+            }
+        };
+        cc0[id.index()] = z.min(INF);
+        cc1[id.index()] = o.min(INF);
+    }
+
+    // Observability, reverse order.
+    let mut co = vec![INF; n];
+    for &s in nl.combinational_sinks().iter() {
+        if matches!(nl.gate(s).kind, GateKind::Output) {
+            co[s.index()] = 0;
+        }
+    }
+    let mut order: Vec<GateId> = lv.order().to_vec();
+    order.reverse();
+    for &id in &order {
+        let g = nl.gate(id);
+        let mut best = co[id.index()];
+        for &reader_id in &g.fanouts {
+            let r = nl.gate(reader_id);
+            for (pin, &f) in r.fanins.iter().enumerate() {
+                if f != id {
+                    continue;
+                }
+                let through = match r.kind {
+                    GateKind::Dff => 0, // captured and scanned out
+                    GateKind::Output | GateKind::Buf | GateKind::Not => {
+                        co[reader_id.index()].saturating_add(1)
+                    }
+                    GateKind::And | GateKind::Nand => {
+                        let side: u32 = r
+                            .fanins
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != pin)
+                            .map(|(_, &o)| cc1[o.index()])
+                            .sum();
+                        co[reader_id.index()].saturating_add(side).saturating_add(1)
+                    }
+                    GateKind::Or | GateKind::Nor => {
+                        let side: u32 = r
+                            .fanins
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != pin)
+                            .map(|(_, &o)| cc0[o.index()])
+                            .sum();
+                        co[reader_id.index()].saturating_add(side).saturating_add(1)
+                    }
+                    GateKind::Xor | GateKind::Xnor => {
+                        let side: u32 = r
+                            .fanins
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != pin)
+                            .map(|(_, &o)| cc0[o.index()].min(cc1[o.index()]))
+                            .sum();
+                        co[reader_id.index()].saturating_add(side).saturating_add(1)
+                    }
+                    GateKind::Mux2 => {
+                        let extra = match pin {
+                            0 => 0,
+                            1 => cc0[r.fanins[0].index()],
+                            _ => cc1[r.fanins[0].index()],
+                        };
+                        co[reader_id.index()].saturating_add(extra).saturating_add(1)
+                    }
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => INF,
+                };
+                best = best.min(through);
+            }
+        }
+        co[id.index()] = best;
+    }
+
+    Scoap { cc0, cc1, co }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::generators::{c17, decoder, parity_tree};
+    use dft_netlist::Netlist;
+
+    #[test]
+    fn cop_and_gate_probability() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, vec![a, b], "g");
+        nl.add_output(g, "po");
+        let m = cop(&nl);
+        assert!((m.c1[g.index()] - 0.25).abs() < 1e-12);
+        assert!((m.obs[g.index()] - 1.0).abs() < 1e-12);
+        // a is observable only when b=1: obs = 0.5.
+        assert!((m.obs[a.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cop_decoder_outputs_are_hard_ones() {
+        let nl = decoder(5);
+        let m = cop(&nl);
+        // Each decoder output is 1 with probability 2^-6 (5 addr + en).
+        let y0 = nl.find("y0_g").unwrap();
+        assert!((m.c1[y0.index()] - 1.0 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cop_parity_tree_is_easy() {
+        let nl = parity_tree(16);
+        let m = cop(&nl);
+        for (id, g) in nl.iter() {
+            if g.kind == GateKind::Xor {
+                assert!((m.c1[id.index()] - 0.5).abs() < 1e-9);
+                assert!((m.obs[id.index()] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cop_detectability_combines_both() {
+        let nl = c17();
+        let m = cop(&nl);
+        for (id, g) in nl.iter() {
+            if g.kind == GateKind::Nand {
+                for stuck in [false, true] {
+                    let d = m.detectability(id, stuck);
+                    assert!(d > 0.0 && d <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoap_inverter_chain_costs_grow() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let i1 = nl.add_gate(GateKind::Not, vec![a], "i1");
+        let i2 = nl.add_gate(GateKind::Not, vec![i1], "i2");
+        nl.add_output(i2, "po");
+        let s = scoap(&nl);
+        assert_eq!(s.cc0[a.index()], 1);
+        assert_eq!(s.cc1[i1.index()], s.cc0[a.index()] + 1);
+        assert_eq!(s.cc0[i2.index()], s.cc1[i1.index()] + 1);
+        // Observability decreases (cost grows) towards the input.
+        assert!(s.co[a.index()] > s.co[i2.index()]);
+    }
+
+    #[test]
+    fn scoap_and_controllability_asymmetry() {
+        let mut nl = Netlist::new("t");
+        let ins: Vec<_> = (0..4).map(|i| nl.add_input(&format!("i{i}"))).collect();
+        let g = nl.add_gate(GateKind::And, ins, "g");
+        nl.add_output(g, "po");
+        let s = scoap(&nl);
+        // Setting a 4-input AND to 1 costs all inputs; to 0 costs one.
+        assert_eq!(s.cc0[g.index()], 2);
+        assert_eq!(s.cc1[g.index()], 5);
+    }
+
+    #[test]
+    fn flop_pins_are_fully_testable_under_scan() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a, "q");
+        let inv = nl.add_gate(GateKind::Not, vec![q], "inv");
+        nl.add_output(inv, "po");
+        let m = cop(&nl);
+        assert!((m.c1[q.index()] - 0.5).abs() < 1e-12);
+        // `a` drives only the flop D pin: perfectly observable via scan.
+        assert!((m.obs[a.index()] - 1.0).abs() < 1e-12);
+        let s = scoap(&nl);
+        assert_eq!(s.co[a.index()], 0);
+        assert_eq!(s.cc1[q.index()], 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Structural cone analysis (fanin/fanout cones, output reachability).
+//!
+//! Cones drive ATPG search-space pruning (X-path checks), diagnosis
+//! back-tracing, and hierarchical test partitioning.
+
+use crate::{GateId, GateKind, Netlist};
+
+/// Returns the transitive fanin cone of `root` in the combinational view
+/// (traversal stops at primary inputs, constants and flip-flop Q nets),
+/// including `root` itself. The result is in discovery order.
+pub fn fanin_cone(nl: &Netlist, root: GateId) -> Vec<GateId> {
+    let mut seen = vec![false; nl.num_gates()];
+    let mut stack = vec![root];
+    let mut cone = Vec::new();
+    seen[root.index()] = true;
+    while let Some(id) = stack.pop() {
+        cone.push(id);
+        let g = nl.gate(id);
+        // Do not traverse through a flop's D pin: the Q net is a source.
+        if matches!(g.kind, GateKind::Dff) && id != root {
+            continue;
+        }
+        for &f in &g.fanins {
+            if !seen[f.index()] {
+                seen[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    cone
+}
+
+/// Returns the transitive fanout cone of `root` in the combinational view
+/// (traversal stops at output markers and flip-flop D pins), including
+/// `root` itself. The result is in discovery order.
+pub fn fanout_cone(nl: &Netlist, root: GateId) -> Vec<GateId> {
+    let mut seen = vec![false; nl.num_gates()];
+    let mut stack = vec![root];
+    let mut cone = Vec::new();
+    seen[root.index()] = true;
+    while let Some(id) = stack.pop() {
+        cone.push(id);
+        let g = nl.gate(id);
+        if matches!(g.kind, GateKind::Output) {
+            continue;
+        }
+        for &f in &g.fanouts {
+            if !seen[f.index()] {
+                seen[f.index()] = true;
+                // A flop is a sink in the combinational view: include it
+                // (its D pin observes the value) but do not go past it.
+                if matches!(nl.gate(f).kind, GateKind::Dff) {
+                    cone.push(f);
+                    continue;
+                }
+                stack.push(f);
+            }
+        }
+    }
+    cone
+}
+
+/// For every gate, computes the bitset of combinational sinks (primary
+/// outputs then flip-flops, in [`Netlist::combinational_sinks`] order) that
+/// the gate can structurally reach. Sink index `i` is bit `i % 64` of word
+/// `i / 64`.
+///
+/// Used by diagnosis to intersect candidate cones and by ATPG for quick
+/// observability pruning.
+pub fn output_cone_map(nl: &Netlist) -> Vec<Vec<u64>> {
+    let sinks = nl.combinational_sinks();
+    let words = sinks.len().div_ceil(64);
+    let mut map = vec![vec![0u64; words]; nl.num_gates()];
+    for (i, &s) in sinks.iter().enumerate() {
+        map[s.index()][i / 64] |= 1u64 << (i % 64);
+    }
+    // Propagate backwards in reverse topological order. A reverse pass over
+    // ids is not sufficient in general (ids are creation-ordered, which our
+    // builders keep topological, but rewiring may break that), so iterate to
+    // fixpoint; netlists are shallow so this converges in few passes.
+    // Sink self-bits, used to stop absorption at flop D pins: a driver of a
+    // flop's D pin observes only the flop-as-sink, never the flop's Q-side
+    // (next-cycle) reachability.
+    let self_bits: Vec<Vec<u64>> = map.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for idx in (0..nl.num_gates()).rev() {
+            let id = GateId(idx as u32);
+            let g = nl.gate(id);
+            for &fo in &g.fanouts {
+                for w in 0..words {
+                    let bits = if matches!(nl.gate(fo).kind, GateKind::Dff) {
+                        self_bits[fo.index()][w]
+                    } else {
+                        map[fo.index()][w]
+                    };
+                    if map[idx][w] | bits != map[idx][w] {
+                        map[idx][w] |= bits;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn diamond() -> (Netlist, GateId, GateId, GateId, GateId) {
+        // a -> inv1 -> and
+        //   \-> inv2 --^    and -> po
+        let mut nl = Netlist::new("diamond");
+        let a = nl.add_input("a");
+        let i1 = nl.add_gate(GateKind::Not, vec![a], "i1");
+        let i2 = nl.add_gate(GateKind::Not, vec![a], "i2");
+        let and = nl.add_gate(GateKind::And, vec![i1, i2], "and");
+        nl.add_output(and, "po");
+        (nl, a, i1, i2, and)
+    }
+
+    #[test]
+    fn fanin_cone_collects_reconvergence_once() {
+        let (nl, a, i1, i2, and) = diamond();
+        let cone = fanin_cone(&nl, and);
+        assert_eq!(cone.len(), 4);
+        for g in [a, i1, i2, and] {
+            assert!(cone.contains(&g));
+        }
+    }
+
+    #[test]
+    fn fanout_cone_reaches_output() {
+        let (nl, a, ..) = diamond();
+        let cone = fanout_cone(&nl, a);
+        let po = nl.find("po").unwrap();
+        assert!(cone.contains(&po));
+        assert_eq!(cone.len(), 5);
+    }
+
+    #[test]
+    fn cones_stop_at_dffs() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let inv = nl.add_gate(GateKind::Not, vec![a], "inv");
+        let q = nl.add_dff(inv, "q");
+        let buf = nl.add_gate(GateKind::Buf, vec![q], "buf");
+        let po = nl.add_output(buf, "po");
+        // Fanout of `a` must include the flop (as sink) but not cross it.
+        let cone = fanout_cone(&nl, a);
+        assert!(cone.contains(&q));
+        assert!(!cone.contains(&buf));
+        // Fanin of `po` must stop at q.
+        let cone = fanin_cone(&nl, po);
+        assert!(cone.contains(&q));
+        assert!(!cone.contains(&inv));
+    }
+
+    #[test]
+    fn output_cone_map_marks_reachable_sinks() {
+        let (nl, a, i1, ..) = diamond();
+        let map = output_cone_map(&nl);
+        // Only one sink (the PO); everyone reaches it.
+        assert_eq!(map[a.index()][0], 1);
+        assert_eq!(map[i1.index()][0], 1);
+    }
+
+    #[test]
+    fn output_cone_map_respects_flop_boundary() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a, "q");
+        let b = nl.add_gate(GateKind::Buf, vec![q], "b");
+        nl.add_output(b, "po");
+        let map = output_cone_map(&nl);
+        // sinks order: [po, q] -> po is bit 0, q is bit 1.
+        assert_eq!(map[a.index()][0], 0b10, "a reaches only the flop sink");
+        assert_eq!(map[q.index()][0], 0b11, "q is itself a sink and reaches po");
+    }
+}

@@ -1,0 +1,373 @@
+//! Arithmetic building blocks: adders, subtractors, multipliers, ALU,
+//! comparator.
+
+use crate::{GateId, GateKind, Netlist};
+
+use super::{input_bus, output_bus, Bus};
+
+/// Inserts a half adder; returns `(sum, carry)`.
+pub fn half_adder(nl: &mut Netlist, a: GateId, b: GateId, tag: &str) -> (GateId, GateId) {
+    let s = nl.add_gate(GateKind::Xor, vec![a, b], &format!("{tag}_s"));
+    let c = nl.add_gate(GateKind::And, vec![a, b], &format!("{tag}_c"));
+    (s, c)
+}
+
+/// Inserts a full adder; returns `(sum, carry_out)`.
+pub fn full_adder(
+    nl: &mut Netlist,
+    a: GateId,
+    b: GateId,
+    cin: GateId,
+    tag: &str,
+) -> (GateId, GateId) {
+    let axb = nl.add_gate(GateKind::Xor, vec![a, b], &format!("{tag}_axb"));
+    let s = nl.add_gate(GateKind::Xor, vec![axb, cin], &format!("{tag}_s"));
+    let t1 = nl.add_gate(GateKind::And, vec![axb, cin], &format!("{tag}_t1"));
+    let t2 = nl.add_gate(GateKind::And, vec![a, b], &format!("{tag}_t2"));
+    let co = nl.add_gate(GateKind::Or, vec![t1, t2], &format!("{tag}_co"));
+    (s, co)
+}
+
+/// Inserts a ripple-carry adder over two equal-width buses; returns
+/// `(sum_bus, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or are empty.
+pub fn ripple_adder_bus(
+    nl: &mut Netlist,
+    a: &[GateId],
+    b: &[GateId],
+    cin: Option<GateId>,
+    tag: &str,
+) -> (Bus, GateId) {
+    assert_eq!(a.len(), b.len(), "adder bus width mismatch");
+    assert!(!a.is_empty(), "adder needs at least one bit");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (i, (&ai, &bi)) in a.iter().zip(b).enumerate() {
+        let t = format!("{tag}_fa{i}");
+        let (s, co) = match carry {
+            None => half_adder(nl, ai, bi, &t),
+            Some(c) => full_adder(nl, ai, bi, c, &t),
+        };
+        sum.push(s);
+        carry = Some(co);
+    }
+    (sum, carry.expect("non-empty adder has a carry"))
+}
+
+/// Inserts a ripple-borrow subtractor computing `a - b` (two's complement);
+/// returns `(diff_bus, borrow_out)` where `borrow_out == 1` iff `a < b`.
+pub fn ripple_subtractor_bus(
+    nl: &mut Netlist,
+    a: &[GateId],
+    b: &[GateId],
+    tag: &str,
+) -> (Bus, GateId) {
+    // a - b = a + !b + 1
+    let nb: Vec<GateId> = b
+        .iter()
+        .enumerate()
+        .map(|(i, &bi)| nl.add_gate(GateKind::Not, vec![bi], &format!("{tag}_nb{i}")))
+        .collect();
+    let one = nl.add_gate(GateKind::Const1, vec![], &format!("{tag}_one"));
+    let (diff, cout) = ripple_adder_bus(nl, a, &nb, Some(one), tag);
+    // carry-out 1 means no borrow; invert to get borrow.
+    let borrow = nl.add_gate(GateKind::Not, vec![cout], &format!("{tag}_borrow"));
+    (diff, borrow)
+}
+
+/// Builds a standalone `width`-bit ripple-carry adder circuit with inputs
+/// `a*`, `b*`, `cin` and outputs `s*`, `cout`.
+pub fn ripple_adder(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("add{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let cin = nl.add_input("cin");
+    let (sum, cout) = ripple_adder_bus(&mut nl, &a, &b, Some(cin), "add");
+    output_bus(&mut nl, "s", &sum);
+    nl.add_output(cout, "cout");
+    nl
+}
+
+/// Inserts an unsigned array multiplier over two equal-width buses; returns
+/// the `2*width`-bit product bus.
+///
+/// The structure is the classic partial-product array reduced with
+/// ripple-carry rows — dense in AND/XOR logic, which makes it a good ATPG
+/// stress block and the core of the MAC PE.
+pub fn array_multiplier_bus(nl: &mut Netlist, a: &[GateId], b: &[GateId], tag: &str) -> Bus {
+    assert_eq!(a.len(), b.len(), "multiplier bus width mismatch");
+    let w = a.len();
+    assert!(w >= 1);
+    // Partial products pp[j][i] = a[i] & b[j].
+    let mut pp: Vec<Vec<GateId>> = Vec::with_capacity(w);
+    for (j, &bj) in b.iter().enumerate() {
+        let row = a
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| nl.add_gate(GateKind::And, vec![ai, bj], &format!("{tag}_pp{j}_{i}")))
+            .collect();
+        pp.push(row);
+    }
+    // Accumulate rows with ripple adders: acc starts as row 0 extended.
+    let mut product: Bus = Vec::with_capacity(2 * w);
+    product.push(pp[0][0]);
+    let mut acc: Vec<GateId> = pp[0][1..].to_vec(); // w-1 bits, weight 2^1..
+    for j in 1..w {
+        // Add row j (weight starts at 2^j) to acc (weight starts at 2^j).
+        // acc currently has w-1 bits; row j has w bits.
+        let row = &pp[j];
+        let mut sum_bits = Vec::with_capacity(w);
+        let mut carry: Option<GateId> = None;
+        for i in 0..w {
+            let t = format!("{tag}_r{j}c{i}");
+            let acc_bit = acc.get(i).copied();
+            let (s, co) = match (acc_bit, carry) {
+                (Some(ab), Some(c)) => full_adder(nl, row[i], ab, c, &t),
+                (Some(ab), None) => half_adder(nl, row[i], ab, &t),
+                (None, Some(c)) => half_adder(nl, row[i], c, &t),
+                (None, None) => {
+                    sum_bits.push(row[i]);
+                    continue;
+                }
+            };
+            sum_bits.push(s);
+            carry = Some(co);
+        }
+        // Lowest sum bit has weight 2^j and is final.
+        product.push(sum_bits[0]);
+        acc = sum_bits[1..].to_vec();
+        if let Some(c) = carry {
+            acc.push(c);
+        }
+    }
+    product.extend(acc);
+    // A 1x1 multiplier has only one product bit; pad to the promised 2*w.
+    while product.len() < 2 * w {
+        product.push(nl.add_gate(
+            GateKind::Const0,
+            vec![],
+            &format!("{tag}_pad{}", product.len()),
+        ));
+    }
+    debug_assert_eq!(product.len(), 2 * w);
+    product
+}
+
+/// Builds a standalone `width x width` unsigned array multiplier circuit
+/// with inputs `a*`, `b*` and outputs `p*` (2*width bits).
+pub fn array_multiplier(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("mult{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let p = array_multiplier_bus(&mut nl, &a, &b, "mul");
+    output_bus(&mut nl, "p", &p);
+    nl
+}
+
+/// Builds a `width`-bit ALU with a 2-bit opcode:
+/// `00 = AND`, `01 = OR`, `10 = XOR`, `11 = ADD` (carry-out on `cout`).
+pub fn alu(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("alu{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let op0 = nl.add_input("op0");
+    let op1 = nl.add_input("op1");
+    let zero = nl.add_gate(GateKind::Const0, vec![], "zero");
+    let (add, cout) = ripple_adder_bus(&mut nl, &a, &b, Some(zero), "alu_add");
+    let mut y = Vec::with_capacity(width);
+    for i in 0..width {
+        let and = nl.add_gate(GateKind::And, vec![a[i], b[i]], &format!("alu_and{i}"));
+        let or = nl.add_gate(GateKind::Or, vec![a[i], b[i]], &format!("alu_or{i}"));
+        let xor = nl.add_gate(GateKind::Xor, vec![a[i], b[i]], &format!("alu_xor{i}"));
+        // Two-level mux: op0 picks within pairs, op1 picks between pairs.
+        let lo = nl.add_gate(GateKind::Mux2, vec![op0, and, or], &format!("alu_lo{i}"));
+        let hi = nl.add_gate(GateKind::Mux2, vec![op0, xor, add[i]], &format!("alu_hi{i}"));
+        let out = nl.add_gate(GateKind::Mux2, vec![op1, lo, hi], &format!("alu_y{i}"));
+        y.push(out);
+    }
+    output_bus(&mut nl, "y", &y);
+    nl.add_output(cout, "cout");
+    nl
+}
+
+/// Builds a `width`-bit unsigned comparator with outputs `eq` and `lt`
+/// (`a < b`).
+pub fn comparator(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("cmp{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    // eq = AND of per-bit XNOR.
+    let xnors: Vec<GateId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::Xnor, vec![a[i], b[i]], &format!("eq{i}")))
+        .collect();
+    let eq = if xnors.len() == 1 {
+        xnors[0]
+    } else {
+        nl.add_gate(GateKind::And, xnors.clone(), "eq_all")
+    };
+    // lt via subtractor borrow.
+    let (_, borrow) = ripple_subtractor_bus(&mut nl, &a, &b, "cmp_sub");
+    nl.add_output(eq, "eq");
+    nl.add_output(borrow, "lt");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, Levelization};
+
+    /// Tiny reference evaluator: computes all gate values for one input
+    /// assignment using the levelized order.
+    fn eval(nl: &Netlist, assign: &[(GateId, bool)]) -> Vec<bool> {
+        let lv = Levelization::compute(nl).unwrap();
+        let mut vals = vec![false; nl.num_gates()];
+        for &(g, v) in assign {
+            vals[g.index()] = v;
+        }
+        for &id in lv.order() {
+            let g = nl.gate(id);
+            if matches!(g.kind, GateKind::Input) {
+                continue;
+            }
+            if matches!(g.kind, GateKind::Dff) {
+                continue; // combinational tests only
+            }
+            let ins: Vec<bool> = g.fanins.iter().map(|&f| vals[f.index()]).collect();
+            vals[id.index()] = g.kind.eval_bool(&ins);
+        }
+        vals
+    }
+
+    fn bus_value(vals: &[bool], bus: &[GateId]) -> u64 {
+        bus.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &g)| acc | ((vals[g.index()] as u64) << i))
+    }
+
+    fn assign_bus(bus: &[GateId], value: u64) -> Vec<(GateId, bool)> {
+        bus.iter()
+            .enumerate()
+            .map(|(i, &g)| (g, (value >> i) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4bit() {
+        let nl = ripple_adder(4);
+        let a: Vec<GateId> = (0..4).map(|i| nl.find(&format!("a{i}")).unwrap()).collect();
+        let b: Vec<GateId> = (0..4).map(|i| nl.find(&format!("b{i}")).unwrap()).collect();
+        let cin = nl.find("cin").unwrap();
+        let s: Vec<GateId> = (0..4)
+            .map(|i| {
+                let po = nl.find(&format!("s{i}")).unwrap();
+                nl.gate(po).fanins[0]
+            })
+            .collect();
+        let cout = nl.gate(nl.find("cout").unwrap()).fanins[0];
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                for cv in 0..2u64 {
+                    let mut asg = assign_bus(&a, av);
+                    asg.extend(assign_bus(&b, bv));
+                    asg.push((cin, cv == 1));
+                    let vals = eval(&nl, &asg);
+                    let got = bus_value(&vals, &s) | ((vals[cout.index()] as u64) << 4);
+                    assert_eq!(got, av + bv + cv, "{av}+{bv}+{cv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_4bit() {
+        let nl = array_multiplier(4);
+        let a: Vec<GateId> = (0..4).map(|i| nl.find(&format!("a{i}")).unwrap()).collect();
+        let b: Vec<GateId> = (0..4).map(|i| nl.find(&format!("b{i}")).unwrap()).collect();
+        let p: Vec<GateId> = (0..8)
+            .map(|i| {
+                let po = nl.find(&format!("p{i}")).unwrap();
+                nl.gate(po).fanins[0]
+            })
+            .collect();
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut asg = assign_bus(&a, av);
+                asg.extend(assign_bus(&b, bv));
+                let vals = eval(&nl, &asg);
+                assert_eq!(bus_value(&vals, &p), av * bv, "{av}*{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_borrow_semantics() {
+        let mut nl = Netlist::new("sub");
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 4);
+        let (d, borrow) = ripple_subtractor_bus(&mut nl, &a, &b, "sub");
+        output_bus(&mut nl, "d", &d);
+        nl.add_output(borrow, "bo");
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut asg = assign_bus(&a, av);
+                asg.extend(assign_bus(&b, bv));
+                let vals = eval(&nl, &asg);
+                let diff = bus_value(&vals, &d);
+                assert_eq!(diff, (av.wrapping_sub(bv)) & 0xf, "{av}-{bv}");
+                assert_eq!(vals[borrow.index()], av < bv, "borrow {av}<{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_all_ops_8bit_sampled() {
+        let nl = alu(8);
+        let a: Vec<GateId> = (0..8).map(|i| nl.find(&format!("a{i}")).unwrap()).collect();
+        let b: Vec<GateId> = (0..8).map(|i| nl.find(&format!("b{i}")).unwrap()).collect();
+        let op0 = nl.find("op0").unwrap();
+        let op1 = nl.find("op1").unwrap();
+        let y: Vec<GateId> = (0..8)
+            .map(|i| nl.gate(nl.find(&format!("y{i}")).unwrap()).fanins[0])
+            .collect();
+        let samples = [(0u64, 0u64), (0xff, 0x0f), (0xaa, 0x55), (0x3c, 0xc3), (7, 200)];
+        for &(av, bv) in &samples {
+            for op in 0..4u64 {
+                let mut asg = assign_bus(&a, av);
+                asg.extend(assign_bus(&b, bv));
+                asg.push((op0, op & 1 == 1));
+                asg.push((op1, op & 2 == 2));
+                let vals = eval(&nl, &asg);
+                let got = bus_value(&vals, &y);
+                let expect = match op {
+                    0 => av & bv,
+                    1 => av | bv,
+                    2 => av ^ bv,
+                    _ => (av + bv) & 0xff,
+                };
+                assert_eq!(got, expect, "op={op} a={av:#x} b={bv:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_semantics() {
+        let nl = comparator(4);
+        let a: Vec<GateId> = (0..4).map(|i| nl.find(&format!("a{i}")).unwrap()).collect();
+        let b: Vec<GateId> = (0..4).map(|i| nl.find(&format!("b{i}")).unwrap()).collect();
+        let eq = nl.gate(nl.find("eq").unwrap()).fanins[0];
+        let lt = nl.gate(nl.find("lt").unwrap()).fanins[0];
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut asg = assign_bus(&a, av);
+                asg.extend(assign_bus(&b, bv));
+                let vals = eval(&nl, &asg);
+                assert_eq!(vals[eq.index()], av == bv);
+                assert_eq!(vals[lt.index()], av < bv);
+            }
+        }
+    }
+}

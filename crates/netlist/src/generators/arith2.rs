@@ -1,0 +1,371 @@
+//! Faster arithmetic structures: carry-lookahead, carry-save (Wallace)
+//! reduction, barrel shifter, population count.
+//!
+//! These widen the benchmark mix with the shallow/wide topologies real
+//! datapaths use — different ATPG and fault-simulation behaviour than the
+//! ripple structures in [`super::arith`] (reconvergence-heavy, more XOR).
+
+use crate::{GateId, GateKind, Netlist};
+
+use super::arith::{full_adder, half_adder};
+use super::{input_bus, output_bus, Bus};
+
+/// Builds a `width`-bit carry-lookahead adder (block size 4) with inputs
+/// `a*`, `b*`, `cin` and outputs `s*`, `cout`.
+pub fn cla_adder(width: usize) -> Netlist {
+    assert!(width >= 1);
+    let mut nl = Netlist::new(format!("cla{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let cin = nl.add_input("cin");
+
+    // Generate/propagate per bit.
+    let g: Vec<GateId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::And, vec![a[i], b[i]], &format!("g{i}")))
+        .collect();
+    let p: Vec<GateId> = (0..width)
+        .map(|i| nl.add_gate(GateKind::Xor, vec![a[i], b[i]], &format!("p{i}")))
+        .collect();
+
+    // Lookahead carries: c[i+1] = g[i] | p[i]&c[i], expanded per 4-bit
+    // block from the block carry-in (two-level AND-OR inside a block).
+    let mut carries: Vec<GateId> = Vec::with_capacity(width + 1);
+    carries.push(cin);
+    for block in 0..width.div_ceil(4) {
+        let base = block * 4;
+        let cin_b = carries[base];
+        let top = (base + 4).min(width);
+        for i in base..top {
+            // c[i+1] = g[i] | p[i]g[i-1] | ... | p[i..base]cin_b
+            let mut terms: Vec<GateId> = Vec::new();
+            terms.push(g[i]);
+            for j in (base..i).rev() {
+                let mut ands: Vec<GateId> = (j + 1..=i).map(|k| p[k]).collect();
+                ands.push(g[j]);
+                terms.push(nl.add_gate(
+                    GateKind::And,
+                    ands,
+                    &format!("c{}t{}", i + 1, j),
+                ));
+            }
+            let mut ands: Vec<GateId> = (base..=i).map(|k| p[k]).collect();
+            ands.push(cin_b);
+            terms.push(nl.add_gate(GateKind::And, ands, &format!("c{}tc", i + 1)));
+            let c = if terms.len() == 1 {
+                terms[0]
+            } else {
+                nl.add_gate(GateKind::Or, terms, &format!("c{}", i + 1))
+            };
+            carries.push(c);
+        }
+    }
+
+    let s: Bus = (0..width)
+        .map(|i| nl.add_gate(GateKind::Xor, vec![p[i], carries[i]], &format!("s{i}_g")))
+        .collect();
+    output_bus(&mut nl, "s", &s);
+    nl.add_output(carries[width], "cout");
+    nl
+}
+
+/// Builds a `width x width` Wallace-tree multiplier (carry-save reduction
+/// of the partial products, final ripple adder) with inputs `a*`, `b*`
+/// and outputs `q*` (2*width bits).
+pub fn wallace_multiplier(width: usize) -> Netlist {
+    assert!(width >= 2);
+    let mut nl = Netlist::new(format!("wal{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+
+    // Column-wise partial-product collection.
+    let mut cols: Vec<Vec<GateId>> = vec![Vec::new(); 2 * width];
+    for (j, &bj) in b.iter().enumerate() {
+        for (i, &ai) in a.iter().enumerate() {
+            let pp = nl.add_gate(GateKind::And, vec![ai, bj], &format!("pp{j}_{i}"));
+            cols[i + j].push(pp);
+        }
+    }
+    // Carry-save reduction: reduce every column to <= 2 bits with full and
+    // half adders, pushing carries to the next column.
+    let mut stage = 0usize;
+    loop {
+        let max = cols.iter().map(|c| c.len()).max().unwrap_or(0);
+        if max <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<GateId>> = vec![Vec::new(); 2 * width];
+        for (ci, col) in cols.iter().enumerate() {
+            let mut it = col.iter().copied().peekable();
+            let mut outs = Vec::new();
+            while it.peek().is_some() {
+                let x = it.next().unwrap();
+                match (it.next(), it.next()) {
+                    (Some(y), Some(z)) => {
+                        let (s, c) =
+                            full_adder(&mut nl, x, y, z, &format!("w{stage}c{ci}f{}", outs.len()));
+                        outs.push(s);
+                        next[ci + 1].push(c);
+                    }
+                    (Some(y), None) => {
+                        let (s, c) =
+                            half_adder(&mut nl, x, y, &format!("w{stage}c{ci}h{}", outs.len()));
+                        outs.push(s);
+                        next[ci + 1].push(c);
+                    }
+                    (None, _) => outs.push(x),
+                }
+            }
+            next[ci].extend(outs);
+        }
+        cols = next;
+        stage += 1;
+        assert!(stage < 32, "reduction failed to converge");
+    }
+    // Final carry-propagate addition over the two rows.
+    let mut q: Bus = Vec::with_capacity(2 * width);
+    let mut carry: Option<GateId> = None;
+    for (ci, col) in cols.iter().enumerate() {
+        let bits: Vec<GateId> = col.clone();
+        let tag = format!("fin{ci}");
+        let (s, co) = match (bits.len(), carry) {
+            (0, None) => {
+                q.push(nl.add_gate(GateKind::Const0, vec![], &format!("{tag}_z")));
+                continue;
+            }
+            (0, Some(c)) => {
+                q.push(c);
+                carry = None;
+                continue;
+            }
+            (1, None) => {
+                q.push(bits[0]);
+                continue;
+            }
+            (1, Some(c)) => half_adder(&mut nl, bits[0], c, &tag),
+            (2, None) => half_adder(&mut nl, bits[0], bits[1], &tag),
+            (2, Some(c)) => full_adder(&mut nl, bits[0], bits[1], c, &tag),
+            _ => unreachable!("column reduced to <= 2"),
+        };
+        q.push(s);
+        carry = Some(co);
+    }
+    q.truncate(2 * width);
+    while q.len() < 2 * width {
+        let z = nl.add_gate(GateKind::Const0, vec![], &format!("pad{}", q.len()));
+        q.push(z);
+    }
+    output_bus(&mut nl, "q", &q);
+    nl
+}
+
+/// Builds a logarithmic barrel shifter (left shift) for `width` a power
+/// of two: inputs `d*`, `sh*` (log2(width) bits); outputs `y*`.
+pub fn barrel_shifter(width: usize) -> Netlist {
+    assert!(width.is_power_of_two() && width >= 2);
+    let stages = width.trailing_zeros() as usize;
+    let mut nl = Netlist::new(format!("bsh{width}"));
+    let d = input_bus(&mut nl, "d", width);
+    let sh = input_bus(&mut nl, "sh", stages);
+    let zero = nl.add_gate(GateKind::Const0, vec![], "zero");
+    let mut cur = d;
+    for (s, &sel) in sh.iter().enumerate() {
+        let amount = 1usize << s;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let shifted = if i >= amount { cur[i - amount] } else { zero };
+            next.push(nl.add_gate(
+                GateKind::Mux2,
+                vec![sel, cur[i], shifted],
+                &format!("st{s}_{i}"),
+            ));
+        }
+        cur = next;
+    }
+    output_bus(&mut nl, "y", &cur);
+    nl
+}
+
+/// Builds a `width`-input population-count circuit (adder tree of full
+/// adders), outputs `c*` (`ceil(log2(width+1))` bits).
+pub fn popcount(width: usize) -> Netlist {
+    assert!(width >= 2);
+    let mut nl = Netlist::new(format!("pop{width}"));
+    let inputs = input_bus(&mut nl, "x", width);
+    // Column reduction identical to a Wallace tree with 1-bit inputs.
+    let out_bits = (usize::BITS - width.leading_zeros()) as usize;
+    let mut cols: Vec<Vec<GateId>> = vec![Vec::new(); out_bits + 1];
+    cols[0] = inputs;
+    let mut stage = 0;
+    loop {
+        let max = cols.iter().map(|c| c.len()).max().unwrap_or(0);
+        if max <= 1 {
+            break;
+        }
+        let mut next: Vec<Vec<GateId>> = vec![Vec::new(); cols.len() + 1];
+        for (ci, col) in cols.iter().enumerate() {
+            let mut it = col.iter().copied().peekable();
+            while it.peek().is_some() {
+                let x = it.next().unwrap();
+                match (it.next(), it.next()) {
+                    (Some(y), Some(z)) => {
+                        let (s, c) = full_adder(
+                            &mut nl,
+                            x,
+                            y,
+                            z,
+                            &format!("p{stage}c{ci}f{}", next[ci].len()),
+                        );
+                        next[ci].push(s);
+                        next[ci + 1].push(c);
+                    }
+                    (Some(y), None) => {
+                        let (s, c) = half_adder(
+                            &mut nl,
+                            x,
+                            y,
+                            &format!("p{stage}c{ci}h{}", next[ci].len()),
+                        );
+                        next[ci].push(s);
+                        next[ci + 1].push(c);
+                    }
+                    (None, _) => next[ci].push(x),
+                }
+            }
+        }
+        cols = next;
+        stage += 1;
+        assert!(stage < 32);
+    }
+    let bits: Bus = cols
+        .iter()
+        .take(out_bits)
+        .map(|c| {
+            c.first().copied().unwrap_or_else(|| {
+                nl.add_gate(GateKind::Const0, vec![], &format!("z{}", nl.num_gates()))
+            })
+        })
+        .collect();
+    output_bus(&mut nl, "c", &bits);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Levelization;
+
+    fn eval(nl: &Netlist, assign: &[(GateId, bool)]) -> Vec<bool> {
+        let lv = Levelization::compute(nl).unwrap();
+        let mut vals = vec![false; nl.num_gates()];
+        for &(g, v) in assign {
+            vals[g.index()] = v;
+        }
+        for &id in lv.order() {
+            let g = nl.gate(id);
+            if matches!(g.kind, GateKind::Input | GateKind::Dff) {
+                continue;
+            }
+            let ins: Vec<bool> = g.fanins.iter().map(|&f| vals[f.index()]).collect();
+            vals[id.index()] = g.kind.eval_bool(&ins);
+        }
+        vals
+    }
+
+    fn get_bus(nl: &Netlist, vals: &[bool], prefix: &str, width: usize) -> u64 {
+        (0..width).fold(0, |acc, i| {
+            let po = nl.find(&format!("{prefix}{i}")).unwrap();
+            let src = nl.gate(po).fanins[0];
+            acc | ((vals[src.index()] as u64) << i)
+        })
+    }
+
+    fn set_bus(nl: &Netlist, prefix: &str, width: usize, v: u64) -> Vec<(GateId, bool)> {
+        (0..width)
+            .map(|i| (nl.find(&format!("{prefix}{i}")).unwrap(), (v >> i) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn cla_exhaustive_6bit() {
+        let nl = cla_adder(6);
+        let cin = nl.find("cin").unwrap();
+        for av in 0..64u64 {
+            for bv in (0..64u64).step_by(7) {
+                for cv in 0..2u64 {
+                    let mut asg = set_bus(&nl, "a", 6, av);
+                    asg.extend(set_bus(&nl, "b", 6, bv));
+                    asg.push((cin, cv == 1));
+                    let vals = eval(&nl, &asg);
+                    let got = get_bus(&nl, &vals, "s", 6)
+                        | ((vals[nl.gate(nl.find("cout").unwrap()).fanins[0].index()] as u64) << 6);
+                    assert_eq!(got, av + bv + cv, "{av}+{bv}+{cv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_is_shallower_than_ripple() {
+        let cla = cla_adder(16);
+        let ripple = super::super::ripple_adder(16);
+        let d_cla = Levelization::compute(&cla).unwrap().max_level();
+        let d_rip = Levelization::compute(&ripple).unwrap().max_level();
+        assert!(d_cla < d_rip, "cla {d_cla} vs ripple {d_rip}");
+    }
+
+    #[test]
+    fn wallace_exhaustive_4bit() {
+        let nl = wallace_multiplier(4);
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut asg = set_bus(&nl, "a", 4, av);
+                asg.extend(set_bus(&nl, "b", 4, bv));
+                let vals = eval(&nl, &asg);
+                assert_eq!(get_bus(&nl, &vals, "q", 8), av * bv, "{av}*{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_matches_array_multiplier_sampled() {
+        let w = wallace_multiplier(6);
+        let arr = super::super::array_multiplier(6);
+        for (av, bv) in [(0u64, 0u64), (63, 63), (21, 42), (7, 56), (33, 18)] {
+            let mut asg = set_bus(&w, "a", 6, av);
+            asg.extend(set_bus(&w, "b", 6, bv));
+            let got_w = get_bus(&w, &eval(&w, &asg), "q", 12);
+            let mut asg = set_bus(&arr, "a", 6, av);
+            asg.extend(set_bus(&arr, "b", 6, bv));
+            let got_a = get_bus(&arr, &eval(&arr, &asg), "p", 12);
+            assert_eq!(got_w, got_a);
+            assert_eq!(got_w, av * bv);
+        }
+    }
+
+    #[test]
+    fn barrel_shifts_correctly() {
+        let nl = barrel_shifter(8);
+        for dv in [0b10110001u64, 0xff, 1] {
+            for sh in 0..8u64 {
+                let mut asg = set_bus(&nl, "d", 8, dv);
+                asg.extend(set_bus(&nl, "sh", 3, sh));
+                let vals = eval(&nl, &asg);
+                assert_eq!(
+                    get_bus(&nl, &vals, "y", 8),
+                    (dv << sh) & 0xff,
+                    "{dv:#b} << {sh}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_matches_count_ones() {
+        let nl = popcount(9);
+        for v in 0..512u64 {
+            let asg = set_bus(&nl, "x", 9, v);
+            let vals = eval(&nl, &asg);
+            assert_eq!(get_bus(&nl, &vals, "c", 4), v.count_ones() as u64, "{v:#b}");
+        }
+    }
+}

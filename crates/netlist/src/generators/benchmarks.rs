@@ -1,0 +1,208 @@
+//! Fixed benchmark circuits and the standard experiment suite.
+//!
+//! `c17` and `s27` are the classic ISCAS-85/89 circuits, embedded verbatim;
+//! the rest of the suite is produced by the parameterized generators.
+
+use crate::{parse_bench, Netlist};
+
+use super::{
+    alu, array_multiplier, barrel_shifter, cla_adder, counter, decoder, mac_pe, mux_tree,
+    parity_tree, popcount, random_logic, ripple_adder, shift_register, systolic_array,
+    wallace_multiplier, SystolicConfig,
+};
+
+/// ISCAS-85 c17 (the smallest standard combinational benchmark).
+pub fn c17() -> Netlist {
+    parse_bench(
+        "c17",
+        r"
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+",
+    )
+    .expect("embedded c17 parses")
+}
+
+/// ISCAS-89 s27 (the smallest standard sequential benchmark).
+pub fn s27() -> Netlist {
+    parse_bench(
+        "s27",
+        r"
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = OR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+",
+    )
+    .expect("embedded s27 parses")
+}
+
+/// A named circuit in the experiment suite.
+#[derive(Debug)]
+pub struct NamedCircuit {
+    /// Short identifier used in experiment tables.
+    pub name: &'static str,
+    /// The circuit.
+    pub netlist: Netlist,
+}
+
+/// The standard circuit suite used by the experiment harness (E1-E3, E5,
+/// E8, E11). Mixes random-pattern-friendly (parity, adders) and
+/// random-pattern-resistant (decoder, mux tree) blocks plus the AI-chip
+/// MAC/systolic structures the tutorial focuses on.
+pub fn benchmark_suite() -> Vec<NamedCircuit> {
+    vec![
+        NamedCircuit {
+            name: "c17",
+            netlist: c17(),
+        },
+        NamedCircuit {
+            name: "s27",
+            netlist: s27(),
+        },
+        NamedCircuit {
+            name: "add8",
+            netlist: ripple_adder(8),
+        },
+        NamedCircuit {
+            name: "add32",
+            netlist: ripple_adder(32),
+        },
+        NamedCircuit {
+            name: "mult4",
+            netlist: array_multiplier(4),
+        },
+        NamedCircuit {
+            name: "mult8",
+            netlist: array_multiplier(8),
+        },
+        NamedCircuit {
+            name: "alu8",
+            netlist: alu(8),
+        },
+        NamedCircuit {
+            name: "parity16",
+            netlist: parity_tree(16),
+        },
+        NamedCircuit {
+            name: "dec5",
+            netlist: decoder(5),
+        },
+        NamedCircuit {
+            name: "mux32",
+            netlist: mux_tree(5),
+        },
+        NamedCircuit {
+            name: "cnt8",
+            netlist: counter(8),
+        },
+        NamedCircuit {
+            name: "sr16",
+            netlist: shift_register(16),
+        },
+        NamedCircuit {
+            name: "cla16",
+            netlist: cla_adder(16),
+        },
+        NamedCircuit {
+            name: "wal6",
+            netlist: wallace_multiplier(6),
+        },
+        NamedCircuit {
+            name: "bsh8",
+            netlist: barrel_shifter(8),
+        },
+        NamedCircuit {
+            name: "pop9",
+            netlist: popcount(9),
+        },
+        NamedCircuit {
+            name: "rand2k",
+            netlist: random_logic(32, 2000, 0xD1CE),
+        },
+        NamedCircuit {
+            name: "mac4",
+            netlist: mac_pe(4),
+        },
+        NamedCircuit {
+            name: "mac8",
+            netlist: mac_pe(8),
+        },
+        NamedCircuit {
+            name: "sys4x4",
+            netlist: systolic_array(SystolicConfig {
+                rows: 4,
+                cols: 4,
+                width: 4,
+            }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Levelization, NetlistStats};
+
+    #[test]
+    fn c17_shape() {
+        let nl = c17();
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 2);
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.logic_gates, 6);
+    }
+
+    #[test]
+    fn s27_shape() {
+        let nl = s27();
+        assert_eq!(nl.num_inputs(), 4);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.num_dffs(), 3);
+        nl.validate().unwrap();
+        Levelization::compute(&nl).unwrap();
+    }
+
+    #[test]
+    fn suite_is_complete_and_valid() {
+        let suite = benchmark_suite();
+        assert!(suite.len() >= 14);
+        for c in &suite {
+            c.netlist.validate().unwrap_or_else(|e| {
+                panic!("{} invalid: {e}", c.name);
+            });
+            Levelization::compute(&c.netlist)
+                .unwrap_or_else(|e| panic!("{} not levelizable: {e}", c.name));
+        }
+        // Names unique.
+        let mut names: Vec<_> = suite.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+}

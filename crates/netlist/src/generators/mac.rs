@@ -1,0 +1,328 @@
+//! AI-accelerator substrate: gate-level MAC processing elements and
+//! systolic arrays.
+//!
+//! The tutorial's AI-chip architecture discussion centers on large arrays of
+//! identical multiply-accumulate processing elements (PEs). These generators
+//! produce the gate-level equivalent: each PE is an output-stationary MAC
+//! (product of the incoming operands added into a local accumulator
+//! register) with registered operand forwarding, and the array wires PEs in
+//! the classic systolic mesh (activations flow east, weights flow south).
+
+use crate::{GateId, GateKind, Netlist};
+
+use super::arith::{array_multiplier_bus, ripple_adder_bus};
+use super::{input_bus, output_bus, Bus};
+
+/// Configuration of a systolic MAC array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicConfig {
+    /// Number of PE rows (activations enter at the west edge, one bus per
+    /// row).
+    pub rows: usize,
+    /// Number of PE columns (weights enter at the north edge, one bus per
+    /// column).
+    pub cols: usize,
+    /// Operand bit width of each PE.
+    pub width: usize,
+}
+
+impl Default for SystolicConfig {
+    fn default() -> Self {
+        SystolicConfig {
+            rows: 4,
+            cols: 4,
+            width: 4,
+        }
+    }
+}
+
+impl SystolicConfig {
+    /// Accumulator width: enough for a full product plus log2(K) guard bits
+    /// for realistic dot-product depth (we use 4 guard bits).
+    pub fn acc_width(&self) -> usize {
+        2 * self.width + 4
+    }
+}
+
+/// Handles to the nets of one inserted PE.
+#[derive(Debug, Clone)]
+pub struct PeHandles {
+    /// Registered copy of the activation operand (east output).
+    pub a_out: Bus,
+    /// Registered copy of the weight operand (south output).
+    pub b_out: Bus,
+    /// Accumulator register outputs.
+    pub acc: Bus,
+}
+
+/// Inserts one MAC PE into `nl`.
+///
+/// * `a_in`/`b_in` — operand buses (width = `width`).
+/// * `clear` — when 1, the accumulator resets to 0 on the next clock.
+/// * `acc_width` — accumulator register width (≥ `2 * width`).
+pub fn insert_mac_pe(
+    nl: &mut Netlist,
+    a_in: &[GateId],
+    b_in: &[GateId],
+    clear: GateId,
+    acc_width: usize,
+    tag: &str,
+) -> PeHandles {
+    let w = a_in.len();
+    assert_eq!(w, b_in.len());
+    assert!(acc_width >= 2 * w);
+
+    // Operand forwarding registers.
+    let a_out: Bus = a_in
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| nl.add_dff(a, &format!("{tag}_areg{i}")))
+        .collect();
+    let b_out: Bus = b_in
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| nl.add_dff(b, &format!("{tag}_breg{i}")))
+        .collect();
+
+    // Accumulator registers (D pins rewired after the adder exists).
+    let tmp = nl.add_gate(GateKind::Const0, vec![], &format!("{tag}_tmp"));
+    let acc: Bus = (0..acc_width)
+        .map(|i| nl.add_dff(tmp, &format!("{tag}_acc{i}")))
+        .collect();
+
+    // Product of the incoming (unregistered) operands.
+    let product = array_multiplier_bus(nl, a_in, b_in, &format!("{tag}_mul"));
+
+    // Zero-extend the product to the accumulator width.
+    let zero = nl.add_gate(GateKind::Const0, vec![], &format!("{tag}_zero"));
+    let mut product_ext = product;
+    while product_ext.len() < acc_width {
+        product_ext.push(zero);
+    }
+
+    // acc_next = acc + product (carry-out discarded: wrap-around).
+    let (sum, _carry) = ripple_adder_bus(nl, &acc, &product_ext, None, &format!("{tag}_accadd"));
+
+    // Clear gating: d = sum & !clear.
+    let nclear = nl.add_gate(GateKind::Not, vec![clear], &format!("{tag}_nclr"));
+    for (i, (&ff, &s)) in acc.iter().zip(&sum).enumerate() {
+        let d = nl.add_gate(GateKind::And, vec![s, nclear], &format!("{tag}_accd{i}"));
+        nl.rewire_fanin(ff, 0, d);
+    }
+
+    PeHandles { a_out, b_out, acc }
+}
+
+/// Builds a standalone single-PE circuit (`width`-bit MAC) with inputs
+/// `a*`, `b*`, `clr` and outputs for the forwarded operands and the
+/// accumulator.
+pub fn mac_pe(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("mac{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let clr = nl.add_input("clr");
+    let pe = insert_mac_pe(&mut nl, &a, &b, clr, 2 * width + 4, "pe");
+    output_bus(&mut nl, "ao", &pe.a_out);
+    output_bus(&mut nl, "bo", &pe.b_out);
+    output_bus(&mut nl, "acc", &pe.acc);
+    nl
+}
+
+/// Builds a `rows x cols` systolic array of `width`-bit MAC PEs.
+///
+/// Inputs: `a{r}_{i}` activation buses (one per row, west edge),
+/// `b{c}_{i}` weight buses (one per column, north edge), and a global
+/// `clr`. Outputs: east-edge forwarded activations, south-edge forwarded
+/// weights, and every PE's accumulator (named `acc_r{r}c{c}_{i}`).
+pub fn systolic_array(cfg: SystolicConfig) -> Netlist {
+    let SystolicConfig { rows, cols, width } = cfg;
+    assert!(rows >= 1 && cols >= 1 && width >= 1);
+    let mut nl = Netlist::new(format!("systolic{rows}x{cols}w{width}"));
+    let clr = nl.add_input("clr");
+    let a_in: Vec<Bus> = (0..rows)
+        .map(|r| input_bus(&mut nl, &format!("a{r}_"), width))
+        .collect();
+    let b_in: Vec<Bus> = (0..cols)
+        .map(|c| input_bus(&mut nl, &format!("b{c}_"), width))
+        .collect();
+
+    // Wire the mesh. a flows west->east along rows; b flows north->south
+    // along columns.
+    let mut a_bus = a_in;
+    let mut b_cols = b_in;
+    for r in 0..rows {
+        let mut a_cur = a_bus[r].clone();
+        for (c, b_col) in b_cols.iter_mut().enumerate() {
+            let pe = insert_mac_pe(
+                &mut nl,
+                &a_cur,
+                b_col,
+                clr,
+                cfg.acc_width(),
+                &format!("pe_r{r}c{c}"),
+            );
+            output_bus(&mut nl, &format!("acc_r{r}c{c}_"), &pe.acc);
+            a_cur = pe.a_out;
+            *b_col = pe.b_out;
+        }
+        a_bus[r] = a_cur;
+        // East edge outputs for the last column.
+        output_bus(&mut nl, &format!("aout{r}_"), &a_bus[r]);
+    }
+    for (c, b) in b_cols.iter().enumerate() {
+        output_bus(&mut nl, &format!("bout{c}_"), b);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Levelization, NetlistStats};
+
+    /// Clock-accurate interpreter for sequential netlists (test helper).
+    struct SeqSim<'a> {
+        nl: &'a Netlist,
+        lv: Levelization,
+        state: Vec<bool>,
+    }
+
+    impl<'a> SeqSim<'a> {
+        fn new(nl: &'a Netlist) -> Self {
+            let lv = Levelization::compute(nl).unwrap();
+            SeqSim {
+                nl,
+                lv,
+                state: vec![false; nl.num_gates()],
+            }
+        }
+
+        fn set(&mut self, name: &str, v: u64, width: usize) {
+            for i in 0..width {
+                let g = self.nl.find(&format!("{name}{i}")).unwrap();
+                self.state[g.index()] = (v >> i) & 1 == 1;
+            }
+        }
+
+        fn set1(&mut self, name: &str, v: bool) {
+            let g = self.nl.find(name).unwrap();
+            self.state[g.index()] = v;
+        }
+
+        fn settle_and_clock(&mut self) {
+            let mut vals = self.state.clone();
+            for &id in self.lv.order() {
+                let g = self.nl.gate(id);
+                if matches!(g.kind, GateKind::Input | GateKind::Dff) {
+                    continue;
+                }
+                let ins: Vec<bool> = g.fanins.iter().map(|&f| vals[f.index()]).collect();
+                vals[id.index()] = g.kind.eval_bool(&ins);
+            }
+            for &ff in self.nl.dffs() {
+                let d = self.nl.gate(ff).fanins[0];
+                self.state[ff.index()] = vals[d.index()];
+            }
+        }
+
+        fn get(&self, name: &str, width: usize) -> u64 {
+            (0..width).fold(0, |acc, i| {
+                let g = self.nl.find(&format!("{name}{i}")).unwrap();
+                acc | ((self.state[g.index()] as u64) << i)
+            })
+        }
+    }
+
+    #[test]
+    fn mac_pe_accumulates_products() {
+        let nl = mac_pe(4);
+        let mut sim = SeqSim::new(&nl);
+        // Clear first.
+        sim.set1("clr", true);
+        sim.settle_and_clock();
+        sim.set1("clr", false);
+        let pairs = [(3u64, 5u64), (7, 7), (15, 15), (1, 0)];
+        let mut expect = 0u64;
+        for (a, b) in pairs {
+            sim.set("a", a, 4);
+            sim.set("b", b, 4);
+            sim.settle_and_clock();
+            expect += a * b;
+            assert_eq!(sim.get("pe_acc", 12), expect & 0xfff, "after {a}*{b}");
+        }
+    }
+
+    #[test]
+    fn mac_pe_forwards_operands_with_one_cycle_delay() {
+        let nl = mac_pe(4);
+        let mut sim = SeqSim::new(&nl);
+        sim.set("a", 9, 4);
+        sim.set("b", 6, 4);
+        sim.settle_and_clock();
+        assert_eq!(sim.get("pe_areg", 4), 9);
+        assert_eq!(sim.get("pe_breg", 4), 6);
+    }
+
+    #[test]
+    fn mac_pe_clear_resets_accumulator() {
+        let nl = mac_pe(4);
+        let mut sim = SeqSim::new(&nl);
+        sim.set("a", 5, 4);
+        sim.set("b", 5, 4);
+        sim.settle_and_clock();
+        assert_ne!(sim.get("pe_acc", 12), 0);
+        sim.set1("clr", true);
+        sim.settle_and_clock();
+        assert_eq!(sim.get("pe_acc", 12), 0);
+    }
+
+    #[test]
+    fn systolic_2x2_computes_outer_product_sums() {
+        // Feed constant a and b for several cycles with clr released; PE
+        // (r,c) sees a row-r activations delayed by c cycles and column-c
+        // weights delayed by r cycles. With constant inputs the steady
+        // state accumulates a[r]*b[c] per cycle once the wavefront arrives.
+        let cfg = SystolicConfig {
+            rows: 2,
+            cols: 2,
+            width: 4,
+        };
+        let nl = systolic_array(cfg);
+        let mut sim = SeqSim::new(&nl);
+        sim.set1("clr", true);
+        sim.settle_and_clock();
+        sim.set1("clr", false);
+        sim.set("a0_", 2, 4);
+        sim.set("a1_", 3, 4);
+        sim.set("b0_", 4, 4);
+        sim.set("b1_", 5, 4);
+        for _ in 0..6 {
+            sim.settle_and_clock();
+        }
+        let acc_w = cfg.acc_width();
+        // PE(0,0) saw 6 full cycles of 2*4.
+        assert_eq!(sim.get("pe_r0c0_acc", acc_w), 6 * 2 * 4);
+        // PE(0,1): a delayed 1 cycle -> 5 cycles of 2*5.
+        assert_eq!(sim.get("pe_r0c1_acc", acc_w), 5 * 2 * 5);
+        // PE(1,0): b delayed 1 cycle -> 5 cycles of 3*4.
+        assert_eq!(sim.get("pe_r1c0_acc", acc_w), 5 * 3 * 4);
+        // PE(1,1): a arrives via PE(1,0)'s forwarding register and b via
+        // PE(0,1)'s — both one cycle late, so exactly one accumulation
+        // cycle is lost: 5 cycles of 3*5.
+        assert_eq!(sim.get("pe_r1c1_acc", acc_w), 5 * 3 * 5);
+    }
+
+    #[test]
+    fn systolic_array_scales() {
+        let nl = systolic_array(SystolicConfig {
+            rows: 4,
+            cols: 4,
+            width: 4,
+        });
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.name, "systolic4x4w4");
+        assert!(st.gates > 2000, "expected a sizable array, got {}", st.gates);
+        assert_eq!(nl.num_dffs(), 16 * (4 + 4 + 12));
+        nl.validate().unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! Parameterized gate-level circuit generators.
+//!
+//! These replace the proprietary synthesized netlists an industrial DFT flow
+//! would consume. Every generator produces a self-contained
+//! [`Netlist`](crate::Netlist) whose
+//! structure matches the textbook implementation of the block (ripple
+//! adders, array multipliers, MAC processing elements, systolic arrays, …),
+//! so ATPG/fault-simulation behaviour is representative of real logic.
+//!
+//! Multi-bit signals are represented as a [`Bus`]: a vector of net ids in
+//! little-endian bit order (`bus[0]` is the LSB).
+
+mod arith;
+mod arith2;
+mod benchmarks;
+mod mac;
+mod random;
+mod sequential;
+mod trees;
+
+pub use arith::{
+    alu, array_multiplier, array_multiplier_bus, comparator, full_adder, half_adder,
+    ripple_adder, ripple_adder_bus, ripple_subtractor_bus,
+};
+pub use arith2::{barrel_shifter, cla_adder, popcount, wallace_multiplier};
+pub use benchmarks::{benchmark_suite, c17, s27, NamedCircuit};
+pub use mac::{mac_pe, systolic_array, SystolicConfig};
+pub use random::random_logic;
+pub use sequential::{counter, shift_register};
+pub use trees::{decoder, majority, mux_tree, parity_tree};
+
+use crate::GateId;
+
+/// A multi-bit signal: net ids in little-endian bit order.
+pub type Bus = Vec<GateId>;
+
+/// Creates `width` named primary inputs `"{prefix}{i}"` and returns them as
+/// a [`Bus`].
+pub fn input_bus(nl: &mut crate::Netlist, prefix: &str, width: usize) -> Bus {
+    (0..width)
+        .map(|i| nl.add_input(&format!("{prefix}{i}")))
+        .collect()
+}
+
+/// Adds output markers `"{prefix}{i}"` for every bit of `bus`.
+pub fn output_bus(nl: &mut crate::Netlist, prefix: &str, bus: &[GateId]) {
+    for (i, &b) in bus.iter().enumerate() {
+        nl.add_output(b, &format!("{prefix}{i}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn input_output_bus_roundtrip() {
+        let mut nl = Netlist::new("t");
+        let a = input_bus(&mut nl, "a", 4);
+        output_bus(&mut nl, "y", &a);
+        assert_eq!(nl.num_inputs(), 4);
+        assert_eq!(nl.num_outputs(), 4);
+        assert_eq!(nl.gate(a[0]).name, "a0");
+    }
+}

@@ -1,0 +1,209 @@
+//! Tree-structured blocks: parity trees, mux trees, decoders, majority.
+
+use crate::{GateId, GateKind, Netlist};
+
+use super::{input_bus, output_bus};
+
+/// Builds a balanced XOR parity tree over `width` inputs with a single
+/// output `p`. Parity trees are the canonical *random-pattern-friendly*
+/// circuit (every input flip propagates).
+pub fn parity_tree(width: usize) -> Netlist {
+    assert!(width >= 2, "parity tree needs at least 2 inputs");
+    let mut nl = Netlist::new(format!("parity{width}"));
+    let mut layer = input_bus(&mut nl, "a", width);
+    let mut depth = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(nl.add_gate(
+                    GateKind::Xor,
+                    vec![pair[0], pair[1]],
+                    &format!("x{depth}_{i}"),
+                ));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        depth += 1;
+    }
+    nl.add_output(layer[0], "p");
+    nl
+}
+
+/// Builds a `2^sel_bits : 1` multiplexer tree. Inputs: `d0..d{2^n-1}` data
+/// and `s0..s{n-1}` select; output `y`.
+pub fn mux_tree(sel_bits: usize) -> Netlist {
+    assert!(sel_bits >= 1 && sel_bits <= 16);
+    let n = 1usize << sel_bits;
+    let mut nl = Netlist::new(format!("mux{n}"));
+    let data = input_bus(&mut nl, "d", n);
+    let sel = input_bus(&mut nl, "s", sel_bits);
+    let mut layer = data;
+    for (lvl, &s) in sel.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (i, pair) in layer.chunks(2).enumerate() {
+            next.push(nl.add_gate(
+                GateKind::Mux2,
+                vec![s, pair[0], pair[1]],
+                &format!("m{lvl}_{i}"),
+            ));
+        }
+        layer = next;
+    }
+    nl.add_output(layer[0], "y");
+    nl
+}
+
+/// Builds an `n : 2^n` one-hot decoder with enable. Inputs `a0..a{n-1}`,
+/// `en`; outputs `y0..y{2^n-1}`. Decoders are *random-pattern-resistant*:
+/// each output needs a specific input combination, so they exercise the
+/// deterministic top-off phase of ATPG and test-point insertion in LBIST.
+pub fn decoder(n: usize) -> Netlist {
+    assert!(n >= 1 && n <= 12);
+    let mut nl = Netlist::new(format!("dec{n}"));
+    let a = input_bus(&mut nl, "a", n);
+    let en = nl.add_input("en");
+    let nots: Vec<GateId> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &ai)| nl.add_gate(GateKind::Not, vec![ai], &format!("na{i}")))
+        .collect();
+    let mut outs = Vec::with_capacity(1 << n);
+    for code in 0..(1usize << n) {
+        let mut fanins: Vec<GateId> = (0..n)
+            .map(|bit| {
+                if (code >> bit) & 1 == 1 {
+                    a[bit]
+                } else {
+                    nots[bit]
+                }
+            })
+            .collect();
+        fanins.push(en);
+        outs.push(nl.add_gate(GateKind::And, fanins, &format!("y{code}_g")));
+    }
+    output_bus(&mut nl, "y", &outs);
+    nl
+}
+
+/// Builds a 3-input majority voter (the TMR cell). Inputs `a,b,c`, output
+/// `m`.
+pub fn majority() -> Netlist {
+    let mut nl = Netlist::new("maj3");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let c = nl.add_input("c");
+    let ab = nl.add_gate(GateKind::And, vec![a, b], "ab");
+    let bc = nl.add_gate(GateKind::And, vec![b, c], "bc");
+    let ac = nl.add_gate(GateKind::And, vec![a, c], "ac");
+    let m = nl.add_gate(GateKind::Or, vec![ab, bc, ac], "m");
+    nl.add_output(m, "m_po");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Levelization;
+
+    fn eval_one(nl: &Netlist, assign: &[(GateId, bool)]) -> Vec<bool> {
+        let lv = Levelization::compute(nl).unwrap();
+        let mut vals = vec![false; nl.num_gates()];
+        for &(g, v) in assign {
+            vals[g.index()] = v;
+        }
+        for &id in lv.order() {
+            let g = nl.gate(id);
+            if matches!(g.kind, GateKind::Input | GateKind::Dff) {
+                continue;
+            }
+            let ins: Vec<bool> = g.fanins.iter().map(|&f| vals[f.index()]).collect();
+            vals[id.index()] = g.kind.eval_bool(&ins);
+        }
+        vals
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        let nl = parity_tree(7);
+        let a: Vec<GateId> = (0..7).map(|i| nl.find(&format!("a{i}")).unwrap()).collect();
+        let p = nl.gate(nl.find("p").unwrap()).fanins[0];
+        for v in 0..128u32 {
+            let asg: Vec<(GateId, bool)> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (g, (v >> i) & 1 == 1))
+                .collect();
+            let vals = eval_one(&nl, &asg);
+            assert_eq!(vals[p.index()], v.count_ones() % 2 == 1, "v={v}");
+        }
+    }
+
+    #[test]
+    fn parity_tree_is_logarithmic() {
+        let nl = parity_tree(64);
+        let lv = Levelization::compute(&nl).unwrap();
+        assert!(lv.max_level() <= 8, "depth {}", lv.max_level());
+    }
+
+    #[test]
+    fn mux_tree_selects_correct_leaf() {
+        let nl = mux_tree(3);
+        let d: Vec<GateId> = (0..8).map(|i| nl.find(&format!("d{i}")).unwrap()).collect();
+        let s: Vec<GateId> = (0..3).map(|i| nl.find(&format!("s{i}")).unwrap()).collect();
+        let y = nl.gate(nl.find("y").unwrap()).fanins[0];
+        for sel in 0..8usize {
+            for hot in 0..8usize {
+                let mut asg: Vec<(GateId, bool)> =
+                    d.iter().enumerate().map(|(i, &g)| (g, i == hot)).collect();
+                asg.extend(s.iter().enumerate().map(|(i, &g)| (g, (sel >> i) & 1 == 1)));
+                let vals = eval_one(&nl, &asg);
+                assert_eq!(vals[y.index()], sel == hot, "sel={sel} hot={hot}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let nl = decoder(3);
+        let a: Vec<GateId> = (0..3).map(|i| nl.find(&format!("a{i}")).unwrap()).collect();
+        let en = nl.find("en").unwrap();
+        let y: Vec<GateId> = (0..8)
+            .map(|i| nl.gate(nl.find(&format!("y{i}")).unwrap()).fanins[0])
+            .collect();
+        for code in 0..8usize {
+            let mut asg: Vec<(GateId, bool)> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (g, (code >> i) & 1 == 1))
+                .collect();
+            asg.push((en, true));
+            let vals = eval_one(&nl, &asg);
+            for (i, &yi) in y.iter().enumerate() {
+                assert_eq!(vals[yi.index()], i == code);
+            }
+            // Disabled: all outputs low.
+            asg.pop();
+            asg.push((en, false));
+            let vals = eval_one(&nl, &asg);
+            assert!(y.iter().all(|&yi| !vals[yi.index()]));
+        }
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        let nl = majority();
+        let a = nl.find("a").unwrap();
+        let b = nl.find("b").unwrap();
+        let c = nl.find("c").unwrap();
+        let m = nl.gate(nl.find("m_po").unwrap()).fanins[0];
+        for v in 0..8u32 {
+            let bits = [(v & 1) != 0, (v & 2) != 0, (v & 4) != 0];
+            let vals = eval_one(&nl, &[(a, bits[0]), (b, bits[1]), (c, bits[2])]);
+            let expect = (bits[0] as u8 + bits[1] as u8 + bits[2] as u8) >= 2;
+            assert_eq!(vals[m.index()], expect);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Topological levelization of the combinational view.
+
+use crate::{GateId, GateKind, Netlist, NetlistError};
+
+/// Topological ordering of a netlist's combinational view.
+///
+/// Flip-flop Q nets and primary inputs are level 0 sources; every other gate
+/// sits one level above its deepest fanin. Flip-flops and constant gates are
+/// assigned level 0 (their D-pin cones end at them; the D value is a pseudo
+/// primary output read *before* the flop updates).
+///
+/// The [`Levelization::order`] is the evaluation order used by every
+/// simulator in the workspace.
+#[derive(Debug, Clone)]
+pub struct Levelization {
+    levels: Vec<u32>,
+    order: Vec<GateId>,
+    max_level: u32,
+}
+
+impl Levelization {
+    /// Computes levels for `nl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if combinational gates
+    /// form a cycle (cycles through flip-flops are fine).
+    pub fn compute(nl: &Netlist) -> Result<Levelization, NetlistError> {
+        let n = nl.num_gates();
+        let mut levels = vec![0u32; n];
+        let mut pending = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<GateId> = Vec::with_capacity(n);
+
+        // Sources: gates whose value does not combinationally depend on any
+        // other net — inputs, constants, and flip-flop Q outputs.
+        for (id, g) in nl.iter() {
+            match g.kind {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff => {
+                    queue.push(id);
+                }
+                _ => pending[id.index()] = g.fanins.len() as u32,
+            }
+        }
+
+        let mut head = 0;
+        let mut max_level = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            let gate = nl.gate(id);
+            // A DFF's combinational influence starts at its Q output, so its
+            // fanouts still depend on it; but its own D fanin does NOT gate
+            // its readiness (it was enqueued as a source).
+            for &fo in &gate.fanouts {
+                let fog = nl.gate(fo);
+                if matches!(fog.kind, GateKind::Dff) {
+                    // The D pin is a sink; the flop itself was already
+                    // scheduled as a source. Record its "sink level" lazily.
+                    continue;
+                }
+                let p = &mut pending[fo.index()];
+                debug_assert!(*p > 0);
+                *p -= 1;
+                let lv = levels[id.index()] + 1;
+                if lv > levels[fo.index()] {
+                    levels[fo.index()] = lv;
+                }
+                if *p == 0 {
+                    max_level = max_level.max(levels[fo.index()]);
+                    queue.push(fo);
+                }
+            }
+        }
+
+        // DFFs were scheduled as sources but still need to appear after
+        // their D fanin in `order` for simulators that read D pins at the
+        // end of a cycle. They already do (sources come first and D-pin
+        // values are read from the driver's slot), so nothing extra needed.
+
+        if order.len() != n {
+            // Some combinational gate never became ready: a loop.
+            let stuck = nl
+                .iter()
+                .find(|(id, g)| g.kind.is_logic() && pending[id.index()] > 0)
+                .map(|(_, g)| g.name.clone())
+                .unwrap_or_else(|| "<unknown>".into());
+            return Err(NetlistError::CombinationalLoop(stuck));
+        }
+
+        Ok(Levelization {
+            levels,
+            order,
+            max_level,
+        })
+    }
+
+    /// Level of a gate (0 for sources).
+    #[inline]
+    pub fn level(&self, id: GateId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Depth of the deepest gate.
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Gates in a valid evaluation order (every gate after all its
+    /// combinational fanins).
+    #[inline]
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn levels_of_simple_chain() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let n1 = nl.add_gate(GateKind::Not, vec![a], "n1");
+        let n2 = nl.add_gate(GateKind::Not, vec![n1], "n2");
+        let po = nl.add_output(n2, "po");
+        let lv = Levelization::compute(&nl).unwrap();
+        assert_eq!(lv.level(a), 0);
+        assert_eq!(lv.level(n1), 1);
+        assert_eq!(lv.level(n2), 2);
+        assert_eq!(lv.level(po), 3);
+        assert_eq!(lv.max_level(), 3);
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate(GateKind::And, vec![a, b], "x");
+        let y = nl.add_gate(GateKind::Or, vec![x, a], "y");
+        nl.add_output(y, "po");
+        let lv = Levelization::compute(&nl).unwrap();
+        let pos = |id: GateId| lv.order().iter().position(|&g| g == id).unwrap();
+        assert!(pos(x) > pos(a) && pos(x) > pos(b));
+        assert!(pos(y) > pos(x));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        // a classic loop through a flop: q = DFF(not(q) & en)
+        let mut nl = Netlist::new("seq");
+        let en = nl.add_input("en");
+        // placeholder input to be rewired
+        let tmp = nl.add_input("tmp");
+        let inv = nl.add_gate(GateKind::Not, vec![tmp], "inv");
+        let and = nl.add_gate(GateKind::And, vec![inv, en], "and");
+        let q = nl.add_dff(and, "q");
+        nl.rewire_fanin(inv, 0, q);
+        let lv = Levelization::compute(&nl).unwrap();
+        assert_eq!(lv.level(q), 0);
+        assert!(lv.level(and) > lv.level(inv));
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::And, vec![a, a], "g1");
+        let g2 = nl.add_gate(GateKind::Or, vec![g1, a], "g2");
+        // Create the cycle g1 <- g2.
+        nl.rewire_fanin(g1, 1, g2);
+        let err = Levelization::compute(&nl).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop(_)));
+    }
+}

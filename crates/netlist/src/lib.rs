@@ -1,0 +1,53 @@
+//! Gate-level netlist intermediate representation for the `aidft` DFT toolkit.
+//!
+//! This crate is the foundation of the workspace: every other crate (fault
+//! modeling, simulation, ATPG, scan, compression, BIST, diagnosis, and the
+//! AI-chip substrate) operates on the [`Netlist`] type defined here.
+//!
+//! # Overview
+//!
+//! A [`Netlist`] is a flat directed graph of [`Gate`]s. Each gate drives
+//! exactly one net (the gate's output), so nets are identified with the
+//! [`GateId`] of their driver. Primary inputs, primary outputs and D
+//! flip-flops are ordinary gates with dedicated [`GateKind`]s; the full-scan
+//! combinational view used by ATPG treats flip-flop outputs as pseudo primary
+//! inputs and flip-flop data pins as pseudo primary outputs.
+//!
+//! # Example
+//!
+//! ```
+//! use dft_netlist::{Netlist, GateKind};
+//!
+//! let mut nl = Netlist::new("half_adder");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let sum = nl.add_gate(GateKind::Xor, vec![a, b], "sum");
+//! let carry = nl.add_gate(GateKind::And, vec![a, b], "carry");
+//! nl.add_output(sum, "sum_po");
+//! nl.add_output(carry, "carry_po");
+//! assert_eq!(nl.num_gates(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cone;
+mod error;
+mod gate;
+mod io;
+mod levelize;
+mod logic;
+#[allow(clippy::module_inception)]
+mod netlist;
+mod stats;
+
+pub mod generators;
+
+pub use cone::{fanin_cone, fanout_cone, output_cone_map};
+pub use error::NetlistError;
+pub use gate::{Gate, GateId, GateKind};
+pub use io::{parse_bench, write_bench};
+pub use levelize::Levelization;
+pub use logic::Logic;
+pub use netlist::Netlist;
+pub use stats::{kind_histogram, NetlistStats};

@@ -1,0 +1,118 @@
+//! Summary statistics for netlists (used in experiment tables and logs).
+
+use std::fmt;
+
+use crate::{GateKind, Levelization, Netlist};
+
+/// Aggregate statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Total gate count including I/O markers and flops.
+    pub gates: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Combinational logic gates (excludes I/O markers, constants, flops).
+    pub logic_gates: usize,
+    /// Nets that fan out to more than one reader.
+    pub stems: usize,
+    /// Depth of the combinational view (0 if levelization failed).
+    pub depth: u32,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `nl`.
+    pub fn of(nl: &Netlist) -> NetlistStats {
+        let mut logic_gates = 0;
+        let mut stems = 0;
+        for (_, g) in nl.iter() {
+            if g.kind.is_logic() {
+                logic_gates += 1;
+            }
+            if g.is_stem() {
+                stems += 1;
+            }
+        }
+        let depth = Levelization::compute(nl).map(|l| l.max_level()).unwrap_or(0);
+        NetlistStats {
+            name: nl.name().to_owned(),
+            gates: nl.num_gates(),
+            inputs: nl.num_inputs(),
+            outputs: nl.num_outputs(),
+            dffs: nl.num_dffs(),
+            logic_gates,
+            stems,
+            depth,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates ({} logic, {} PI, {} PO, {} FF), depth {}, {} stems",
+            self.name,
+            self.gates,
+            self.logic_gates,
+            self.inputs,
+            self.outputs,
+            self.dffs,
+            self.depth,
+            self.stems
+        )
+    }
+}
+
+/// Returns the count of each gate kind, indexed by a `(kind, count)` list
+/// sorted by descending count. Handy for experiment table footers.
+pub fn kind_histogram(nl: &Netlist) -> Vec<(GateKind, usize)> {
+    let mut counts: Vec<(GateKind, usize)> = Vec::new();
+    for (_, g) in nl.iter() {
+        match counts.iter_mut().find(|(k, _)| *k == g.kind) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((g.kind, 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn stats_of_half_adder() {
+        let mut nl = Netlist::new("ha");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.add_gate(GateKind::Xor, vec![a, b], "s");
+        let c = nl.add_gate(GateKind::And, vec![a, b], "c");
+        nl.add_output(s, "s_po");
+        nl.add_output(c, "c_po");
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.gates, 6);
+        assert_eq!(st.logic_gates, 2);
+        assert_eq!(st.stems, 2); // a and b both branch
+        assert_eq!(st.depth, 2);
+        assert!(st.to_string().contains("ha"));
+    }
+
+    #[test]
+    fn histogram_sorted_by_count() {
+        let mut nl = Netlist::new("h");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(GateKind::And, vec![a, b], "g1");
+        let _g2 = nl.add_gate(GateKind::And, vec![g1, b], "g2");
+        let h = kind_histogram(&nl);
+        assert_eq!(h[0].1, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Scan insertion and scan-architecture planning.
+//!
+//! Converts a sequential netlist to full scan by inserting a scan-enable
+//! multiplexer in front of every flip-flop D pin and stitching the flops
+//! into balanced shift chains, then models the resulting test application
+//! cost (shift cycles, tester time, pin count) — the knobs behind
+//! experiments E4, E7 and E10.
+//!
+//! # Example
+//!
+//! ```
+//! use dft_netlist::generators::counter;
+//! use dft_scan::{insert_scan, ScanConfig};
+//!
+//! let nl = counter(8);
+//! let scan = insert_scan(&nl, &ScanConfig { num_chains: 2 });
+//! assert_eq!(scan.chains.len(), 2);
+//! assert!(scan.verify_chains());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod insert;
+mod partial;
+mod timing;
+
+pub use partial::{select_partial_scan, PartialScanPlan};
+pub use insert::{insert_scan, ScanConfig, ScanInsertion};
+pub use timing::{chain_loads, expected_unloads, TestTimeModel};

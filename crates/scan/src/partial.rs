@@ -1,0 +1,243 @@
+//! Partial-scan flop selection (cycle breaking on the S-graph).
+//!
+//! Full scan is the AI-chip default, but area-critical blocks sometimes
+//! scan only enough flops to break every sequential feedback loop — the
+//! classic minimum-feedback-vertex-set formulation (Cheng & Agrawal).
+//! With all loops broken, the remaining machine is a pipeline that
+//! time-frame-expansion ATPG handles with bounded depth.
+
+use std::collections::HashMap;
+
+use dft_netlist::{fanout_cone, GateId, GateKind, Netlist};
+
+/// Result of partial-scan selection.
+#[derive(Debug, Clone)]
+pub struct PartialScanPlan {
+    /// Flops chosen for scan, in selection order (highest payoff first).
+    pub scanned: Vec<GateId>,
+    /// Flops left unscanned.
+    pub unscanned: Vec<GateId>,
+    /// Remaining sequential depth (longest flop-to-flop path after
+    /// breaking; loops would be `usize::MAX`, which selection prevents).
+    pub residual_depth: usize,
+}
+
+impl PartialScanPlan {
+    /// Fraction of flops scanned.
+    pub fn scan_fraction(&self) -> f64 {
+        let total = self.scanned.len() + self.unscanned.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.scanned.len() as f64 / total as f64
+    }
+}
+
+/// Builds the S-graph: `edges[i]` lists the indices (into `nl.dffs()`) of
+/// flops whose D cone is reached from flop `i`'s Q output.
+fn s_graph(nl: &Netlist) -> Vec<Vec<usize>> {
+    let ffs = nl.dffs();
+    let index: HashMap<GateId, usize> = ffs.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    ffs.iter()
+        .map(|&f| {
+            let mut out: Vec<usize> = fanout_cone(nl, f)
+                .into_iter()
+                .filter(|g| *g != f)
+                .filter_map(|g| {
+                    if matches!(nl.gate(g).kind, GateKind::Dff) {
+                        index.get(&g).copied()
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            // Self loop: Q reaches own D.
+            if fanout_cone(nl, f).iter().skip(1).any(|&g| g == f)
+                || reaches_own_d(nl, f)
+            {
+                out.push(index[&f]);
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect()
+}
+
+/// Does `ff`'s Q combinationally reach its own D pin?
+fn reaches_own_d(nl: &Netlist, ff: GateId) -> bool {
+    fanout_cone(nl, ff).contains(&ff) && {
+        // fanout_cone includes the root itself; check via the D driver's
+        // fanin cone instead.
+        let d = nl.gate(ff).fanins[0];
+        dft_netlist::fanin_cone(nl, d).contains(&ff)
+    }
+}
+
+/// Greedy minimum-feedback-vertex-set selection: scans flops until the
+/// S-graph is acyclic. Payoff = product of in- and out-degree within the
+/// remaining cyclic part.
+pub fn select_partial_scan(nl: &Netlist) -> PartialScanPlan {
+    let ffs = nl.dffs().to_vec();
+    let edges = s_graph(nl);
+    let n = ffs.len();
+    let mut removed = vec![false; n];
+    let mut scanned = Vec::new();
+
+    loop {
+        // Find nodes on cycles (Tarjan-free approach: iteratively strip
+        // nodes with zero in- or out-degree; what remains is cyclic).
+        let mut indeg = vec![0usize; n];
+        let mut outdeg = vec![0usize; n];
+        for (i, outs) in edges.iter().enumerate() {
+            if removed[i] {
+                continue;
+            }
+            for &j in outs {
+                if !removed[j] {
+                    outdeg[i] += 1;
+                    indeg[j] += 1;
+                }
+            }
+        }
+        let mut alive: Vec<bool> = (0..n).map(|i| !removed[i]).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if alive[i] && (indeg[i] == 0 || outdeg[i] == 0) {
+                    alive[i] = false;
+                    changed = true;
+                    for &j in &edges[i] {
+                        if alive[j] && indeg[j] > 0 {
+                            indeg[j] -= 1;
+                        }
+                    }
+                    for (k, outs) in edges.iter().enumerate() {
+                        if alive[k] && outs.contains(&i) && outdeg[k] > 0 {
+                            outdeg[k] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Self-loops always stay cyclic.
+        let cyclic: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+        if cyclic.is_empty() {
+            break;
+        }
+        // Scan the highest-payoff cyclic flop.
+        let &best = cyclic
+            .iter()
+            .max_by_key(|&&i| (indeg[i].max(1)) * (outdeg[i].max(1)))
+            .unwrap();
+        removed[best] = true;
+        scanned.push(ffs[best]);
+    }
+
+    // Residual depth: longest path in the acyclic remainder.
+    let mut depth = vec![0usize; n];
+    let mut order: Vec<usize> = (0..n).filter(|&i| !removed[i]).collect();
+    // Kahn ordering.
+    let mut indeg = vec![0usize; n];
+    for &i in &order {
+        for &j in &edges[i] {
+            if !removed[j] {
+                indeg[j] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = order.iter().copied().filter(|&i| indeg[i] == 0).collect();
+    let mut sorted = Vec::new();
+    while let Some(i) = queue.pop() {
+        sorted.push(i);
+        for &j in &edges[i] {
+            if !removed[j] {
+                indeg[j] -= 1;
+                depth[j] = depth[j].max(depth[i] + 1);
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    order.retain(|&i| !sorted.contains(&i));
+    debug_assert!(order.is_empty(), "cycle left after selection");
+    let residual_depth = depth.iter().copied().max().unwrap_or(0);
+
+    PartialScanPlan {
+        unscanned: ffs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed[*i])
+            .map(|(_, &f)| f)
+            .collect(),
+        scanned,
+        residual_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_netlist::generators::{counter, mac_pe, shift_register, s27};
+
+    #[test]
+    fn shift_register_needs_no_scan() {
+        let nl = shift_register(16);
+        let plan = select_partial_scan(&nl);
+        assert!(plan.scanned.is_empty(), "pipeline has no loops");
+        assert_eq!(plan.unscanned.len(), 16);
+        assert_eq!(plan.residual_depth, 15);
+    }
+
+    #[test]
+    fn counter_self_loops_force_full_scan() {
+        // Every counter bit feeds its own D (q^carry): all self-loops.
+        let nl = counter(8);
+        let plan = select_partial_scan(&nl);
+        assert_eq!(plan.scanned.len(), 8);
+        assert!((plan.scan_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s27_self_loops_all_need_scan() {
+        // Every s27 flop feeds its own D through combinational logic
+        // (G5 via G11/G10, G6 via G8/G9/G11, G7 via G12/G13): all three
+        // sit on self-loops, so partial scan degenerates to full scan.
+        let nl = s27();
+        let plan = select_partial_scan(&nl);
+        assert_eq!(plan.scanned.len(), 3);
+    }
+
+    #[test]
+    fn cross_coupled_pair_needs_only_one_scan_flop() {
+        use dft_netlist::{GateKind, Netlist};
+        // f1 -> inv -> f2 -> inv -> f1: one loop, no self-loops.
+        let mut nl = Netlist::new("cc");
+        let seed = nl.add_input("seed");
+        let f1 = nl.add_dff(seed, "f1");
+        let i1 = nl.add_gate(GateKind::Not, vec![f1], "i1");
+        let f2 = nl.add_dff(i1, "f2");
+        let i2 = nl.add_gate(GateKind::Not, vec![f2], "i2");
+        nl.rewire_fanin(f1, 0, i2);
+        nl.add_output(f2, "po");
+        let plan = select_partial_scan(&nl);
+        assert_eq!(plan.scanned.len(), 1, "one flop breaks the loop");
+        assert_eq!(plan.unscanned.len(), 1);
+    }
+
+    #[test]
+    fn mac_pe_accumulator_is_the_loop() {
+        let nl = mac_pe(4);
+        let plan = select_partial_scan(&nl);
+        // Operand-forwarding registers are feed-forward; only the
+        // accumulator flops sit on loops.
+        for ff in &plan.scanned {
+            let name = &nl.gate(*ff).name;
+            assert!(name.contains("acc"), "unexpected scan flop {name}");
+        }
+        assert!(!plan.scanned.is_empty());
+        assert!(plan.scan_fraction() < 0.8);
+    }
+}

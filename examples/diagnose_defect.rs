@@ -1,0 +1,53 @@
+//! Closing the loop: inject a defect, collect the tester failure log,
+//! and diagnose it back to candidate nets.
+//!
+//! ```sh
+//! cargo run --release --example diagnose_defect
+//! ```
+
+use dft_core::diagnosis::{build_failure_log, diagnose};
+use dft_core::fault::Fault;
+use dft_core::logicsim::PatternSet;
+use dft_core::netlist::generators::alu;
+
+fn main() {
+    let nl = alu(8);
+    let patterns = PatternSet::random(&nl, 256, 0xD1A6);
+
+    // A "manufacturing defect": one net stuck at 0 (unknown to us below).
+    let defect_net = nl.find("alu_add_fa3_co").expect("net exists");
+    let defect = Fault::stuck_at_output(defect_net, false);
+
+    // The tester applies the patterns and logs miscompares.
+    let log = build_failure_log(&nl, &patterns, defect);
+    println!(
+        "tester log: {} failing patterns, {} observations",
+        log.fails.len(),
+        log.num_observations()
+    );
+    println!("(interchange JSON: {} bytes)\n", log.to_json().len());
+
+    // Diagnosis ranks candidate faults by per-pattern match.
+    let candidates = diagnose(&nl, &patterns, &log, 10);
+    println!("top candidates (score = 4*TFSF - 2*TPSF - TFSP):");
+    for (i, c) in candidates.iter().enumerate() {
+        println!(
+            "  #{:<2} {:<28} score {:<6} tfsf {:<4} tpsf {:<3} tfsp {:<3}{}",
+            i + 1,
+            c.fault.describe(&nl),
+            c.score(),
+            c.tfsf,
+            c.tpsf,
+            c.tfsp,
+            if c.fault == defect { "   <== injected defect" } else { "" }
+        );
+    }
+    let hit = candidates
+        .iter()
+        .position(|c| c.fault == defect)
+        .map(|p| p + 1);
+    match hit {
+        Some(rank) => println!("\ninjected defect ranked #{rank}"),
+        None => println!("\ninjected defect outside the top-10 (equivalent candidates rank equal)"),
+    }
+}

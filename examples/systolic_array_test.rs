@@ -1,0 +1,63 @@
+//! Testing a systolic MAC array — the centerpiece of an AI chip — end to
+//! end: structural test via ATPG + compression, then functional fault
+//! criticality of the same array's inference workload.
+//!
+//! ```sh
+//! cargo run --release --example systolic_array_test
+//! ```
+
+use dft_core::aichip::{criticality_sweep, Dataset, FaultSiteClass, SystolicModel};
+use dft_core::atpg::AtpgConfig;
+use dft_core::netlist::generators::{systolic_array, SystolicConfig};
+use dft_core::netlist::NetlistStats;
+use dft_core::DftFlow;
+
+fn main() {
+    // --- Structural test of the gate-level array -----------------------
+    let cfg = SystolicConfig {
+        rows: 4,
+        cols: 4,
+        width: 4,
+    };
+    let array = systolic_array(cfg);
+    println!("gate-level array: {}", NetlistStats::of(&array));
+
+    let report = DftFlow::new(&array)
+        .chains(16)
+        .channels(4)
+        .ring_len(48)
+        .atpg_config(AtpgConfig {
+            random_patterns: 256,
+            ..AtpgConfig::default()
+        })
+        .run();
+    print!("{report}");
+
+    // --- Functional criticality of the same array ----------------------
+    // Which of those structural faults would actually corrupt inference?
+    let data = Dataset::synthetic(10, 16, 300, 42);
+    let model = data.prototype_classifier(7);
+    let clean = SystolicModel::new(cfg.rows, cfg.cols);
+    println!(
+        "\nfault-free classifier accuracy: {:.1}%",
+        model.accuracy(&clean, &data) * 100.0
+    );
+    let crit = criticality_sweep(&model, cfg.rows, cfg.cols, &data, 16);
+    println!("accuracy under injected PE product-bit faults:");
+    for class in FaultSiteClass::ALL {
+        if let Some((_, mean, worst, n)) =
+            crit.per_class.iter().find(|(c, ..)| *c == class)
+        {
+            println!(
+                "  {:<10} mean {:.1}%  worst {:.1}%  ({n} faults)",
+                class.name(),
+                mean * 100.0,
+                worst * 100.0
+            );
+        }
+    }
+    println!(
+        "=> MSB datapath faults are test-critical; LSB faults barely move \
+         accuracy — the rationale for criticality-aware test grading."
+    );
+}

@@ -1,0 +1,168 @@
+//! Property-based integration tests over the core invariants.
+
+use proptest::prelude::*;
+
+use dft_core::atpg::{AtpgResult, Podem};
+use dft_core::bist::{march_c_minus, run_march, MemFault, MemFaultKind, SramModel};
+use dft_core::compress::EdtCodec;
+use dft_core::fault::{collapse_equivalent, universe_stuck_at, FaultList};
+use dft_core::logicsim::{FaultSim, GoodSim, PatternSet, TestCube};
+use dft_core::netlist::generators::random_logic;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit-parallel simulation must agree with scalar simulation on any
+    /// circuit and any patterns.
+    #[test]
+    fn bit_parallel_equals_scalar(seed in 0u64..1000, gates in 20usize..200) {
+        let nl = random_logic(8, gates, seed);
+        let sim = GoodSim::new(&nl);
+        let ps = PatternSet::random(&nl, 70, seed ^ 1);
+        let block = sim.simulate_all(&ps);
+        for (i, p) in ps.iter().enumerate() {
+            prop_assert_eq!(&block[i], &sim.simulate(p));
+        }
+    }
+
+    /// Equivalent faults (by structural collapsing) have identical
+    /// detection behaviour on every pattern.
+    #[test]
+    fn collapsed_faults_detect_identically(seed in 0u64..500, gates in 20usize..120) {
+        let nl = random_logic(6, gates, seed);
+        let sim = FaultSim::new(&nl);
+        let faults = universe_stuck_at(&nl);
+        let col = collapse_equivalent(&nl, &faults);
+        let ps = PatternSet::random(&nl, 48, seed ^ 7);
+        for &f in faults.iter() {
+            let rep = col.representative(f);
+            if rep == f {
+                continue;
+            }
+            for p in ps.iter() {
+                prop_assert_eq!(
+                    sim.detects(p, f),
+                    sim.detects(p, rep),
+                    "{} vs representative {}", f, rep
+                );
+            }
+        }
+    }
+
+    /// Every PODEM-generated cube, under any fill, detects its target.
+    #[test]
+    fn podem_cubes_always_detect(seed in 0u64..300, fill_seed in 0u64..100) {
+        let nl = random_logic(8, 60, seed);
+        let podem = Podem::new(&nl);
+        let sim = FaultSim::new(&nl);
+        for (i, &fault) in universe_stuck_at(&nl).iter().enumerate() {
+            if i % 9 != 0 {
+                continue; // sample for speed
+            }
+            if let (AtpgResult::Test(cube), _) = podem.generate(fault, 64) {
+                let p = cube.random_fill(fill_seed);
+                prop_assert!(sim.detects(&p, fault), "{} cube {}", fault, cube);
+            }
+        }
+    }
+
+    /// EDT encode/expand honours every care bit of any encodable cube.
+    #[test]
+    fn edt_round_trip(seed in 0u64..1000, care in 1usize..24) {
+        let codec = EdtCodec::new(8, 16, 2, 24, 0xC0DE);
+        let mut cube = TestCube::all_x(codec.flat_bits());
+        let mut s = seed;
+        for _ in 0..care {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (s >> 16) as usize % codec.flat_bits();
+            cube.set(idx, s & 1 == 1);
+        }
+        if let Some(compressed) = codec.encode(&cube) {
+            let loads = codec.expand(&compressed);
+            prop_assert!(codec.satisfies(&cube, &loads));
+        }
+    }
+
+    /// March C- detects every stuck-at fault at every cell.
+    #[test]
+    fn march_c_detects_any_saf(cell in 0usize..64, value: bool) {
+        let mut mem = SramModel::with_fault(
+            64,
+            MemFault {
+                cell,
+                kind: MemFaultKind::StuckAt { value },
+            },
+        );
+        prop_assert!(run_march(&march_c_minus(), &mut mem).detected);
+    }
+
+    /// `.bench` serialization round-trips: the reparsed netlist behaves
+    /// identically under simulation on every pattern.
+    #[test]
+    fn bench_round_trip_preserves_behaviour(seed in 0u64..300, gates in 10usize..120) {
+        use dft_core::netlist::{parse_bench, write_bench};
+        let nl = random_logic(6, gates, seed);
+        let text = write_bench(&nl);
+        let nl2 = parse_bench("rt", &text).expect("own output parses");
+        prop_assert_eq!(nl2.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(nl2.num_outputs(), nl.num_outputs());
+        let sim1 = GoodSim::new(&nl);
+        let sim2 = GoodSim::new(&nl2);
+        let ps = PatternSet::random(&nl, 16, seed ^ 0xB);
+        for p in ps.iter() {
+            prop_assert_eq!(sim1.simulate(p), sim2.simulate(p));
+        }
+    }
+
+    /// The D-algorithm and PODEM agree on stem-fault testability, and
+    /// both engines' cubes survive independent fault simulation.
+    #[test]
+    fn dalg_podem_cross_validation(seed in 0u64..120) {
+        use dft_core::atpg::DAlgorithm;
+        let nl = random_logic(6, 40, seed);
+        let dalg = DAlgorithm::new(&nl);
+        let podem = Podem::new(&nl);
+        let sim = FaultSim::new(&nl);
+        for (i, fault) in universe_stuck_at(&nl)
+            .into_iter()
+            .filter(|f| f.site.pin.is_none())
+            .enumerate()
+        {
+            if i % 5 != 0 {
+                continue;
+            }
+            let d = dalg.generate(fault, 300);
+            let (p, _) = podem.generate(fault, 300);
+            match (&d, &p) {
+                (AtpgResult::Test(c), _) => {
+                    prop_assert!(sim.detects(&c.random_fill(1), fault), "{}", fault)
+                }
+                (AtpgResult::Untestable, AtpgResult::Test(_)) => {
+                    prop_assert!(false, "{}: D-alg untestable but PODEM found a test", fault)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Fault simulation with dropping gives the same coverage as without
+    /// (detection is order-independent in aggregate).
+    #[test]
+    fn fault_dropping_is_sound(seed in 0u64..300) {
+        let nl = random_logic(6, 80, seed);
+        let sim = FaultSim::new(&nl);
+        let ps = PatternSet::random(&nl, 32, seed ^ 3);
+        let faults = universe_stuck_at(&nl);
+        let mut dropped = FaultList::new(faults.clone());
+        sim.run(&ps, &mut dropped);
+        // Reference: per-fault any-pattern detection without dropping.
+        for (i, &f) in faults.iter().enumerate() {
+            let detected_ref = ps.iter().any(|p| sim.detects(p, f));
+            prop_assert_eq!(
+                dropped.status(i).is_detected(),
+                detected_ref,
+                "{}", f
+            );
+        }
+    }
+}
