@@ -78,7 +78,7 @@ pub fn criticality_sweep(
         .collect();
     for row in 0..array_rows {
         for col in 0..array_cols {
-            if stride > 1 && (row * array_cols + col) % stride != 0 {
+            if stride > 1 && !(row * array_cols + col).is_multiple_of(stride) {
                 continue;
             }
             for bit in 0..16u8 {

@@ -9,6 +9,8 @@
 use std::time::Duration;
 
 use dft_atpg::{Atpg, AtpgConfig};
+use dft_fault::{universe_stuck_at, FaultList};
+use dft_logicsim::{Executor, FaultSim};
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, ScanConfig, TestTimeModel};
 
@@ -24,6 +26,10 @@ pub struct SocConfig {
     /// Scan pins available at the SoC level (limits how many cores can be
     /// accessed in parallel without broadcast).
     pub soc_scan_pins: usize,
+    /// Worker threads for the per-core verification loop (`0` = one per
+    /// hardware thread, `1` = serial). The plan is bit-identical for any
+    /// value.
+    pub threads: usize,
 }
 
 impl Default for SocConfig {
@@ -33,6 +39,7 @@ impl Default for SocConfig {
             chains_per_core: 4,
             shift_mhz: 100,
             soc_scan_pins: 16,
+            threads: 0,
         }
     }
 }
@@ -53,6 +60,10 @@ pub struct CoreTestPlan {
     pub broadcast_cycles: u64,
     /// ATPG wall-clock for the single core (reused for all).
     pub atpg_time: Duration,
+    /// Outcome of the per-core broadcast verification: one entry per core
+    /// instance, `true` when that core's seeded defect is flagged by the
+    /// local compare of the broadcast stimulus.
+    pub defects_flagged: Vec<bool>,
 }
 
 impl CoreTestPlan {
@@ -63,12 +74,48 @@ impl CoreTestPlan {
         }
         self.flat_cycles as f64 / self.broadcast_cycles as f64
     }
+
+    /// Fraction of per-core seeded defects the broadcast compare flags.
+    pub fn defect_flag_rate(&self) -> f64 {
+        if self.defects_flagged.is_empty() {
+            return 1.0;
+        }
+        let hits = self.defects_flagged.iter().filter(|&&b| b).count();
+        hits as f64 / self.defects_flagged.len() as f64
+    }
 }
 
 /// Builds the hierarchical test plan for `core` replicated per `cfg`:
-/// runs core-level ATPG once and derives both application schedules.
+/// runs core-level ATPG once, verifies the broadcast compare against one
+/// seeded defect per core instance (in parallel across cores), and
+/// derives both application schedules.
 pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> CoreTestPlan {
     let run = Atpg::new(core).run(atpg);
+
+    // Per-core verification of the broadcast scheme: every core receives
+    // the same stimulus, so a defective core is caught only if its local
+    // compare (MISR/comparator) sees a response mismatch. Seed one
+    // stuck-at defect per instance (deterministic in the core index) and
+    // fault-simulate the shared pattern set against it — each core is an
+    // independent simulation, fanned out across `cfg.threads` workers.
+    let universe = universe_stuck_at(core);
+    let sim = FaultSim::new(core);
+    let exec = Executor::with_threads(cfg.threads);
+    let cores: Vec<usize> = (0..cfg.num_cores).collect();
+    let defects_flagged = exec.map(&cores, |_, &core_idx| {
+        if universe.is_empty() {
+            return true;
+        }
+        // SplitMix64 of the instance index picks the seeded defect.
+        let mut z = (core_idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let defect = universe[(z ^ (z >> 31)) as usize % universe.len()];
+        let mut list = FaultList::new(vec![defect]);
+        sim.run(&run.patterns, &mut list);
+        list.num_detected() == 1
+    });
+
     let scan = insert_scan(
         core,
         &ScanConfig {
@@ -87,8 +134,8 @@ pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> 
     // one application suffices. Responses are compacted on-core (MISR),
     // adding a constant signature-unload tail per core group.
     let signature_unload = 32u64; // cycles to stream out one MISR signature
-    let broadcast_cycles =
-        per_core.total_cycles() + signature_unload * cfg.num_cores as u64 / concurrent.max(1) as u64;
+    let broadcast_cycles = per_core.total_cycles()
+        + signature_unload * cfg.num_cores as u64 / concurrent.max(1) as u64;
 
     CoreTestPlan {
         patterns_per_core: run.patterns.len(),
@@ -96,6 +143,7 @@ pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> 
         flat_cycles,
         broadcast_cycles,
         atpg_time: run.elapsed,
+        defects_flagged,
     }
 }
 
@@ -141,6 +189,31 @@ mod tests {
         );
         // Speedup grows with core count (broadcast cost is ~constant).
         assert!(plan64.speedup() > plan16.speedup());
+    }
+
+    #[test]
+    fn per_core_verification_is_thread_invariant() {
+        let core = mac_pe(4);
+        let base = SocConfig {
+            num_cores: 24,
+            threads: 1,
+            ..SocConfig::default()
+        };
+        let serial = hierarchical_plan(&core, &base, &quick_atpg());
+        assert_eq!(serial.defects_flagged.len(), 24);
+        // A >95%-coverage pattern set should flag nearly every seeded defect.
+        assert!(
+            serial.defect_flag_rate() > 0.9,
+            "flag rate {}",
+            serial.defect_flag_rate()
+        );
+        for threads in [2usize, 8] {
+            let plan = hierarchical_plan(&core, &SocConfig { threads, ..base }, &quick_atpg());
+            assert_eq!(
+                plan.defects_flagged, serial.defects_flagged,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

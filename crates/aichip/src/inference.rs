@@ -168,9 +168,8 @@ impl QuantConv2d {
                     let patch: Vec<i8> = (0..self.in_ch)
                         .flat_map(|c| {
                             (0..self.k).flat_map(move |dy| {
-                                (0..self.k).map(move |dx| {
-                                    input[c * h * w + (y + dy) * w + (x + dx)]
-                                })
+                                (0..self.k)
+                                    .map(move |dx| input[c * h * w + (y + dy) * w + (x + dx)])
                             })
                         })
                         .collect();
@@ -249,7 +248,7 @@ impl Dataset {
                 let x = prototypes[label]
                     .iter()
                     .map(|&p| {
-                        let noisy = p as i32 + rng.gen_range(-12..=12);
+                        let noisy = p as i32 + rng.gen_range(-12i32..=12);
                         noisy.clamp(-127, 127) as i8
                     })
                     .collect();
@@ -284,7 +283,7 @@ impl Dataset {
                 s.iter()
                     .map(|&v| {
                         if c == 0 {
-                            rng.gen_range(-5..=5)
+                            rng.gen_range(-5i8..=5)
                         } else {
                             ((v / c.max(1)) / 2).clamp(-127, 127) as i8
                         }

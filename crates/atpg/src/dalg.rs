@@ -137,11 +137,7 @@ impl<'a> Search<'a> {
                     .filter(|f| self.vals[f.index()] == Logic::X)
                     .map(|&f| (f, !cv))
                     .collect()],
-                None => match g
-                    .fanins
-                    .iter()
-                    .find(|f| self.vals[f.index()] == Logic::X)
-                {
+                None => match g.fanins.iter().find(|f| self.vals[f.index()] == Logic::X) {
                     Some(&f) => vec![vec![(f, false)], vec![(f, true)]],
                     None => continue, // imply will resolve this gate
                 },
@@ -188,11 +184,7 @@ impl<'a> Search<'a> {
                     .filter(|f| self.vals[f.index()] == Logic::X)
                     .map(|&f| vec![(f, cv)])
                     .collect(),
-                _ => match g
-                    .fanins
-                    .iter()
-                    .find(|f| self.vals[f.index()] == Logic::X)
-                {
+                _ => match g.fanins.iter().find(|f| self.vals[f.index()] == Logic::X) {
                     Some(&f) => vec![vec![(f, false)], vec![(f, true)]],
                     None => vec![],
                 },
@@ -250,8 +242,7 @@ impl<'a> Search<'a> {
                 if id == self.fault.site.gate {
                     continue;
                 }
-                let ins: Vec<Logic> =
-                    g.fanins.iter().map(|&f| self.vals[f.index()]).collect();
+                let ins: Vec<Logic> = g.fanins.iter().map(|&f| self.vals[f.index()]).collect();
                 let out = Logic::eval_gate(g.kind, &ins);
                 let cur = self.vals[id.index()];
                 if out != Logic::X {

@@ -3,10 +3,8 @@
 
 use std::time::{Duration, Instant};
 
-use dft_fault::{
-    collapse_equivalent, universe_stuck_at, Fault, FaultList, FaultStatus,
-};
-use dft_logicsim::{FaultSim, PatternSet, TestCube};
+use dft_fault::{collapse_equivalent, universe_stuck_at, Fault, FaultList, FaultStatus};
+use dft_logicsim::{Executor, FaultSim, PatternSet, TestCube};
 use dft_netlist::Netlist;
 
 use crate::{compact_cubes, AtpgResult, Podem, PodemStats};
@@ -40,6 +38,10 @@ pub struct AtpgConfig {
     pub guided_backtrace: bool,
     /// Secondary targets attempted per cube under dynamic compaction.
     pub dynamic_targets: usize,
+    /// Worker threads for the fault-simulation phases: `0` = one per
+    /// hardware thread, `1` = serial. Any value produces bit-identical
+    /// results (see [`dft_logicsim::Executor`]).
+    pub threads: usize,
 }
 
 impl Default for AtpgConfig {
@@ -51,7 +53,60 @@ impl Default for AtpgConfig {
             compaction: CompactionMode::Static,
             guided_backtrace: true,
             dynamic_targets: 16,
+            threads: 0,
         }
+    }
+}
+
+impl AtpgConfig {
+    /// The default configuration, as a builder seed: chain the setters
+    /// below, e.g. `AtpgConfig::new().random_patterns(64).threads(8)`.
+    /// All fields remain public for direct struct updates.
+    pub fn new() -> AtpgConfig {
+        AtpgConfig::default()
+    }
+
+    /// Sets the number of random patterns before deterministic top-off.
+    pub fn random_patterns(mut self, n: usize) -> AtpgConfig {
+        self.random_patterns = n;
+        self
+    }
+
+    /// Sets the seed for random patterns and cube fill.
+    pub fn seed(mut self, seed: u64) -> AtpgConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the PODEM backtrack limit per fault.
+    pub fn backtrack_limit(mut self, limit: u32) -> AtpgConfig {
+        self.backtrack_limit = limit;
+        self
+    }
+
+    /// Sets the cube compaction mode.
+    pub fn compaction(mut self, mode: CompactionMode) -> AtpgConfig {
+        self.compaction = mode;
+        self
+    }
+
+    /// Enables or disables SCOAP-guided backtrace.
+    pub fn guided_backtrace(mut self, guided: bool) -> AtpgConfig {
+        self.guided_backtrace = guided;
+        self
+    }
+
+    /// Sets the secondary targets attempted per cube under dynamic
+    /// compaction.
+    pub fn dynamic_targets(mut self, n: usize) -> AtpgConfig {
+        self.dynamic_targets = n;
+        self
+    }
+
+    /// Sets the fault-simulation worker count (`0` = auto, `1` = serial).
+    pub fn threads(mut self, n: usize) -> AtpgConfig {
+        self.threads = n;
+        self
     }
 }
 
@@ -77,6 +132,12 @@ pub struct AtpgRun {
     pub podem: PodemStats,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Wall-clock time of the random-pattern phase (phase 1).
+    pub random_time: Duration,
+    /// Wall-clock time of deterministic top-off and compaction (phase 2).
+    pub deterministic_time: Duration,
+    /// Wall-clock time of the sign-off fault simulation.
+    pub signoff_time: Duration,
 }
 
 impl AtpgRun {
@@ -108,6 +169,7 @@ impl<'a> Atpg<'a> {
     /// Runs the full flow on a caller-provided stuck-at universe.
     pub fn run_on(&self, config: &AtpgConfig, universe: Vec<Fault>) -> AtpgRun {
         let start = Instant::now();
+        let exec = Executor::with_threads(config.threads);
         let collapsed = collapse_equivalent(self.nl, &universe);
         let mut reps = FaultList::new(collapsed.representatives().to_vec());
         let sim = FaultSim::new(self.nl);
@@ -119,10 +181,11 @@ impl<'a> Atpg<'a> {
         // Phase 1: random patterns with fault dropping.
         if config.random_patterns > 0 {
             let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
-            sim.run(&random, &mut reps);
+            sim.run_with(&random, &mut reps, &exec);
             patterns.extend_from(&random);
         }
         let random_detected = reps.num_detected();
+        let random_time = start.elapsed();
 
         // Phase 2: deterministic top-off, then (optionally) static
         // compaction. Compaction re-fills merged cubes with fresh random
@@ -140,7 +203,18 @@ impl<'a> Atpg<'a> {
         } else {
             1
         };
-        let mut pre_compaction: Option<(PatternSet, Vec<TestCube>)> = None;
+        // A complete (patterns, cubes, statuses, counters) state from
+        // before the compaction rebuild. Restored as a unit: restoring
+        // only the patterns would let rebuild-run abort/untestable
+        // classifications leak into the sign-off projection.
+        struct Snapshot {
+            patterns: PatternSet,
+            cubes: Vec<TestCube>,
+            reps: FaultList,
+            untestable: usize,
+            aborted: usize,
+        }
+        let mut pre_compaction: Option<Snapshot> = None;
         for round in 0..=compaction_rounds {
             self.topoff(
                 config,
@@ -161,7 +235,13 @@ impl<'a> Atpg<'a> {
             if merged.len() == cubes.len() {
                 break; // nothing merged: patterns already final
             }
-            pre_compaction = Some((patterns.clone(), cubes.clone()));
+            pre_compaction = Some(Snapshot {
+                patterns: patterns.clone(),
+                cubes: cubes.clone(),
+                reps: reps.clone(),
+                untestable,
+                aborted,
+            });
             // Rebuild the pattern set: random prefix + merged cubes.
             let mut rebuilt = PatternSet::for_netlist(self.nl);
             if config.random_patterns > 0 {
@@ -183,35 +263,40 @@ impl<'a> Atpg<'a> {
                     _ => {}
                 }
             }
-            sim.run(&patterns, &mut fresh);
+            sim.run_with(&patterns, &mut fresh, &exec);
             reps = fresh;
         }
-        // On small circuits the re-top-off can outweigh the merge savings;
-        // keep whichever complete set is smaller.
-        if let Some((pre_p, pre_c)) = pre_compaction {
-            if pre_p.len() < patterns.len() {
-                patterns = pre_p;
-                cubes = pre_c;
+        // Compaction must never make the result worse: keep the rebuilt
+        // set only when it is no larger *and* detects at least as many
+        // collapsed faults (the re-top-off can abort faults that the
+        // pre-compaction set detected). Otherwise restore the snapshot.
+        if let Some(snap) = pre_compaction {
+            let rebuilt_wins = patterns.len() <= snap.patterns.len()
+                && reps.num_detected() >= snap.reps.num_detected();
+            if !rebuilt_wins {
+                patterns = snap.patterns;
+                cubes = snap.cubes;
+                reps = snap.reps;
+                untestable = snap.untestable;
+                aborted = snap.aborted;
             }
         }
         let deterministic_detected = reps.num_detected().saturating_sub(random_detected);
+        let deterministic_time = start.elapsed().saturating_sub(random_time);
 
         // Sign-off: fault-simulate the final pattern set against the full
         // universe, then project untestable/aborted statuses from the
         // collapsed list.
+        let signoff_start = Instant::now();
         let mut fault_list = FaultList::new(universe);
-        sim.run(&patterns, &mut fault_list);
+        sim.run_with(&patterns, &mut fault_list, &exec);
         for (i, &f) in fault_list.faults().to_vec().iter().enumerate() {
             let rep = collapsed.representative(f);
             if let Some(status) = reps.status_of(rep) {
                 match status {
-                    FaultStatus::Untestable => {
-                        fault_list.set_status(i, FaultStatus::Untestable)
-                    }
-                    FaultStatus::Aborted => {
-                        if !fault_list.status(i).is_detected() {
-                            fault_list.set_status(i, FaultStatus::Aborted);
-                        }
+                    FaultStatus::Untestable => fault_list.set_status(i, FaultStatus::Untestable),
+                    FaultStatus::Aborted if !fault_list.status(i).is_detected() => {
+                        fault_list.set_status(i, FaultStatus::Aborted);
                     }
                     _ => {}
                 }
@@ -228,6 +313,9 @@ impl<'a> Atpg<'a> {
             aborted,
             podem: podem_stats,
             elapsed: start.elapsed(),
+            random_time,
+            deterministic_time,
+            signoff_time: signoff_start.elapsed(),
         }
     }
 
@@ -311,8 +399,7 @@ impl<'a> Atpg<'a> {
             let secondary = reps.faults()[idx];
             // A short-leash attempt: secondary targets must be cheap.
             let limit = (config.backtrack_limit / 8).max(8);
-            let (result, st) =
-                podem.generate_constrained(secondary, &[], limit, Some(&cube));
+            let (result, st) = podem.generate_constrained(secondary, &[], limit, Some(&cube));
             stats.backtracks += st.backtracks;
             stats.simulations += st.simulations;
             stats.decisions += st.decisions;

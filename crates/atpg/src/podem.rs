@@ -183,12 +183,7 @@ impl<'a> Podem<'a> {
     }
 
     /// Selects the next objective per the PODEM priority order.
-    fn objective(
-        &self,
-        fault: Fault,
-        vals: &[Logic],
-        constraints: &[(GateId, bool)],
-    ) -> Objective {
+    fn objective(&self, fault: Fault, vals: &[Logic], constraints: &[(GateId, bool)]) -> Objective {
         let nl = self.sim.netlist();
         // 0. Constraints: any violated -> fail; any unassigned -> objective.
         match constraints_satisfiable(vals, constraints) {
@@ -226,10 +221,7 @@ impl<'a> Podem<'a> {
             if vals[id.index()] != Logic::X || !g.kind.is_logic() {
                 continue;
             }
-            let mut has_effect = g
-                .fanins
-                .iter()
-                .any(|&f| vals[f.index()].is_fault_effect());
+            let mut has_effect = g.fanins.iter().any(|&f| vals[f.index()].is_fault_effect());
             // The site gate of a branch fault carries the injected effect
             // on its pin even though the driving net shows the good value.
             if !has_effect && fault.site.pin.is_some() && fault.site.gate == id {

@@ -189,12 +189,8 @@ impl<'a> TransitionAtpg<'a> {
                     FaultKind::StuckAt0
                 },
             };
-            let (result, _) = podem.generate_constrained(
-                stuck,
-                &[(site_net_f1, launch)],
-                backtrack_limit,
-                None,
-            );
+            let (result, _) =
+                podem.generate_constrained(stuck, &[(site_net_f1, launch)], backtrack_limit, None);
             match result {
                 AtpgResult::Test(cube) => {
                     fill_seed = fill_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
@@ -235,10 +231,8 @@ impl<'a> TransitionAtpg<'a> {
         for i in 0..list.len() {
             match list.status(i) {
                 FaultStatus::Untestable => final_list.set_status(i, FaultStatus::Untestable),
-                FaultStatus::Aborted => {
-                    if !final_list.status(i).is_detected() {
-                        final_list.set_status(i, FaultStatus::Aborted);
-                    }
+                FaultStatus::Aborted if !final_list.status(i).is_detected() => {
+                    final_list.set_status(i, FaultStatus::Aborted);
                 }
                 _ => {}
             }

@@ -8,11 +8,7 @@ use dft_core::netlist::generators::{alu, decoder, mac_pe};
 fn bench_podem(c: &mut Criterion) {
     let mut group = c.benchmark_group("podem");
     group.sample_size(10);
-    let circuits = [
-        ("alu8", alu(8)),
-        ("dec5", decoder(5)),
-        ("mac4", mac_pe(4)),
-    ];
+    let circuits = [("alu8", alu(8)), ("dec5", decoder(5)), ("mac4", mac_pe(4))];
     for (name, nl) in &circuits {
         let podem = Podem::new(nl);
         let faults = universe_stuck_at(nl);

@@ -8,16 +8,12 @@ fn bench_march(c: &mut Criterion) {
     for size in [1024usize, 16 * 1024] {
         for algo in [march_c_minus(), march_ss()] {
             group.throughput(Throughput::Elements((algo.ops_per_bit() * size) as u64));
-            group.bench_with_input(
-                BenchmarkId::new(algo.name, size),
-                &size,
-                |b, &size| {
-                    b.iter(|| {
-                        let mut mem = SramModel::new(size);
-                        run_march(&algo, &mut mem).operations
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name, size), &size, |b, &size| {
+                b.iter(|| {
+                    let mut mem = SramModel::new(size);
+                    run_march(&algo, &mut mem).operations
+                });
+            });
         }
     }
     group.finish();

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dft_core::fault::{universe_stuck_at, FaultList};
-use dft_core::logicsim::{FaultSim, PatternSet};
+use dft_core::logicsim::{Executor, FaultSim, PatternSet};
 use dft_core::netlist::generators::{mac_pe, random_logic};
 
 fn bench_ppsfp(c: &mut Criterion) {
@@ -37,5 +37,35 @@ fn bench_ppsfp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ppsfp);
+/// Serial vs parallel PPSFP on one large circuit: same work, same
+/// results, worker count as the only variable. Speedup tracks the
+/// machine's core count (a 1-core host shows parity minus spawn cost).
+fn bench_ppsfp_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppsfp_threads");
+    group.sample_size(10);
+    let nl = random_logic(32, 2000, 0xFA);
+    let sim = FaultSim::new(&nl);
+    let faults = universe_stuck_at(&nl);
+    let ps = PatternSet::random(&nl, 64, 3);
+    group.throughput(Throughput::Elements((faults.len() * 64) as u64));
+    let serial_detected = {
+        let mut list = FaultList::new(faults.clone());
+        sim.run(&ps, &mut list);
+        list.num_detected()
+    };
+    for threads in [1usize, 2, 4, 8] {
+        let exec = Executor::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                let mut list = FaultList::new(faults.clone());
+                sim.run_with(&ps, &mut list, &exec);
+                assert_eq!(list.num_detected(), serial_detected);
+                list.num_detected()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppsfp, bench_ppsfp_threads);
 criterion_main!(benches);

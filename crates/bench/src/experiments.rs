@@ -1,5 +1,6 @@
 //! Implementations of experiments E1-E12 (one function per table/figure).
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use dft_core::aichip::{
@@ -16,12 +17,29 @@ use dft_core::diagnosis::{build_failure_log, diagnose};
 use dft_core::fault::{
     collapse_dominance, collapse_equivalent, universe_stuck_at, universe_transition, FaultList,
 };
-use dft_core::logicsim::{FaultSim, PatternSet};
+use dft_core::logicsim::{Executor, FaultSim, PatternSet};
 use dft_core::netlist::generators::{
     benchmark_suite, decoder, mac_pe, systolic_array, SystolicConfig,
 };
 use dft_core::netlist::Netlist;
 use dft_core::scan::{insert_scan, ScanConfig, TestTimeModel};
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Sets the worker-thread count for the simulation-heavy experiments
+/// (`0` = one per hardware thread). Numbers are bit-identical for any
+/// value; only wall-clock changes.
+pub fn set_threads(n: usize) {
+    let _ = THREADS.set(n);
+}
+
+fn threads() -> usize {
+    *THREADS.get().unwrap_or(&1)
+}
+
+fn exec() -> Executor {
+    Executor::with_threads(threads())
+}
 
 /// E1: fault coverage vs random-pattern count (the saturation curve).
 pub fn e1_random_coverage() {
@@ -36,7 +54,7 @@ pub fn e1_random_coverage() {
         let sim = FaultSim::new(&c.netlist);
         let ps = PatternSet::random(&c.netlist, *checkpoints.last().unwrap(), 0xE1);
         let mut list = FaultList::new(universe_stuck_at(&c.netlist));
-        sim.run(&ps, &mut list);
+        sim.run_with(&ps, &mut list, &exec());
         print!("{:<10}", c.name);
         for &n in &checkpoints {
             let det = (0..list.len())
@@ -49,7 +67,9 @@ pub fn e1_random_coverage() {
         }
         println!();
     }
-    println!("shape: fast rise then saturation; decoder (dec5) saturates lowest (random-resistant).");
+    println!(
+        "shape: fast rise then saturation; decoder (dec5) saturates lowest (random-resistant)."
+    );
 }
 
 /// E2: fault-collapsing table.
@@ -83,8 +103,9 @@ pub fn e3_atpg_signoff() {
         "{:<10} {:>6} {:>8} {:>8} {:>7} {:>7} {:>9} {:>9}",
         "circuit", "gates", "patterns", "TC", "untest", "abort", "backtracks", "time"
     );
-    for c in selected_circuits(&["c17", "s27", "add32", "mult8", "alu8", "dec5", "mac8", "sys4x4"])
-    {
+    for c in selected_circuits(&[
+        "c17", "s27", "add32", "mult8", "alu8", "dec5", "mac8", "sys4x4",
+    ]) {
         let run = Atpg::new(&c.netlist).run(&AtpgConfig::default());
         println!(
             "{:<10} {:>6} {:>8} {:>7.2}% {:>7} {:>7} {:>9} {:>8.0}ms",
@@ -216,8 +237,12 @@ pub fn e5_lbist() {
     let nl = decoder(6);
     let (tp_nl, report) = insert_test_points(&nl, 12);
     let checkpoints = [64usize, 256, 1024, 4096];
-    let base = LogicBist::new(&nl, 32).coverage_curve(&checkpoints, 0xE5);
-    let boosted = LogicBist::new(&tp_nl, 32).coverage_curve(&checkpoints, 0xE5);
+    let base = LogicBist::new(&nl, 32)
+        .threads(threads())
+        .coverage_curve(&checkpoints, 0xE5);
+    let boosted = LogicBist::new(&tp_nl, 32)
+        .threads(threads())
+        .coverage_curve(&checkpoints, 0xE5);
     println!(
         "{:>9} {:>14} {:>20}",
         "patterns", "dec6 base", "dec6 + testpoints"
@@ -233,12 +258,18 @@ pub fn e5_lbist() {
     println!("shape: test points lift the random-resistant curve at every pattern count.");
 }
 
+/// Generator for a memory-fault class: `(aggressor, index) -> fault`.
+type FaultClassGen = Box<dyn Fn(usize, usize) -> MemFaultKind>;
+
 /// E6: March-algorithm x fault-class detection matrix.
 pub fn e6_march_matrix() {
     println!("E6: March detection matrix (64-bit SRAM, 40 random faults/class)");
     let algorithms = [mats_plus(), march_x(), march_c_minus(), march_ss()];
-    let classes: [(&str, Box<dyn Fn(usize, usize) -> MemFaultKind>); 6] = [
-        ("SAF", Box::new(|_, i| MemFaultKind::StuckAt { value: i % 2 == 0 })),
+    let classes: [(&str, FaultClassGen); 6] = [
+        (
+            "SAF",
+            Box::new(|_, i| MemFaultKind::StuckAt { value: i % 2 == 0 }),
+        ),
         (
             "TF",
             Box::new(|_, i| MemFaultKind::Transition { rising: i % 2 == 0 }),
@@ -354,7 +385,8 @@ pub fn e8_diagnosis() {
         let cands = diagnose(&nl, &patterns, &log, 5);
         trials += 1;
         cand_sizes += cands.len();
-        let hit = |c: &dft_core::diagnosis::Candidate| c.fault.site.net(&nl) == defect.site.net(&nl);
+        let hit =
+            |c: &dft_core::diagnosis::Candidate| c.fault.site.net(&nl) == defect.site.net(&nl);
         if cands.first().map(hit).unwrap_or(false) {
             rank1_net += 1;
         }
@@ -402,11 +434,10 @@ pub fn e8_diagnosis() {
         {
             bpair += 1;
         }
-        if cands
-            .iter()
-            .any(|c| [c.bridge.a, c.bridge.b].contains(&defect.a)
-                || [c.bridge.a, c.bridge.b].contains(&defect.b))
-        {
+        if cands.iter().any(|c| {
+            [c.bridge.a, c.bridge.b].contains(&defect.a)
+                || [c.bridge.a, c.bridge.b].contains(&defect.b)
+        }) {
             bnet += 1;
         }
     }
@@ -470,7 +501,9 @@ pub fn e10_scan_tradeoff() {
             m.pin_count()
         );
     }
-    println!("shape: test time ~1/chains; pin count grows 2/chain — the classic tradeoff EDT breaks.");
+    println!(
+        "shape: test time ~1/chains; pin count grows 2/chain — the classic tradeoff EDT breaks."
+    );
 }
 
 /// E11: transition-fault ATPG vs stuck-at.
@@ -482,12 +515,8 @@ pub fn e11_transition() {
     );
     for c in selected_circuits(&["s27", "cnt8", "sr16", "mac4"]) {
         let sa = Atpg::new(&c.netlist).run(&AtpgConfig::default());
-        let tf = TransitionAtpg::new(&c.netlist).run(
-            universe_transition(&c.netlist),
-            128,
-            256,
-            0xE11,
-        );
+        let tf =
+            TransitionAtpg::new(&c.netlist).run(universe_transition(&c.netlist), 128, 256, 0xE11);
         println!(
             "{:>8} {:>9.1}% {:>9.1}% {:>9.1}% {:>9} {:>9}",
             c.name,
@@ -503,19 +532,31 @@ pub fn e11_transition() {
 
 /// E12: streaming-scan-network scaling.
 pub fn e12_ssn() {
-    println!("E12: scan delivery scaling, daisy chain vs streaming bus (2000 cells/core, 100 patterns)");
+    println!(
+        "E12: scan delivery scaling, daisy chain vs streaming bus (2000 cells/core, 100 patterns)"
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>9}",
         "cores", "daisy", "ssn 32b", "ssn 128b", "32b gain"
     );
     for cores in [2usize, 4, 8, 16, 32, 64, 128] {
         let daisy = ssn_plan(DeliveryStyle::DaisyChain, cores, 2000, 4, 100).total_cycles;
-        let ssn32 =
-            ssn_plan(DeliveryStyle::StreamingBus { bus_bits: 32 }, cores, 2000, 4, 100)
-                .total_cycles;
-        let ssn128 =
-            ssn_plan(DeliveryStyle::StreamingBus { bus_bits: 128 }, cores, 2000, 4, 100)
-                .total_cycles;
+        let ssn32 = ssn_plan(
+            DeliveryStyle::StreamingBus { bus_bits: 32 },
+            cores,
+            2000,
+            4,
+            100,
+        )
+        .total_cycles;
+        let ssn128 = ssn_plan(
+            DeliveryStyle::StreamingBus { bus_bits: 128 },
+            cores,
+            2000,
+            4,
+            100,
+        )
+        .total_cycles;
         println!(
             "{cores:>6} {daisy:>14} {ssn32:>14} {ssn128:>14} {:>8.1}x",
             daisy as f64 / ssn32 as f64

@@ -3,15 +3,31 @@
 //!
 //! ```sh
 //! cargo run --release -p dft-bench --bin experiments -- e1
-//! cargo run --release -p dft-bench --bin experiments -- all
+//! cargo run --release -p dft-bench --bin experiments -- all --threads 8
 //! ```
+//!
+//! `--threads N` parallelizes the simulation-heavy experiments (E1, E5);
+//! `0` = one worker per hardware thread. All numbers are bit-identical
+//! for any thread count.
 
 use std::env;
 
 mod experiments;
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let mut threads = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        match args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => threads = n,
+            None => {
+                eprintln!("--threads requires a number");
+                std::process::exit(2);
+            }
+        }
+        args.drain(pos..pos + 2);
+    }
+    experiments::set_threads(threads);
     let which = args.first().map(String::as_str).unwrap_or("all");
     let all = [
         ("e1", experiments::e1_random_coverage as fn()),
@@ -30,7 +46,10 @@ fn main() {
     match which {
         "all" => {
             for (name, f) in all {
-                println!("\n================ {} ================", name.to_uppercase());
+                println!(
+                    "\n================ {} ================",
+                    name.to_uppercase()
+                );
                 f();
             }
         }

@@ -13,11 +13,11 @@ pub struct Lfsr {
 /// XAPP052 table) for selected widths; a dense fallback otherwise.
 fn primitive_taps(width: u32) -> u64 {
     match width {
-        4 => 0xC,                 // taps 4,3
-        8 => 0xB8,                // taps 8,6,5,4
-        16 => 0xB400,             // taps 16,15,13,4
-        24 => 0xE1_0000,          // taps 24,23,22,17
-        32 => 0xA300_0000,        // taps 32,30,26,25
+        4 => 0xC,          // taps 4,3
+        8 => 0xB8,         // taps 8,6,5,4
+        16 => 0xB400,      // taps 16,15,13,4
+        24 => 0xE1_0000,   // taps 24,23,22,17
+        32 => 0xA300_0000, // taps 32,30,26,25
         _ => {
             // Dense fallback (not guaranteed maximal, adequate spread).
             let mut t = 1u64 << (width - 1) | 1;
@@ -41,7 +41,7 @@ impl Lfsr {
     ///
     /// Panics if `width` is 0 or exceeds 64.
     pub fn new(width: u32, seed: u64) -> Lfsr {
-        assert!(width >= 1 && width <= 64, "width out of range");
+        assert!((1..=64).contains(&width), "width out of range");
         let mask = if width == 64 { !0 } else { (1u64 << width) - 1 };
         let mut state = seed & mask;
         if state == 0 {

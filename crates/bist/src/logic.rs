@@ -1,7 +1,7 @@
 //! Logic BIST: STUMPS-style self-test session.
 
 use dft_fault::{universe_stuck_at, FaultList};
-use dft_logicsim::{FaultSim, GoodSim, PatternSet};
+use dft_logicsim::{Executor, FaultSim, GoodSim, PatternSet};
 use dft_netlist::Netlist;
 
 use crate::Lfsr;
@@ -30,12 +30,25 @@ pub struct BistResult {
 pub struct LogicBist<'a> {
     nl: &'a Netlist,
     prpg_width: u32,
+    exec: Executor,
 }
 
 impl<'a> LogicBist<'a> {
     /// Creates a controller for `nl` with a `prpg_width`-bit PRPG.
     pub fn new(nl: &'a Netlist, prpg_width: u32) -> LogicBist<'a> {
-        LogicBist { nl, prpg_width }
+        LogicBist {
+            nl,
+            prpg_width,
+            exec: Executor::serial(),
+        }
+    }
+
+    /// Sets the fault-simulation worker count (`0` = one per hardware
+    /// thread, `1` = serial). Coverage, signatures, and weight sets are
+    /// bit-identical for any value.
+    pub fn threads(mut self, n: usize) -> LogicBist<'a> {
+        self.exec = Executor::with_threads(n);
+        self
     }
 
     /// Generates the first `n` PRPG patterns.
@@ -55,7 +68,7 @@ impl<'a> LogicBist<'a> {
         let ps = self.patterns(n, seed);
         let sim = FaultSim::new(self.nl);
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        sim.run(&ps, &mut list);
+        sim.run_with(&ps, &mut list, &self.exec);
         let signature = self.signature(&ps);
         BistResult {
             patterns: n,
@@ -95,7 +108,7 @@ impl<'a> LogicBist<'a> {
         let ps = self.patterns(base_patterns, seed);
         let sim = FaultSim::new(self.nl);
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        sim.run(&ps, &mut list);
+        sim.run_with(&ps, &mut list, &self.exec);
         let podem = Podem::new(self.nl);
         let width = self.nl.num_inputs() + self.nl.num_dffs();
         let mut ones = vec![0u32; width];
@@ -129,7 +142,12 @@ impl<'a> LogicBist<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ps = PatternSet::new(width);
         for _ in 0..n {
-            ps.push(weights.iter().map(|&w| rng.gen_bool(w.clamp(0.02, 0.98))).collect());
+            ps.push(
+                weights
+                    .iter()
+                    .map(|&w| rng.gen_bool(w.clamp(0.02, 0.98)))
+                    .collect(),
+            );
         }
         ps
     }
@@ -139,7 +157,7 @@ impl<'a> LogicBist<'a> {
         let ps = self.weighted_patterns(n, seed, weights);
         let sim = FaultSim::new(self.nl);
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        sim.run(&ps, &mut list);
+        sim.run_with(&ps, &mut list, &self.exec);
         BistResult {
             patterns: n,
             coverage: list.fault_coverage(),
@@ -155,7 +173,7 @@ impl<'a> LogicBist<'a> {
         let ps = self.patterns(max, seed);
         let sim = FaultSim::new(self.nl);
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        sim.run(&ps, &mut list);
+        sim.run_with(&ps, &mut list, &self.exec);
         // First-detection indices give the whole curve in one pass.
         checkpoints
             .iter()
@@ -175,10 +193,10 @@ impl<'a> LogicBist<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dft_netlist::generators::{decoder, parity_tree};
-    use dft_netlist::GateKind;
     use dft_fault::{universe_stuck_at, FaultList};
     use dft_logicsim::FaultSim;
+    use dft_netlist::generators::{decoder, parity_tree};
+    use dft_netlist::GateKind;
 
     #[test]
     fn parity_tree_reaches_high_coverage_fast() {

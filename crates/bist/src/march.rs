@@ -377,7 +377,10 @@ mod tests {
             }
         }
         assert!(missed_by_mats > 0, "MATS+ unexpectedly caught every CFid");
-        assert!(caught_by_cminus > 0, "March C- should catch what MATS+ misses");
+        assert!(
+            caught_by_cminus > 0,
+            "March C- should catch what MATS+ misses"
+        );
     }
 
     #[test]

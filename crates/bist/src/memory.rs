@@ -338,13 +338,7 @@ mod tests {
 
     #[test]
     fn class_names() {
-        assert_eq!(
-            MemFaultKind::StuckAt { value: true }.class_name(),
-            "SAF"
-        );
-        assert_eq!(
-            MemFaultKind::AddressAlias { target: 1 }.class_name(),
-            "AF"
-        );
+        assert_eq!(MemFaultKind::StuckAt { value: true }.class_name(), "SAF");
+        assert_eq!(MemFaultKind::AddressAlias { target: 1 }.class_name(), "AF");
     }
 }

@@ -11,6 +11,7 @@
 //! [`LogicBist`]: crate::LogicBist
 
 use dft_fault::Fault;
+use dft_logicsim::Executor;
 use dft_netlist::{GateId, GateKind, Levelization, Netlist};
 use dft_scan::{insert_scan, ScanConfig, ScanInsertion};
 
@@ -41,7 +42,7 @@ pub struct StumpsBist {
 /// outputs (standard practice: everything random during BIST). The
 /// original PI gates remain in the netlist but drive nothing.
 pub fn build_stumps(core: &Netlist, chains: usize, prpg_len: usize, seed: u64) -> StumpsBist {
-    assert!(prpg_len >= 8 && prpg_len <= 64);
+    assert!((8..=64).contains(&prpg_len));
     let scan: ScanInsertion = insert_scan(core, &ScanConfig { num_chains: chains });
     let mut nl = scan.netlist.clone();
     let se = scan.scan_enable;
@@ -66,7 +67,11 @@ pub fn build_stumps(core: &Netlist, chains: usize, prpg_len: usize, seed: u64) -
             nl.add_gate(GateKind::Const0, vec![], "prpg_top0")
         };
         let with_fb = if (taps >> i) & 1 == 1 {
-            nl.add_gate(GateKind::Xor, vec![shifted, out_bit], &format!("prpg_fb{i}"))
+            nl.add_gate(
+                GateKind::Xor,
+                vec![shifted, out_bit],
+                &format!("prpg_fb{i}"),
+            )
         } else {
             shifted
         };
@@ -226,6 +231,42 @@ impl StumpsBist {
         }
         self.misr.iter().map(|&m| state[m.index()]).collect()
     }
+
+    /// Runs one self-test session per entry of `faults` (`None` = fault
+    /// free) on `exec`'s worker pool. Sessions are independent gate-level
+    /// simulations, so they parallelize perfectly; signatures are
+    /// returned in input order and are bit-identical to calling
+    /// [`StumpsBist::run_session`] in a loop.
+    pub fn run_sessions(
+        &self,
+        patterns: usize,
+        faults: &[Option<Fault>],
+        exec: &Executor,
+    ) -> Vec<Vec<bool>> {
+        exec.map(faults, |_, &f| self.run_session(patterns, f))
+    }
+
+    /// Fraction of `faults` whose injected-session signature differs from
+    /// the fault-free golden signature — the STUMPS analogue of fault
+    /// coverage, measured end to end through PRPG, phase shifter, scan,
+    /// and MISR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault is a pin fault (see [`StumpsBist::run_session`]).
+    pub fn signature_coverage(&self, patterns: usize, faults: &[Fault], exec: &Executor) -> f64 {
+        if faults.is_empty() {
+            return 1.0;
+        }
+        let golden = self.run_session(patterns, None);
+        let wrapped: Vec<Option<Fault>> = faults.iter().copied().map(Some).collect();
+        let flagged = self
+            .run_sessions(patterns, &wrapped, exec)
+            .iter()
+            .filter(|sig| **sig != golden)
+            .count();
+        flagged as f64 / faults.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +324,43 @@ mod tests {
             flagged * 10 >= trials * 8,
             "only {flagged}/{trials} faults flagged by signature"
         );
+    }
+
+    #[test]
+    fn parallel_sessions_match_serial() {
+        let core = counter(8);
+        let bist = build_stumps(&core, 2, 16, 0xB1);
+        let universe = universe_stuck_at(&core);
+        let faults: Vec<Option<_>> = universe
+            .iter()
+            .filter(|f| f.site.pin.is_none())
+            .take(12)
+            .map(|&f| Some(f))
+            .chain(std::iter::once(None))
+            .collect();
+        let serial: Vec<_> = faults.iter().map(|&f| bist.run_session(8, f)).collect();
+        for threads in [1usize, 3, 8] {
+            let exec = Executor::with_threads(threads);
+            assert_eq!(
+                bist.run_sessions(8, &faults, &exec),
+                serial,
+                "threads={threads}"
+            );
+        }
+        // Coverage helper agrees with a hand count.
+        let stems: Vec<_> = universe
+            .iter()
+            .filter(|f| f.site.pin.is_none())
+            .take(12)
+            .copied()
+            .collect();
+        let golden = bist.run_session(8, None);
+        let by_hand = stems
+            .iter()
+            .filter(|&&f| bist.run_session(8, Some(f)) != golden)
+            .count();
+        let cov = bist.signature_coverage(8, &stems, &Executor::with_threads(4));
+        assert!((cov - by_hand as f64 / stems.len() as f64).abs() < 1e-12);
     }
 
     #[test]

@@ -51,10 +51,10 @@ impl IllinoisScan {
         assert_eq!(cube.width(), self.flat_bits(), "cube width");
         let mut shared: Vec<Option<bool>> = vec![None; self.chain_len];
         for c in 0..self.chains {
-            for p in 0..self.chain_len {
+            for (p, slot) in shared.iter_mut().enumerate() {
                 if let Some(v) = cube.get(c * self.chain_len + p) {
-                    match shared[p] {
-                        None => shared[p] = Some(v),
+                    match *slot {
+                        None => *slot = Some(v),
                         Some(existing) if existing == v => {}
                         Some(_) => return None,
                     }

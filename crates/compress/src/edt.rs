@@ -137,10 +137,10 @@ impl EdtCodec {
     /// Checks a cube's care bits against expanded loads (test helper and
     /// sign-off utility).
     pub fn satisfies(&self, cube: &TestCube, loads: &[Vec<bool>]) -> bool {
-        for c in 0..self.chains {
-            for p in 0..self.chain_len {
+        for (c, load) in loads.iter().enumerate().take(self.chains) {
+            for (p, &bit) in load.iter().enumerate().take(self.chain_len) {
                 if let Some(v) = cube.get(c * self.chain_len + p) {
-                    if loads[c][p] != v {
+                    if bit != v {
                         return false;
                     }
                 }
@@ -205,7 +205,13 @@ pub struct ScanEdt<'a> {
 impl<'a> ScanEdt<'a> {
     /// Builds the binding. The codec geometry is taken from the scan
     /// architecture (chains padded to the longest chain length).
-    pub fn new(nl: &'a Netlist, scan: &'a ScanInsertion, channels: usize, ring_len: usize, seed: u64) -> ScanEdt<'a> {
+    pub fn new(
+        nl: &'a Netlist,
+        scan: &'a ScanInsertion,
+        channels: usize,
+        ring_len: usize,
+        seed: u64,
+    ) -> ScanEdt<'a> {
         let chain_len = scan.shift_cycles();
         let codec = EdtCodec::new(scan.chains.len(), chain_len, channels, ring_len, seed);
         let ffs = nl.dffs();

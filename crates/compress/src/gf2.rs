@@ -61,7 +61,7 @@ impl Gf2System {
         let mut pivot_of_col: Vec<Option<usize>> = vec![None; self.vars];
         let mut rank = 0usize;
         let nrows = self.rows.len();
-        for col in 0..self.vars {
+        for (col, pivot_slot) in pivot_of_col.iter_mut().enumerate() {
             let (w, b) = (col / 64, col % 64);
             // Find a pivot row at or below `rank`.
             let mut pivot = None;
@@ -77,13 +77,13 @@ impl Gf2System {
             let (pivot_coeffs, pivot_rhs) = self.rows[rank].clone();
             for (r, row) in self.rows.iter_mut().enumerate() {
                 if r != rank && (row.0[w] >> b) & 1 == 1 {
-                    for k in 0..self.words {
-                        row.0[k] ^= pivot_coeffs[k];
+                    for (dst, &pc) in row.0.iter_mut().zip(&pivot_coeffs) {
+                        *dst ^= pc;
                     }
                     row.1 ^= pivot_rhs;
                 }
             }
-            pivot_of_col[col] = Some(rank);
+            *pivot_slot = Some(rank);
             rank += 1;
             if rank == nrows {
                 break;
@@ -183,9 +183,9 @@ mod tests {
                 saved_rows.push((coeffs.clone(), rhs));
                 sys.add_equation(coeffs, rhs);
             }
-            let x = sys.solve().unwrap_or_else(|| {
-                panic!("trial {trial}: consistent system reported unsolvable")
-            });
+            let x = sys
+                .solve()
+                .unwrap_or_else(|| panic!("trial {trial}: consistent system reported unsolvable"));
             for (coeffs, rhs) in &saved_rows {
                 assert_eq!(dot(coeffs, &x), *rhs, "trial {trial}");
             }

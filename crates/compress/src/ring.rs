@@ -61,7 +61,7 @@ impl RingGenerator {
 
     /// Advances `state` one cycle, injecting `inputs` (one bit per
     /// channel). `state[0]` receives the feedback.
-    pub fn step(&self, state: &mut Vec<bool>, inputs: &[bool]) {
+    pub fn step(&self, state: &mut [bool], inputs: &[bool]) {
         debug_assert_eq!(state.len(), self.length);
         debug_assert_eq!(inputs.len(), self.injectors.len());
         let fb = self.taps.iter().fold(false, |acc, &t| acc ^ state[t]);
@@ -76,12 +76,7 @@ impl RingGenerator {
     /// injected variables, represented as a bit-packed vector of
     /// `var_words` words. `var_of(cycle, channel)` is provided by the
     /// caller via pre-assigned indices.
-    pub fn step_symbolic(
-        &self,
-        state: &mut Vec<Vec<u64>>,
-        injected_vars: &[usize],
-        var_words: usize,
-    ) {
+    pub fn step_symbolic(&self, state: &mut [Vec<u64>], injected_vars: &[usize], var_words: usize) {
         debug_assert_eq!(state.len(), self.length);
         let mut fb = vec![0u64; var_words];
         for &t in &self.taps {
@@ -227,7 +222,7 @@ mod tests {
     fn phase_shifter_outputs_differ() {
         let ps = PhaseShifter::new(32, 16, 1);
         // Distinct tap sets for at least most outputs (decorrelation).
-        let mut sets: Vec<Vec<usize>> = ps.taps.iter().cloned().collect();
+        let mut sets: Vec<Vec<usize>> = ps.taps.to_vec();
         for s in &mut sets {
             s.sort_unstable();
         }

@@ -9,6 +9,11 @@
 //! aidft diagnose <design.bench> <log.json> diagnose a failure log
 //! ```
 //!
+//! `atpg`, `flow`, and `bist` accept `--threads N` (`0` = one worker per
+//! hardware thread, the default; `1` = serial). The `AIDFT_THREADS`
+//! environment variable sets the default for all commands. Any thread
+//! count produces bit-identical results.
+//!
 //! Generator names for `gen`: anything from the benchmark suite (`c17`,
 //! `s27`, `add8`, `mult8`, `alu8`, `mac4`, `sys4x4`, ...).
 
@@ -21,10 +26,17 @@ use dft_core::diagnosis::{diagnose, FailureLog};
 use dft_core::logicsim::PatternSet;
 use dft_core::netlist::generators::benchmark_suite;
 use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
-use dft_core::DftFlow;
+use dft_core::{DftError, DftFlow};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match extract_threads(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("aidft: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("stats") => with_design(&args, 2, |nl, _| {
             println!("{}", NetlistStats::of(nl));
@@ -34,7 +46,7 @@ fn main() -> ExitCode {
             Ok(())
         }),
         Some("atpg") => with_design(&args, 2, |nl, _| {
-            let run = Atpg::new(nl).run(&AtpgConfig::default());
+            let run = Atpg::new(nl).run(&AtpgConfig::new().threads(threads));
             println!(
                 "{}: {} patterns, FC {:.2}%, TC {:.2}%, {} untestable, {} aborted, {:?}",
                 nl.name(),
@@ -48,11 +60,8 @@ fn main() -> ExitCode {
             Ok(())
         }),
         Some("flow") => with_design(&args, 2, |nl, rest| {
-            let chains = rest
-                .first()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(4usize);
-            let report = DftFlow::new(nl).chains(chains).run();
+            let chains = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4usize);
+            let report = DftFlow::new(nl).chains(chains).threads(threads).run();
             print!("{report}");
             Ok(())
         }),
@@ -61,7 +70,9 @@ fn main() -> ExitCode {
                 .first()
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1024usize);
-            let r = LogicBist::new(nl, 32).run(patterns, 0xB157);
+            let r = LogicBist::new(nl, 32)
+                .threads(threads)
+                .run(patterns, 0xB157);
             println!(
                 "{}: {} PRPG patterns, coverage {:.2}%, signature {:016x}, {} undetected",
                 nl.name(),
@@ -74,12 +85,12 @@ fn main() -> ExitCode {
         }),
         Some("gen") => {
             if args.len() != 3 {
-                Err("usage: aidft gen <name> <out.bench>".to_string())
+                Err(DftError::usage("usage: aidft gen <name> <out.bench>"))
             } else {
                 match benchmark_suite().into_iter().find(|c| c.name == args[1]) {
                     Some(c) => fs::write(&args[2], write_bench(&c.netlist))
-                        .map_err(|e| format!("write {}: {e}", args[2])),
-                    None => Err(format!(
+                        .map_err(|e| DftError::io(format!("write {}", args[2]), e)),
+                    None => Err(DftError::usage(format!(
                         "unknown circuit `{}`; available: {}",
                         args[1],
                         benchmark_suite()
@@ -87,13 +98,13 @@ fn main() -> ExitCode {
                             .map(|c| c.name)
                             .collect::<Vec<_>>()
                             .join(", ")
-                    )),
+                    ))),
                 }
             }
         }
         Some("diagnose") => with_design(&args, 3, |nl, rest| {
-            let text = fs::read_to_string(&rest[0]).map_err(|e| format!("read log: {e}"))?;
-            let log = FailureLog::from_json(&text).map_err(|e| format!("parse log: {e}"))?;
+            let text = fs::read_to_string(&rest[0]).map_err(|e| DftError::io("read log", e))?;
+            let log = FailureLog::from_json(&text)?;
             // The pattern set must match the one used on the tester; the
             // CLI convention is the seeded default set.
             let patterns = PatternSet::random(nl, 256, 0xD1A6);
@@ -114,10 +125,9 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
-        _ => Err(
-            "usage: aidft <stats|atpg|flow|bist|gen|diagnose> <args>; see --help in README"
-                .to_string(),
-        ),
+        _ => Err(DftError::usage(
+            "usage: aidft <stats|atpg|flow|bist|gen|diagnose> [--threads N] <args>; see README",
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -128,23 +138,49 @@ fn main() -> ExitCode {
     }
 }
 
+/// Removes `--threads N` from `args` and returns the worker count:
+/// the flag wins, then `AIDFT_THREADS`, then `0` (one worker per
+/// hardware thread).
+fn extract_threads(args: &mut Vec<String>) -> Result<usize, DftError> {
+    let mut threads: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 >= args.len() {
+            return Err(DftError::usage("--threads requires a value"));
+        }
+        let value = args[pos + 1]
+            .parse()
+            .map_err(|_| DftError::usage(format!("bad --threads value `{}`", args[pos + 1])))?;
+        args.drain(pos..pos + 2);
+        threads = Some(value);
+    }
+    if threads.is_none() {
+        if let Ok(env) = std::env::var("AIDFT_THREADS") {
+            threads = Some(
+                env.parse()
+                    .map_err(|_| DftError::usage(format!("bad AIDFT_THREADS value `{env}`")))?,
+            );
+        }
+    }
+    Ok(threads.unwrap_or(0))
+}
+
 /// Parses the design argument and hands off to `f` with any remaining
 /// arguments.
 fn with_design(
     args: &[String],
     min_args: usize,
-    f: impl FnOnce(&Netlist, &[String]) -> Result<(), String>,
-) -> Result<(), String> {
+    f: impl FnOnce(&Netlist, &[String]) -> Result<(), DftError>,
+) -> Result<(), DftError> {
     if args.len() < min_args {
-        return Err("missing <design.bench> argument".into());
+        return Err(DftError::usage("missing <design.bench> argument"));
     }
     let path = &args[1];
-    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| DftError::io(format!("read {path}"), e))?;
     let name = path
         .rsplit('/')
         .next()
         .unwrap_or(path)
         .trim_end_matches(".bench");
-    let nl = parse_bench(name, &text).map_err(|e| format!("parse {path}: {e}"))?;
+    let nl = parse_bench(name, &text).map_err(|e| DftError::netlist(format!("parse {path}"), e))?;
     f(&nl, &args[min_args.min(args.len())..])
 }

@@ -1,0 +1,13 @@
+//! One-stop configuration namespace.
+//!
+//! Every tunable the flow exposes, re-exported in one place so callers
+//! can `use dft_core::config::*` instead of hunting through the
+//! sub-crates. All config types follow the same convention: public
+//! fields for struct-update syntax, plus chainable builder setters
+//! (`AtpgConfig::new().random_patterns(64).threads(8)`).
+
+pub use dft_aichip::SocConfig;
+pub use dft_atpg::{AtpgConfig, CompactionMode};
+pub use dft_logicsim::{Executor, Parallelism};
+pub use dft_netlist::generators::SystolicConfig;
+pub use dft_scan::ScanConfig;

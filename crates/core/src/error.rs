@@ -1,0 +1,113 @@
+//! Typed errors for the flow facade and the `aidft` CLI.
+
+use std::fmt;
+use std::io;
+
+use dft_diagnosis::JsonError;
+use dft_netlist::NetlistError;
+
+/// Everything that can go wrong driving the toolkit from the outside:
+/// file I/O, `.bench` parsing, failure-log parsing, and bad arguments.
+///
+/// The [`fmt::Display`] impl renders exactly the operator-facing message
+/// (`read <path>: ...`, `parse <path>: ...`), so CLI output is stable
+/// across the `Result<(), String>` → `DftError` migration.
+#[derive(Debug)]
+pub enum DftError {
+    /// A file read or write failed. `context` names the operation and
+    /// target, e.g. `read designs/mac4.bench`.
+    Io {
+        /// Operation and target, prefix of the rendered message.
+        context: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A `.bench` netlist failed to parse. `context` names the source,
+    /// e.g. `parse designs/mac4.bench`.
+    Netlist {
+        /// Operation and target, prefix of the rendered message.
+        context: String,
+        /// The underlying netlist error.
+        source: NetlistError,
+    },
+    /// A tester failure log failed to parse.
+    FailLog(JsonError),
+    /// The command line did not make sense.
+    Usage(String),
+}
+
+impl DftError {
+    /// An I/O error with its operation context, e.g.
+    /// `DftError::io(format!("read {path}"), err)`.
+    pub fn io(context: impl Into<String>, source: io::Error) -> DftError {
+        DftError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A netlist parse error with its source context.
+    pub fn netlist(context: impl Into<String>, source: NetlistError) -> DftError {
+        DftError::Netlist {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A usage error carrying the message shown to the operator.
+    pub fn usage(message: impl Into<String>) -> DftError {
+        DftError::Usage(message.into())
+    }
+}
+
+impl fmt::Display for DftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DftError::Io { context, source } => write!(f, "{context}: {source}"),
+            DftError::Netlist { context, source } => write!(f, "{context}: {source}"),
+            DftError::FailLog(e) => write!(f, "parse log: {e}"),
+            DftError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DftError::Io { source, .. } => Some(source),
+            DftError::Netlist { source, .. } => Some(source),
+            DftError::FailLog(e) => Some(e),
+            DftError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<JsonError> for DftError {
+    fn from(e: JsonError) -> DftError {
+        DftError::FailLog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_cli_conventions() {
+        let e = DftError::io(
+            "read x.bench",
+            io::Error::new(io::ErrorKind::NotFound, "gone"),
+        );
+        assert_eq!(e.to_string(), "read x.bench: gone");
+        let e = DftError::usage("usage: aidft gen <name> <out.bench>");
+        assert_eq!(e.to_string(), "usage: aidft gen <name> <out.bench>");
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e = DftError::io("write y", io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(DftError::usage("x").source().is_none());
+    }
+}

@@ -49,8 +49,16 @@ pub use dft_diagnosis as diagnosis;
 /// Re-export of `dft-aichip`.
 pub use dft_aichip as aichip;
 
+pub mod config;
+mod error;
+
+pub use error::DftError;
+
+use std::time::Instant;
+
 use dft_atpg::{Atpg, AtpgConfig};
 use dft_compress::{CompressionStats, ScanEdt};
+use dft_logicsim::Parallelism;
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, ScanConfig, ScanInsertion, TestTimeModel};
 
@@ -65,6 +73,7 @@ pub struct DftFlow<'a> {
     ring_len: Option<usize>,
     shift_mhz: u32,
     atpg: AtpgConfig,
+    threads: Option<usize>,
 }
 
 impl<'a> DftFlow<'a> {
@@ -78,6 +87,7 @@ impl<'a> DftFlow<'a> {
             ring_len: None,
             shift_mhz: 100,
             atpg: AtpgConfig::default(),
+            threads: None,
         }
     }
 
@@ -113,16 +123,32 @@ impl<'a> DftFlow<'a> {
         self
     }
 
+    /// Sets the worker-thread count for the fault-simulation phases
+    /// (`0` = one per hardware thread, `1` = serial). Takes precedence
+    /// over [`AtpgConfig::threads`] regardless of call order. Results are
+    /// bit-identical for any value — only wall-clock changes.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
     /// Runs the full flow: scan insertion, ATPG, compression, timing.
     pub fn run(self) -> FlowReport {
+        let mut atpg_cfg = self.atpg.clone();
+        if let Some(t) = self.threads {
+            atpg_cfg.threads = t;
+        }
+        let scan_start = Instant::now();
         let scan = insert_scan(
             self.nl,
             &ScanConfig {
                 num_chains: self.chains,
             },
         );
-        let run = Atpg::new(self.nl).run(&self.atpg);
+        let scan_time = scan_start.elapsed();
+        let run = Atpg::new(self.nl).run(&atpg_cfg);
         let timing = TestTimeModel::for_architecture(&scan, run.patterns.len(), self.shift_mhz);
+        let compress_start = Instant::now();
         let compression = if self.nl.num_dffs() > 0 && !run.cubes.is_empty() {
             let ring_len = self
                 .ring_len
@@ -132,7 +158,15 @@ impl<'a> DftFlow<'a> {
         } else {
             None
         };
+        let phase_times = PhaseTimes {
+            scan: scan_time,
+            random_sim: run.random_time,
+            deterministic: run.deterministic_time + run.signoff_time,
+            compression: compress_start.elapsed(),
+            threads: Parallelism::from_threads(atpg_cfg.threads).resolve(),
+        };
         FlowReport {
+            phase_times,
             design: self.nl.name().to_owned(),
             gates: self.nl.num_gates(),
             flops: self.nl.num_dffs(),
@@ -152,6 +186,21 @@ impl<'a> DftFlow<'a> {
             atpg_run: run,
         }
     }
+}
+
+/// Wall-clock breakdown of one [`DftFlow::run`], per pipeline phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimes {
+    /// Scan insertion.
+    pub scan: Duration,
+    /// Random-pattern fault simulation (ATPG phase 1).
+    pub random_sim: Duration,
+    /// Deterministic ATPG: top-off, compaction, and sign-off simulation.
+    pub deterministic: Duration,
+    /// EDT compression of the deterministic cubes.
+    pub compression: Duration,
+    /// Resolved worker-thread count the simulation phases ran with.
+    pub threads: usize,
 }
 
 /// The sign-off report produced by [`DftFlow::run`].
@@ -188,6 +237,8 @@ pub struct FlowReport {
     /// EDT compression statistics (designs with flops and deterministic
     /// cubes only).
     pub compression: Option<CompressionStats>,
+    /// Per-phase wall-clock breakdown.
+    pub phase_times: PhaseTimes,
     /// The scan architecture (for downstream tooling).
     pub scan: ScanInsertion,
     /// The full ATPG run (patterns, cubes, fault list).
@@ -229,6 +280,17 @@ impl fmt::Display for FlowReport {
                 c.encode_rate() * 100.0
             )?;
         }
+        let t = &self.phase_times;
+        writeln!(
+            f,
+            "  timing: scan {:?}, random sim {:?}, deterministic {:?}, compression {:?} ({} thread{})",
+            t.scan,
+            t.random_sim,
+            t.deterministic,
+            t.compression,
+            t.threads,
+            if t.threads == 1 { "" } else { "s" }
+        )?;
         Ok(())
     }
 }
@@ -250,11 +312,7 @@ mod tests {
     #[test]
     fn flow_on_sequential_design_compresses() {
         let nl = mac_pe(4);
-        let report = DftFlow::new(&nl)
-            .chains(4)
-            .channels(1)
-            .ring_len(24)
-            .run();
+        let report = DftFlow::new(&nl).chains(4).channels(1).ring_len(24).run();
         assert!(report.test_coverage > 0.95);
         let c = report.compression.expect("flops present");
         assert!(c.encoded > 0);
@@ -267,5 +325,33 @@ mod tests {
         let report = DftFlow::new(&nl).chains(2).shift_mhz(50).run();
         assert_eq!(report.chains, 2);
         assert_eq!(report.max_chain_len, 4);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let nl = mac_pe(4);
+        let serial = DftFlow::new(&nl).threads(1).run();
+        let parallel = DftFlow::new(&nl).threads(8).run();
+        assert_eq!(serial.patterns, parallel.patterns);
+        assert_eq!(serial.fault_coverage, parallel.fault_coverage);
+        assert_eq!(serial.test_coverage, parallel.test_coverage);
+        assert_eq!(serial.untestable, parallel.untestable);
+        assert_eq!(serial.aborted, parallel.aborted);
+        assert_eq!(serial.phase_times.threads, 1);
+        assert_eq!(parallel.phase_times.threads, 8);
+        assert!(parallel.to_string().contains("timing: scan"));
+        assert!(parallel.to_string().contains("8 threads"));
+    }
+
+    #[test]
+    fn flow_threads_override_atpg_config() {
+        use crate::config::AtpgConfig;
+        let nl = c17();
+        // threads() wins over atpg_config() regardless of call order.
+        let report = DftFlow::new(&nl)
+            .threads(3)
+            .atpg_config(AtpgConfig::new().threads(1))
+            .run();
+        assert_eq!(report.phase_times.threads, 3);
     }
 }

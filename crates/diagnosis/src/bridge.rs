@@ -48,7 +48,11 @@ pub fn build_bridge_failure_log(
     let mut fails = Vec::new();
     for (start, words, count) in patterns.blocks() {
         let good = sim.good_sim().eval_block(&words);
-        let mask = if count >= 64 { !0u64 } else { (1u64 << count) - 1 };
+        let mask = if count >= 64 {
+            !0u64
+        } else {
+            (1u64 << count) - 1
+        };
         let (det, _) = sim.detect_word_bridge(&good, mask, defect, &mut ws);
         let mut d = det;
         while d != 0 {
@@ -120,7 +124,10 @@ pub fn diagnose_bridges(
         .iter()
         .filter(|(_, g)| {
             g.kind.is_logic()
-                || matches!(g.kind, dft_netlist::GateKind::Input | dft_netlist::GateKind::Dff)
+                || matches!(
+                    g.kind,
+                    dft_netlist::GateKind::Input | dft_netlist::GateKind::Dff
+                )
         })
         .map(|(id, _)| id)
         .collect();
@@ -164,7 +171,11 @@ pub fn diagnose_bridges(
         }
     }
     votes.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    let mut nets: Vec<GateId> = votes.into_iter().take(pair_pool).map(|(_, id)| id).collect();
+    let mut nets: Vec<GateId> = votes
+        .into_iter()
+        .take(pair_pool)
+        .map(|(_, id)| id)
+        .collect();
     nets.sort_unstable();
     nets.dedup();
 
@@ -187,7 +198,11 @@ pub fn diagnose_bridges(
                 };
                 for (start, words, count) in patterns.blocks() {
                     let good = sim.good_sim().eval_block(&words);
-                    let mask = if count >= 64 { !0u64 } else { (1u64 << count) - 1 };
+                    let mask = if count >= 64 {
+                        !0u64
+                    } else {
+                        (1u64 << count) - 1
+                    };
                     let (det, _) = sim.detect_word_bridge(&good, mask, bridge, &mut ws);
                     for k in 0..count {
                         let pat = (start + k) as u32;

@@ -44,7 +44,11 @@ pub fn flush_unload(
     let nl = &scan.netlist;
     let lv = Levelization::compute(nl).expect("acyclic");
     let len = scan.chains[chain].len();
-    assert_eq!(pattern.len(), 2 * len, "flush vector must cover 2*len cycles");
+    assert_eq!(
+        pattern.len(),
+        2 * len,
+        "flush vector must cover 2*len cycles"
+    );
     let mut state = vec![false; nl.num_gates()];
     state[scan.scan_enable.index()] = true;
     let mut out = Vec::with_capacity(2 * len);
@@ -183,8 +187,7 @@ mod tests {
         let len = scan.chains[0].len();
         let pattern = flush_vec(len);
         for pos in 0..len {
-            let image =
-                flush_unload(&scan, 0, Some((pos, ChainDefect::StuckAt(true))), &pattern);
+            let image = flush_unload(&scan, 0, Some((pos, ChainDefect::StuckAt(true))), &pattern);
             let d = diagnose_chain(&scan, 0, &image, &pattern)
                 .unwrap_or_else(|| panic!("defect at {pos} not flagged"));
             assert_eq!(d.defect, ChainDefect::StuckAt(true));

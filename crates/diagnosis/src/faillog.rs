@@ -1,6 +1,7 @@
 //! Failure logs: the tester-side artifact consumed by diagnosis.
 
-use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
 
 use dft_fault::Fault;
 use dft_logicsim::{FaultSim, PatternSet};
@@ -8,7 +9,7 @@ use dft_netlist::Netlist;
 
 /// One failing pattern: which observation points (combinational sinks, in
 /// [`Netlist::combinational_sinks`] order) miscompared.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternFail {
     /// Index of the failing pattern in the applied set.
     pub pattern: u32,
@@ -17,12 +18,29 @@ pub struct PatternFail {
 }
 
 /// A tester failure log for one die.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FailureLog {
     /// Failing patterns in application order. Patterns absent from the
     /// list passed.
     pub fails: Vec<PatternFail>,
 }
+
+/// A malformed failure-log JSON document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the problem in the input.
+    pub offset: usize,
+    /// What was expected or found.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Error for JsonError {}
 
 impl FailureLog {
     /// `true` when the die passed every pattern.
@@ -48,22 +66,173 @@ impl FailureLog {
     }
 
     /// Serializes to JSON (the interchange format).
-    ///
-    /// # Panics
-    ///
-    /// Never panics for this type (no non-string map keys or non-finite
-    /// floats).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("failure log serializes")
+        let mut out = String::from("{\n  \"fails\": [");
+        for (i, fail) in self.fails.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"pattern\": ");
+            out.push_str(&fail.pattern.to_string());
+            out.push_str(",\n      \"failing_sinks\": [");
+            for (j, s) in fail.failing_sinks.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&s.to_string());
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.fails.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
 
     /// Parses a JSON failure log.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed input.
-    pub fn from_json(s: &str) -> Result<FailureLog, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns a [`JsonError`] describing the first malformed token.
+    pub fn from_json(s: &str) -> Result<FailureLog, JsonError> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let log = p.parse_log()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after document"));
+        }
+        Ok(log)
+    }
+}
+
+/// Minimal recursive-descent parser for the failure-log schema. The
+/// interchange format is a fixed shape (`{"fails": [{"pattern": n,
+/// "failing_sinks": [n, ...]}, ...]}`), so a schema-directed parser is
+/// both smaller and stricter than a generic JSON reader.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_key(&mut self, key: &str) -> Result<(), JsonError> {
+        self.skip_ws();
+        let quoted = format!("\"{key}\"");
+        if self.bytes[self.pos..].starts_with(quoted.as_bytes()) {
+            self.pos += quoted.len();
+            self.expect(b':')
+        } else {
+            Err(self.err(format!("expected key {quoted}")))
+        }
+    }
+
+    fn parse_u32(&mut self) -> Result<u32, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a non-negative integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| self.err("integer out of range for u32"))
+    }
+
+    fn parse_u32_array(&mut self) -> Result<Vec<u32>, JsonError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.parse_u32()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_fail(&mut self) -> Result<PatternFail, JsonError> {
+        self.expect(b'{')?;
+        self.expect_key("pattern")?;
+        let pattern = self.parse_u32()?;
+        self.expect(b',')?;
+        self.expect_key("failing_sinks")?;
+        let failing_sinks = self.parse_u32_array()?;
+        self.expect(b'}')?;
+        Ok(PatternFail {
+            pattern,
+            failing_sinks,
+        })
+    }
+
+    fn parse_log(&mut self) -> Result<FailureLog, JsonError> {
+        self.expect(b'{')?;
+        self.expect_key("fails")?;
+        self.expect(b'[')?;
+        let mut fails = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+        } else {
+            loop {
+                fails.push(self.parse_fail()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected `,` or `]` in fails array")),
+                }
+            }
+        }
+        self.expect(b'}')?;
+        Ok(FailureLog { fails })
     }
 }
 
@@ -112,11 +281,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_log_round_trips() {
+        let log = FailureLog::default();
+        assert_eq!(FailureLog::from_json(&log.to_json()).unwrap(), log);
+    }
+
+    #[test]
+    fn malformed_json_reports_position() {
+        let err = FailureLog::from_json("{\"fails\": [{\"pattern\": }]}").unwrap_err();
+        assert!(err.to_string().contains("integer"), "{err}");
+        assert!(FailureLog::from_json("").is_err());
+        assert!(FailureLog::from_json("{\"fails\": []} extra").is_err());
+    }
+
+    #[test]
     fn undetectable_fault_gives_clean_log() {
         let nl = c17();
         let mut ps = PatternSet::new(5);
         ps.push(vec![true; 5]); // single pattern that misses most faults
-        // Find a fault this pattern does not detect.
+                                // Find a fault this pattern does not detect.
         let sim = FaultSim::new(&nl);
         let fault = dft_fault::universe_stuck_at(&nl)
             .into_iter()

@@ -42,5 +42,5 @@ mod score;
 pub use bridge::{build_bridge_failure_log, diagnose_bridges, BridgeCandidate};
 pub use chain::{diagnose_chain, flush_unload, ChainDefect, ChainDiagnosis};
 pub use dictionary::FaultDictionary;
-pub use faillog::{build_failure_log, FailureLog, PatternFail};
+pub use faillog::{build_failure_log, FailureLog, JsonError, PatternFail};
 pub use score::{diagnose, diagnose_universe, Candidate};

@@ -37,7 +37,12 @@ impl Candidate {
 
 /// Diagnoses a failure log against the full single stuck-at universe of
 /// `nl`, returning up to `top_k` candidates, best first.
-pub fn diagnose(nl: &Netlist, patterns: &PatternSet, log: &FailureLog, top_k: usize) -> Vec<Candidate> {
+pub fn diagnose(
+    nl: &Netlist,
+    patterns: &PatternSet,
+    log: &FailureLog,
+    top_k: usize,
+) -> Vec<Candidate> {
     diagnose_universe(nl, patterns, log, universe_stuck_at(nl), top_k)
 }
 
@@ -83,7 +88,11 @@ pub fn diagnose_universe(
             };
             for (start, words, count) in patterns.blocks() {
                 let good = sim.good_sim().eval_block(&words);
-                let mask = if count >= 64 { !0u64 } else { (1u64 << count) - 1 };
+                let mask = if count >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << count) - 1
+                };
                 let (det, _) = sim.detect_word(&good, mask, fault, &mut ws);
                 for k in 0..count {
                     let pattern = (start + k) as u32;
@@ -162,7 +171,12 @@ mod tests {
         for c in &cands {
             let name = &nl.gate(c.fault.site.gate).name;
             assert!(
-                name.contains("fa0") || name.starts_with('a') || name.starts_with('b') || name == "cin" || name.contains("_po") || name.starts_with('s'),
+                name.contains("fa0")
+                    || name.starts_with('a')
+                    || name.starts_with('b')
+                    || name == "cin"
+                    || name.contains("_po")
+                    || name.starts_with('s'),
                 "implausible candidate {name}"
             );
         }

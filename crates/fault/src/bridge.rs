@@ -76,9 +76,7 @@ impl std::fmt::Display for BridgeFault {
 pub fn bridge_universe(nl: &Netlist, neighborhood: usize) -> Vec<BridgeFault> {
     let nets: Vec<GateId> = nl
         .iter()
-        .filter(|(_, g)| {
-            g.kind.is_logic() || matches!(g.kind, GateKind::Input | GateKind::Dff)
-        })
+        .filter(|(_, g)| g.kind.is_logic() || matches!(g.kind, GateKind::Input | GateKind::Dff))
         .map(|(id, _)| id)
         .collect();
     let mut out = Vec::new();
@@ -108,10 +106,22 @@ mod tests {
             b: GateId(1),
             kind,
         };
-        assert_eq!(b(BridgeKind::WiredAnd).faulty_words(0b1100, 0b1010), (0b1000, 0b1000));
-        assert_eq!(b(BridgeKind::WiredOr).faulty_words(0b1100, 0b1010), (0b1110, 0b1110));
-        assert_eq!(b(BridgeKind::ADominates).faulty_words(0b1100, 0b1010), (0b1100, 0b1100));
-        assert_eq!(b(BridgeKind::BDominates).faulty_words(0b1100, 0b1010), (0b1010, 0b1010));
+        assert_eq!(
+            b(BridgeKind::WiredAnd).faulty_words(0b1100, 0b1010),
+            (0b1000, 0b1000)
+        );
+        assert_eq!(
+            b(BridgeKind::WiredOr).faulty_words(0b1100, 0b1010),
+            (0b1110, 0b1110)
+        );
+        assert_eq!(
+            b(BridgeKind::ADominates).faulty_words(0b1100, 0b1010),
+            (0b1100, 0b1100)
+        );
+        assert_eq!(
+            b(BridgeKind::BDominates).faulty_words(0b1100, 0b1010),
+            (0b1010, 0b1010)
+        );
     }
 
     #[test]

@@ -98,12 +98,12 @@ impl Dsu {
         if ra != rb {
             // Prefer output-site, lower-id representatives for stable,
             // human-friendly collapsed lists.
-            let (keep, drop) = if (ra.site.pin.is_none(), ra.site) <= (rb.site.pin.is_none(), rb.site)
-            {
-                (rb, ra)
-            } else {
-                (ra, rb)
-            };
+            let (keep, drop) =
+                if (ra.site.pin.is_none(), ra.site) <= (rb.site.pin.is_none(), rb.site) {
+                    (rb, ra)
+                } else {
+                    (ra, rb)
+                };
             self.parent.insert(drop, keep);
         }
     }
@@ -135,7 +135,10 @@ pub fn collapse_equivalent(nl: &Netlist, faults: &[Fault]) -> CollapsedFaults {
             GateKind::Nor => (true, false),
             GateKind::Buf | GateKind::Dff => {
                 for v in [false, true] {
-                    dsu.union(Fault::stuck_at_input(id, 0, v), Fault::stuck_at_output(id, v));
+                    dsu.union(
+                        Fault::stuck_at_input(id, 0, v),
+                        Fault::stuck_at_output(id, v),
+                    );
                 }
                 continue;
             }

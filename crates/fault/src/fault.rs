@@ -195,7 +195,7 @@ mod tests {
         let f1 = Fault::stuck_at_output(GateId(1), false);
         let f2 = Fault::stuck_at_output(GateId(1), true);
         let f3 = Fault::stuck_at_input(GateId(1), 0, false);
-        let mut v = vec![f3, f2, f1];
+        let mut v = [f3, f2, f1];
         v.sort();
         assert_eq!(v[0], f1);
     }

@@ -52,7 +52,10 @@ pub fn universe_stuck_at_checkpoints(nl: &Netlist) -> Vec<Fault> {
             faults.push(Fault::stuck_at_output(id, false));
             faults.push(Fault::stuck_at_output(id, true));
         }
-        if matches!(g.kind, GateKind::Output | GateKind::Const0 | GateKind::Const1) {
+        if matches!(
+            g.kind,
+            GateKind::Output | GateKind::Const0 | GateKind::Const1
+        ) {
             continue;
         }
         for pin in 0..g.fanins.len() {

@@ -154,7 +154,7 @@ mod tests {
         b.set(2, false);
         assert!(a.compatible(&b));
         a.merge(&b);
-        assert_eq!(a.to_string(), "11" .to_owned() + "0X");
+        assert_eq!(a.to_string(), "11".to_owned() + "0X");
         let mut c = TestCube::all_x(4);
         c.set(0, false);
         assert!(!a.compatible(&c));

@@ -58,10 +58,7 @@ impl<'a> DeductiveSim<'a> {
                 FaultSite { gate, pin: None } => {
                     out_faults.entry(gate).or_default().push((i as u32, stuck))
                 }
-                FaultSite {
-                    gate,
-                    pin: Some(p),
-                } => pin_faults
+                FaultSite { gate, pin: Some(p) } => pin_faults
                     .entry((gate, p))
                     .or_default()
                     .push((i as u32, stuck)),
@@ -75,9 +72,7 @@ impl<'a> DeductiveSim<'a> {
         }
         let mut lists: Vec<HashSet<u32>> = vec![HashSet::new(); nl.num_gates()];
 
-        let add_local = |list: &mut HashSet<u32>,
-                         faults: Option<&Vec<(u32, bool)>>,
-                         good: bool| {
+        let add_local = |list: &mut HashSet<u32>, faults: Option<&Vec<(u32, bool)>>, good: bool| {
             if let Some(fs) = faults {
                 for &(idx, stuck) in fs {
                     if stuck != good {

@@ -35,6 +35,7 @@
 
 mod cube;
 mod deductive;
+pub mod exec;
 mod fivesim;
 mod goodsim;
 mod patterns;
@@ -44,6 +45,7 @@ mod transition;
 
 pub use cube::TestCube;
 pub use deductive::DeductiveSim;
+pub use exec::{Executor, Parallelism};
 pub use fivesim::FiveSim;
 pub use goodsim::GoodSim;
 pub use patterns::{Pattern, PatternSet, Response};

@@ -15,7 +15,7 @@
 use dft_fault::{Fault, FaultList, FaultSite};
 use dft_netlist::{GateId, GateKind, Netlist};
 
-use crate::{GoodSim, Pattern, PatternSet};
+use crate::{Executor, GoodSim, Pattern, PatternSet};
 
 /// Summary counters from a fault-simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -156,21 +156,43 @@ impl<'a> FaultSim<'a> {
         stats
     }
 
-    /// Multi-threaded variant of [`FaultSim::run`]: good-machine values
-    /// are computed once per block, then the undetected faults are
-    /// partitioned across `threads` workers (each with its own
-    /// workspace). Detection results are identical to the serial run —
-    /// every fault still records its *first* detecting pattern.
+    /// Multi-threaded variant of [`FaultSim::run`], partitioning the
+    /// undetected faults across `threads` workers. See
+    /// [`FaultSim::run_with`] for the determinism contract.
     pub fn run_parallel(
         &self,
         patterns: &PatternSet,
         list: &mut FaultList,
         threads: usize,
     ) -> SimStats {
-        let threads = threads.max(1);
+        self.run_with(patterns, list, &Executor::with_threads(threads))
+    }
+
+    /// Runs all `patterns` against the undetected faults in `list` on
+    /// `exec`'s worker pool: good-machine values are computed once per
+    /// block, then the undetected faults are partitioned across the
+    /// workers (each with its own workspace) and the per-chunk results
+    /// merged in fault order.
+    ///
+    /// **Determinism contract:** the outcome — detected-fault set,
+    /// first-detecting pattern per fault, and every [`SimStats`] counter —
+    /// is bit-identical to [`FaultSim::run`] for any thread count.
+    pub fn run_with(
+        &self,
+        patterns: &PatternSet,
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
+        // Below this many fault×pattern propagations the spawn/merge cost
+        // dominates; the serial path is both faster and trivially correct.
+        const PARALLEL_THRESHOLD: usize = 1 << 12;
+        let active: Vec<usize> = list.undetected().collect();
+        if exec.is_serial() || active.len() * patterns.len() < PARALLEL_THRESHOLD {
+            return self.run(patterns, list);
+        }
         let mut stats = SimStats {
             patterns: patterns.len(),
-            faults_simulated: list.undetected().count(),
+            faults_simulated: active.len(),
             ..SimStats::default()
         };
         // Precompute good values for every block (shared read-only).
@@ -179,44 +201,32 @@ impl<'a> FaultSim<'a> {
             .iter()
             .map(|(_, words, _)| self.sim.eval_block(words))
             .collect();
-        let active: Vec<usize> = list.undetected().collect();
-        let chunk = active.len().div_ceil(threads).max(1);
         let num_gates = self.sim.netlist().num_gates();
-        let results: Vec<(usize, u32, u64)> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in active.chunks(chunk) {
-                let faults: Vec<(usize, Fault)> =
-                    part.iter().map(|&i| (i, list.faults()[i])).collect();
-                let goods = &goods;
-                let blocks = &blocks;
-                handles.push(scope.spawn(move || {
-                    let mut ws = SimWorkspace::new(num_gates);
-                    let mut out = Vec::new();
-                    let mut evals = 0u64;
-                    'fault: for (idx, fault) in faults {
-                        for ((start, _, count), good) in blocks.iter().zip(goods) {
-                            let mask = block_mask(*count);
-                            let (det, e) = self.detect_word(good, mask, fault, &mut ws);
-                            evals += e;
-                            if det != 0 {
-                                out.push((idx, *start as u32 + det.trailing_zeros(), 0));
-                                continue 'fault;
-                            }
-                        }
+        let faults = list.faults();
+        // One result per chunk, in chunk (= fault) order: the detections
+        // of that chunk plus its gate-evaluation count.
+        type ChunkResult = (Vec<(usize, u32)>, u64);
+        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |_, part| {
+            let mut ws = SimWorkspace::new(num_gates);
+            let mut detections = Vec::new();
+            let mut evals = 0u64;
+            'fault: for &idx in part {
+                let fault = faults[idx];
+                for ((start, _, count), good) in blocks.iter().zip(&goods) {
+                    let mask = block_mask(*count);
+                    let (det, e) = self.detect_word(good, mask, fault, &mut ws);
+                    evals += e;
+                    if det != 0 {
+                        detections.push((idx, *start as u32 + det.trailing_zeros()));
+                        continue 'fault;
                     }
-                    out.push((usize::MAX, 0, evals)); // sentinel carrying evals
-                    out
-                }));
+                }
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("fault-sim worker panicked"))
-                .collect()
+            (detections, evals)
         });
-        for (idx, pattern, evals) in results {
-            if idx == usize::MAX {
-                stats.gate_evals += evals;
-            } else {
+        for (detections, evals) in chunks {
+            stats.gate_evals += evals;
+            for (idx, pattern) in detections {
                 list.mark_detected(idx, pattern);
                 stats.detected += 1;
             }
@@ -236,7 +246,11 @@ impl<'a> FaultSim<'a> {
         ws: &mut SimWorkspace,
     ) -> (u64, u64) {
         let nl = self.sim.netlist();
-        let forced = if fault.kind.stuck_value() { !0u64 } else { 0u64 };
+        let forced = if fault.kind.stuck_value() {
+            !0u64
+        } else {
+            0u64
+        };
 
         // Activation check: the site must differ from its good value on at
         // least one pattern in the block.

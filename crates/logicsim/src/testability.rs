@@ -304,7 +304,9 @@ pub fn scoap(nl: &Netlist) -> Scoap {
                             1 => cc0[r.fanins[0].index()],
                             _ => cc1[r.fanins[0].index()],
                         };
-                        co[reader_id.index()].saturating_add(extra).saturating_add(1)
+                        co[reader_id.index()]
+                            .saturating_add(extra)
+                            .saturating_add(1)
                     }
                     GateKind::Input | GateKind::Const0 | GateKind::Const1 => INF,
                 };

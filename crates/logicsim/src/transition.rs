@@ -10,8 +10,8 @@
 use dft_fault::{Fault, FaultList};
 use dft_netlist::Netlist;
 
-use crate::{FaultSim, Pattern, PatternSet};
 use crate::ppsfp::SimWorkspace;
+use crate::{Executor, FaultSim, Pattern, PatternSet};
 
 /// A transition-fault simulator: wraps the stuck-at PPSFP engine with the
 /// launch-cycle initialization condition.
@@ -92,7 +92,11 @@ impl<'a> TransitionSim<'a> {
             }
             let good1 = self.sim.good_sim().eval_block(&w1);
             let good2 = self.sim.good_sim().eval_block(&w2);
-            let mask = if count >= 64 { !0u64 } else { (1u64 << count) - 1 };
+            let mask = if count >= 64 {
+                !0u64
+            } else {
+                (1u64 << count) - 1
+            };
             let active: Vec<usize> = list.undetected().collect();
             for idx in active {
                 let fault = list.faults()[idx];
@@ -124,6 +128,100 @@ impl<'a> TransitionSim<'a> {
                 }
             }
             start += count;
+        }
+    }
+
+    /// Runs all pattern pairs against the undetected faults in `list` on
+    /// `exec`'s worker pool: launch/capture good-machine values are
+    /// computed once per 64-pair block, then the faults are partitioned
+    /// across the workers and merged in fault order. Detection results —
+    /// including each fault's first detecting pair — are bit-identical to
+    /// [`TransitionSim::run`] for any thread count.
+    pub fn run_with(&self, pairs: &[(Pattern, Pattern)], list: &mut FaultList, exec: &Executor) {
+        const PARALLEL_THRESHOLD: usize = 1 << 12;
+        let active: Vec<usize> = list.undetected().collect();
+        if exec.is_serial() || active.len() * pairs.len() < PARALLEL_THRESHOLD {
+            return self.run(pairs, list);
+        }
+        let nl = self.sim.good_sim().netlist();
+        // Precompute launch/capture good values for every 64-pair block.
+        struct Block {
+            start: usize,
+            good1: Vec<u64>,
+            good2: Vec<u64>,
+            mask: u64,
+        }
+        let width = pairs[0].0.len();
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        while start < pairs.len() {
+            let count = (pairs.len() - start).min(64);
+            let mut w1 = vec![0u64; width];
+            let mut w2 = vec![0u64; width];
+            for k in 0..count {
+                let (l, c) = &pairs[start + k];
+                for s in 0..width {
+                    if l[s] {
+                        w1[s] |= 1 << k;
+                    }
+                    if c[s] {
+                        w2[s] |= 1 << k;
+                    }
+                }
+            }
+            blocks.push(Block {
+                start,
+                good1: self.sim.good_sim().eval_block(&w1),
+                good2: self.sim.good_sim().eval_block(&w2),
+                mask: if count >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << count) - 1
+                },
+            });
+            start += count;
+        }
+        let faults = list.faults();
+        let num_gates = nl.num_gates();
+        let detections: Vec<Vec<(usize, u32)>> = exec.map_chunks(&active, |_, part| {
+            let mut ws = SimWorkspace::new(num_gates);
+            let mut out = Vec::new();
+            'fault: for &idx in part {
+                let fault = faults[idx];
+                let lvv = match fault.kind.launch_value() {
+                    Some(v) => v,
+                    None => continue, // not a transition fault
+                };
+                let site = fault.site.net(nl);
+                let stuck = Fault {
+                    site: fault.site,
+                    kind: if fault.kind.stuck_value() {
+                        dft_fault::FaultKind::StuckAt1
+                    } else {
+                        dft_fault::FaultKind::StuckAt0
+                    },
+                };
+                for b in &blocks {
+                    let launch_ok = (if lvv {
+                        b.good1[site.index()]
+                    } else {
+                        !b.good1[site.index()]
+                    }) & b.mask;
+                    if launch_ok == 0 {
+                        continue;
+                    }
+                    let (det, _) = self.sim.detect_word(&b.good2, b.mask, stuck, &mut ws);
+                    let det = det & launch_ok;
+                    if det != 0 {
+                        out.push((idx, b.start as u32 + det.trailing_zeros()));
+                        continue 'fault;
+                    }
+                }
+            }
+            out
+        });
+        for (idx, pattern) in detections.into_iter().flatten() {
+            list.mark_detected(idx, pattern);
         }
     }
 
@@ -226,6 +324,30 @@ mod tests {
             let r = sim.simulate(l);
             for ff in 0..4 {
                 assert_eq!(c[1 + ff], r[4 + ff]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let nl = ripple_adder(8);
+        let sim = TransitionSim::new(&nl);
+        let ps = PatternSet::random(&nl, 96, 11);
+        let pairs: Vec<(Pattern, Pattern)> = (0..ps.len() - 1)
+            .map(|i| (ps.pattern(i).clone(), ps.pattern(i + 1).clone()))
+            .collect();
+        let faults = universe_transition(&nl);
+        let mut serial = FaultList::new(faults.clone());
+        sim.run(&pairs, &mut serial);
+        for threads in [1usize, 2, 3, 8] {
+            let mut par = FaultList::new(faults.clone());
+            sim.run_with(&pairs, &mut par, &Executor::with_threads(threads));
+            for i in 0..faults.len() {
+                assert_eq!(
+                    serial.status(i),
+                    par.status(i),
+                    "threads={threads} fault {i}"
+                );
             }
         }
     }

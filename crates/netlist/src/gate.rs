@@ -119,7 +119,11 @@ impl GateKind {
     pub fn is_logic(self) -> bool {
         !matches!(
             self,
-            GateKind::Input | GateKind::Output | GateKind::Dff | GateKind::Const0 | GateKind::Const1
+            GateKind::Input
+                | GateKind::Output
+                | GateKind::Dff
+                | GateKind::Const0
+                | GateKind::Const1
         )
     }
 

@@ -115,21 +115,20 @@ pub fn array_multiplier_bus(nl: &mut Netlist, a: &[GateId], b: &[GateId], tag: &
     let mut product: Bus = Vec::with_capacity(2 * w);
     product.push(pp[0][0]);
     let mut acc: Vec<GateId> = pp[0][1..].to_vec(); // w-1 bits, weight 2^1..
-    for j in 1..w {
+    for (j, row) in pp.iter().enumerate().skip(1) {
         // Add row j (weight starts at 2^j) to acc (weight starts at 2^j).
         // acc currently has w-1 bits; row j has w bits.
-        let row = &pp[j];
         let mut sum_bits = Vec::with_capacity(w);
         let mut carry: Option<GateId> = None;
-        for i in 0..w {
+        for (i, &row_bit) in row.iter().enumerate() {
             let t = format!("{tag}_r{j}c{i}");
             let acc_bit = acc.get(i).copied();
             let (s, co) = match (acc_bit, carry) {
-                (Some(ab), Some(c)) => full_adder(nl, row[i], ab, c, &t),
-                (Some(ab), None) => half_adder(nl, row[i], ab, &t),
-                (None, Some(c)) => half_adder(nl, row[i], c, &t),
+                (Some(ab), Some(c)) => full_adder(nl, row_bit, ab, c, &t),
+                (Some(ab), None) => half_adder(nl, row_bit, ab, &t),
+                (None, Some(c)) => half_adder(nl, row_bit, c, &t),
                 (None, None) => {
-                    sum_bits.push(row[i]);
+                    sum_bits.push(row_bit);
                     continue;
                 }
             };
@@ -184,7 +183,11 @@ pub fn alu(width: usize) -> Netlist {
         let xor = nl.add_gate(GateKind::Xor, vec![a[i], b[i]], &format!("alu_xor{i}"));
         // Two-level mux: op0 picks within pairs, op1 picks between pairs.
         let lo = nl.add_gate(GateKind::Mux2, vec![op0, and, or], &format!("alu_lo{i}"));
-        let hi = nl.add_gate(GateKind::Mux2, vec![op0, xor, add[i]], &format!("alu_hi{i}"));
+        let hi = nl.add_gate(
+            GateKind::Mux2,
+            vec![op0, xor, add[i]],
+            &format!("alu_hi{i}"),
+        );
         let out = nl.add_gate(GateKind::Mux2, vec![op1, lo, hi], &format!("alu_y{i}"));
         y.push(out);
     }
@@ -333,7 +336,13 @@ mod tests {
         let y: Vec<GateId> = (0..8)
             .map(|i| nl.gate(nl.find(&format!("y{i}")).unwrap()).fanins[0])
             .collect();
-        let samples = [(0u64, 0u64), (0xff, 0x0f), (0xaa, 0x55), (0x3c, 0xc3), (7, 200)];
+        let samples = [
+            (0u64, 0u64),
+            (0xff, 0x0f),
+            (0xaa, 0x55),
+            (0x3c, 0xc3),
+            (7, 200),
+        ];
         for &(av, bv) in &samples {
             for op in 0..4u64 {
                 let mut asg = assign_bus(&a, av);

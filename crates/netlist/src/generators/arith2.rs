@@ -42,11 +42,7 @@ pub fn cla_adder(width: usize) -> Netlist {
             for j in (base..i).rev() {
                 let mut ands: Vec<GateId> = (j + 1..=i).map(|k| p[k]).collect();
                 ands.push(g[j]);
-                terms.push(nl.add_gate(
-                    GateKind::And,
-                    ands,
-                    &format!("c{}t{}", i + 1, j),
-                ));
+                terms.push(nl.add_gate(GateKind::And, ands, &format!("c{}t{}", i + 1, j)));
             }
             let mut ands: Vec<GateId> = (base..=i).map(|k| p[k]).collect();
             ands.push(cin_b);
@@ -219,12 +215,8 @@ pub fn popcount(width: usize) -> Netlist {
                         next[ci + 1].push(c);
                     }
                     (Some(y), None) => {
-                        let (s, c) = half_adder(
-                            &mut nl,
-                            x,
-                            y,
-                            &format!("p{stage}c{ci}h{}", next[ci].len()),
-                        );
+                        let (s, c) =
+                            half_adder(&mut nl, x, y, &format!("p{stage}c{ci}h{}", next[ci].len()));
                         next[ci].push(s);
                         next[ci + 1].push(c);
                     }

@@ -150,8 +150,8 @@ pub fn systolic_array(cfg: SystolicConfig) -> Netlist {
     // along columns.
     let mut a_bus = a_in;
     let mut b_cols = b_in;
-    for r in 0..rows {
-        let mut a_cur = a_bus[r].clone();
+    for (r, a_row) in a_bus.iter_mut().enumerate() {
+        let mut a_cur = a_row.clone();
         for (c, b_col) in b_cols.iter_mut().enumerate() {
             let pe = insert_mac_pe(
                 &mut nl,
@@ -165,9 +165,9 @@ pub fn systolic_array(cfg: SystolicConfig) -> Netlist {
             a_cur = pe.a_out;
             *b_col = pe.b_out;
         }
-        a_bus[r] = a_cur;
+        *a_row = a_cur;
         // East edge outputs for the last column.
-        output_bus(&mut nl, &format!("aout{r}_"), &a_bus[r]);
+        output_bus(&mut nl, &format!("aout{r}_"), a_row);
     }
     for (c, b) in b_cols.iter().enumerate() {
         output_bus(&mut nl, &format!("bout{c}_"), b);
@@ -321,7 +321,11 @@ mod tests {
         });
         let st = NetlistStats::of(&nl);
         assert_eq!(st.name, "systolic4x4w4");
-        assert!(st.gates > 2000, "expected a sizable array, got {}", st.gates);
+        assert!(
+            st.gates > 2000,
+            "expected a sizable array, got {}",
+            st.gates
+        );
         assert_eq!(nl.num_dffs(), 16 * (4 + 4 + 12));
         nl.validate().unwrap();
     }

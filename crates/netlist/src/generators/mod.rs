@@ -19,8 +19,8 @@ mod sequential;
 mod trees;
 
 pub use arith::{
-    alu, array_multiplier, array_multiplier_bus, comparator, full_adder, half_adder,
-    ripple_adder, ripple_adder_bus, ripple_subtractor_bus,
+    alu, array_multiplier, array_multiplier_bus, comparator, full_adder, half_adder, ripple_adder,
+    ripple_adder_bus, ripple_subtractor_bus,
 };
 pub use arith2::{barrel_shifter, cla_adder, popcount, wallace_multiplier};
 pub use benchmarks::{benchmark_suite, c17, s27, NamedCircuit};

@@ -23,11 +23,11 @@ pub fn counter(width: usize) -> Netlist {
     // Incrementer: d[i] = q[i] ^ carry[i], carry[0] = en,
     // carry[i+1] = carry[i] & q[i].
     let mut carry = en;
-    for i in 0..width {
-        let d = nl.add_gate(GateKind::Xor, vec![q[i], carry], &format!("d{i}"));
-        nl.rewire_fanin(q[i], 0, d);
+    for (i, &qi) in q.iter().enumerate() {
+        let d = nl.add_gate(GateKind::Xor, vec![qi, carry], &format!("d{i}"));
+        nl.rewire_fanin(qi, 0, d);
         if i + 1 < width {
-            carry = nl.add_gate(GateKind::And, vec![carry, q[i]], &format!("c{}", i + 1));
+            carry = nl.add_gate(GateKind::And, vec![carry, qi], &format!("c{}", i + 1));
         }
     }
     output_bus(&mut nl, "qo", &q);

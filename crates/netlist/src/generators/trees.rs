@@ -35,7 +35,7 @@ pub fn parity_tree(width: usize) -> Netlist {
 /// Builds a `2^sel_bits : 1` multiplexer tree. Inputs: `d0..d{2^n-1}` data
 /// and `s0..s{n-1}` select; output `y`.
 pub fn mux_tree(sel_bits: usize) -> Netlist {
-    assert!(sel_bits >= 1 && sel_bits <= 16);
+    assert!((1..=16).contains(&sel_bits));
     let n = 1usize << sel_bits;
     let mut nl = Netlist::new(format!("mux{n}"));
     let data = input_bus(&mut nl, "d", n);
@@ -61,7 +61,7 @@ pub fn mux_tree(sel_bits: usize) -> Netlist {
 /// each output needs a specific input combination, so they exercise the
 /// deterministic top-off phase of ATPG and test-point insertion in LBIST.
 pub fn decoder(n: usize) -> Netlist {
-    assert!(n >= 1 && n <= 12);
+    assert!((1..=12).contains(&n));
     let mut nl = Netlist::new(format!("dec{n}"));
     let a = input_bus(&mut nl, "a", n);
     let en = nl.add_input("en");

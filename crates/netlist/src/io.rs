@@ -151,8 +151,7 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist, NetlistError> {
     while !remaining.is_empty() {
         let before = remaining.len();
         remaining.retain(|(net, kind, args)| {
-            let fanins: Option<Vec<GateId>> =
-                args.iter().map(|a| placed.get(a).copied()).collect();
+            let fanins: Option<Vec<GateId>> = args.iter().map(|a| placed.get(a).copied()).collect();
             match fanins {
                 Some(f) => {
                     if placed.contains_key(net) {
@@ -215,11 +214,7 @@ pub fn write_bench(nl: &Netlist) -> String {
                 out.push_str(&format!("{} = {}()\n", g.name, g.kind.bench_name()));
             }
             _ => {
-                let args: Vec<&str> = g
-                    .fanins
-                    .iter()
-                    .map(|&f| nl.gate(f).name.as_str())
-                    .collect();
+                let args: Vec<&str> = g.fanins.iter().map(|&f| nl.gate(f).name.as_str()).collect();
                 out.push_str(&format!(
                     "{} = {}({})\n",
                     g.name,

@@ -99,7 +99,10 @@ impl Logic {
 
     /// Five-valued OR.
     pub fn or(self, rhs: Logic) -> Logic {
-        Logic::from_pair(or3(self.good(), rhs.good()), or3(self.faulty(), rhs.faulty()))
+        Logic::from_pair(
+            or3(self.good(), rhs.good()),
+            or3(self.faulty(), rhs.faulty()),
+        )
     }
 
     /// Five-valued XOR.
@@ -255,9 +258,21 @@ mod tests {
         }
         for a in Logic::ALL {
             for b in Logic::ALL {
-                check(a.and(b), and3(a.good(), b.good()), and3(a.faulty(), b.faulty()));
-                check(a.or(b), or3(a.good(), b.good()), or3(a.faulty(), b.faulty()));
-                check(a.xor(b), xor3(a.good(), b.good()), xor3(a.faulty(), b.faulty()));
+                check(
+                    a.and(b),
+                    and3(a.good(), b.good()),
+                    and3(a.faulty(), b.faulty()),
+                );
+                check(
+                    a.or(b),
+                    or3(a.good(), b.good()),
+                    or3(a.faulty(), b.faulty()),
+                );
+                check(
+                    a.xor(b),
+                    xor3(a.good(), b.good()),
+                    xor3(a.faulty(), b.faulty()),
+                );
             }
         }
     }

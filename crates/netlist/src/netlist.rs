@@ -277,7 +277,8 @@ impl Netlist {
                 if !self.gates[f.index()].fanouts.contains(&id) {
                     return Err(NetlistError::UndefinedNet(format!(
                         "{} missing fanout link to {}",
-                        self.gates[f.index()].name, g.name
+                        self.gates[f.index()].name,
+                        g.name
                     )));
                 }
             }
@@ -360,7 +361,9 @@ mod tests {
     fn bad_arity_is_reported() {
         let mut nl = Netlist::new("t");
         let a = nl.add_input("a");
-        let err = nl.try_add_gate(GateKind::Not, vec![a, a], "bad").unwrap_err();
+        let err = nl
+            .try_add_gate(GateKind::Not, vec![a, a], "bad")
+            .unwrap_err();
         assert!(matches!(err, NetlistError::BadArity { got: 2, .. }));
         let err = nl.try_add_gate(GateKind::And, vec![], "bad2").unwrap_err();
         assert!(matches!(err, NetlistError::BadArity { got: 0, .. }));

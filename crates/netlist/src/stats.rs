@@ -38,7 +38,9 @@ impl NetlistStats {
                 stems += 1;
             }
         }
-        let depth = Levelization::compute(nl).map(|l| l.max_level()).unwrap_or(0);
+        let depth = Levelization::compute(nl)
+            .map(|l| l.max_level())
+            .unwrap_or(0);
         NetlistStats {
             name: nl.name().to_owned(),
             gates: nl.num_gates(),
@@ -79,7 +81,7 @@ pub fn kind_histogram(nl: &Netlist) -> Vec<(GateKind, usize)> {
             None => counts.push((g.kind, 1)),
         }
     }
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     counts
 }
 

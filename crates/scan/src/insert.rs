@@ -16,6 +16,21 @@ impl Default for ScanConfig {
     }
 }
 
+impl ScanConfig {
+    /// The default configuration, as a builder seed: chain the setters
+    /// below, e.g. `ScanConfig::new().num_chains(8)`. All fields remain
+    /// public for direct struct updates.
+    pub fn new() -> ScanConfig {
+        ScanConfig::default()
+    }
+
+    /// Sets the scan-chain count.
+    pub fn num_chains(mut self, chains: usize) -> ScanConfig {
+        self.num_chains = chains;
+        self
+    }
+}
+
 /// The result of scan insertion.
 #[derive(Debug)]
 pub struct ScanInsertion {
@@ -94,8 +109,8 @@ impl ScanInsertion {
         // so output at time t equals input at time t - chain_len.
         for (c, chain) in self.chains.iter().enumerate() {
             let lat = chain.len();
-            for t in lat..2 * len {
-                if outputs[c][t] != seq(c, t - lat) {
+            for (t, &bit) in outputs[c].iter().enumerate().take(2 * len).skip(lat) {
+                if bit != seq(c, t - lat) {
                     return false;
                 }
             }
@@ -220,7 +235,9 @@ mod tests {
         let snl = &scan.netlist;
         let lv = Levelization::compute(snl).unwrap();
         let en = snl.find("en").unwrap();
-        let q: Vec<GateId> = (0..4).map(|i| snl.find(&format!("q{i}")).unwrap()).collect();
+        let q: Vec<GateId> = (0..4)
+            .map(|i| snl.find(&format!("q{i}")).unwrap())
+            .collect();
         let mut state = vec![false; snl.num_gates()];
         state[en.index()] = true;
         for clock in 0..20u64 {
@@ -264,10 +281,7 @@ mod tests {
         });
         let flops = nl.num_dffs();
         let scan = insert_scan(&nl, &ScanConfig { num_chains: 4 });
-        assert_eq!(
-            scan.chains.iter().map(|c| c.len()).sum::<usize>(),
-            flops
-        );
+        assert_eq!(scan.chains.iter().map(|c| c.len()).sum::<usize>(), flops);
         assert!(scan.verify_chains());
         let st = NetlistStats::of(&scan.netlist);
         assert_eq!(st.dffs, flops);

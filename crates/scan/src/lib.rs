@@ -25,6 +25,6 @@ mod insert;
 mod partial;
 mod timing;
 
-pub use partial::{select_partial_scan, PartialScanPlan};
 pub use insert::{insert_scan, ScanConfig, ScanInsertion};
+pub use partial::{select_partial_scan, PartialScanPlan};
 pub use timing::{chain_loads, expected_unloads, TestTimeModel};

@@ -52,9 +52,7 @@ fn s_graph(nl: &Netlist) -> Vec<Vec<usize>> {
                 })
                 .collect();
             // Self loop: Q reaches own D.
-            if fanout_cone(nl, f).iter().skip(1).any(|&g| g == f)
-                || reaches_own_d(nl, f)
-            {
+            if fanout_cone(nl, f).iter().skip(1).any(|&g| g == f) || reaches_own_d(nl, f) {
                 out.push(index[&f]);
             }
             out.sort_unstable();
@@ -180,7 +178,7 @@ pub fn select_partial_scan(nl: &Netlist) -> PartialScanPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dft_netlist::generators::{counter, mac_pe, shift_register, s27};
+    use dft_netlist::generators::{counter, mac_pe, s27, shift_register};
 
     #[test]
     fn shift_register_needs_no_scan() {

@@ -39,7 +39,11 @@ fn main() {
             c.tfsf,
             c.tpsf,
             c.tfsp,
-            if c.fault == defect { "   <== injected defect" } else { "" }
+            if c.fault == defect {
+                "   <== injected defect"
+            } else {
+                ""
+            }
         );
     }
     let hit = candidates

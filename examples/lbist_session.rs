@@ -41,7 +41,10 @@ fn main() {
     let hex: String = golden
         .chunks(4)
         .map(|c| {
-            let v = c.iter().enumerate().fold(0u8, |a, (i, &b)| a | ((b as u8) << i));
+            let v = c
+                .iter()
+                .enumerate()
+                .fold(0u8, |a, (i, &b)| a | ((b as u8) << i));
             char::from_digit(v as u32, 16).unwrap()
         })
         .collect();

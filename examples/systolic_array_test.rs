@@ -45,9 +45,7 @@ fn main() {
     let crit = criticality_sweep(&model, cfg.rows, cfg.cols, &data, 16);
     println!("accuracy under injected PE product-bit faults:");
     for class in FaultSiteClass::ALL {
-        if let Some((_, mean, worst, n)) =
-            crit.per_class.iter().find(|(c, ..)| *c == class)
-        {
+        if let Some((_, mean, worst, n)) = crit.per_class.iter().find(|(c, ..)| *c == class) {
             println!(
                 "  {:<10} mean {:.1}%  worst {:.1}%  ({n} faults)",
                 class.name(),

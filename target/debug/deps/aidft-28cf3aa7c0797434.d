@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aidft-28cf3aa7c0797434.d: crates/core/src/bin/aidft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaidft-28cf3aa7c0797434.rmeta: crates/core/src/bin/aidft.rs Cargo.toml
+
+crates/core/src/bin/aidft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

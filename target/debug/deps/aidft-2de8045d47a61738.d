@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aidft-2de8045d47a61738.d: crates/core/src/bin/aidft.rs
+
+/root/repo/target/debug/deps/aidft-2de8045d47a61738: crates/core/src/bin/aidft.rs
+
+crates/core/src/bin/aidft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aidft-3eabeae67f797231.d: crates/core/src/bin/aidft.rs
+
+/root/repo/target/debug/deps/aidft-3eabeae67f797231: crates/core/src/bin/aidft.rs
+
+crates/core/src/bin/aidft.rs:

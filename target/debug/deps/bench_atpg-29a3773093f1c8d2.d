@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_atpg-29a3773093f1c8d2.d: crates/bench/benches/bench_atpg.rs
+
+/root/repo/target/debug/deps/bench_atpg-29a3773093f1c8d2: crates/bench/benches/bench_atpg.rs
+
+crates/bench/benches/bench_atpg.rs:

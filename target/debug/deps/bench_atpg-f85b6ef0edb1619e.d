@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_atpg-f85b6ef0edb1619e.d: crates/bench/benches/bench_atpg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_atpg-f85b6ef0edb1619e.rmeta: crates/bench/benches/bench_atpg.rs Cargo.toml
+
+crates/bench/benches/bench_atpg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

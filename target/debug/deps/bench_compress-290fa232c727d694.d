@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_compress-290fa232c727d694.d: crates/bench/benches/bench_compress.rs
+
+/root/repo/target/debug/deps/bench_compress-290fa232c727d694: crates/bench/benches/bench_compress.rs
+
+crates/bench/benches/bench_compress.rs:

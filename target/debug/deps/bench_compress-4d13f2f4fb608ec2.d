@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_compress-4d13f2f4fb608ec2.d: crates/bench/benches/bench_compress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_compress-4d13f2f4fb608ec2.rmeta: crates/bench/benches/bench_compress.rs Cargo.toml
+
+crates/bench/benches/bench_compress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_inference-1391d6daad91334d.d: crates/bench/benches/bench_inference.rs
+
+/root/repo/target/debug/deps/bench_inference-1391d6daad91334d: crates/bench/benches/bench_inference.rs
+
+crates/bench/benches/bench_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_inference-6343a1080b20d20a.d: crates/bench/benches/bench_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_inference-6343a1080b20d20a.rmeta: crates/bench/benches/bench_inference.rs Cargo.toml
+
+crates/bench/benches/bench_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

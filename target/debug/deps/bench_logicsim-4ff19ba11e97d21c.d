@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_logicsim-4ff19ba11e97d21c.d: crates/bench/benches/bench_logicsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_logicsim-4ff19ba11e97d21c.rmeta: crates/bench/benches/bench_logicsim.rs Cargo.toml
+
+crates/bench/benches/bench_logicsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

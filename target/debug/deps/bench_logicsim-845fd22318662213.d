@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_logicsim-845fd22318662213.d: crates/bench/benches/bench_logicsim.rs
+
+/root/repo/target/debug/deps/bench_logicsim-845fd22318662213: crates/bench/benches/bench_logicsim.rs
+
+crates/bench/benches/bench_logicsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_march-001dd7d083941d01.d: crates/bench/benches/bench_march.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_march-001dd7d083941d01.rmeta: crates/bench/benches/bench_march.rs Cargo.toml
+
+crates/bench/benches/bench_march.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

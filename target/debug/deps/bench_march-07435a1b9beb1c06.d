@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_march-07435a1b9beb1c06.d: crates/bench/benches/bench_march.rs
+
+/root/repo/target/debug/deps/bench_march-07435a1b9beb1c06: crates/bench/benches/bench_march.rs
+
+crates/bench/benches/bench_march.rs:

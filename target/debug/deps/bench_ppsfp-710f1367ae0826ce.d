@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_ppsfp-710f1367ae0826ce.d: crates/bench/benches/bench_ppsfp.rs
+
+/root/repo/target/debug/deps/bench_ppsfp-710f1367ae0826ce: crates/bench/benches/bench_ppsfp.rs
+
+crates/bench/benches/bench_ppsfp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ppsfp-94bc713c9eede031.d: crates/bench/benches/bench_ppsfp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ppsfp-94bc713c9eede031.rmeta: crates/bench/benches/bench_ppsfp.rs Cargo.toml
+
+crates/bench/benches/bench_ppsfp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dft_aichip-0d58bebd119673cb.d: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_aichip-0d58bebd119673cb.rmeta: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs Cargo.toml
+
+crates/aichip/src/lib.rs:
+crates/aichip/src/criticality.rs:
+crates/aichip/src/hier.rs:
+crates/aichip/src/inference.rs:
+crates/aichip/src/ssn.rs:
+crates/aichip/src/wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dft_aichip-1ca2b208140f2289.d: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+/root/repo/target/debug/deps/libdft_aichip-1ca2b208140f2289.rlib: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+/root/repo/target/debug/deps/libdft_aichip-1ca2b208140f2289.rmeta: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+crates/aichip/src/lib.rs:
+crates/aichip/src/criticality.rs:
+crates/aichip/src/hier.rs:
+crates/aichip/src/inference.rs:
+crates/aichip/src/ssn.rs:
+crates/aichip/src/wrapper.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dft_aichip-a58c4389d8a8f58c.d: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+/root/repo/target/debug/deps/dft_aichip-a58c4389d8a8f58c: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+crates/aichip/src/lib.rs:
+crates/aichip/src/criticality.rs:
+crates/aichip/src/hier.rs:
+crates/aichip/src/inference.rs:
+crates/aichip/src/ssn.rs:
+crates/aichip/src/wrapper.rs:

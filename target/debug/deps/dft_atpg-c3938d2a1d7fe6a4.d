@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dft_atpg-c3938d2a1d7fe6a4.d: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+/root/repo/target/debug/deps/dft_atpg-c3938d2a1d7fe6a4: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compact.rs:
+crates/atpg/src/dalg.rs:
+crates/atpg/src/driver.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/twoframe.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dft_atpg-d0d5984140512ce7.d: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+/root/repo/target/debug/deps/libdft_atpg-d0d5984140512ce7.rlib: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+/root/repo/target/debug/deps/libdft_atpg-d0d5984140512ce7.rmeta: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compact.rs:
+crates/atpg/src/dalg.rs:
+crates/atpg/src/driver.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/twoframe.rs:

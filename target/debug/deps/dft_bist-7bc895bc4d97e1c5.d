@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dft_bist-7bc895bc4d97e1c5.d: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+/root/repo/target/debug/deps/dft_bist-7bc895bc4d97e1c5: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/logic.rs:
+crates/bist/src/march.rs:
+crates/bist/src/memory.rs:
+crates/bist/src/stumps.rs:
+crates/bist/src/testpoints.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dft_bist-f051ec108d436fcc.d: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_bist-f051ec108d436fcc.rmeta: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs Cargo.toml
+
+crates/bist/src/lib.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/logic.rs:
+crates/bist/src/march.rs:
+crates/bist/src/memory.rs:
+crates/bist/src/stumps.rs:
+crates/bist/src/testpoints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

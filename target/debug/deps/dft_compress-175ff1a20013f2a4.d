@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dft_compress-175ff1a20013f2a4.d: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+/root/repo/target/debug/deps/libdft_compress-175ff1a20013f2a4.rlib: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+/root/repo/target/debug/deps/libdft_compress-175ff1a20013f2a4.rmeta: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/broadcast.rs:
+crates/compress/src/edt.rs:
+crates/compress/src/gf2.rs:
+crates/compress/src/misr.rs:
+crates/compress/src/ring.rs:

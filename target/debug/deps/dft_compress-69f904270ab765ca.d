@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dft_compress-69f904270ab765ca.d: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_compress-69f904270ab765ca.rmeta: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs Cargo.toml
+
+crates/compress/src/lib.rs:
+crates/compress/src/broadcast.rs:
+crates/compress/src/edt.rs:
+crates/compress/src/gf2.rs:
+crates/compress/src/misr.rs:
+crates/compress/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

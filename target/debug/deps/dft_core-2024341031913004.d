@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dft_core-2024341031913004.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_core-2024341031913004.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dft_core-8c565e4c98066908.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+/root/repo/target/debug/deps/dft_core-8c565e4c98066908: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dft_core-da40dddd9beb7a14.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+/root/repo/target/debug/deps/libdft_core-da40dddd9beb7a14.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+/root/repo/target/debug/deps/libdft_core-da40dddd9beb7a14.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:

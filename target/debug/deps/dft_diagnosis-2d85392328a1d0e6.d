@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dft_diagnosis-2d85392328a1d0e6.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_diagnosis-2d85392328a1d0e6.rmeta: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs Cargo.toml
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/bridge.rs:
+crates/diagnosis/src/chain.rs:
+crates/diagnosis/src/dictionary.rs:
+crates/diagnosis/src/faillog.rs:
+crates/diagnosis/src/score.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

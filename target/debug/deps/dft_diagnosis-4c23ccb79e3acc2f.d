@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dft_diagnosis-4c23ccb79e3acc2f.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+/root/repo/target/debug/deps/libdft_diagnosis-4c23ccb79e3acc2f.rlib: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+/root/repo/target/debug/deps/libdft_diagnosis-4c23ccb79e3acc2f.rmeta: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/bridge.rs:
+crates/diagnosis/src/chain.rs:
+crates/diagnosis/src/dictionary.rs:
+crates/diagnosis/src/faillog.rs:
+crates/diagnosis/src/score.rs:

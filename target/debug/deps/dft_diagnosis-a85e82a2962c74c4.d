@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dft_diagnosis-a85e82a2962c74c4.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+/root/repo/target/debug/deps/dft_diagnosis-a85e82a2962c74c4: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/bridge.rs:
+crates/diagnosis/src/chain.rs:
+crates/diagnosis/src/dictionary.rs:
+crates/diagnosis/src/faillog.rs:
+crates/diagnosis/src/score.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dft_fault-05bcf76022e9a5f1.d: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_fault-05bcf76022e9a5f1.rmeta: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs Cargo.toml
+
+crates/fault/src/lib.rs:
+crates/fault/src/bridge.rs:
+crates/fault/src/collapse.rs:
+crates/fault/src/fault.rs:
+crates/fault/src/list.rs:
+crates/fault/src/universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

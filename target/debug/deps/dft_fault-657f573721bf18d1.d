@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dft_fault-657f573721bf18d1.d: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+/root/repo/target/debug/deps/libdft_fault-657f573721bf18d1.rlib: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+/root/repo/target/debug/deps/libdft_fault-657f573721bf18d1.rmeta: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/bridge.rs:
+crates/fault/src/collapse.rs:
+crates/fault/src/fault.rs:
+crates/fault/src/list.rs:
+crates/fault/src/universe.rs:

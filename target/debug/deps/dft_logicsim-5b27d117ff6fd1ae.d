@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dft_logicsim-5b27d117ff6fd1ae.d: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+/root/repo/target/debug/deps/libdft_logicsim-5b27d117ff6fd1ae.rlib: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+/root/repo/target/debug/deps/libdft_logicsim-5b27d117ff6fd1ae.rmeta: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+crates/logicsim/src/lib.rs:
+crates/logicsim/src/cube.rs:
+crates/logicsim/src/deductive.rs:
+crates/logicsim/src/exec.rs:
+crates/logicsim/src/fivesim.rs:
+crates/logicsim/src/goodsim.rs:
+crates/logicsim/src/patterns.rs:
+crates/logicsim/src/ppsfp.rs:
+crates/logicsim/src/testability.rs:
+crates/logicsim/src/transition.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dft_logicsim-cca3775360f7a2d4.d: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_logicsim-cca3775360f7a2d4.rmeta: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs Cargo.toml
+
+crates/logicsim/src/lib.rs:
+crates/logicsim/src/cube.rs:
+crates/logicsim/src/deductive.rs:
+crates/logicsim/src/exec.rs:
+crates/logicsim/src/fivesim.rs:
+crates/logicsim/src/goodsim.rs:
+crates/logicsim/src/patterns.rs:
+crates/logicsim/src/ppsfp.rs:
+crates/logicsim/src/testability.rs:
+crates/logicsim/src/transition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/dft_netlist-99999c5b277f0d92.d: crates/netlist/src/lib.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/io.rs crates/netlist/src/levelize.rs crates/netlist/src/logic.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/generators/mod.rs crates/netlist/src/generators/arith.rs crates/netlist/src/generators/arith2.rs crates/netlist/src/generators/benchmarks.rs crates/netlist/src/generators/mac.rs crates/netlist/src/generators/random.rs crates/netlist/src/generators/sequential.rs crates/netlist/src/generators/trees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_netlist-99999c5b277f0d92.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/io.rs crates/netlist/src/levelize.rs crates/netlist/src/logic.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/generators/mod.rs crates/netlist/src/generators/arith.rs crates/netlist/src/generators/arith2.rs crates/netlist/src/generators/benchmarks.rs crates/netlist/src/generators/mac.rs crates/netlist/src/generators/random.rs crates/netlist/src/generators/sequential.rs crates/netlist/src/generators/trees.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/io.rs:
+crates/netlist/src/levelize.rs:
+crates/netlist/src/logic.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/generators/mod.rs:
+crates/netlist/src/generators/arith.rs:
+crates/netlist/src/generators/arith2.rs:
+crates/netlist/src/generators/benchmarks.rs:
+crates/netlist/src/generators/mac.rs:
+crates/netlist/src/generators/random.rs:
+crates/netlist/src/generators/sequential.rs:
+crates/netlist/src/generators/trees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

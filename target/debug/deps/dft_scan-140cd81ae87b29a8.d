@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dft_scan-140cd81ae87b29a8.d: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+/root/repo/target/debug/deps/libdft_scan-140cd81ae87b29a8.rlib: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+/root/repo/target/debug/deps/libdft_scan-140cd81ae87b29a8.rmeta: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/insert.rs:
+crates/scan/src/partial.rs:
+crates/scan/src/timing.rs:

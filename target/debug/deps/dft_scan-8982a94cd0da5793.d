@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dft_scan-8982a94cd0da5793.d: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+/root/repo/target/debug/deps/dft_scan-8982a94cd0da5793: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/insert.rs:
+crates/scan/src/partial.rs:
+crates/scan/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dft_scan-bcfe50e5de169571.d: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdft_scan-bcfe50e5de169571.rmeta: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs Cargo.toml
+
+crates/scan/src/lib.rs:
+crates/scan/src/insert.rs:
+crates/scan/src/partial.rs:
+crates/scan/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

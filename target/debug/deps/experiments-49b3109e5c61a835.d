@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/experiments-49b3109e5c61a835.d: crates/bench/src/main.rs crates/bench/src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-49b3109e5c61a835.rmeta: crates/bench/src/main.rs crates/bench/src/experiments.rs Cargo.toml
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

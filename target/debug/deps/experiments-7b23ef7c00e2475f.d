@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/experiments-7b23ef7c00e2475f.d: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7b23ef7c00e2475f: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments.rs:

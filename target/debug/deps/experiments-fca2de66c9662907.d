@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/experiments-fca2de66c9662907.d: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/experiments-fca2de66c9662907: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_diagnosis-00172d12cceca2a5.d: crates/core/../../tests/integration_diagnosis.rs
+
+/root/repo/target/debug/deps/integration_diagnosis-00172d12cceca2a5: crates/core/../../tests/integration_diagnosis.rs
+
+crates/core/../../tests/integration_diagnosis.rs:

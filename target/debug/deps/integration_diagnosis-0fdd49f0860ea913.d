@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_diagnosis-0fdd49f0860ea913.d: crates/core/../../tests/integration_diagnosis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_diagnosis-0fdd49f0860ea913.rmeta: crates/core/../../tests/integration_diagnosis.rs Cargo.toml
+
+crates/core/../../tests/integration_diagnosis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_flow-82b3a2d5a7f3c6b9.d: crates/core/../../tests/integration_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_flow-82b3a2d5a7f3c6b9.rmeta: crates/core/../../tests/integration_flow.rs Cargo.toml
+
+crates/core/../../tests/integration_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_flow-8e83dcf98a075dde.d: crates/core/../../tests/integration_flow.rs
+
+/root/repo/target/debug/deps/integration_flow-8e83dcf98a075dde: crates/core/../../tests/integration_flow.rs
+
+crates/core/../../tests/integration_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_properties-179eee1914a1f96f.d: crates/core/../../tests/integration_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_properties-179eee1914a1f96f.rmeta: crates/core/../../tests/integration_properties.rs Cargo.toml
+
+crates/core/../../tests/integration_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_properties-cabb0f8e6dcc9c52.d: crates/core/../../tests/integration_properties.rs
+
+/root/repo/target/debug/deps/integration_properties-cabb0f8e6dcc9c52: crates/core/../../tests/integration_properties.rs
+
+crates/core/../../tests/integration_properties.rs:

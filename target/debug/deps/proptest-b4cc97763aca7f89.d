@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b4cc97763aca7f89.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b4cc97763aca7f89: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

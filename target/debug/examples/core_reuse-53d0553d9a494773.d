@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/core_reuse-53d0553d9a494773.d: crates/core/../../examples/core_reuse.rs
+
+/root/repo/target/debug/examples/core_reuse-53d0553d9a494773: crates/core/../../examples/core_reuse.rs
+
+crates/core/../../examples/core_reuse.rs:

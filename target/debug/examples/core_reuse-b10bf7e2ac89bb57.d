@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/core_reuse-b10bf7e2ac89bb57.d: crates/core/../../examples/core_reuse.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcore_reuse-b10bf7e2ac89bb57.rmeta: crates/core/../../examples/core_reuse.rs Cargo.toml
+
+crates/core/../../examples/core_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

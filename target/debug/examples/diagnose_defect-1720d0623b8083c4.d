@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose_defect-1720d0623b8083c4.d: crates/core/../../examples/diagnose_defect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose_defect-1720d0623b8083c4.rmeta: crates/core/../../examples/diagnose_defect.rs Cargo.toml
+
+crates/core/../../examples/diagnose_defect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose_defect-d71183338dce810e.d: crates/core/../../examples/diagnose_defect.rs
+
+/root/repo/target/debug/examples/diagnose_defect-d71183338dce810e: crates/core/../../examples/diagnose_defect.rs
+
+crates/core/../../examples/diagnose_defect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lbist_session-3258e523cf403b4b.d: crates/core/../../examples/lbist_session.rs
+
+/root/repo/target/debug/examples/lbist_session-3258e523cf403b4b: crates/core/../../examples/lbist_session.rs
+
+crates/core/../../examples/lbist_session.rs:

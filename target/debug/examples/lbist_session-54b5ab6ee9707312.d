@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lbist_session-54b5ab6ee9707312.d: crates/core/../../examples/lbist_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblbist_session-54b5ab6ee9707312.rmeta: crates/core/../../examples/lbist_session.rs Cargo.toml
+
+crates/core/../../examples/lbist_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_bist-74093039e9186b18.d: crates/core/../../examples/memory_bist.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_bist-74093039e9186b18.rmeta: crates/core/../../examples/memory_bist.rs Cargo.toml
+
+crates/core/../../examples/memory_bist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_bist-878ba7c4baebd5b6.d: crates/core/../../examples/memory_bist.rs
+
+/root/repo/target/debug/examples/memory_bist-878ba7c4baebd5b6: crates/core/../../examples/memory_bist.rs
+
+crates/core/../../examples/memory_bist.rs:

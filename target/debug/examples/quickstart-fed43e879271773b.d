@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fed43e879271773b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fed43e879271773b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

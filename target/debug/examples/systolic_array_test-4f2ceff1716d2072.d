@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/systolic_array_test-4f2ceff1716d2072.d: crates/core/../../examples/systolic_array_test.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsystolic_array_test-4f2ceff1716d2072.rmeta: crates/core/../../examples/systolic_array_test.rs Cargo.toml
+
+crates/core/../../examples/systolic_array_test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

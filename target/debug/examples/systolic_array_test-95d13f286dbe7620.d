@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/systolic_array_test-95d13f286dbe7620.d: crates/core/../../examples/systolic_array_test.rs
+
+/root/repo/target/debug/examples/systolic_array_test-95d13f286dbe7620: crates/core/../../examples/systolic_array_test.rs
+
+crates/core/../../examples/systolic_array_test.rs:

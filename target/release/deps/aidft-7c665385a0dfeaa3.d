@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aidft-7c665385a0dfeaa3.d: crates/core/src/bin/aidft.rs
+
+/root/repo/target/release/deps/aidft-7c665385a0dfeaa3: crates/core/src/bin/aidft.rs
+
+crates/core/src/bin/aidft.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dft_aichip-b54b5ef7a37efe63.d: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+/root/repo/target/release/deps/libdft_aichip-b54b5ef7a37efe63.rlib: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+/root/repo/target/release/deps/libdft_aichip-b54b5ef7a37efe63.rmeta: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+crates/aichip/src/lib.rs:
+crates/aichip/src/criticality.rs:
+crates/aichip/src/hier.rs:
+crates/aichip/src/inference.rs:
+crates/aichip/src/ssn.rs:
+crates/aichip/src/wrapper.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dft_atpg-f1867c8b2060e036.d: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+/root/repo/target/release/deps/libdft_atpg-f1867c8b2060e036.rlib: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+/root/repo/target/release/deps/libdft_atpg-f1867c8b2060e036.rmeta: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compact.rs:
+crates/atpg/src/dalg.rs:
+crates/atpg/src/driver.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/twoframe.rs:

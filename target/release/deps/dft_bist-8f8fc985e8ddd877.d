@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dft_bist-8f8fc985e8ddd877.d: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+/root/repo/target/release/deps/libdft_bist-8f8fc985e8ddd877.rlib: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+/root/repo/target/release/deps/libdft_bist-8f8fc985e8ddd877.rmeta: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/logic.rs:
+crates/bist/src/march.rs:
+crates/bist/src/memory.rs:
+crates/bist/src/stumps.rs:
+crates/bist/src/testpoints.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dft_compress-06d817259702ddc2.d: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+/root/repo/target/release/deps/libdft_compress-06d817259702ddc2.rlib: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+/root/repo/target/release/deps/libdft_compress-06d817259702ddc2.rmeta: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/broadcast.rs:
+crates/compress/src/edt.rs:
+crates/compress/src/gf2.rs:
+crates/compress/src/misr.rs:
+crates/compress/src/ring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dft_core-a293cb074f88169b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+/root/repo/target/release/deps/libdft_core-a293cb074f88169b.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+/root/repo/target/release/deps/libdft_core-a293cb074f88169b.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:

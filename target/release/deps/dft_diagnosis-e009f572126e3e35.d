@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dft_diagnosis-e009f572126e3e35.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+/root/repo/target/release/deps/libdft_diagnosis-e009f572126e3e35.rlib: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+/root/repo/target/release/deps/libdft_diagnosis-e009f572126e3e35.rmeta: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/bridge.rs:
+crates/diagnosis/src/chain.rs:
+crates/diagnosis/src/dictionary.rs:
+crates/diagnosis/src/faillog.rs:
+crates/diagnosis/src/score.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dft_fault-2acd6e18825addcb.d: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+/root/repo/target/release/deps/libdft_fault-2acd6e18825addcb.rlib: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+/root/repo/target/release/deps/libdft_fault-2acd6e18825addcb.rmeta: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/bridge.rs:
+crates/fault/src/collapse.rs:
+crates/fault/src/fault.rs:
+crates/fault/src/list.rs:
+crates/fault/src/universe.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dft_logicsim-abf535481a6f5c42.d: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+/root/repo/target/release/deps/libdft_logicsim-abf535481a6f5c42.rlib: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+/root/repo/target/release/deps/libdft_logicsim-abf535481a6f5c42.rmeta: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+crates/logicsim/src/lib.rs:
+crates/logicsim/src/cube.rs:
+crates/logicsim/src/deductive.rs:
+crates/logicsim/src/exec.rs:
+crates/logicsim/src/fivesim.rs:
+crates/logicsim/src/goodsim.rs:
+crates/logicsim/src/patterns.rs:
+crates/logicsim/src/ppsfp.rs:
+crates/logicsim/src/testability.rs:
+crates/logicsim/src/transition.rs:

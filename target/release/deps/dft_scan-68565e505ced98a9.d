@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dft_scan-68565e505ced98a9.d: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+/root/repo/target/release/deps/libdft_scan-68565e505ced98a9.rlib: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+/root/repo/target/release/deps/libdft_scan-68565e505ced98a9.rmeta: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/insert.rs:
+crates/scan/src/partial.rs:
+crates/scan/src/timing.rs:

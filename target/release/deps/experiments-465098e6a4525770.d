@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/experiments-465098e6a4525770.d: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/experiments-465098e6a4525770: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments.rs:

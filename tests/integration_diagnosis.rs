@@ -28,13 +28,12 @@ fn diagnosis_localizes_random_defects_in_mac() {
         let cands = diagnose(&nl, &patterns, &log, 5);
         // "Correct" = same net (equivalent faults are indistinguishable by
         // any diagnosis engine).
-        let hit = |c: &dft_core::diagnosis::Candidate| {
-            c.fault.site.net(&nl) == defect.site.net(&nl)
-        };
+        let hit =
+            |c: &dft_core::diagnosis::Candidate| c.fault.site.net(&nl) == defect.site.net(&nl);
         if cands.first().map(hit).unwrap_or(false) {
             rank1 += 1;
         }
-        if cands.iter().any(|c| hit(c)) {
+        if cands.iter().any(hit) {
             top5 += 1;
         }
     }

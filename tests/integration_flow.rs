@@ -5,9 +5,7 @@ use dft_core::atpg::{Atpg, AtpgConfig, CompactionMode};
 use dft_core::compress::ScanEdt;
 use dft_core::fault::{universe_stuck_at, FaultList};
 use dft_core::logicsim::FaultSim;
-use dft_core::netlist::generators::{
-    benchmark_suite, systolic_array, SystolicConfig,
-};
+use dft_core::netlist::generators::{benchmark_suite, systolic_array, SystolicConfig};
 use dft_core::scan::{chain_loads, expected_unloads, insert_scan, ScanConfig};
 use dft_core::DftFlow;
 

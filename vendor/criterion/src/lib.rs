@@ -1,0 +1,215 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `criterion` its benches use: groups,
+//! `bench_function`/`bench_with_input`, `Throughput::Elements`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! warm-up + timed-batch loop reporting the mean wall-clock time per
+//! iteration (and derived throughput) — no statistics, plots, or saved
+//! baselines, but honest numbers suitable for A/B comparisons such as
+//! serial vs parallel fault simulation.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean time per iteration, filled in by [`Bencher::iter`].
+    elapsed: Duration,
+    iters_hint: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warm-up sizes the batch, then the batch
+    /// is timed and the mean per-iteration time recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~200ms or the sample-size hint is reached,
+        // to pick an iteration count with measurable total time.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(200) && warm_iters < self.iters_hint {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Aim for ~1s of measurement, capped by the sample-size hint.
+        let target = Duration::from_secs(1);
+        let iters = if per_iter.is_zero() {
+            self.iters_hint
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)) as u64
+        }
+        .clamp(1, self.iters_hint.max(1));
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / iters as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement batch-size cap (kept for API compatibility;
+    /// the mini-harness uses it as an iteration cap).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility;
+    /// the mini-harness keeps its fixed ~1s budget).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters_hint: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.elapsed, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters_hint: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.elapsed, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters_hint: 100,
+        };
+        f(&mut b);
+        report(id, b.elapsed, None);
+        self
+    }
+}
+
+fn report(id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            format!("  {:.3} Melem/s", n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+            format!(
+                "  {:.3} MiB/s",
+                n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{id:<44} time: {per_iter:>12.3?}/iter{rate}");
+}
+
+/// Declares a group-runner function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,249 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `proptest` its integration tests use:
+//! the [`proptest!`] macro with `pat in strategy` bindings, integer-range
+//! and boolean strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros. Inputs are sampled deterministically from a
+//! per-test seed (derived from the test name and case index), so every
+//! run exercises the same cases — failures are reproducible without a
+//! regression file. Shrinking is not implemented: the failing case's
+//! inputs are reported as-is via the panic message.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic input sampling for strategies.
+pub mod test_runner {
+    /// The mini-runner's random source (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for case number `case` of the named test.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Run-count configuration, mirroring `proptest::test_runner`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    (start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// Uniform boolean strategy (see [`crate::bool::ANY`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// An explicit list of candidate values, sampled uniformly.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(pub Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "empty selection");
+            let idx = ((rng.next_u64() as u128 * self.0.len() as u128) >> 64) as usize;
+            self.0[idx].clone()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    /// Uniformly random booleans.
+    pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+}
+
+/// Builds a strategy that picks uniformly from an explicit value list
+/// (mini-proptest equivalent of `prop::sample::select`).
+pub fn select<T: Clone>(values: Vec<T>) -> strategy::Select<T> {
+    strategy::Select(values)
+}
+
+/// The `prop::...` paths used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::select;
+}
+
+/// The glob-import namespace, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supported grammar (a subset of upstream `proptest!`):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in prop::bool::ANY) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut prop_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut prop_rng);)*
+                    let _ = &prop_rng;
+                    let inputs = format!(
+                        concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)*),
+                        case $(, $arg)*
+                    );
+                    let run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!("proptest failure in {}: {}", stringify!($name), inputs);
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(x in 5u64..50, y in -3i32..=3, b in prop::bool::ANY) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((b as u8) <= 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        for _ in 0..32 {
+            assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+        }
+    }
+}
