@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aidft-d3f1667a254c9703.d: crates/core/src/bin/aidft.rs
+
+/root/repo/target/debug/deps/libaidft-d3f1667a254c9703.rmeta: crates/core/src/bin/aidft.rs
+
+crates/core/src/bin/aidft.rs:

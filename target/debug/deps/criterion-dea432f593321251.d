@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-dea432f593321251.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-dea432f593321251.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dft_atpg-816c24ee5d8ee4ac.d: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+/root/repo/target/debug/deps/libdft_atpg-816c24ee5d8ee4ac.rmeta: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compact.rs:
+crates/atpg/src/dalg.rs:
+crates/atpg/src/driver.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/twoframe.rs:

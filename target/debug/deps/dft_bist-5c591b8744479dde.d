@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dft_bist-5c591b8744479dde.d: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+/root/repo/target/debug/deps/libdft_bist-5c591b8744479dde.rmeta: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/logic.rs:
+crates/bist/src/march.rs:
+crates/bist/src/memory.rs:
+crates/bist/src/stumps.rs:
+crates/bist/src/testpoints.rs:

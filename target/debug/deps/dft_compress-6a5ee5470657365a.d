@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dft_compress-6a5ee5470657365a.d: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+/root/repo/target/debug/deps/libdft_compress-6a5ee5470657365a.rmeta: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/broadcast.rs:
+crates/compress/src/edt.rs:
+crates/compress/src/gf2.rs:
+crates/compress/src/misr.rs:
+crates/compress/src/ring.rs:

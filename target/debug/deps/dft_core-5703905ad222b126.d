@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dft_core-5703905ad222b126.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+/root/repo/target/debug/deps/libdft_core-5703905ad222b126.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:

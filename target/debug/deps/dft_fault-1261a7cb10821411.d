@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dft_fault-1261a7cb10821411.d: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+/root/repo/target/debug/deps/libdft_fault-1261a7cb10821411.rmeta: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/bridge.rs:
+crates/fault/src/collapse.rs:
+crates/fault/src/fault.rs:
+crates/fault/src/list.rs:
+crates/fault/src/universe.rs:

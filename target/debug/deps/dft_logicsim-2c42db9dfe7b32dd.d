@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dft_logicsim-2c42db9dfe7b32dd.d: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+/root/repo/target/debug/deps/libdft_logicsim-2c42db9dfe7b32dd.rmeta: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+crates/logicsim/src/lib.rs:
+crates/logicsim/src/cube.rs:
+crates/logicsim/src/deductive.rs:
+crates/logicsim/src/exec.rs:
+crates/logicsim/src/fivesim.rs:
+crates/logicsim/src/goodsim.rs:
+crates/logicsim/src/patterns.rs:
+crates/logicsim/src/ppsfp.rs:
+crates/logicsim/src/testability.rs:
+crates/logicsim/src/transition.rs:

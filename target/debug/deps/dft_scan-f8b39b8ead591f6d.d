@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dft_scan-f8b39b8ead591f6d.d: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+/root/repo/target/debug/deps/libdft_scan-f8b39b8ead591f6d.rmeta: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/insert.rs:
+crates/scan/src/partial.rs:
+crates/scan/src/timing.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/experiments-917337300b036e45.d: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-917337300b036e45.rmeta: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments.rs:

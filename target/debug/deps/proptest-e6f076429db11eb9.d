@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e6f076429db11eb9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e6f076429db11eb9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

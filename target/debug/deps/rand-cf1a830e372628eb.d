@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-cf1a830e372628eb.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cf1a830e372628eb.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

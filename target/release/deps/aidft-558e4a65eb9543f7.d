@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aidft-558e4a65eb9543f7.d: crates/core/src/bin/aidft.rs
+
+/root/repo/target/release/deps/aidft-558e4a65eb9543f7: crates/core/src/bin/aidft.rs
+
+crates/core/src/bin/aidft.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dft_aichip-be9923dd2e5b8299.d: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+/root/repo/target/release/deps/dft_aichip-be9923dd2e5b8299: crates/aichip/src/lib.rs crates/aichip/src/criticality.rs crates/aichip/src/hier.rs crates/aichip/src/inference.rs crates/aichip/src/ssn.rs crates/aichip/src/wrapper.rs
+
+crates/aichip/src/lib.rs:
+crates/aichip/src/criticality.rs:
+crates/aichip/src/hier.rs:
+crates/aichip/src/inference.rs:
+crates/aichip/src/ssn.rs:
+crates/aichip/src/wrapper.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dft_atpg-4696e235ed19525c.d: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+/root/repo/target/release/deps/dft_atpg-4696e235ed19525c: crates/atpg/src/lib.rs crates/atpg/src/compact.rs crates/atpg/src/dalg.rs crates/atpg/src/driver.rs crates/atpg/src/podem.rs crates/atpg/src/twoframe.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/compact.rs:
+crates/atpg/src/dalg.rs:
+crates/atpg/src/driver.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/twoframe.rs:

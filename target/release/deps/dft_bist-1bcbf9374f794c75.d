@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dft_bist-1bcbf9374f794c75.d: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+/root/repo/target/release/deps/dft_bist-1bcbf9374f794c75: crates/bist/src/lib.rs crates/bist/src/lfsr.rs crates/bist/src/logic.rs crates/bist/src/march.rs crates/bist/src/memory.rs crates/bist/src/stumps.rs crates/bist/src/testpoints.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/logic.rs:
+crates/bist/src/march.rs:
+crates/bist/src/memory.rs:
+crates/bist/src/stumps.rs:
+crates/bist/src/testpoints.rs:

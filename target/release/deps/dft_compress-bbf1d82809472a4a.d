@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dft_compress-bbf1d82809472a4a.d: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+/root/repo/target/release/deps/dft_compress-bbf1d82809472a4a: crates/compress/src/lib.rs crates/compress/src/broadcast.rs crates/compress/src/edt.rs crates/compress/src/gf2.rs crates/compress/src/misr.rs crates/compress/src/ring.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/broadcast.rs:
+crates/compress/src/edt.rs:
+crates/compress/src/gf2.rs:
+crates/compress/src/misr.rs:
+crates/compress/src/ring.rs:

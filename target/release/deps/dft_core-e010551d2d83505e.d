@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dft_core-e010551d2d83505e.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+/root/repo/target/release/deps/dft_core-e010551d2d83505e: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:

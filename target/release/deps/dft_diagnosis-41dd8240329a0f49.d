@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dft_diagnosis-41dd8240329a0f49.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+/root/repo/target/release/deps/dft_diagnosis-41dd8240329a0f49: crates/diagnosis/src/lib.rs crates/diagnosis/src/bridge.rs crates/diagnosis/src/chain.rs crates/diagnosis/src/dictionary.rs crates/diagnosis/src/faillog.rs crates/diagnosis/src/score.rs
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/bridge.rs:
+crates/diagnosis/src/chain.rs:
+crates/diagnosis/src/dictionary.rs:
+crates/diagnosis/src/faillog.rs:
+crates/diagnosis/src/score.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dft_fault-2082c77ab4ff651c.d: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+/root/repo/target/release/deps/dft_fault-2082c77ab4ff651c: crates/fault/src/lib.rs crates/fault/src/bridge.rs crates/fault/src/collapse.rs crates/fault/src/fault.rs crates/fault/src/list.rs crates/fault/src/universe.rs
+
+crates/fault/src/lib.rs:
+crates/fault/src/bridge.rs:
+crates/fault/src/collapse.rs:
+crates/fault/src/fault.rs:
+crates/fault/src/list.rs:
+crates/fault/src/universe.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dft_logicsim-61be7dc8413c8be6.d: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+/root/repo/target/release/deps/dft_logicsim-61be7dc8413c8be6: crates/logicsim/src/lib.rs crates/logicsim/src/cube.rs crates/logicsim/src/deductive.rs crates/logicsim/src/exec.rs crates/logicsim/src/fivesim.rs crates/logicsim/src/goodsim.rs crates/logicsim/src/patterns.rs crates/logicsim/src/ppsfp.rs crates/logicsim/src/testability.rs crates/logicsim/src/transition.rs
+
+crates/logicsim/src/lib.rs:
+crates/logicsim/src/cube.rs:
+crates/logicsim/src/deductive.rs:
+crates/logicsim/src/exec.rs:
+crates/logicsim/src/fivesim.rs:
+crates/logicsim/src/goodsim.rs:
+crates/logicsim/src/patterns.rs:
+crates/logicsim/src/ppsfp.rs:
+crates/logicsim/src/testability.rs:
+crates/logicsim/src/transition.rs:

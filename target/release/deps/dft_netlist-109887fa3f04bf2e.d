@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/dft_netlist-109887fa3f04bf2e.d: crates/netlist/src/lib.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/io.rs crates/netlist/src/levelize.rs crates/netlist/src/logic.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/generators/mod.rs crates/netlist/src/generators/arith.rs crates/netlist/src/generators/arith2.rs crates/netlist/src/generators/benchmarks.rs crates/netlist/src/generators/mac.rs crates/netlist/src/generators/random.rs crates/netlist/src/generators/sequential.rs crates/netlist/src/generators/trees.rs
+
+/root/repo/target/release/deps/dft_netlist-109887fa3f04bf2e: crates/netlist/src/lib.rs crates/netlist/src/cone.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/io.rs crates/netlist/src/levelize.rs crates/netlist/src/logic.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/generators/mod.rs crates/netlist/src/generators/arith.rs crates/netlist/src/generators/arith2.rs crates/netlist/src/generators/benchmarks.rs crates/netlist/src/generators/mac.rs crates/netlist/src/generators/random.rs crates/netlist/src/generators/sequential.rs crates/netlist/src/generators/trees.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/io.rs:
+crates/netlist/src/levelize.rs:
+crates/netlist/src/logic.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/generators/mod.rs:
+crates/netlist/src/generators/arith.rs:
+crates/netlist/src/generators/arith2.rs:
+crates/netlist/src/generators/benchmarks.rs:
+crates/netlist/src/generators/mac.rs:
+crates/netlist/src/generators/random.rs:
+crates/netlist/src/generators/sequential.rs:
+crates/netlist/src/generators/trees.rs:

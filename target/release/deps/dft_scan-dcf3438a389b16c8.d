@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dft_scan-dcf3438a389b16c8.d: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+/root/repo/target/release/deps/dft_scan-dcf3438a389b16c8: crates/scan/src/lib.rs crates/scan/src/insert.rs crates/scan/src/partial.rs crates/scan/src/timing.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/insert.rs:
+crates/scan/src/partial.rs:
+crates/scan/src/timing.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/experiments-51cbd16225c64d7f.d: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/experiments-51cbd16225c64d7f: crates/bench/src/main.rs crates/bench/src/experiments.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_diagnosis-9cf17333ed845ae2.d: crates/core/../../tests/integration_diagnosis.rs
+
+/root/repo/target/release/deps/integration_diagnosis-9cf17333ed845ae2: crates/core/../../tests/integration_diagnosis.rs
+
+crates/core/../../tests/integration_diagnosis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_flow-c07afe85731f427d.d: crates/core/../../tests/integration_flow.rs
+
+/root/repo/target/release/deps/integration_flow-c07afe85731f427d: crates/core/../../tests/integration_flow.rs
+
+crates/core/../../tests/integration_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_properties-0420343e339886d9.d: crates/core/../../tests/integration_properties.rs
+
+/root/repo/target/release/deps/integration_properties-0420343e339886d9: crates/core/../../tests/integration_properties.rs
+
+crates/core/../../tests/integration_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-fafe5cd16b75dfe7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-fafe5cd16b75dfe7: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

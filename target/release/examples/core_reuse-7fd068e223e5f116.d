@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/core_reuse-7fd068e223e5f116.d: crates/core/../../examples/core_reuse.rs
+
+/root/repo/target/release/examples/core_reuse-7fd068e223e5f116: crates/core/../../examples/core_reuse.rs
+
+crates/core/../../examples/core_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diagnose_defect-96e928cf508eb215.d: crates/core/../../examples/diagnose_defect.rs
+
+/root/repo/target/release/examples/diagnose_defect-96e928cf508eb215: crates/core/../../examples/diagnose_defect.rs
+
+crates/core/../../examples/diagnose_defect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lbist_session-4197b675eb59e65e.d: crates/core/../../examples/lbist_session.rs
+
+/root/repo/target/release/examples/lbist_session-4197b675eb59e65e: crates/core/../../examples/lbist_session.rs
+
+crates/core/../../examples/lbist_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/memory_bist-8e0ee0a059dfe144.d: crates/core/../../examples/memory_bist.rs
+
+/root/repo/target/release/examples/memory_bist-8e0ee0a059dfe144: crates/core/../../examples/memory_bist.rs
+
+crates/core/../../examples/memory_bist.rs:

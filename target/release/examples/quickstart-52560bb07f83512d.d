@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-52560bb07f83512d.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-52560bb07f83512d: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

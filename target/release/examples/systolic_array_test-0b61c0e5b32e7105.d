@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/systolic_array_test-0b61c0e5b32e7105.d: crates/core/../../examples/systolic_array_test.rs
+
+/root/repo/target/release/examples/systolic_array_test-0b61c0e5b32e7105: crates/core/../../examples/systolic_array_test.rs
+
+crates/core/../../examples/systolic_array_test.rs:
