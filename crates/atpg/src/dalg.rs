@@ -15,6 +15,7 @@
 
 use dft_fault::Fault;
 use dft_logicsim::TestCube;
+use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Levelization, Logic, Netlist};
 
 use crate::AtpgResult;
@@ -26,6 +27,7 @@ pub struct DAlgorithm<'a> {
     #[allow(dead_code)]
     lv: Levelization,
     source_index: Vec<Option<u32>>,
+    metrics: MetricsHandle,
 }
 
 struct Search<'a> {
@@ -52,7 +54,13 @@ impl<'a> DAlgorithm<'a> {
             nl,
             lv,
             source_index,
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points per-call counters at `metrics`.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// Generates a test for a stem fault.
@@ -85,7 +93,8 @@ impl<'a> DAlgorithm<'a> {
         };
         search.vals[site.index()] = effect;
 
-        match search.solve() {
+        let solved = search.solve();
+        let result = match solved {
             Some(true) => {
                 let mut cube = TestCube::all_x(self.nl.combinational_sources().len());
                 for (g, &v) in search.vals.iter().enumerate() {
@@ -99,7 +108,15 @@ impl<'a> DAlgorithm<'a> {
             }
             Some(false) => AtpgResult::Untestable,
             None => AtpgResult::Aborted,
+        };
+        if let Some(m) = self.metrics.get() {
+            m.dalg_calls.inc();
+            m.dalg_backtracks.add(search.backtracks as u64);
+            if result.is_test() {
+                m.dalg_tests.inc();
+            }
         }
+        result
     }
 }
 

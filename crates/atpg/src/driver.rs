@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use dft_fault::{collapse_equivalent, universe_stuck_at, Fault, FaultList, FaultStatus};
 use dft_logicsim::{Executor, FaultSim, PatternSet, TestCube};
+use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 
 use crate::{compact_cubes, AtpgResult, Podem, PodemStats};
@@ -152,12 +153,23 @@ impl AtpgRun {
 #[derive(Debug)]
 pub struct Atpg<'a> {
     nl: &'a Netlist,
+    metrics: MetricsHandle,
 }
 
 impl<'a> Atpg<'a> {
     /// Creates a driver for `nl`.
     pub fn new(nl: &'a Netlist) -> Atpg<'a> {
-        Atpg { nl }
+        Atpg {
+            nl,
+            metrics: MetricsHandle::disabled(),
+        }
+    }
+
+    /// Points run counters, phase timers, and the engines underneath
+    /// (PODEM, fault simulation) at `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Atpg<'a> {
+        self.metrics = metrics;
+        self
     }
 
     /// Runs the full flow on the single stuck-at universe.
@@ -172,9 +184,10 @@ impl<'a> Atpg<'a> {
         let exec = Executor::with_threads(config.threads);
         let collapsed = collapse_equivalent(self.nl, &universe);
         let mut reps = FaultList::new(collapsed.representatives().to_vec());
-        let sim = FaultSim::new(self.nl);
+        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
         let mut podem = Podem::new(self.nl);
         podem.guided = config.guided_backtrace;
+        podem.set_metrics(self.metrics.clone());
 
         let mut patterns = PatternSet::for_netlist(self.nl);
 
@@ -303,6 +316,17 @@ impl<'a> Atpg<'a> {
             }
         }
 
+        let signoff_time = signoff_start.elapsed();
+        if let Some(m) = self.metrics.get() {
+            m.atpg_runs.inc();
+            m.atpg_patterns.add(patterns.len() as u64);
+            m.atpg_untestable.add(untestable as u64);
+            m.atpg_aborted.add(aborted as u64);
+            m.t_atpg_random.record(random_time);
+            m.t_atpg_deterministic.record(deterministic_time);
+            m.t_atpg_signoff.record(signoff_time);
+        }
+
         AtpgRun {
             patterns,
             fault_list,
@@ -315,7 +339,7 @@ impl<'a> Atpg<'a> {
             elapsed: start.elapsed(),
             random_time,
             deterministic_time,
-            signoff_time: signoff_start.elapsed(),
+            signoff_time,
         }
     }
 

@@ -11,6 +11,7 @@
 use dft_fault::Fault;
 use dft_logicsim::testability::{scoap, Scoap};
 use dft_logicsim::{FiveSim, TestCube};
+use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Logic, Netlist};
 
 /// Outcome of test generation for one fault.
@@ -52,6 +53,7 @@ pub struct Podem<'a> {
     /// Whether backtrace uses SCOAP guidance (`true`) or naive first-X
     /// selection (`false`) — the E3 ablation knob.
     pub guided: bool,
+    metrics: MetricsHandle,
 }
 
 struct Decision {
@@ -77,7 +79,15 @@ impl<'a> Podem<'a> {
             scoap: scoap(nl),
             source_index,
             guided: true,
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points per-call counters (calls, decisions, backtracks, outcomes)
+    /// at `metrics`. The search loop still accumulates into the local
+    /// [`PodemStats`]; the registry is flushed once per generate call.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// The netlist this generator works on.
@@ -96,6 +106,30 @@ impl<'a> Podem<'a> {
     /// pre-assigned cube (for dynamic compaction). The initial assignment
     /// bits are treated as unretractable.
     pub fn generate_constrained(
+        &self,
+        fault: Fault,
+        constraints: &[(GateId, bool)],
+        backtrack_limit: u32,
+        initial: Option<&TestCube>,
+    ) -> (AtpgResult, PodemStats) {
+        let (result, stats) = self.search(fault, constraints, backtrack_limit, initial);
+        if let Some(m) = self.metrics.get() {
+            m.podem_calls.inc();
+            m.podem_decisions.add(stats.decisions as u64);
+            m.podem_backtracks.add(stats.backtracks as u64);
+            m.podem_simulations.add(stats.simulations as u64);
+            m.podem_backtracks_per_call.record(stats.backtracks as u64);
+            match &result {
+                AtpgResult::Test(_) => m.podem_tests.inc(),
+                AtpgResult::Untestable => m.podem_untestable.inc(),
+                AtpgResult::Aborted => m.podem_aborted.inc(),
+            }
+        }
+        (result, stats)
+    }
+
+    /// The PODEM search loop behind [`Podem::generate_constrained`].
+    fn search(
         &self,
         fault: Fault,
         constraints: &[(GateId, bool)],

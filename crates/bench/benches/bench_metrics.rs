@@ -1,0 +1,80 @@
+//! Criterion: metrics-layer overhead. Every hot loop flushes counters at
+//! coarse boundaries (per block / per PODEM call / per encode), so the
+//! enabled and disabled variants must stay within noise of each other —
+//! this bench is the regression guard for that contract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dft_core::atpg::{Atpg, AtpgConfig};
+use dft_core::fault::{universe_stuck_at, FaultList};
+use dft_core::logicsim::{FaultSim, GoodSim, PatternSet};
+use dft_core::metrics::MetricsHandle;
+use dft_core::netlist::generators::random_logic;
+
+fn handles() -> [(&'static str, MetricsHandle); 2] {
+    [
+        ("disabled", MetricsHandle::disabled()),
+        ("enabled", MetricsHandle::enabled()),
+    ]
+}
+
+/// Good-machine simulation: the tightest loop in the repo. The only
+/// instrument is one flush per 64-pattern block.
+fn bench_goodsim_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_goodsim");
+    group.sample_size(20);
+    let nl = random_logic(32, 2000, 0xFA);
+    let ps = PatternSet::random(&nl, 256, 7);
+    for (label, handle) in handles() {
+        let mut sim = GoodSim::new(&nl);
+        sim.set_metrics(handle.clone());
+        group.bench_with_input(BenchmarkId::new("sim", label), &label, |b, _| {
+            b.iter(|| sim.simulate_all(&ps).len());
+        });
+    }
+    group.finish();
+}
+
+/// PPSFP fault simulation: flushes once per run.
+fn bench_ppsfp_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_ppsfp");
+    group.sample_size(10);
+    let nl = random_logic(32, 1000, 0xFA);
+    let faults = universe_stuck_at(&nl);
+    let ps = PatternSet::random(&nl, 64, 3);
+    for (label, handle) in handles() {
+        let sim = FaultSim::new(&nl).with_metrics(handle.clone());
+        group.bench_with_input(BenchmarkId::new("sim", label), &label, |b, _| {
+            b.iter(|| {
+                let mut list = FaultList::new(faults.clone());
+                sim.run(&ps, &mut list);
+                list.num_detected()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Full ATPG: PODEM counter flushes once per targeted fault.
+fn bench_atpg_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_atpg");
+    group.sample_size(10);
+    let nl = random_logic(16, 300, 0xA7);
+    let cfg = AtpgConfig::new();
+    for (label, handle) in handles() {
+        group.bench_with_input(BenchmarkId::new("run", label), &label, |b, _| {
+            b.iter(|| {
+                let run = Atpg::new(&nl).with_metrics(handle.clone()).run(&cfg);
+                run.patterns.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_goodsim_overhead,
+    bench_ppsfp_overhead,
+    bench_atpg_overhead
+);
+criterion_main!(benches);

@@ -18,11 +18,13 @@ use dft_core::fault::{
     collapse_dominance, collapse_equivalent, universe_stuck_at, universe_transition, FaultList,
 };
 use dft_core::logicsim::{Executor, FaultSim, PatternSet};
+use dft_core::metrics::MetricsHandle;
 use dft_core::netlist::generators::{
     benchmark_suite, decoder, mac_pe, systolic_array, SystolicConfig,
 };
 use dft_core::netlist::Netlist;
 use dft_core::scan::{insert_scan, ScanConfig, TestTimeModel};
+use dft_core::DftFlow;
 
 static THREADS: OnceLock<usize> = OnceLock::new();
 
@@ -563,6 +565,52 @@ pub fn e12_ssn() {
         );
     }
     println!("shape: daisy grows linearly with cores; SSN flat until the bus saturates.");
+}
+
+/// METRICS: end-to-end flow observability. Runs the full DFT flow over a
+/// representative circuit mix with every run aggregating into one shared
+/// registry, prints the headline counters, and writes the merged snapshot
+/// to `BENCH_metrics.json` (uploaded as a CI artifact).
+pub fn metrics_report() {
+    println!("METRICS: aggregated hot-path counters over the full-flow circuit mix");
+    let handle = MetricsHandle::enabled();
+    let mut circuits = selected_circuits(&["c17", "mult8", "mac4"]);
+    circuits.push(dft_core::netlist::generators::NamedCircuit {
+        name: "sys2x2",
+        netlist: systolic_array(SystolicConfig {
+            rows: 2,
+            cols: 2,
+            width: 4,
+        }),
+    });
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>10}",
+        "circuit", "patterns", "backtracks", "gate evals", "edt cubes"
+    );
+    for c in &circuits {
+        let before = handle.snapshot().unwrap();
+        let report = DftFlow::new(&c.netlist)
+            .metrics(handle.clone())
+            .threads(threads())
+            .run();
+        let after = handle.snapshot().unwrap();
+        let delta = |k: &str| after.counter(k) - before.counter(k);
+        println!(
+            "{:<10} {:>9} {:>12} {:>12} {:>10}",
+            c.name,
+            report.patterns,
+            delta("podem_backtracks"),
+            delta("faultsim_gate_evals"),
+            delta("edt_cubes_attempted"),
+        );
+    }
+    let snap = handle.snapshot().unwrap();
+    std::fs::write("BENCH_metrics.json", snap.to_json()).expect("write BENCH_metrics.json");
+    println!(
+        "wrote BENCH_metrics.json ({} counters, {} timers)",
+        snap.counters.len(),
+        snap.timers.len()
+    );
 }
 
 /// Picks circuits by name from the standard suite.

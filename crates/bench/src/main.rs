@@ -42,6 +42,7 @@ fn main() {
         ("e10", experiments::e10_scan_tradeoff),
         ("e11", experiments::e11_transition),
         ("e12", experiments::e12_ssn),
+        ("metrics", experiments::metrics_report),
     ];
     match which {
         "all" => {
@@ -56,7 +57,7 @@ fn main() {
         id => match all.iter().find(|(n, _)| *n == id) {
             Some((_, f)) => f(),
             None => {
-                eprintln!("unknown experiment `{id}`; use e1..e12 or all");
+                eprintln!("unknown experiment `{id}`; use e1..e12, metrics, or all");
                 std::process::exit(2);
             }
         },

@@ -2,6 +2,7 @@
 
 use dft_fault::{universe_stuck_at, FaultList};
 use dft_logicsim::{Executor, FaultSim, GoodSim, PatternSet};
+use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 
 use crate::Lfsr;
@@ -31,6 +32,7 @@ pub struct LogicBist<'a> {
     nl: &'a Netlist,
     prpg_width: u32,
     exec: Executor,
+    metrics: MetricsHandle,
 }
 
 impl<'a> LogicBist<'a> {
@@ -40,7 +42,15 @@ impl<'a> LogicBist<'a> {
             nl,
             prpg_width,
             exec: Executor::serial(),
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points session/LFSR/MISR cycle counters (and the fault simulators
+    /// underneath) at `metrics`.
+    pub fn metrics(mut self, metrics: MetricsHandle) -> LogicBist<'a> {
+        self.metrics = metrics;
+        self
     }
 
     /// Sets the fault-simulation worker count (`0` = one per hardware
@@ -59,14 +69,22 @@ impl<'a> LogicBist<'a> {
         for _ in 0..n {
             ps.push(lfsr.bits(width));
         }
+        if let Some(m) = self.metrics.get() {
+            m.bist_patterns.add(n as u64);
+            // One LFSR shift per drawn bit.
+            m.lfsr_cycles.add((n * width) as u64);
+        }
         ps
     }
 
     /// Runs a BIST session of `n` patterns: measures stuck-at coverage and
     /// computes the fault-free signature.
     pub fn run(&self, n: usize, seed: u64) -> BistResult {
+        if let Some(m) = self.metrics.get() {
+            m.bist_sessions.inc();
+        }
         let ps = self.patterns(n, seed);
-        let sim = FaultSim::new(self.nl);
+        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
         sim.run_with(&ps, &mut list, &self.exec);
         let signature = self.signature(&ps);
@@ -82,7 +100,12 @@ impl<'a> LogicBist<'a> {
     /// signature): a rotating XOR fold of all response bits, equivalent in
     /// detection behaviour to a MISR for fully-specified responses.
     pub fn signature(&self, ps: &PatternSet) -> u64 {
-        let sim = GoodSim::new(self.nl);
+        let mut sim = GoodSim::new(self.nl);
+        sim.set_metrics(self.metrics.clone());
+        if let Some(m) = self.metrics.get() {
+            // One MISR absorb cycle per response shifted out.
+            m.misr_cycles.add(ps.len() as u64);
+        }
         let mut sig = 0u64;
         for resp in sim.simulate_all(ps) {
             for (i, bit) in resp.iter().enumerate() {
@@ -106,10 +129,11 @@ impl<'a> LogicBist<'a> {
     ) -> Vec<f64> {
         use dft_atpg::{AtpgResult, Podem};
         let ps = self.patterns(base_patterns, seed);
-        let sim = FaultSim::new(self.nl);
+        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
         sim.run_with(&ps, &mut list, &self.exec);
-        let podem = Podem::new(self.nl);
+        let mut podem = Podem::new(self.nl);
+        podem.set_metrics(self.metrics.clone());
         let width = self.nl.num_inputs() + self.nl.num_dffs();
         let mut ones = vec![0u32; width];
         let mut cares = vec![0u32; width];
@@ -154,8 +178,12 @@ impl<'a> LogicBist<'a> {
 
     /// Runs a weighted BIST session (same accounting as [`LogicBist::run`]).
     pub fn run_weighted(&self, n: usize, seed: u64, weights: &[f64]) -> BistResult {
+        if let Some(m) = self.metrics.get() {
+            m.bist_sessions.inc();
+            m.bist_patterns.add(n as u64);
+        }
         let ps = self.weighted_patterns(n, seed, weights);
-        let sim = FaultSim::new(self.nl);
+        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
         sim.run_with(&ps, &mut list, &self.exec);
         BistResult {
@@ -171,7 +199,7 @@ impl<'a> LogicBist<'a> {
     pub fn coverage_curve(&self, checkpoints: &[usize], seed: u64) -> Vec<(usize, f64)> {
         let max = checkpoints.iter().copied().max().unwrap_or(0);
         let ps = self.patterns(max, seed);
-        let sim = FaultSim::new(self.nl);
+        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
         sim.run_with(&ps, &mut list, &self.exec);
         // First-detection indices give the whole curve in one pass.

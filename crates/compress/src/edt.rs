@@ -1,6 +1,7 @@
 //! The EDT codec: cube encoding (GF(2) solve) and stimulus expansion.
 
 use dft_logicsim::TestCube;
+use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 use dft_scan::ScanInsertion;
 
@@ -26,6 +27,7 @@ pub struct EdtCodec {
     /// Symbolic linear expression of every (load cycle, chain) output over
     /// the injected variables.
     cell_expr: Vec<Vec<Vec<u64>>>,
+    metrics: MetricsHandle,
 }
 
 impl EdtCodec {
@@ -62,7 +64,13 @@ impl EdtCodec {
             chain_len,
             warmup,
             cell_expr,
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points encode/solve counters at `metrics`.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// Number of scan chains driven.
@@ -104,7 +112,21 @@ impl EdtCodec {
                 }
             }
         }
-        let x = sys.solve()?;
+        let care_bits = sys.num_rows() as u64;
+        let (solution, eliminations) = sys.solve_counted();
+        if let Some(m) = self.metrics.get() {
+            m.edt_cubes_attempted.inc();
+            m.edt_care_bits.add(care_bits);
+            m.edt_care_bits_per_cube.record(care_bits);
+            m.gf2_solves.inc();
+            m.gf2_eliminations.add(eliminations);
+            if solution.is_some() {
+                m.edt_cubes_encoded.inc();
+            } else {
+                m.edt_cubes_failed.inc();
+            }
+        }
+        let x = solution?;
         let channels = self.channels();
         Some(
             (0..self.chain_len + self.warmup)
@@ -200,6 +222,7 @@ pub struct ScanEdt<'a> {
     codec: EdtCodec,
     /// For each flop (by netlist dff order), its flat cell index.
     cell_of_ff: Vec<usize>,
+    metrics: MetricsHandle,
 }
 
 impl<'a> ScanEdt<'a> {
@@ -232,7 +255,15 @@ impl<'a> ScanEdt<'a> {
             scan,
             codec,
             cell_of_ff,
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points the binding (and its codec) at `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> ScanEdt<'a> {
+        self.codec.set_metrics(metrics.clone());
+        self.metrics = metrics;
+        self
     }
 
     /// The underlying codec.
@@ -274,6 +305,10 @@ impl<'a> ScanEdt<'a> {
                     stats.compressed_bits += self.codec.flat_bits() as u64;
                 }
             }
+        }
+        if let Some(m) = self.metrics.get() {
+            m.edt_compressed_bits.add(stats.compressed_bits);
+            m.edt_flat_bits.add(stats.flat_bits);
         }
         stats
     }

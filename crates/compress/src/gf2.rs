@@ -57,7 +57,14 @@ impl Gf2System {
 
     /// Solves the system. Returns `None` when inconsistent; otherwise one
     /// solution (free variables 0).
-    pub fn solve(mut self) -> Option<Vec<bool>> {
+    pub fn solve(self) -> Option<Vec<bool>> {
+        self.solve_counted().0
+    }
+
+    /// Like [`Gf2System::solve`], also returning the number of row-XOR
+    /// elimination operations performed (the solver's work measure).
+    pub fn solve_counted(mut self) -> (Option<Vec<bool>>, u64) {
+        let mut eliminations = 0u64;
         let mut pivot_of_col: Vec<Option<usize>> = vec![None; self.vars];
         let mut rank = 0usize;
         let nrows = self.rows.len();
@@ -81,6 +88,7 @@ impl Gf2System {
                         *dst ^= pc;
                     }
                     row.1 ^= pivot_rhs;
+                    eliminations += 1;
                 }
             }
             *pivot_slot = Some(rank);
@@ -92,7 +100,7 @@ impl Gf2System {
         // Inconsistency: a zero row with RHS 1.
         for (coeffs, rhs) in &self.rows[rank..] {
             if *rhs && coeffs.iter().all(|&w| w == 0) {
-                return None;
+                return (None, eliminations);
             }
         }
         // Read off the solution (rows are fully reduced).
@@ -102,7 +110,7 @@ impl Gf2System {
                 x[col] = self.rows[*r].1;
             }
         }
-        Some(x)
+        (Some(x), eliminations)
     }
 }
 

@@ -14,6 +14,11 @@
 //! environment variable sets the default for all commands. Any thread
 //! count produces bit-identical results.
 //!
+//! `atpg`, `flow`, and `bist` also accept `--metrics-json <path>`: the
+//! hot-path metric snapshot of the run (PODEM backtracks, fault-sim gate
+//! evaluations, EDT encode stats, phase timers) is written to `path` as
+//! JSON. See EXPERIMENTS.md for the schema.
+//!
 //! Generator names for `gen`: anything from the benchmark suite (`c17`,
 //! `s27`, `add8`, `mult8`, `alu8`, `mac4`, `sys4x4`, ...).
 
@@ -24,6 +29,7 @@ use dft_core::atpg::{Atpg, AtpgConfig};
 use dft_core::bist::LogicBist;
 use dft_core::diagnosis::{diagnose, FailureLog};
 use dft_core::logicsim::PatternSet;
+use dft_core::metrics::MetricsHandle;
 use dft_core::netlist::generators::benchmark_suite;
 use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
 use dft_core::{DftError, DftFlow};
@@ -32,6 +38,13 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = match extract_threads(&mut args) {
         Ok(t) => t,
+        Err(e) => {
+            eprintln!("aidft: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let metrics_path = match extract_metrics_json(&mut args) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("aidft: {e}");
             return ExitCode::from(2);
@@ -46,7 +59,10 @@ fn main() -> ExitCode {
             Ok(())
         }),
         Some("atpg") => with_design(&args, 2, |nl, _| {
-            let run = Atpg::new(nl).run(&AtpgConfig::new().threads(threads));
+            let handle = MetricsHandle::enabled();
+            let run = Atpg::new(nl)
+                .with_metrics(handle.clone())
+                .run(&AtpgConfig::new().threads(threads));
             println!(
                 "{}: {} patterns, FC {:.2}%, TC {:.2}%, {} untestable, {} aborted, {:?}",
                 nl.name(),
@@ -57,12 +73,16 @@ fn main() -> ExitCode {
                 run.aborted,
                 run.elapsed
             );
-            Ok(())
+            write_metrics(&metrics_path, &handle)
         }),
         Some("flow") => with_design(&args, 2, |nl, rest| {
             let chains = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4usize);
             let report = DftFlow::new(nl).chains(chains).threads(threads).run();
             print!("{report}");
+            if let Some(path) = &metrics_path {
+                fs::write(path, report.metrics.to_json())
+                    .map_err(|e| DftError::io(format!("write {path}"), e))?;
+            }
             Ok(())
         }),
         Some("bist") => with_design(&args, 2, |nl, rest| {
@@ -70,7 +90,9 @@ fn main() -> ExitCode {
                 .first()
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1024usize);
+            let handle = MetricsHandle::enabled();
             let r = LogicBist::new(nl, 32)
+                .metrics(handle.clone())
                 .threads(threads)
                 .run(patterns, 0xB157);
             println!(
@@ -81,7 +103,7 @@ fn main() -> ExitCode {
                 r.signature,
                 r.undetected
             );
-            Ok(())
+            write_metrics(&metrics_path, &handle)
         }),
         Some("gen") => {
             if args.len() != 3 {
@@ -126,7 +148,8 @@ fn main() -> ExitCode {
             Ok(())
         }),
         _ => Err(DftError::usage(
-            "usage: aidft <stats|atpg|flow|bist|gen|diagnose> [--threads N] <args>; see README",
+            "usage: aidft <stats|atpg|flow|bist|gen|diagnose> [--threads N] \
+             [--metrics-json <path>] <args>; see README",
         )),
     };
     match result {
@@ -162,6 +185,29 @@ fn extract_threads(args: &mut Vec<String>) -> Result<usize, DftError> {
         }
     }
     Ok(threads.unwrap_or(0))
+}
+
+/// Removes `--metrics-json <path>` from `args` and returns the path, if
+/// given.
+fn extract_metrics_json(args: &mut Vec<String>) -> Result<Option<String>, DftError> {
+    if let Some(pos) = args.iter().position(|a| a == "--metrics-json") {
+        if pos + 1 >= args.len() {
+            return Err(DftError::usage("--metrics-json requires a path"));
+        }
+        let path = args[pos + 1].clone();
+        args.drain(pos..pos + 2);
+        return Ok(Some(path));
+    }
+    Ok(None)
+}
+
+/// Writes the snapshot of `handle` to `path` as JSON (no-op when the flag
+/// was not given).
+fn write_metrics(path: &Option<String>, handle: &MetricsHandle) -> Result<(), DftError> {
+    if let (Some(path), Some(snap)) = (path, handle.snapshot()) {
+        fs::write(path, snap.to_json()).map_err(|e| DftError::io(format!("write {path}"), e))?;
+    }
+    Ok(())
 }
 
 /// Parses the design argument and hands off to `f` with any remaining

@@ -31,6 +31,9 @@ pub use dft_fault as fault;
 /// Re-export of `dft-logicsim`.
 pub use dft_logicsim as logicsim;
 
+/// Re-export of `dft-metrics` (counters, histograms, phase timers).
+pub use dft_metrics as metrics;
+
 /// Re-export of `dft-atpg`.
 pub use dft_atpg as atpg;
 
@@ -59,6 +62,7 @@ use std::time::Instant;
 use dft_atpg::{Atpg, AtpgConfig};
 use dft_compress::{CompressionStats, ScanEdt};
 use dft_logicsim::Parallelism;
+use dft_metrics::{MetricsHandle, MetricsSnapshot};
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, ScanConfig, ScanInsertion, TestTimeModel};
 
@@ -74,6 +78,7 @@ pub struct DftFlow<'a> {
     shift_mhz: u32,
     atpg: AtpgConfig,
     threads: Option<usize>,
+    metrics: MetricsHandle,
 }
 
 impl<'a> DftFlow<'a> {
@@ -88,6 +93,7 @@ impl<'a> DftFlow<'a> {
             shift_mhz: 100,
             atpg: AtpgConfig::default(),
             threads: None,
+            metrics: MetricsHandle::enabled(),
         }
     }
 
@@ -132,6 +138,15 @@ impl<'a> DftFlow<'a> {
         self
     }
 
+    /// Overrides the metrics registry. By default each flow run collects
+    /// into a fresh registry surfaced as [`FlowReport::metrics`]; pass
+    /// [`MetricsHandle::disabled`] to strip every instrument down to one
+    /// untaken branch, or a shared handle to aggregate several runs.
+    pub fn metrics(mut self, handle: MetricsHandle) -> Self {
+        self.metrics = handle;
+        self
+    }
+
     /// Runs the full flow: scan insertion, ATPG, compression, timing.
     pub fn run(self) -> FlowReport {
         let mut atpg_cfg = self.atpg.clone();
@@ -139,21 +154,28 @@ impl<'a> DftFlow<'a> {
             atpg_cfg.threads = t;
         }
         let scan_start = Instant::now();
-        let scan = insert_scan(
-            self.nl,
-            &ScanConfig {
-                num_chains: self.chains,
-            },
-        );
+        let scan = {
+            let _t = self.metrics.get().map(|m| m.t_scan_insertion.timed());
+            insert_scan(
+                self.nl,
+                &ScanConfig {
+                    num_chains: self.chains,
+                },
+            )
+        };
         let scan_time = scan_start.elapsed();
-        let run = Atpg::new(self.nl).run(&atpg_cfg);
+        let run = Atpg::new(self.nl)
+            .with_metrics(self.metrics.clone())
+            .run(&atpg_cfg);
         let timing = TestTimeModel::for_architecture(&scan, run.patterns.len(), self.shift_mhz);
         let compress_start = Instant::now();
         let compression = if self.nl.num_dffs() > 0 && !run.cubes.is_empty() {
+            let _t = self.metrics.get().map(|m| m.t_edt_compress.timed());
             let ring_len = self
                 .ring_len
                 .unwrap_or_else(|| scan.shift_cycles().clamp(8, 32));
-            let edt = ScanEdt::new(self.nl, &scan, self.channels, ring_len, 0xED7);
+            let edt = ScanEdt::new(self.nl, &scan, self.channels, ring_len, 0xED7)
+                .with_metrics(self.metrics.clone());
             Some(edt.compress_all(&run.cubes))
         } else {
             None
@@ -165,8 +187,13 @@ impl<'a> DftFlow<'a> {
             compression: compress_start.elapsed(),
             threads: Parallelism::from_threads(atpg_cfg.threads).resolve(),
         };
+        let metrics = self
+            .metrics
+            .snapshot()
+            .unwrap_or_else(|| dft_metrics::Metrics::new().snapshot());
         FlowReport {
             phase_times,
+            metrics,
             design: self.nl.name().to_owned(),
             gates: self.nl.num_gates(),
             flops: self.nl.num_dffs(),
@@ -239,6 +266,10 @@ pub struct FlowReport {
     pub compression: Option<CompressionStats>,
     /// Per-phase wall-clock breakdown.
     pub phase_times: PhaseTimes,
+    /// Hot-path observability snapshot (PODEM backtracks, gate
+    /// evaluations, EDT encode stats, phase timers). All-zero when the
+    /// flow was built with a disabled [`MetricsHandle`].
+    pub metrics: MetricsSnapshot,
     /// The scan architecture (for downstream tooling).
     pub scan: ScanInsertion,
     /// The full ATPG run (patterns, cubes, fault list).

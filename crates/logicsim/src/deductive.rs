@@ -17,6 +17,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dft_fault::{Fault, FaultSite};
+use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Levelization, Netlist};
 
 use crate::Pattern;
@@ -27,6 +28,7 @@ pub struct DeductiveSim<'a> {
     nl: &'a Netlist,
     lv: Levelization,
     sources: Vec<GateId>,
+    metrics: MetricsHandle,
 }
 
 impl<'a> DeductiveSim<'a> {
@@ -40,7 +42,14 @@ impl<'a> DeductiveSim<'a> {
             nl,
             lv: Levelization::compute(nl).expect("netlist must be acyclic"),
             sources: nl.combinational_sources(),
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points pattern/gate-evaluation counters at `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> DeductiveSim<'a> {
+        self.metrics = metrics;
+        self
     }
 
     /// Simulates `pattern` once and returns, for every fault in
@@ -66,6 +75,7 @@ impl<'a> DeductiveSim<'a> {
         }
 
         // Good values.
+        let mut gate_evals = 0u64;
         let mut value = vec![false; nl.num_gates()];
         for (s, &g) in self.sources.iter().enumerate() {
             value[g.index()] = pattern[s];
@@ -108,6 +118,7 @@ impl<'a> DeductiveSim<'a> {
                 pin_lists.push(l);
             }
             let good_out = g.kind.eval_bool(&pin_vals);
+            gate_evals += 1;
             value[id.index()] = good_out;
 
             // Exact propagation: a fault flips the output iff the gate
@@ -122,6 +133,7 @@ impl<'a> DeductiveSim<'a> {
                 for (p, l) in pin_lists.iter().enumerate() {
                     flipped[p] = pin_vals[p] ^ l.contains(&f);
                 }
+                gate_evals += 1;
                 if g.kind.eval_bool(&flipped) != good_out {
                     out_list.insert(f);
                 }
@@ -155,6 +167,10 @@ impl<'a> DeductiveSim<'a> {
                     }
                 }
             }
+        }
+        if let Some(m) = self.metrics.get() {
+            m.deductive_patterns.inc();
+            m.deductive_gate_evals.add(gate_evals);
         }
         detected
     }

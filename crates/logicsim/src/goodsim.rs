@@ -1,5 +1,6 @@
 //! 64-way bit-parallel good-machine simulation.
 
+use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Levelization, Netlist};
 
 use crate::{Pattern, PatternSet, Response};
@@ -16,6 +17,11 @@ pub struct GoodSim<'a> {
     lv: Levelization,
     sources: Vec<GateId>,
     sinks: Vec<GateId>,
+    /// Word-gate evaluations per [`GoodSim::eval_block`] call — a constant
+    /// of the netlist, precomputed so metrics flushing costs nothing in
+    /// the block loop itself.
+    evals_per_block: u64,
+    metrics: MetricsHandle,
 }
 
 impl<'a> GoodSim<'a> {
@@ -26,12 +32,24 @@ impl<'a> GoodSim<'a> {
     /// Panics if the netlist has a combinational loop.
     pub fn new(nl: &'a Netlist) -> GoodSim<'a> {
         let lv = Levelization::compute(nl).expect("netlist must be acyclic");
+        let evals_per_block = lv
+            .order()
+            .iter()
+            .filter(|&&id| !matches!(nl.gate(id).kind, GateKind::Input | GateKind::Dff))
+            .count() as u64;
         GoodSim {
             nl,
             lv,
             sources: nl.combinational_sources(),
             sinks: nl.combinational_sinks(),
+            evals_per_block,
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points block/gate-evaluation counters at `metrics`.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// The netlist this simulator works on.
@@ -57,6 +75,10 @@ impl<'a> GoodSim<'a> {
     /// [`GoodSim::sink_words`].
     pub fn eval_block(&self, source_words: &[u64]) -> Vec<u64> {
         assert_eq!(source_words.len(), self.sources.len(), "source width");
+        if let Some(m) = self.metrics.get() {
+            m.goodsim_blocks.inc();
+            m.goodsim_gate_evals.add(self.evals_per_block);
+        }
         let mut vals = vec![0u64; self.nl.num_gates()];
         for (s, &g) in self.sources.iter().enumerate() {
             vals[g.index()] = source_words[s];

@@ -13,6 +13,7 @@
 //! pseudo-primary-input fault.
 
 use dft_fault::{Fault, FaultList, FaultSite};
+use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Netlist};
 
 use crate::{Executor, GoodSim, Pattern, PatternSet};
@@ -107,6 +108,7 @@ pub struct FaultSim<'a> {
     sim: GoodSim<'a>,
     /// For each gate, `Some(i)` if it is sink number `i`.
     sink_index: Vec<Option<u32>>,
+    metrics: MetricsHandle,
 }
 
 impl<'a> FaultSim<'a> {
@@ -121,12 +123,36 @@ impl<'a> FaultSim<'a> {
         for (i, &s) in sim.sinks().iter().enumerate() {
             sink_index[s.index()] = Some(i as u32);
         }
-        FaultSim { sim, sink_index }
+        FaultSim {
+            sim,
+            sink_index,
+            metrics: MetricsHandle::disabled(),
+        }
+    }
+
+    /// Points the simulator (and its good machine) at `metrics`. Run
+    /// statistics ([`SimStats`]) are flushed once per `run`/`run_with`
+    /// call; the per-word hot path is untouched.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> FaultSim<'a> {
+        self.sim.set_metrics(metrics.clone());
+        self.metrics = metrics;
+        self
     }
 
     /// The underlying good-machine simulator.
     pub fn good_sim(&self) -> &GoodSim<'a> {
         &self.sim
+    }
+
+    /// Flushes one run's [`SimStats`] into the registry (if enabled).
+    fn flush_stats(&self, stats: &SimStats) {
+        if let Some(m) = self.metrics.get() {
+            m.faultsim_runs.inc();
+            m.faultsim_patterns.add(stats.patterns as u64);
+            m.faultsim_faults.add(stats.faults_simulated as u64);
+            m.faultsim_detected.add(stats.detected as u64);
+            m.faultsim_gate_evals.add(stats.gate_evals);
+        }
     }
 
     /// Runs all `patterns` against the undetected faults in `list`,
@@ -153,6 +179,7 @@ impl<'a> FaultSim<'a> {
                 }
             }
         }
+        self.flush_stats(&stats);
         stats
     }
 
@@ -231,6 +258,7 @@ impl<'a> FaultSim<'a> {
                 stats.detected += 1;
             }
         }
+        self.flush_stats(&stats);
         stats
     }
 

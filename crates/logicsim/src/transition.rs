@@ -8,6 +8,7 @@
 //! the tutorial calls it out.
 
 use dft_fault::{Fault, FaultList};
+use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 
 use crate::ppsfp::SimWorkspace;
@@ -18,6 +19,7 @@ use crate::{Executor, FaultSim, Pattern, PatternSet};
 #[derive(Debug)]
 pub struct TransitionSim<'a> {
     sim: FaultSim<'a>,
+    metrics: MetricsHandle,
 }
 
 impl<'a> TransitionSim<'a> {
@@ -29,12 +31,30 @@ impl<'a> TransitionSim<'a> {
     pub fn new(nl: &'a Netlist) -> TransitionSim<'a> {
         TransitionSim {
             sim: FaultSim::new(nl),
+            metrics: MetricsHandle::disabled(),
         }
+    }
+
+    /// Points run counters (and the wrapped engines) at `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> TransitionSim<'a> {
+        self.sim = self.sim.with_metrics(metrics.clone());
+        self.metrics = metrics;
+        self
     }
 
     /// The underlying stuck-at engine.
     pub fn fault_sim(&self) -> &FaultSim<'a> {
         &self.sim
+    }
+
+    /// Flushes one run's counters into the registry (if enabled).
+    fn flush_run(&self, pairs: usize, detected: u64, gate_evals: u64) {
+        if let Some(m) = self.metrics.get() {
+            m.transition_runs.inc();
+            m.transition_pairs.add(pairs as u64);
+            m.transition_detected.add(detected);
+            m.transition_gate_evals.add(gate_evals);
+        }
     }
 
     /// Does the pair `(launch, capture)` detect `fault`?
@@ -72,6 +92,8 @@ impl<'a> TransitionSim<'a> {
     pub fn run(&self, pairs: &[(Pattern, Pattern)], list: &mut FaultList) {
         let nl = self.sim.good_sim().netlist();
         let mut ws = SimWorkspace::new(nl.num_gates());
+        let mut detected = 0u64;
+        let mut gate_evals = 0u64;
         // Process in blocks of 64 pairs.
         let mut start = 0usize;
         while start < pairs.len() {
@@ -121,14 +143,17 @@ impl<'a> TransitionSim<'a> {
                         dft_fault::FaultKind::StuckAt0
                     },
                 };
-                let (det, _) = self.sim.detect_word(&good2, mask, stuck, &mut ws);
+                let (det, evals) = self.sim.detect_word(&good2, mask, stuck, &mut ws);
+                gate_evals += evals;
                 let det = det & launch_ok;
                 if det != 0 {
                     list.mark_detected(idx, (start as u32) + det.trailing_zeros());
+                    detected += 1;
                 }
             }
             start += count;
         }
+        self.flush_run(pairs.len(), detected, gate_evals);
     }
 
     /// Runs all pattern pairs against the undetected faults in `list` on
@@ -183,9 +208,11 @@ impl<'a> TransitionSim<'a> {
         }
         let faults = list.faults();
         let num_gates = nl.num_gates();
-        let detections: Vec<Vec<(usize, u32)>> = exec.map_chunks(&active, |_, part| {
+        type ChunkResult = (Vec<(usize, u32)>, u64);
+        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |_, part| {
             let mut ws = SimWorkspace::new(num_gates);
             let mut out = Vec::new();
+            let mut evals = 0u64;
             'fault: for &idx in part {
                 let fault = faults[idx];
                 let lvv = match fault.kind.launch_value() {
@@ -210,7 +237,8 @@ impl<'a> TransitionSim<'a> {
                     if launch_ok == 0 {
                         continue;
                     }
-                    let (det, _) = self.sim.detect_word(&b.good2, b.mask, stuck, &mut ws);
+                    let (det, e) = self.sim.detect_word(&b.good2, b.mask, stuck, &mut ws);
+                    evals += e;
                     let det = det & launch_ok;
                     if det != 0 {
                         out.push((idx, b.start as u32 + det.trailing_zeros()));
@@ -218,11 +246,18 @@ impl<'a> TransitionSim<'a> {
                     }
                 }
             }
-            out
+            (out, evals)
         });
-        for (idx, pattern) in detections.into_iter().flatten() {
-            list.mark_detected(idx, pattern);
+        let mut detected = 0u64;
+        let mut gate_evals = 0u64;
+        for (detections, evals) in chunks {
+            gate_evals += evals;
+            for (idx, pattern) in detections {
+                list.mark_detected(idx, pattern);
+                detected += 1;
+            }
         }
+        self.flush_run(pairs.len(), detected, gate_evals);
     }
 
     /// Transition-fault coverage achieved by `pairs` on `faults` (no list

@@ -1,0 +1,198 @@
+//! Golden-value regression suite: locks the end-to-end flow results and
+//! hot-path metric counters for a fixed circuit set. Every number below
+//! is fully deterministic (seeded RNG, thread-count-invariant merging),
+//! so any drift means an algorithmic change — intentional or not.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```sh
+//! AIDFT_BLESS_GOLDEN=1 cargo test -p dft-core --test golden_metrics -- --nocapture
+//! ```
+//!
+//! and paste the printed rows over the `GOLDEN` table.
+
+use dft_core::metrics::MetricsSnapshot;
+use dft_core::netlist::generators::{benchmark_suite, systolic_array, SystolicConfig};
+use dft_core::netlist::Netlist;
+use dft_core::DftFlow;
+
+/// Expected flow results + metric counters for one circuit.
+struct Golden {
+    name: &'static str,
+    /// Final pattern count after compaction.
+    patterns: usize,
+    /// Stuck-at fault coverage in basis points (`round(fc * 10_000)`),
+    /// stored as an integer so equality is exact.
+    coverage_bp: u64,
+    untestable: usize,
+    aborted: usize,
+    /// EDT stimulus compression ratio in hundredths (`round(ratio*100)`),
+    /// zero for designs without scan compression.
+    ratio_centi: u64,
+    /// (counter name, expected value) pairs from the metric snapshot.
+    counters: &'static [(&'static str, u64)],
+}
+
+/// One row per seed circuit. Pure-combinational c17 exercises the
+/// ATPG/sim counters without EDT; the scan designs lock the compression
+/// path too.
+const GOLDEN: &[Golden] = &[
+    Golden {
+        name: "c17",
+        patterns: 128,
+        coverage_bp: 10000,
+        untestable: 0,
+        aborted: 0,
+        ratio_centi: 0,
+        counters: &[
+            ("atpg_patterns", 128),
+            ("podem_backtracks", 0),
+            ("faultsim_gate_evals", 256),
+            ("edt_cubes_attempted", 0),
+        ],
+    },
+    Golden {
+        name: "mac4",
+        patterns: 130,
+        coverage_bp: 9672,
+        untestable: 10,
+        aborted: 4,
+        ratio_centi: 77,
+        counters: &[
+            ("atpg_patterns", 130),
+            ("podem_calls", 16),
+            ("podem_backtracks", 1041),
+            ("faultsim_gate_evals", 36332),
+            ("edt_cubes_attempted", 2),
+            ("edt_cubes_encoded", 2),
+            ("gf2_solves", 2),
+        ],
+    },
+    Golden {
+        name: "sys2x2",
+        patterns: 135,
+        coverage_bp: 9668,
+        untestable: 40,
+        aborted: 16,
+        ratio_centi: 100,
+        counters: &[
+            ("atpg_patterns", 135),
+            ("podem_backtracks", 4180),
+            ("faultsim_gate_evals", 216517),
+            ("edt_cubes_encoded", 7),
+        ],
+    },
+];
+
+fn circuit(name: &str) -> Netlist {
+    if name == "sys2x2" {
+        return systolic_array(SystolicConfig {
+            rows: 2,
+            cols: 2,
+            width: 4,
+        });
+    }
+    benchmark_suite()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("unknown golden circuit `{name}`"))
+        .netlist
+}
+
+fn bless_mode() -> bool {
+    std::env::var("AIDFT_BLESS_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Prints a `Golden` row literal for the observed run (bless mode).
+fn print_row(
+    g: &Golden,
+    patterns: usize,
+    cov_bp: u64,
+    unt: usize,
+    abt: usize,
+    ratio: u64,
+    snap: &MetricsSnapshot,
+) {
+    println!("    Golden {{");
+    println!("        name: \"{}\",", g.name);
+    println!("        patterns: {patterns},");
+    println!("        coverage_bp: {cov_bp},");
+    println!("        untestable: {unt},");
+    println!("        aborted: {abt},");
+    println!("        ratio_centi: {ratio},");
+    println!("        counters: &[");
+    for (key, _) in g.counters {
+        println!("            (\"{}\", {}),", key, snap.counter(key));
+    }
+    println!("        ],");
+    println!("    }},");
+}
+
+#[test]
+fn golden_flow_results_and_counters() {
+    let mut failures = Vec::new();
+    for g in GOLDEN {
+        let nl = circuit(g.name);
+        // threads(1) is not load-bearing (merging is thread-count
+        // invariant, proven by integration_properties), just fastest for
+        // these small designs.
+        let report = DftFlow::new(&nl).threads(1).run();
+        let cov_bp = (report.fault_coverage * 10_000.0).round() as u64;
+        let ratio_centi = report
+            .compression
+            .as_ref()
+            .map(|c| (c.ratio() * 100.0).round() as u64)
+            .unwrap_or(0);
+        if bless_mode() {
+            print_row(
+                g,
+                report.patterns,
+                cov_bp,
+                report.untestable,
+                report.aborted,
+                ratio_centi,
+                &report.metrics,
+            );
+            continue;
+        }
+        let mut check = |what: &str, got: u64, want: u64| {
+            if got != want {
+                failures.push(format!("{}: {what} = {got}, golden {want}", g.name));
+            }
+        };
+        check("patterns", report.patterns as u64, g.patterns as u64);
+        check("coverage_bp", cov_bp, g.coverage_bp);
+        check("untestable", report.untestable as u64, g.untestable as u64);
+        check("aborted", report.aborted as u64, g.aborted as u64);
+        check("ratio_centi", ratio_centi, g.ratio_centi);
+        for (key, want) in g.counters {
+            check(key, report.metrics.counter(key), *want);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden drift ({} mismatches) — if intentional, re-bless with \
+         AIDFT_BLESS_GOLDEN=1 (see file header):\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
+
+/// The snapshot JSON itself is part of the stable surface (CI artifacts
+/// and `--metrics-json` consumers parse it): spot-check shape + ordering.
+#[test]
+fn snapshot_json_is_stable_and_ordered() {
+    let nl = circuit("c17");
+    let report = DftFlow::new(&nl).threads(1).run();
+    let json = report.metrics.to_json();
+    assert!(json.starts_with("{\n  \"counters\": {"));
+    assert!(json.contains("\"histograms\""));
+    assert!(json.contains("\"timers\""));
+    // Counters appear in registry declaration order, so the JSON of two
+    // identical runs is byte-identical apart from the timers section.
+    let a = json.split("\"timers\"").next().unwrap().to_owned();
+    let report2 = DftFlow::new(&nl).threads(1).run();
+    let b = report2.metrics.to_json();
+    let b = b.split("\"timers\"").next().unwrap();
+    assert_eq!(a, b, "deterministic sections differ between identical runs");
+}

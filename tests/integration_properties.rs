@@ -186,6 +186,48 @@ proptest! {
         prop_assert_eq!(r1.undetected, rn.undetected);
     }
 
+    /// The metric snapshot reported by PPSFP (and by the whole flow) is
+    /// bit-identical across 1/2/8 workers: detections, counters, and
+    /// histograms — not just the coverage number. Timers are wall-clock
+    /// and excluded via `deterministic_eq`.
+    #[test]
+    fn metrics_snapshot_is_thread_count_invariant(
+        circuit in prop::select(vec!["c17", "mac4", "s27"]),
+        seed in 0u64..200,
+    ) {
+        use dft_core::logicsim::Executor;
+        use dft_core::metrics::MetricsHandle;
+        use dft_core::netlist::generators::{c17, mac_pe, s27};
+        use dft_core::DftFlow;
+        let nl = match circuit {
+            "c17" => c17(),
+            "mac4" => mac_pe(4),
+            _ => s27(),
+        };
+        let ps = PatternSet::random(&nl, 192, seed);
+        let faults = universe_stuck_at(&nl);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let handle = MetricsHandle::enabled();
+            let sim = FaultSim::new(&nl).with_metrics(handle.clone());
+            let mut list = FaultList::new(faults.clone());
+            sim.run_with(&ps, &mut list, &Executor::with_threads(threads));
+            runs.push((threads, list.num_detected(), handle.snapshot().unwrap()));
+        }
+        let (_, detected_1, snap_1) = &runs[0];
+        for (threads, detected, snap) in &runs[1..] {
+            prop_assert_eq!(detected_1, detected, "threads={}", threads);
+            prop_assert!(
+                snap_1.deterministic_eq(snap),
+                "threads={} counters/histograms differ from serial", threads
+            );
+        }
+        // End-to-end: the FlowReport snapshot obeys the same invariant.
+        let flow_1 = DftFlow::new(&nl).threads(1).run();
+        let flow_8 = DftFlow::new(&nl).threads(8).run();
+        prop_assert!(flow_1.metrics.deterministic_eq(&flow_8.metrics));
+    }
+
     /// Fault simulation with dropping gives the same coverage as without
     /// (detection is order-independent in aggregate).
     #[test]
