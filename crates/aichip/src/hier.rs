@@ -58,6 +58,10 @@ pub struct CoreTestPlan {
     /// Tester cycles when stimulus is broadcast to all cores in parallel
     /// (responses compacted per core).
     pub broadcast_cycles: u64,
+    /// Tester cycles to apply the pattern set to a single core (the unit
+    /// cost both schedules are built from — degradation planners rebuild
+    /// schedules for surviving-core subsets via [`schedule_cycles`]).
+    pub per_core_cycles: u64,
     /// ATPG wall-clock for the single core (reused for all).
     pub atpg_time: Duration,
     /// Outcome of the per-core broadcast verification: one entry per core
@@ -106,11 +110,7 @@ pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> 
         if universe.is_empty() {
             return true;
         }
-        // SplitMix64 of the instance index picks the seeded defect.
-        let mut z = (core_idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let defect = universe[(z ^ (z >> 31)) as usize % universe.len()];
+        let defect = seeded_defect(core_idx, &universe);
         let mut list = FaultList::new(vec![defect]);
         sim.run(&run.patterns, &mut list);
         list.num_detected() == 1
@@ -123,28 +123,78 @@ pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> 
         },
     );
     let per_core = TestTimeModel::for_architecture(&scan, run.patterns.len(), cfg.shift_mhz);
-
-    // Flat: cores share the SoC scan pins; at most
-    // `soc_scan_pins / (2 * chains_per_core)` cores can shift at once.
-    let concurrent = (cfg.soc_scan_pins / (2 * cfg.chains_per_core)).max(1);
-    let sequential_groups = cfg.num_cores.div_ceil(concurrent);
-    let flat_cycles = per_core.total_cycles() * sequential_groups as u64;
-
-    // Broadcast: every core receives the same stimulus simultaneously;
-    // one application suffices. Responses are compacted on-core (MISR),
-    // adding a constant signature-unload tail per core group.
-    let signature_unload = 32u64; // cycles to stream out one MISR signature
-    let broadcast_cycles = per_core.total_cycles()
-        + signature_unload * cfg.num_cores as u64 / concurrent.max(1) as u64;
+    let per_core_cycles = per_core.total_cycles();
+    let (flat_cycles, broadcast_cycles) = schedule_cycles(per_core_cycles, cfg.num_cores, cfg);
 
     CoreTestPlan {
         patterns_per_core: run.patterns.len(),
         core_coverage: run.fault_list.fault_coverage(),
         flat_cycles,
         broadcast_cycles,
+        per_core_cycles,
         atpg_time: run.elapsed,
         defects_flagged,
     }
+}
+
+/// Derives both application schedules for `num_cores` instances sharing
+/// `cfg`'s SoC scan pins, given the tester cycles to test one core.
+/// Returns `(flat_cycles, broadcast_cycles)`. Split out so degradation
+/// planners can recompute the schedule for a surviving-core subset
+/// without re-running ATPG.
+pub fn schedule_cycles(per_core_cycles: u64, num_cores: usize, cfg: &SocConfig) -> (u64, u64) {
+    // Flat: cores share the SoC scan pins; at most
+    // `soc_scan_pins / (2 * chains_per_core)` cores can shift at once.
+    let concurrent = (cfg.soc_scan_pins / (2 * cfg.chains_per_core)).max(1);
+    let sequential_groups = num_cores.div_ceil(concurrent);
+    let flat_cycles = per_core_cycles * sequential_groups as u64;
+
+    // Broadcast: every core receives the same stimulus simultaneously;
+    // one application suffices. Responses are compacted on-core (MISR),
+    // adding a constant signature-unload tail per core group.
+    let signature_unload = 32u64; // cycles to stream out one MISR signature
+    let broadcast_cycles =
+        per_core_cycles + signature_unload * num_cores as u64 / concurrent.max(1) as u64;
+    (flat_cycles, broadcast_cycles)
+}
+
+/// Screens every core instance with the broadcast pattern set and
+/// returns the per-core pass map: `true` = the core's local compare saw
+/// no mismatch (the core ships), `false` = the core failed screening.
+/// Cores listed in `defective_cores` carry one seeded stuck-at defect
+/// (deterministic in the core index, same seeding as
+/// [`hierarchical_plan`]); a defective core still *passes* when the
+/// broadcast patterns miss its defect — a genuine test escape, which is
+/// why the flag rate in [`CoreTestPlan::defect_flag_rate`] matters.
+pub fn broadcast_screen(
+    core: &Netlist,
+    cfg: &SocConfig,
+    atpg: &AtpgConfig,
+    defective_cores: &[usize],
+) -> Vec<bool> {
+    let run = Atpg::new(core).run(atpg);
+    let universe = universe_stuck_at(core);
+    let sim = FaultSim::new(core);
+    let exec = Executor::with_threads(cfg.threads);
+    let cores: Vec<usize> = (0..cfg.num_cores).collect();
+    exec.map(&cores, |_, &core_idx| {
+        if !defective_cores.contains(&core_idx) || universe.is_empty() {
+            return true;
+        }
+        let defect = seeded_defect(core_idx, &universe);
+        let mut list = FaultList::new(vec![defect]);
+        sim.run(&run.patterns, &mut list);
+        // Detected defect -> local compare mismatches -> core fails.
+        list.num_detected() == 0
+    })
+}
+
+/// SplitMix64 of the instance index picks that core's seeded defect.
+fn seeded_defect(core_idx: usize, universe: &[dft_fault::Fault]) -> dft_fault::Fault {
+    let mut z = (core_idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    universe[(z ^ (z >> 31)) as usize % universe.len()]
 }
 
 #[cfg(test)]

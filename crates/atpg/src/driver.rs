@@ -8,7 +8,7 @@ use dft_logicsim::{Executor, FaultSim, PatternSet, TestCube};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 
-use crate::{compact_cubes, AtpgResult, Podem, PodemStats};
+use crate::{compact_cubes, AtpgResult, DAlgorithm, Podem, PodemStats};
 
 /// How the driver compacts deterministic cubes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +43,27 @@ pub struct AtpgConfig {
     /// hardware thread, `1` = serial. Any value produces bit-identical
     /// results (see [`dft_logicsim::Executor`]).
     pub threads: usize,
+    /// Retry a PODEM-aborted fault once with the D-algorithm (at
+    /// [`AtpgConfig::escalation_backtracks`]) before classifying it
+    /// aborted. The structural D-algorithm often closes hard faults the
+    /// path-oriented search gives up on, at a bounded extra cost.
+    pub escalate_aborts: bool,
+    /// Backtrack limit for the D-algorithm escalation retry.
+    pub escalation_backtracks: u32,
+    /// Per-fault wall-clock budget in milliseconds: when the PODEM
+    /// attempt has already consumed the budget, the escalation retry is
+    /// skipped and the fault is classified aborted immediately. `0` (the
+    /// default) means unlimited. **Wall-clock-based**, so a non-zero
+    /// budget can classify differently across machines/runs — leave it
+    /// at 0 whenever reproducibility matters (golden tests do).
+    pub fault_budget_ms: u64,
+    /// Test-only hook, forwarded to
+    /// [`dft_logicsim::FaultSim::with_poisoned_fault`]: every
+    /// fault-simulation pass panics on this fault's batch, exercising
+    /// the panic-isolation path end to end (the run completes; the lost
+    /// batches are counted in [`AtpgRun::failed_sim_batches`]). Never
+    /// set outside tests.
+    pub poison_fault: Option<Fault>,
 }
 
 impl Default for AtpgConfig {
@@ -55,6 +76,10 @@ impl Default for AtpgConfig {
             guided_backtrace: true,
             dynamic_targets: 16,
             threads: 0,
+            escalate_aborts: true,
+            escalation_backtracks: 512,
+            fault_budget_ms: 0,
+            poison_fault: None,
         }
     }
 }
@@ -109,6 +134,34 @@ impl AtpgConfig {
         self.threads = n;
         self
     }
+
+    /// Enables or disables the D-algorithm escalation retry for
+    /// PODEM-aborted faults.
+    pub fn escalate_aborts(mut self, on: bool) -> AtpgConfig {
+        self.escalate_aborts = on;
+        self
+    }
+
+    /// Sets the backtrack limit for the D-algorithm escalation retry.
+    pub fn escalation_backtracks(mut self, limit: u32) -> AtpgConfig {
+        self.escalation_backtracks = limit;
+        self
+    }
+
+    /// Sets the per-fault wall-clock budget in milliseconds (`0` =
+    /// unlimited). See [`AtpgConfig::fault_budget_ms`] for the
+    /// reproducibility caveat.
+    pub fn fault_budget_ms(mut self, ms: u64) -> AtpgConfig {
+        self.fault_budget_ms = ms;
+        self
+    }
+
+    /// Sets the test-only poisoned fault (see
+    /// [`AtpgConfig::poison_fault`]).
+    pub fn poison_fault(mut self, fault: Fault) -> AtpgConfig {
+        self.poison_fault = Some(fault);
+        self
+    }
 }
 
 /// Counters and results of a full ATPG run.
@@ -129,6 +182,16 @@ pub struct AtpgRun {
     pub untestable: usize,
     /// Collapsed faults aborted at the backtrack limit.
     pub aborted: usize,
+    /// PODEM-aborted targets escalated to the D-algorithm retry.
+    pub escalated: usize,
+    /// Escalated targets the D-algorithm resolved (a confirmed test or
+    /// an untestability proof) instead of staying aborted.
+    pub rescued: usize,
+    /// Fault-simulation batches lost to an isolated worker panic across
+    /// every sim pass of the run (see
+    /// [`dft_logicsim::SimStats::failed_batches`]). Always zero in a
+    /// healthy run.
+    pub failed_sim_batches: usize,
     /// Aggregate PODEM effort.
     pub podem: PodemStats,
     /// Wall-clock time of the run.
@@ -147,6 +210,16 @@ impl AtpgRun {
     pub fn test_coverage(&self) -> f64 {
         self.fault_list.test_coverage()
     }
+}
+
+/// Top-off classification counters, snapshotted and restored as a unit
+/// around the compaction rebuild.
+#[derive(Debug, Clone, Copy, Default)]
+struct TopoffTally {
+    untestable: usize,
+    aborted: usize,
+    escalated: usize,
+    rescued: usize,
 }
 
 /// The ATPG driver bound to one netlist.
@@ -184,17 +257,24 @@ impl<'a> Atpg<'a> {
         let exec = Executor::with_threads(config.threads);
         let collapsed = collapse_equivalent(self.nl, &universe);
         let mut reps = FaultList::new(collapsed.representatives().to_vec());
-        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
+        let mut sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
+        if let Some(poison) = config.poison_fault {
+            sim = sim.with_poisoned_fault(poison);
+        }
+        let sim = sim;
         let mut podem = Podem::new(self.nl);
         podem.guided = config.guided_backtrace;
         podem.set_metrics(self.metrics.clone());
+        let mut dalg = DAlgorithm::new(self.nl);
+        dalg.set_metrics(self.metrics.clone());
+        let mut failed_sim_batches = 0usize;
 
         let mut patterns = PatternSet::for_netlist(self.nl);
 
         // Phase 1: random patterns with fault dropping.
         if config.random_patterns > 0 {
             let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
-            sim.run_with(&random, &mut reps, &exec);
+            failed_sim_batches += sim.run_with(&random, &mut reps, &exec).failed_batches;
             patterns.extend_from(&random);
         }
         let random_detected = reps.num_detected();
@@ -208,8 +288,7 @@ impl<'a> Atpg<'a> {
         // guarantees convergence.
         let mut cubes: Vec<TestCube> = Vec::new();
         let mut podem_stats = PodemStats::default();
-        let mut untestable = 0usize;
-        let mut aborted = 0usize;
+        let mut tally = TopoffTally::default();
         let mut fill_seed = config.seed ^ 0xF111;
         let compaction_rounds = if matches!(config.compaction, CompactionMode::None) {
             0
@@ -224,21 +303,21 @@ impl<'a> Atpg<'a> {
             patterns: PatternSet,
             cubes: Vec<TestCube>,
             reps: FaultList,
-            untestable: usize,
-            aborted: usize,
+            tally: TopoffTally,
         }
         let mut pre_compaction: Option<Snapshot> = None;
         for round in 0..=compaction_rounds {
             self.topoff(
                 config,
                 &podem,
+                &dalg,
                 &sim,
                 &mut reps,
                 &mut patterns,
                 &mut cubes,
                 &mut podem_stats,
-                &mut untestable,
-                &mut aborted,
+                &mut tally,
+                &mut failed_sim_batches,
                 &mut fill_seed,
             );
             if round == compaction_rounds || cubes.is_empty() {
@@ -252,8 +331,7 @@ impl<'a> Atpg<'a> {
                 patterns: patterns.clone(),
                 cubes: cubes.clone(),
                 reps: reps.clone(),
-                untestable,
-                aborted,
+                tally,
             });
             // Rebuild the pattern set: random prefix + merged cubes.
             let mut rebuilt = PatternSet::for_netlist(self.nl);
@@ -276,7 +354,7 @@ impl<'a> Atpg<'a> {
                     _ => {}
                 }
             }
-            sim.run_with(&patterns, &mut fresh, &exec);
+            failed_sim_batches += sim.run_with(&patterns, &mut fresh, &exec).failed_batches;
             reps = fresh;
         }
         // Compaction must never make the result worse: keep the rebuilt
@@ -290,8 +368,7 @@ impl<'a> Atpg<'a> {
                 patterns = snap.patterns;
                 cubes = snap.cubes;
                 reps = snap.reps;
-                untestable = snap.untestable;
-                aborted = snap.aborted;
+                tally = snap.tally;
             }
         }
         let deterministic_detected = reps.num_detected().saturating_sub(random_detected);
@@ -302,7 +379,9 @@ impl<'a> Atpg<'a> {
         // collapsed list.
         let signoff_start = Instant::now();
         let mut fault_list = FaultList::new(universe);
-        sim.run_with(&patterns, &mut fault_list, &exec);
+        failed_sim_batches += sim
+            .run_with(&patterns, &mut fault_list, &exec)
+            .failed_batches;
         for (i, &f) in fault_list.faults().to_vec().iter().enumerate() {
             let rep = collapsed.representative(f);
             if let Some(status) = reps.status_of(rep) {
@@ -320,8 +399,10 @@ impl<'a> Atpg<'a> {
         if let Some(m) = self.metrics.get() {
             m.atpg_runs.inc();
             m.atpg_patterns.add(patterns.len() as u64);
-            m.atpg_untestable.add(untestable as u64);
-            m.atpg_aborted.add(aborted as u64);
+            m.atpg_untestable.add(tally.untestable as u64);
+            m.atpg_aborted.add(tally.aborted as u64);
+            m.atpg_escalations.add(tally.escalated as u64);
+            m.atpg_rescued.add(tally.rescued as u64);
             m.t_atpg_random.record(random_time);
             m.t_atpg_deterministic.record(deterministic_time);
             m.t_atpg_signoff.record(signoff_time);
@@ -333,8 +414,11 @@ impl<'a> Atpg<'a> {
             cubes,
             random_detected,
             deterministic_detected,
-            untestable,
-            aborted,
+            untestable: tally.untestable,
+            aborted: tally.aborted,
+            escalated: tally.escalated,
+            rescued: tally.rescued,
+            failed_sim_batches,
             podem: podem_stats,
             elapsed: start.elapsed(),
             random_time,
@@ -344,19 +428,21 @@ impl<'a> Atpg<'a> {
     }
 
     /// One deterministic top-off pass: PODEM every remaining undetected
-    /// fault, fault-dropping each new pattern against the list.
+    /// fault (escalating aborts to the D-algorithm when configured),
+    /// fault-dropping each new pattern against the list.
     #[allow(clippy::too_many_arguments)]
     fn topoff(
         &self,
         config: &AtpgConfig,
         podem: &Podem<'_>,
+        dalg: &DAlgorithm<'_>,
         sim: &FaultSim<'_>,
         reps: &mut FaultList,
         patterns: &mut PatternSet,
         cubes: &mut Vec<TestCube>,
         podem_stats: &mut PodemStats,
-        untestable: &mut usize,
-        aborted: &mut usize,
+        tally: &mut TopoffTally,
+        failed_sim_batches: &mut usize,
         fill_seed: &mut u64,
     ) {
         loop {
@@ -365,10 +451,29 @@ impl<'a> Atpg<'a> {
                 None => break,
             };
             let target = reps.faults()[target_idx];
+            let target_start = Instant::now();
             let (result, st) = podem.generate(target, config.backtrack_limit);
             podem_stats.backtracks += st.backtracks;
             podem_stats.simulations += st.simulations;
             podem_stats.decisions += st.decisions;
+            // Escalation: retry a PODEM abort once with the structural
+            // D-algorithm (stem faults only — it has no branch-fault
+            // model), unless this fault already blew its time budget.
+            let mut escalated = false;
+            let result = match result {
+                AtpgResult::Aborted if config.escalate_aborts && target.site.pin.is_none() => {
+                    let within_budget = config.fault_budget_ms == 0
+                        || target_start.elapsed().as_millis() < u128::from(config.fault_budget_ms);
+                    if within_budget {
+                        escalated = true;
+                        tally.escalated += 1;
+                        dalg.generate(target, config.escalation_backtracks)
+                    } else {
+                        AtpgResult::Aborted
+                    }
+                }
+                other => other,
+            };
             match result {
                 AtpgResult::Test(mut cube) => {
                     if config.compaction == CompactionMode::Dynamic {
@@ -378,23 +483,29 @@ impl<'a> Atpg<'a> {
                     let pattern = cube.random_fill(*fill_seed);
                     let mut single = PatternSet::for_netlist(self.nl);
                     single.push(pattern.clone());
-                    sim.run(&single, reps);
-                    // Guard against a PODEM/fault-sim disagreement leaving
-                    // the target undetected (would loop forever).
+                    *failed_sim_batches += sim.run(&single, reps).failed_batches;
+                    // Guard against a generator/fault-sim disagreement
+                    // leaving the target undetected (would loop forever).
                     if !reps.status(target_idx).is_detected() {
                         reps.set_status(target_idx, FaultStatus::Aborted);
-                        *aborted += 1;
+                        tally.aborted += 1;
+                    } else if escalated {
+                        // The D-algorithm produced a sim-confirmed test.
+                        tally.rescued += 1;
                     }
                     patterns.push(pattern);
                     cubes.push(cube);
                 }
                 AtpgResult::Untestable => {
                     reps.set_status(target_idx, FaultStatus::Untestable);
-                    *untestable += 1;
+                    tally.untestable += 1;
+                    if escalated {
+                        tally.rescued += 1;
+                    }
                 }
                 AtpgResult::Aborted => {
                     reps.set_status(target_idx, FaultStatus::Aborted);
-                    *aborted += 1;
+                    tally.aborted += 1;
                 }
             }
         }
@@ -536,6 +647,64 @@ mod tests {
             "s27 coverage {}",
             run.test_coverage()
         );
+    }
+
+    #[test]
+    fn escalation_rescues_aborted_stem_faults() {
+        // A tight PODEM leash forces aborts; the D-algorithm retry at its
+        // own (default) limit should resolve at least some of them.
+        let nl = mac_pe(4);
+        let tight = AtpgConfig {
+            backtrack_limit: 4,
+            escalate_aborts: false,
+            ..AtpgConfig::default()
+        };
+        let off = Atpg::new(&nl).run(&tight);
+        assert_eq!(off.escalated, 0);
+        assert_eq!(off.rescued, 0);
+        assert!(off.aborted > 0, "leash too loose for this test");
+        let on = Atpg::new(&nl).run(&AtpgConfig {
+            escalate_aborts: true,
+            ..tight
+        });
+        assert!(on.escalated > 0);
+        assert!(on.rescued > 0, "D-algorithm rescued nothing");
+        assert!(on.rescued <= on.escalated);
+        assert!(
+            on.test_coverage() >= off.test_coverage(),
+            "escalation lowered coverage: {} < {}",
+            on.test_coverage(),
+            off.test_coverage()
+        );
+    }
+
+    #[test]
+    fn zero_fault_budget_means_unlimited_escalation() {
+        let nl = ripple_adder(4);
+        let run = Atpg::new(&nl).run(&AtpgConfig::default().fault_budget_ms(0));
+        assert!((run.test_coverage() - 1.0).abs() < 1e-9);
+        assert_eq!(run.failed_sim_batches, 0);
+    }
+
+    #[test]
+    fn poisoned_sim_batch_does_not_abort_the_run() {
+        let nl = ripple_adder(4);
+        let universe = universe_stuck_at(&nl);
+        let poison = universe[3];
+        let clean = Atpg::new(&nl).run(&AtpgConfig::default());
+        assert_eq!(clean.failed_sim_batches, 0);
+        // The poisoned run must complete and report the lost batches.
+        let run = Atpg::new(&nl).run(&AtpgConfig::default().poison_fault(poison));
+        assert!(run.failed_sim_batches > 0);
+        // Everything except the poisoned fault still gets tested.
+        let detected = run
+            .fault_list
+            .faults()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| run.fault_list.status(i).is_detected())
+            .count();
+        assert!(detected >= clean.fault_list.len() - 2);
     }
 
     #[test]

@@ -613,6 +613,149 @@ pub fn metrics_report() {
     );
 }
 
+/// REPAIR: built-in self-repair and graceful degradation. Two tables:
+/// repairable-vs-unrepairable SRAM yield across injected fault densities
+/// (memory BISR with 2+2 spares on a 16x16 array), and the degraded-SoC
+/// ship matrix (grade, recomputed broadcast test time, and harvested
+/// inference accuracy versus bad-core count). Writes both to
+/// `BENCH_repair.json` (uploaded as a CI artifact).
+pub fn repair_report() {
+    use dft_core::repair::{
+        plan_degradation, run_inference_check, yield_sweep, BisrEngine, SpareConfig, SramGeometry,
+    };
+
+    let handle = MetricsHandle::enabled();
+
+    // Table 1: SRAM repair yield vs injected fault density.
+    let geom = SramGeometry { rows: 16, cols: 16 };
+    let spares = SpareConfig {
+        spare_rows: 2,
+        spare_cols: 2,
+    };
+    let engine = BisrEngine::new().with_metrics(handle.clone());
+    println!(
+        "REPAIR: {}x{} SRAM + {}r/{}c spares, March C-, 25 dies per density",
+        geom.rows, geom.cols, spares.spare_rows, spares.spare_cols
+    );
+    println!(
+        "{:>7} {:>6} {:>9} {:>13} {:>7}",
+        "faults", "clean", "repaired", "unrepairable", "yield"
+    );
+    let sweep = yield_sweep(
+        &engine,
+        geom,
+        &spares,
+        &[0, 1, 2, 3, 4, 5, 6, 8, 12],
+        25,
+        0xBE9C,
+    );
+    let mut yield_rows = Vec::new();
+    for p in &sweep {
+        println!(
+            "{:>7} {:>6} {:>9} {:>13} {:>6.0}%",
+            p.faults_injected,
+            p.clean,
+            p.repaired,
+            p.unrepairable,
+            p.yield_fraction() * 100.0
+        );
+        yield_rows.push(format!(
+            "{{\"faults\":{},\"attempts\":{},\"clean\":{},\"repaired\":{},\
+             \"unrepairable\":{},\"yield\":{:.4}}}",
+            p.faults_injected,
+            p.attempts,
+            p.clean,
+            p.repaired,
+            p.unrepairable,
+            p.yield_fraction()
+        ));
+    }
+    println!("shape: full yield while faults fit the spare budget, then a sharp knee.");
+
+    // Table 2: degraded-SoC ship matrix. One ATPG run on the core fixes
+    // per_core_cycles; everything else is rescheduling + inference.
+    let core = mac_pe(4);
+    let cfg = SocConfig {
+        threads: threads(),
+        ..SocConfig::default()
+    };
+    let plan = hierarchical_plan(&core, &cfg, &AtpgConfig::new().threads(threads()));
+    let max_bad_cores = 2usize;
+    println!(
+        "\ndegraded-SoC ship matrix: {} cores, floor N-{max_bad_cores}, \
+         per-core {} cycles",
+        cfg.num_cores, plan.per_core_cycles
+    );
+    println!(
+        "{:>9} {:>6} {:>12} {:>13} {:>12} {:>10} {:>10}",
+        "bad cores", "ships", "bcast cyc", "test ms", "harvest acc", "faulty acc", "thruput"
+    );
+    let mut ship_rows = Vec::new();
+    for bad in 0..=4usize {
+        let mut pass_map = vec![true; cfg.num_cores];
+        for core_idx in 0..bad {
+            // Spread the bad cores across the die deterministically.
+            pass_map[(core_idx * 5 + 3) % cfg.num_cores] = false;
+        }
+        let hplan = plan_degradation(
+            &pass_map,
+            plan.per_core_cycles,
+            &cfg,
+            max_bad_cores,
+            &handle,
+        );
+        let check = run_inference_check(cfg.num_cores, &hplan.disabled, 0xC0DE);
+        println!(
+            "{:>9} {:>6} {:>12} {:>13.3} {:>11.1}% {:>9.1}% {:>9.0}%",
+            bad,
+            if hplan.ships { "yes" } else { "no" },
+            hplan.broadcast_cycles,
+            hplan.test_time_ms,
+            check.harvested_accuracy * 100.0,
+            check.faulty_accuracy * 100.0,
+            check.throughput_fraction * 100.0
+        );
+        ship_rows.push(format!(
+            "{{\"bad_cores\":{},\"good_cores\":{},\"ships\":{},\"broadcast_cycles\":{},\
+             \"flat_cycles\":{},\"test_time_ms\":{:.6},\"harvested_accuracy\":{:.4},\
+             \"faulty_accuracy\":{:.4},\"throughput_fraction\":{:.4}}}",
+            bad,
+            hplan.good_cores,
+            hplan.ships,
+            hplan.broadcast_cycles,
+            hplan.flat_cycles,
+            hplan.test_time_ms,
+            check.harvested_accuracy,
+            check.faulty_accuracy,
+            check.throughput_fraction
+        ));
+    }
+    println!(
+        "shape: accuracy holds while throughput degrades linearly; past the floor the die scraps."
+    );
+
+    let json = format!(
+        "{{\n  \"sram\": {{\"rows\":{},\"cols\":{},\"spare_rows\":{},\"spare_cols\":{}}},\n  \
+         \"yield_sweep\": [{}],\n  \"soc\": {{\"cores\":{},\"max_bad_cores\":{},\
+         \"per_core_cycles\":{}}},\n  \"degradation\": [{}]\n}}\n",
+        geom.rows,
+        geom.cols,
+        spares.spare_rows,
+        spares.spare_cols,
+        yield_rows.join(","),
+        cfg.num_cores,
+        max_bad_cores,
+        plan.per_core_cycles,
+        ship_rows.join(",")
+    );
+    std::fs::write("BENCH_repair.json", json).expect("write BENCH_repair.json");
+    println!(
+        "wrote BENCH_repair.json ({} yield points, {} ship rows)",
+        sweep.len(),
+        5
+    );
+}
+
 /// Picks circuits by name from the standard suite.
 fn selected_circuits(names: &[&str]) -> Vec<dft_core::netlist::generators::NamedCircuit> {
     benchmark_suite()

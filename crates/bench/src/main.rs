@@ -43,6 +43,7 @@ fn main() {
         ("e11", experiments::e11_transition),
         ("e12", experiments::e12_ssn),
         ("metrics", experiments::metrics_report),
+        ("repair", experiments::repair_report),
     ];
     match which {
         "all" => {
@@ -57,7 +58,7 @@ fn main() {
         id => match all.iter().find(|(n, _)| *n == id) {
             Some((_, f)) => f(),
             None => {
-                eprintln!("unknown experiment `{id}`; use e1..e12, metrics, or all");
+                eprintln!("unknown experiment `{id}`; use e1..e12, metrics, repair, or all");
                 std::process::exit(2);
             }
         },

@@ -2,6 +2,31 @@
 
 use crate::SramModel;
 
+/// The memory interface a March engine drives: anything addressable
+/// bit-wise. Implemented by [`SramModel`] and by repaired views layered
+/// on top of it (spare rows/columns remap addresses before they reach
+/// the underlying array).
+pub trait MemoryModel {
+    /// Memory size in bits.
+    fn size(&self) -> usize;
+    /// Reads the bit at `addr`.
+    fn read(&self, addr: usize) -> bool;
+    /// Writes the bit at `addr`.
+    fn write(&mut self, addr: usize, value: bool);
+}
+
+impl MemoryModel for SramModel {
+    fn size(&self) -> usize {
+        SramModel::size(self)
+    }
+    fn read(&self, addr: usize) -> bool {
+        SramModel::read(self, addr)
+    }
+    fn write(&mut self, addr: usize, value: bool) {
+        SramModel::write(self, addr, value)
+    }
+}
+
 /// A single March operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MarchOp {
@@ -166,13 +191,26 @@ pub struct MarchResult {
 }
 
 /// Runs `algo` against `mem`, comparing every read with its expectation.
-pub fn run_march(algo: &MarchAlgorithm, mem: &mut SramModel) -> MarchResult {
+pub fn run_march<M: MemoryModel>(algo: &MarchAlgorithm, mem: &mut M) -> MarchResult {
+    run_march_with_map(algo, mem).0
+}
+
+/// Runs `algo` against `mem` and also returns the per-address failure
+/// bitmap: `map[addr]` is `true` when at least one read at `addr`
+/// miscompared. This is the MBIST fail log redundancy analysis consumes
+/// — addresses are the *logical* addresses the test issued, so decoder
+/// (alias) faults mark the address that observed the miscompare.
+pub fn run_march_with_map<M: MemoryModel>(
+    algo: &MarchAlgorithm,
+    mem: &mut M,
+) -> (MarchResult, Vec<bool>) {
     let n = mem.size();
     let mut result = MarchResult {
         detected: false,
         first_fail: None,
         operations: 0,
     };
+    let mut map = vec![false; n];
     for (ei, element) in algo.elements.iter().enumerate() {
         let addrs: Vec<usize> = match element.order {
             MarchOrder::Up | MarchOrder::Any => (0..n).collect(),
@@ -186,16 +224,19 @@ pub fn run_march(algo: &MarchAlgorithm, mem: &mut SramModel) -> MarchResult {
                     MarchOp::W1 => mem.write(addr, true),
                     MarchOp::R0 | MarchOp::R1 => {
                         let expect = matches!(op, MarchOp::R1);
-                        if mem.read(addr) != expect && !result.detected {
-                            result.detected = true;
-                            result.first_fail = Some((ei, addr, oi));
+                        if mem.read(addr) != expect {
+                            map[addr] = true;
+                            if !result.detected {
+                                result.detected = true;
+                                result.first_fail = Some((ei, addr, oi));
+                            }
                         }
                     }
                 }
             }
         }
     }
-    result
+    (result, map)
 }
 
 #[cfg(test)]

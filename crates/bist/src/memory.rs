@@ -85,14 +85,18 @@ pub struct MemFault {
     pub kind: MemFaultKind,
 }
 
-/// A behavioural bit-oriented SRAM with at most one injected fault.
+/// A behavioural bit-oriented SRAM with zero or more injected faults.
 ///
-/// The single-fault assumption matches the memory-test literature; inject
-/// several faults by running several models.
+/// The classic single-fault construction ([`SramModel::with_fault`])
+/// matches the memory-test literature; the multi-fault form
+/// ([`SramModel::with_faults`]) models the defect clusters that
+/// redundancy repair targets. Faults are applied in injection order:
+/// the first matching masking fault wins a read, any matching transition
+/// fault blocks a write, and every matching coupling trigger fires.
 #[derive(Debug, Clone)]
 pub struct SramModel {
     cells: Vec<bool>,
-    fault: Option<MemFault>,
+    faults: Vec<MemFault>,
 }
 
 impl SramModel {
@@ -100,7 +104,7 @@ impl SramModel {
     pub fn new(size: usize) -> SramModel {
         SramModel {
             cells: vec![false; size],
-            fault: None,
+            faults: Vec::new(),
         }
     }
 
@@ -110,21 +114,32 @@ impl SramModel {
     ///
     /// Panics if any referenced address is out of range.
     pub fn with_fault(size: usize, fault: MemFault) -> SramModel {
-        assert!(fault.cell < size, "victim out of range");
-        match fault.kind {
-            MemFaultKind::CouplingInversion { aggressor, .. }
-            | MemFaultKind::CouplingIdempotent { aggressor, .. }
-            | MemFaultKind::CouplingState { aggressor, .. } => {
-                assert!(aggressor < size && aggressor != fault.cell);
+        SramModel::with_faults(size, vec![fault])
+    }
+
+    /// Creates a memory with every fault in `faults` injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced address is out of range.
+    pub fn with_faults(size: usize, faults: Vec<MemFault>) -> SramModel {
+        for fault in &faults {
+            assert!(fault.cell < size, "victim out of range");
+            match fault.kind {
+                MemFaultKind::CouplingInversion { aggressor, .. }
+                | MemFaultKind::CouplingIdempotent { aggressor, .. }
+                | MemFaultKind::CouplingState { aggressor, .. } => {
+                    assert!(aggressor < size && aggressor != fault.cell);
+                }
+                MemFaultKind::AddressAlias { target } => {
+                    assert!(target < size && target != fault.cell);
+                }
+                _ => {}
             }
-            MemFaultKind::AddressAlias { target } => {
-                assert!(target < size && target != fault.cell);
-            }
-            _ => {}
         }
         SramModel {
             cells: vec![false; size],
-            fault: Some(fault),
+            faults,
         }
     }
 
@@ -133,19 +148,26 @@ impl SramModel {
         self.cells.len()
     }
 
-    /// The injected fault, if any.
+    /// The first injected fault, if any (the classic single-fault view).
     pub fn fault(&self) -> Option<MemFault> {
-        self.fault
+        self.faults.first().copied()
+    }
+
+    /// All injected faults, in injection order.
+    pub fn faults(&self) -> &[MemFault] {
+        &self.faults
     }
 
     fn resolve(&self, addr: usize) -> usize {
-        if let Some(MemFault {
-            cell,
-            kind: MemFaultKind::AddressAlias { target },
-        }) = self.fault
-        {
-            if addr == cell {
-                return target;
+        for fault in &self.faults {
+            if let MemFault {
+                cell,
+                kind: MemFaultKind::AddressAlias { target },
+            } = *fault
+            {
+                if addr == cell {
+                    return target;
+                }
             }
         }
         addr
@@ -155,22 +177,25 @@ impl SramModel {
     pub fn read(&self, addr: usize) -> bool {
         let addr = self.resolve(addr);
         let raw = self.cells[addr];
-        match self.fault {
-            Some(MemFault {
-                cell,
-                kind: MemFaultKind::StuckAt { value },
-            }) if cell == addr => value,
-            Some(MemFault {
-                cell,
-                kind:
-                    MemFaultKind::CouplingState {
-                        aggressor,
-                        agg_value,
-                        value,
-                    },
-            }) if cell == addr && self.cells[aggressor] == agg_value => value,
-            _ => raw,
+        for fault in &self.faults {
+            match *fault {
+                MemFault {
+                    cell,
+                    kind: MemFaultKind::StuckAt { value },
+                } if cell == addr => return value,
+                MemFault {
+                    cell,
+                    kind:
+                        MemFaultKind::CouplingState {
+                            aggressor,
+                            agg_value,
+                            value,
+                        },
+                } if cell == addr && self.cells[aggressor] == agg_value => return value,
+                _ => {}
+            }
         }
+        raw
     }
 
     /// Writes the bit at `addr` through the fault model.
@@ -178,13 +203,15 @@ impl SramModel {
         let addr = self.resolve(addr);
         let old = self.cells[addr];
         // Transition faults block the write.
-        if let Some(MemFault {
-            cell,
-            kind: MemFaultKind::Transition { rising },
-        }) = self.fault
-        {
-            if cell == addr && old != value && (value == rising) {
-                return; // the required transition silently fails
+        for fault in &self.faults {
+            if let MemFault {
+                cell,
+                kind: MemFaultKind::Transition { rising },
+            } = *fault
+            {
+                if cell == addr && old != value && (value == rising) {
+                    return; // the required transition silently fails
+                }
             }
         }
         self.cells[addr] = value;
@@ -192,25 +219,27 @@ impl SramModel {
         // keep the write for aggressor bookkeeping.
         // Coupling faults triggered by this write's transition.
         if old != value {
-            match self.fault {
-                Some(MemFault {
-                    cell,
-                    kind: MemFaultKind::CouplingInversion { aggressor, rising },
-                }) if aggressor == addr && value == rising => {
-                    self.cells[cell] = !self.cells[cell];
+            for fi in 0..self.faults.len() {
+                match self.faults[fi] {
+                    MemFault {
+                        cell,
+                        kind: MemFaultKind::CouplingInversion { aggressor, rising },
+                    } if aggressor == addr && value == rising => {
+                        self.cells[cell] = !self.cells[cell];
+                    }
+                    MemFault {
+                        cell,
+                        kind:
+                            MemFaultKind::CouplingIdempotent {
+                                aggressor,
+                                rising,
+                                value: forced,
+                            },
+                    } if aggressor == addr && value == rising => {
+                        self.cells[cell] = forced;
+                    }
+                    _ => {}
                 }
-                Some(MemFault {
-                    cell,
-                    kind:
-                        MemFaultKind::CouplingIdempotent {
-                            aggressor,
-                            rising,
-                            value: forced,
-                        },
-                }) if aggressor == addr && value == rising => {
-                    self.cells[cell] = forced;
-                }
-                _ => {}
             }
         }
     }
@@ -334,6 +363,33 @@ mod tests {
         assert!(m.read(2)); // reads cell 5
         m.write(5, false);
         assert!(!m.read(2));
+    }
+
+    #[test]
+    fn multiple_faults_apply_independently() {
+        let mut m = SramModel::with_faults(
+            16,
+            vec![
+                MemFault {
+                    cell: 2,
+                    kind: MemFaultKind::StuckAt { value: true },
+                },
+                MemFault {
+                    cell: 9,
+                    kind: MemFaultKind::Transition { rising: true },
+                },
+            ],
+        );
+        assert_eq!(m.faults().len(), 2);
+        // Stuck-at victim reads 1 regardless of writes.
+        m.write(2, false);
+        assert!(m.read(2));
+        // Transition victim cannot rise.
+        m.write(9, true);
+        assert!(!m.read(9));
+        // Untouched cells behave normally.
+        m.write(5, true);
+        assert!(m.read(5));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! aidft bist     <design.bench> [patterns] logic-BIST session
 //! aidft gen      <name> <out.bench>        write a generated circuit
 //! aidft diagnose <design.bench> <log.json> diagnose a failure log
+//! aidft repair   [--max-bad-cores N]       BISR + core-harvesting demo
 //! ```
 //!
 //! `atpg`, `flow`, and `bist` accept `--threads N` (`0` = one worker per
@@ -147,8 +148,15 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
+        Some("repair") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            match extract_max_bad_cores(&mut rest) {
+                Ok(max_bad_cores) => run_repair_demo(threads, max_bad_cores, &metrics_path),
+                Err(e) => Err(e),
+            }
+        }
         _ => Err(DftError::usage(
-            "usage: aidft <stats|atpg|flow|bist|gen|diagnose> [--threads N] \
+            "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair> [--threads N] \
              [--metrics-json <path>] <args>; see README",
         )),
     };
@@ -185,6 +193,133 @@ fn extract_threads(args: &mut Vec<String>) -> Result<usize, DftError> {
         }
     }
     Ok(threads.unwrap_or(0))
+}
+
+/// Removes `--max-bad-cores N` from `args` and returns the harvesting
+/// floor (default 2, i.e. an N-2 part still ships).
+fn extract_max_bad_cores(args: &mut Vec<String>) -> Result<usize, DftError> {
+    if let Some(pos) = args.iter().position(|a| a == "--max-bad-cores") {
+        if pos + 1 >= args.len() {
+            return Err(DftError::usage("--max-bad-cores requires a value"));
+        }
+        let value = args[pos + 1].parse().map_err(|_| {
+            DftError::usage(format!("bad --max-bad-cores value `{}`", args[pos + 1]))
+        })?;
+        args.drain(pos..pos + 2);
+        return Ok(value);
+    }
+    Ok(2)
+}
+
+/// The `repair` command: a self-contained demonstration of both halves
+/// of the repair subsystem — memory BISR (detect → repair → re-verify on
+/// a seeded faulty SRAM, plus a yield sweep) and core harvesting (screen
+/// a replicated-core SoC, fuse off the bad cores, recompute the test
+/// schedule, and check degraded inference accuracy).
+fn run_repair_demo(
+    threads: usize,
+    max_bad_cores: usize,
+    metrics_path: &Option<String>,
+) -> Result<(), DftError> {
+    use dft_core::aichip::{broadcast_screen, hierarchical_plan, SocConfig};
+    use dft_core::bist::SramModel;
+    use dft_core::netlist::generators::mac_pe;
+    use dft_core::repair::{
+        plan_degradation, random_point_faults, run_inference_check, yield_sweep, BisrEngine,
+        ShipGrade, SpareConfig, SramGeometry,
+    };
+
+    let handle = MetricsHandle::enabled();
+
+    // --- Memory BISR ---
+    let geom = SramGeometry { rows: 16, cols: 16 };
+    let spares = SpareConfig {
+        spare_rows: 2,
+        spare_cols: 2,
+    };
+    println!(
+        "memory BISR: {}x{} SRAM + {} spare rows, {} spare cols (March C-)",
+        geom.rows, geom.cols, spares.spare_rows, spares.spare_cols
+    );
+    let engine = BisrEngine::new().with_metrics(handle.clone());
+    let faults = random_point_faults(geom, &spares, 3, 0xB15);
+    let physical = SramModel::with_faults(spares.physical_size(&geom), faults);
+    let report = engine.run(&physical, geom, &spares);
+    println!(
+        "  seeded die: {} failing cells -> {} spare(s) in {} round(s), {}",
+        report.initial_fails,
+        report.signature.spares_used(),
+        report.rounds,
+        if report.repaired {
+            "repaired (re-March clean)"
+        } else if report.unrepairable {
+            "UNREPAIRABLE"
+        } else {
+            "clean, no repair needed"
+        }
+    );
+    println!("  yield sweep (20 dies per density):");
+    println!("    faults  clean  repaired  unrepairable  yield");
+    for p in yield_sweep(&engine, geom, &spares, &[1, 2, 3, 4, 6, 8], 20, 0xD1E) {
+        println!(
+            "    {:<7} {:<6} {:<9} {:<13} {:.0}%",
+            p.faults_injected,
+            p.clean,
+            p.repaired,
+            p.unrepairable,
+            p.yield_fraction() * 100.0
+        );
+    }
+
+    // --- Core harvesting ---
+    let core = mac_pe(4);
+    let cfg = SocConfig {
+        threads,
+        ..SocConfig::default()
+    };
+    let atpg = AtpgConfig::new().threads(threads);
+    let plan = hierarchical_plan(&core, &cfg, &atpg);
+    let defective = [4usize, 13];
+    let pass_map = broadcast_screen(&core, &cfg, &atpg, &defective);
+    let hplan = plan_degradation(
+        &pass_map,
+        plan.per_core_cycles,
+        &cfg,
+        max_bad_cores,
+        &handle,
+    );
+    println!(
+        "core harvesting: {}-core SoC, seeded bad cores {:?}, floor --max-bad-cores {}",
+        cfg.num_cores, defective, max_bad_cores
+    );
+    let grade = match hplan.grade {
+        ShipGrade::Full => "full spec".to_owned(),
+        ShipGrade::Degraded(n) => format!("degraded N-{n}"),
+        ShipGrade::Scrap => "SCRAP".to_owned(),
+    };
+    println!(
+        "  screen: {}/{} cores pass; disabled {:?}; grade {}",
+        hplan.good_cores, hplan.total_cores, hplan.disabled, grade
+    );
+    println!(
+        "  retest schedule for shipped part: {} broadcast cycles ({:.3} ms), {} flat cycles",
+        hplan.broadcast_cycles, hplan.test_time_ms, hplan.flat_cycles
+    );
+    if hplan.ships {
+        let check = run_inference_check(cfg.num_cores, &hplan.disabled, 0xC0DE);
+        println!(
+            "  inference: healthy {:.1}%, unfused-faulty {:.1}%, harvested {:.1}% \
+             at {:.0}% throughput",
+            check.healthy_accuracy * 100.0,
+            check.faulty_accuracy * 100.0,
+            check.harvested_accuracy * 100.0,
+            check.throughput_fraction * 100.0
+        );
+    } else {
+        println!("  die does not ship at this harvesting floor");
+    }
+
+    write_metrics(metrics_path, &handle)
 }
 
 /// Removes `--metrics-json <path>` from `args` and returns the path, if

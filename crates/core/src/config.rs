@@ -10,4 +10,5 @@ pub use dft_aichip::SocConfig;
 pub use dft_atpg::{AtpgConfig, CompactionMode};
 pub use dft_logicsim::{Executor, Parallelism};
 pub use dft_netlist::generators::SystolicConfig;
+pub use dft_repair::{SpareConfig, SramGeometry};
 pub use dft_scan::ScanConfig;

@@ -4,15 +4,22 @@ use std::fmt;
 use std::io;
 
 use dft_diagnosis::JsonError;
+use dft_logicsim::ExecError;
 use dft_netlist::NetlistError;
 
 /// Everything that can go wrong driving the toolkit from the outside:
-/// file I/O, `.bench` parsing, failure-log parsing, and bad arguments.
+/// file I/O, `.bench` parsing, failure-log parsing, bad arguments, and
+/// recoverable engine faults (exhausted budgets, lost worker batches).
 ///
 /// The [`fmt::Display`] impl renders exactly the operator-facing message
 /// (`read <path>: ...`, `parse <path>: ...`), so CLI output is stable
 /// across the `Result<(), String>` → `DftError` migration.
+///
+/// Marked `#[non_exhaustive]`: the hardened engines keep growing new
+/// recoverable failure classes, so downstream matches must carry a
+/// wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DftError {
     /// A file read or write failed. `context` names the operation and
     /// target, e.g. `read designs/mac4.bench`.
@@ -34,6 +41,23 @@ pub enum DftError {
     FailLog(JsonError),
     /// The command line did not make sense.
     Usage(String),
+    /// An engine gave up inside its effort budget (e.g. ATPG backtrack
+    /// or per-fault time limits) without producing a result. The work is
+    /// incomplete but the process is healthy — callers may retry with a
+    /// larger budget.
+    Aborted {
+        /// What was being attempted, e.g. `atpg mac4`.
+        context: String,
+    },
+    /// A parallel worker panicked and its batch was isolated and lost;
+    /// the rest of the run completed. Carries the rendered panic message
+    /// so operators can file the underlying bug.
+    WorkerPanic {
+        /// What the pool was computing, e.g. `fault simulation chunk 3`.
+        context: String,
+        /// The worker's panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl DftError {
@@ -58,6 +82,30 @@ impl DftError {
     pub fn usage(message: impl Into<String>) -> DftError {
         DftError::Usage(message.into())
     }
+
+    /// A budget-exhaustion abort with its operation context.
+    pub fn aborted(context: impl Into<String>) -> DftError {
+        DftError::Aborted {
+            context: context.into(),
+        }
+    }
+
+    /// A lost worker batch with its operation context and panic text.
+    pub fn worker_panic(context: impl Into<String>, message: impl Into<String>) -> DftError {
+        DftError::WorkerPanic {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// `true` when the error is recoverable engine trouble (a budget
+    /// abort or an isolated worker panic) rather than bad input.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            DftError::Aborted { .. } | DftError::WorkerPanic { .. }
+        )
+    }
 }
 
 impl fmt::Display for DftError {
@@ -67,6 +115,12 @@ impl fmt::Display for DftError {
             DftError::Netlist { context, source } => write!(f, "{context}: {source}"),
             DftError::FailLog(e) => write!(f, "parse log: {e}"),
             DftError::Usage(msg) => write!(f, "{msg}"),
+            DftError::Aborted { context } => {
+                write!(f, "{context}: aborted (budget exhausted)")
+            }
+            DftError::WorkerPanic { context, message } => {
+                write!(f, "{context}: worker panicked: {message}")
+            }
         }
     }
 }
@@ -77,7 +131,7 @@ impl std::error::Error for DftError {
             DftError::Io { source, .. } => Some(source),
             DftError::Netlist { source, .. } => Some(source),
             DftError::FailLog(e) => Some(e),
-            DftError::Usage(_) => None,
+            DftError::Usage(_) | DftError::Aborted { .. } | DftError::WorkerPanic { .. } => None,
         }
     }
 }
@@ -85,6 +139,15 @@ impl std::error::Error for DftError {
 impl From<JsonError> for DftError {
     fn from(e: JsonError) -> DftError {
         DftError::FailLog(e)
+    }
+}
+
+impl From<ExecError> for DftError {
+    fn from(e: ExecError) -> DftError {
+        DftError::WorkerPanic {
+            context: format!("parallel chunk {}", e.chunk),
+            message: e.message,
+        }
     }
 }
 
@@ -109,5 +172,31 @@ mod tests {
         let e = DftError::io("write y", io::Error::other("disk"));
         assert!(e.source().is_some());
         assert!(DftError::usage("x").source().is_none());
+    }
+
+    #[test]
+    fn recoverable_engine_faults_render_and_classify() {
+        let e = DftError::aborted("atpg mac4");
+        assert_eq!(e.to_string(), "atpg mac4: aborted (budget exhausted)");
+        assert!(e.is_recoverable());
+
+        let e = DftError::worker_panic("fault simulation", "index out of bounds");
+        assert_eq!(
+            e.to_string(),
+            "fault simulation: worker panicked: index out of bounds"
+        );
+        assert!(e.is_recoverable());
+        assert!(!DftError::usage("x").is_recoverable());
+    }
+
+    #[test]
+    fn exec_error_converts_to_worker_panic() {
+        let exec = dft_logicsim::ExecError {
+            chunk: 3,
+            message: "boom".into(),
+        };
+        let e: DftError = exec.into();
+        assert_eq!(e.to_string(), "parallel chunk 3: worker panicked: boom");
+        assert!(e.is_recoverable());
     }
 }

@@ -52,6 +52,9 @@ pub use dft_diagnosis as diagnosis;
 /// Re-export of `dft-aichip`.
 pub use dft_aichip as aichip;
 
+/// Re-export of `dft-repair` (memory BISR, core harvesting).
+pub use dft_repair as repair;
+
 pub mod config;
 mod error;
 
@@ -205,6 +208,9 @@ impl<'a> DftFlow<'a> {
             test_coverage: run.fault_list.test_coverage(),
             untestable: run.untestable,
             aborted: run.aborted,
+            escalated: run.escalated,
+            rescued: run.rescued,
+            failed_sim_batches: run.failed_sim_batches,
             atpg_time: run.elapsed,
             test_cycles: timing.total_cycles(),
             test_time_ms: timing.test_time_ms(),
@@ -255,6 +261,15 @@ pub struct FlowReport {
     pub untestable: usize,
     /// Aborted faults (collapsed).
     pub aborted: usize,
+    /// Faults escalated from PODEM to the D-algorithm after a backtrack
+    /// abort.
+    pub escalated: usize,
+    /// Escalated faults the D-algorithm resolved (tested or proven
+    /// untestable) instead of aborting.
+    pub rescued: usize,
+    /// Fault-simulation batches lost to an isolated worker panic. Zero
+    /// on a healthy run; nonzero means coverage is a lower bound.
+    pub failed_sim_batches: usize,
     /// ATPG wall-clock time.
     pub atpg_time: Duration,
     /// Tester cycles for the session.
@@ -298,6 +313,21 @@ impl fmt::Display for FlowReport {
             self.aborted,
             self.atpg_time
         )?;
+        if self.escalated > 0 {
+            writeln!(
+                f,
+                "  escalation: {} aborts retried with D-algorithm, {} rescued",
+                self.escalated, self.rescued
+            )?;
+        }
+        if self.failed_sim_batches > 0 {
+            writeln!(
+                f,
+                "  WARNING: {} fault-simulation batch{} lost to worker panics; coverage is a lower bound",
+                self.failed_sim_batches,
+                if self.failed_sim_batches == 1 { "" } else { "es" }
+            )?;
+        }
         writeln!(
             f,
             "  tester: {} cycles ({:.3} ms)",
@@ -372,6 +402,27 @@ mod tests {
         assert_eq!(parallel.phase_times.threads, 8);
         assert!(parallel.to_string().contains("timing: scan"));
         assert!(parallel.to_string().contains("8 threads"));
+    }
+
+    #[test]
+    fn poisoned_sim_batch_is_reported_not_fatal() {
+        // A worker panic inside fault simulation (injected via the
+        // test-only poison hook) must not kill the flow: the batch is
+        // isolated, surfaced in the report, and everything else signs
+        // off normally.
+        let nl = mac_pe(4);
+        let universe = dft_fault::universe_stuck_at(&nl);
+        let clean = DftFlow::new(&nl).threads(4).run();
+        let poisoned = DftFlow::new(&nl)
+            .threads(4)
+            .atpg_config(AtpgConfig::default().poison_fault(universe[5]))
+            .run();
+        assert_eq!(clean.failed_sim_batches, 0);
+        assert!(!clean.to_string().contains("WARNING"));
+        assert!(poisoned.failed_sim_batches > 0);
+        assert!(poisoned.to_string().contains("WARNING"));
+        // The lost batch costs at most one fault's worth of coverage.
+        assert!(poisoned.test_coverage > clean.test_coverage - 0.02);
     }
 
     #[test]

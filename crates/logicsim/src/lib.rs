@@ -45,7 +45,7 @@ mod transition;
 
 pub use cube::TestCube;
 pub use deductive::DeductiveSim;
-pub use exec::{Executor, Parallelism};
+pub use exec::{ExecError, Executor, Parallelism};
 pub use fivesim::FiveSim;
 pub use goodsim::GoodSim;
 pub use patterns::{Pattern, PatternSet, Response};

@@ -29,6 +29,12 @@ pub struct SimStats {
     pub detected: usize,
     /// Total faulty-machine gate evaluations (work measure).
     pub gate_evals: u64,
+    /// Fault batches whose simulation panicked and was isolated: the
+    /// panic is contained to that fault's batch, its fault stays
+    /// undetected, and every other batch's result is bit-identical to a
+    /// clean run. Non-zero only when a worker died mid-simulation (or the
+    /// test-only [`FaultSim::with_poisoned_fault`] hook fired).
+    pub failed_batches: usize,
 }
 
 /// Reusable scratch memory for single-fault propagation.
@@ -109,6 +115,8 @@ pub struct FaultSim<'a> {
     /// For each gate, `Some(i)` if it is sink number `i`.
     sink_index: Vec<Option<u32>>,
     metrics: MetricsHandle,
+    /// Test-only poison hook; see [`FaultSim::with_poisoned_fault`].
+    poison: Option<Fault>,
 }
 
 impl<'a> FaultSim<'a> {
@@ -127,7 +135,19 @@ impl<'a> FaultSim<'a> {
             sim,
             sink_index,
             metrics: MetricsHandle::disabled(),
+            poison: None,
         }
+    }
+
+    /// Test-only hook: makes [`FaultSim::run`]/[`FaultSim::run_with`]
+    /// panic when they reach `fault`'s batch, exercising the
+    /// panic-isolation path end to end. The panic is caught per fault
+    /// batch and reported via [`SimStats::failed_batches`]; every other
+    /// batch completes bit-identically to a clean run. Never set outside
+    /// tests.
+    pub fn with_poisoned_fault(mut self, fault: Fault) -> FaultSim<'a> {
+        self.poison = Some(fault);
+        self
     }
 
     /// Points the simulator (and its good machine) at `metrics`. Run
@@ -152,35 +172,14 @@ impl<'a> FaultSim<'a> {
             m.faultsim_faults.add(stats.faults_simulated as u64);
             m.faultsim_detected.add(stats.detected as u64);
             m.faultsim_gate_evals.add(stats.gate_evals);
+            m.faultsim_failed_batches.add(stats.failed_batches as u64);
         }
     }
 
     /// Runs all `patterns` against the undetected faults in `list`,
     /// marking detections (fault dropping). Returns run statistics.
     pub fn run(&self, patterns: &PatternSet, list: &mut FaultList) -> SimStats {
-        let mut stats = SimStats {
-            patterns: patterns.len(),
-            faults_simulated: list.undetected().count(),
-            ..SimStats::default()
-        };
-        let mut ws = SimWorkspace::new(self.sim.netlist().num_gates());
-        for (start, words, count) in patterns.blocks() {
-            let good = self.sim.eval_block(&words);
-            let mask = block_mask(count);
-            let active: Vec<usize> = list.undetected().collect();
-            for idx in active {
-                let fault = list.faults()[idx];
-                let (det, evals) = self.detect_word(&good, mask, fault, &mut ws);
-                stats.gate_evals += evals;
-                if det != 0 {
-                    let first = det.trailing_zeros();
-                    list.mark_detected(idx, (start as u32) + first);
-                    stats.detected += 1;
-                }
-            }
-        }
-        self.flush_stats(&stats);
-        stats
+        self.run_with(patterns, list, &Executor::serial())
     }
 
     /// Multi-threaded variant of [`FaultSim::run`], partitioning the
@@ -204,6 +203,11 @@ impl<'a> FaultSim<'a> {
     /// **Determinism contract:** the outcome — detected-fault set,
     /// first-detecting pattern per fault, and every [`SimStats`] counter —
     /// is bit-identical to [`FaultSim::run`] for any thread count.
+    ///
+    /// **Isolation contract:** each fault's simulation is one *batch*; a
+    /// panic inside a batch is caught, counted in
+    /// [`SimStats::failed_batches`], and leaves that fault undetected,
+    /// while every other batch's outcome is bit-identical to a clean run.
     pub fn run_with(
         &self,
         patterns: &PatternSet,
@@ -211,16 +215,18 @@ impl<'a> FaultSim<'a> {
         exec: &Executor,
     ) -> SimStats {
         // Below this many fault×pattern propagations the spawn/merge cost
-        // dominates; the serial path is both faster and trivially correct.
+        // dominates; fall back to the calling thread.
         const PARALLEL_THRESHOLD: usize = 1 << 12;
         let active: Vec<usize> = list.undetected().collect();
-        if exec.is_serial() || active.len() * patterns.len() < PARALLEL_THRESHOLD {
-            return self.run(patterns, list);
-        }
         let mut stats = SimStats {
             patterns: patterns.len(),
             faults_simulated: active.len(),
             ..SimStats::default()
+        };
+        let exec = if active.len() * patterns.len() < PARALLEL_THRESHOLD {
+            Executor::serial()
+        } else {
+            *exec
         };
         // Precompute good values for every block (shared read-only).
         let blocks: Vec<(usize, Vec<u64>, usize)> = patterns.blocks().collect();
@@ -231,28 +237,49 @@ impl<'a> FaultSim<'a> {
         let num_gates = self.sim.netlist().num_gates();
         let faults = list.faults();
         // One result per chunk, in chunk (= fault) order: the detections
-        // of that chunk plus its gate-evaluation count.
-        type ChunkResult = (Vec<(usize, u32)>, u64);
+        // of that chunk, its gate-evaluation count, and how many of its
+        // fault batches panicked.
+        type ChunkResult = (Vec<(usize, u32)>, u64, usize);
         let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |_, part| {
             let mut ws = SimWorkspace::new(num_gates);
             let mut detections = Vec::new();
             let mut evals = 0u64;
-            'fault: for &idx in part {
+            let mut failed = 0usize;
+            for &idx in part {
                 let fault = faults[idx];
-                for ((start, _, count), good) in blocks.iter().zip(&goods) {
-                    let mask = block_mask(*count);
-                    let (det, e) = self.detect_word(good, mask, fault, &mut ws);
-                    evals += e;
-                    if det != 0 {
-                        detections.push((idx, *start as u32 + det.trailing_zeros()));
-                        continue 'fault;
+                // One fault = one batch: contain any panic to it. The
+                // workspace is safe to reuse after a mid-propagation
+                // panic because `begin()` re-arms epoch/frontier state.
+                let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if self.poison == Some(fault) {
+                        panic!("poisoned fault batch: {fault}");
                     }
+                    let mut e = 0u64;
+                    for ((start, _, count), good) in blocks.iter().zip(&goods) {
+                        let mask = block_mask(*count);
+                        let (det, de) = self.detect_word(good, mask, fault, &mut ws);
+                        e += de;
+                        if det != 0 {
+                            return (Some(*start as u32 + det.trailing_zeros()), e);
+                        }
+                    }
+                    (None, e)
+                }));
+                match batch {
+                    Ok((hit, e)) => {
+                        evals += e;
+                        if let Some(pattern) = hit {
+                            detections.push((idx, pattern));
+                        }
+                    }
+                    Err(_) => failed += 1,
                 }
             }
-            (detections, evals)
+            (detections, evals, failed)
         });
-        for (detections, evals) in chunks {
+        for (detections, evals, failed) in chunks {
             stats.gate_evals += evals;
+            stats.failed_batches += failed;
             for (idx, pattern) in detections {
                 list.mark_detected(idx, pattern);
                 stats.detected += 1;
@@ -794,6 +821,37 @@ mod tests {
         sim.run_parallel(&ps, &mut parallel, 4);
         for i in 0..serial.len() {
             assert_eq!(serial.status(i), parallel.status(i), "fault {i}");
+        }
+    }
+
+    #[test]
+    fn poisoned_batch_is_isolated_and_others_are_bit_identical() {
+        let nl = ripple_adder(8);
+        let sim = FaultSim::new(&nl);
+        let ps = PatternSet::random(&nl, 96, 17);
+        let universe = universe_stuck_at(&nl);
+        // Poison a fault the clean run detects, so isolation is visible.
+        let mut clean = FaultList::new(universe.clone());
+        let clean_stats = sim.run(&ps, &mut clean);
+        assert_eq!(clean_stats.failed_batches, 0);
+        let poisoned_idx = (0..clean.len())
+            .find(|&i| matches!(clean.status(i), FaultStatus::Detected(_)))
+            .expect("some fault is detected");
+        let poison = universe[poisoned_idx];
+        for threads in [1usize, 4] {
+            let sim = FaultSim::new(&nl).with_poisoned_fault(poison);
+            let mut list = FaultList::new(universe.clone());
+            let stats = sim.run_parallel(&ps, &mut list, threads);
+            assert_eq!(stats.failed_batches, 1, "threads={threads}");
+            assert_eq!(stats.detected, clean_stats.detected - 1);
+            // The poisoned fault's batch was lost: it stays undetected.
+            assert_eq!(list.status(poisoned_idx), FaultStatus::Undetected);
+            // Every other fault's outcome is bit-identical to the clean run.
+            for i in 0..list.len() {
+                if i != poisoned_idx {
+                    assert_eq!(list.status(i), clean.status(i), "fault {i}");
+                }
+            }
         }
     }
 

@@ -245,6 +245,8 @@ registry! {
         atpg_patterns: "Final patterns emitted by ATPG runs.",
         atpg_untestable: "Collapsed faults classified untestable by ATPG runs.",
         atpg_aborted: "Collapsed faults aborted by ATPG runs.",
+        atpg_escalations: "Aborted PODEM targets escalated to the D-algorithm retry.",
+        atpg_rescued: "Escalated targets the D-algorithm resolved (test or untestable proof).",
         // --- Logic simulation ---
         goodsim_blocks: "64-pattern word blocks evaluated by the good machine.",
         goodsim_gate_evals: "Good-machine word-gate evaluations (64 patterns each).",
@@ -253,6 +255,7 @@ registry! {
         faultsim_faults: "Undetected faults targeted at the start of PPSFP runs.",
         faultsim_detected: "Faults newly detected by PPSFP runs.",
         faultsim_gate_evals: "Faulty-machine word-gate evaluations (PPSFP propagation).",
+        faultsim_failed_batches: "Fault batches lost to an isolated worker panic.",
         transition_runs: "Transition-fault simulation runs.",
         transition_pairs: "Launch/capture pairs applied across transition runs.",
         transition_detected: "Transition faults newly detected.",
@@ -273,6 +276,13 @@ registry! {
         bist_patterns: "PRPG/weighted patterns generated for BIST sessions.",
         lfsr_cycles: "LFSR shift cycles clocked for pattern generation.",
         misr_cycles: "MISR/compactor absorb cycles clocked for signatures.",
+        // --- Repair & degradation ---
+        bisr_runs: "Built-in self-repair analysis runs.",
+        bisr_repaired: "SRAM instances repaired to a clean re-March.",
+        bisr_unrepairable: "SRAM instances whose fault map exceeded the spares.",
+        bisr_spares_used: "Spare rows + columns allocated across BISR runs.",
+        harvest_plans: "Core-harvesting degradation plans computed.",
+        harvest_disabled_cores: "Cores fused off across harvesting plans.",
     }
     histograms {
         podem_backtracks_per_call: "Distribution of backtracks per PODEM call (log2 buckets).",

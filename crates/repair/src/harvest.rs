@@ -1,0 +1,270 @@
+//! Core harvesting: graceful degradation for replicated-core AI chips.
+//!
+//! When broadcast screening (`dft_aichip::broadcast_screen`) flags some
+//! core instances as defective, the die is not scrap: AI SoCs fuse off
+//! the bad cores and ship the part in a degraded grade (the familiar
+//! N-1/N-2 binning of GPU shader clusters). This module plans that
+//! degradation — which cores to disable, whether the part still meets
+//! the shipping floor, and what the *recomputed* broadcast test schedule
+//! costs for the surviving subset — and demonstrates on the behavioural
+//! int8 inference stack that harvesting preserves accuracy at a
+//! proportional throughput cost, whereas shipping the faulty cores
+//! un-fused corrupts results.
+
+use dft_aichip::{schedule_cycles, Dataset, PeFault, SocConfig, SystolicModel};
+use dft_metrics::MetricsHandle;
+
+/// The shipping grade a degradation plan assigns to the die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipGrade {
+    /// Every core passed screening; the part ships at full spec.
+    Full,
+    /// The contained number of cores were fused off; the part ships at a
+    /// reduced core count.
+    Degraded(usize),
+    /// More cores failed than the harvesting floor allows; the die is
+    /// scrapped.
+    Scrap,
+}
+
+/// A degradation plan for one screened die.
+#[derive(Debug, Clone)]
+pub struct HarvestPlan {
+    /// Core instances on the die.
+    pub total_cores: usize,
+    /// Cores that passed screening (and ship).
+    pub good_cores: usize,
+    /// Indices of the cores fused off.
+    pub disabled: Vec<usize>,
+    /// The harvesting floor: the most cores that may be fused off while
+    /// still shipping the part.
+    pub max_bad_cores: usize,
+    /// `true` when the die ships (possibly degraded).
+    pub ships: bool,
+    /// Shipping grade.
+    pub grade: ShipGrade,
+    /// Flat (sequential) tester cycles for the surviving cores.
+    pub flat_cycles: u64,
+    /// Broadcast tester cycles for the surviving cores.
+    pub broadcast_cycles: u64,
+    /// Broadcast test time for the surviving cores in milliseconds at the
+    /// SoC shift clock.
+    pub test_time_ms: f64,
+}
+
+impl HarvestPlan {
+    /// Surviving fraction of the die's compute (cores kept / total).
+    pub fn throughput_fraction(&self) -> f64 {
+        if self.total_cores == 0 {
+            return 0.0;
+        }
+        self.good_cores as f64 / self.total_cores as f64
+    }
+}
+
+/// Turns a per-core pass map (from [`dft_aichip::broadcast_screen`] or
+/// [`dft_aichip::CoreTestPlan::defects_flagged`]) into a degradation
+/// plan: failing cores are fused off, the broadcast/flat schedules are
+/// recomputed via [`dft_aichip::schedule_cycles`] for the surviving
+/// subset, and the die is graded against `max_bad_cores`.
+///
+/// `per_core_cycles` is the single-core application cost from the
+/// original test plan — harvesting never re-runs ATPG, it only
+/// reschedules. Pass [`MetricsHandle::disabled`] to skip counters.
+pub fn plan_degradation(
+    pass_map: &[bool],
+    per_core_cycles: u64,
+    cfg: &SocConfig,
+    max_bad_cores: usize,
+    metrics: &MetricsHandle,
+) -> HarvestPlan {
+    let total_cores = pass_map.len();
+    let disabled: Vec<usize> = pass_map
+        .iter()
+        .enumerate()
+        .filter(|(_, &ok)| !ok)
+        .map(|(i, _)| i)
+        .collect();
+    let good_cores = total_cores - disabled.len();
+    let ships = good_cores > 0 && disabled.len() <= max_bad_cores;
+    let grade = if !ships {
+        ShipGrade::Scrap
+    } else if disabled.is_empty() {
+        ShipGrade::Full
+    } else {
+        ShipGrade::Degraded(disabled.len())
+    };
+    // Retest schedule for the part as shipped: only surviving cores are
+    // exercised (fused-off cores are isolated from the scan network).
+    let (flat_cycles, broadcast_cycles) = if good_cores > 0 {
+        schedule_cycles(per_core_cycles, good_cores, cfg)
+    } else {
+        (0, 0)
+    };
+    let test_time_ms = broadcast_cycles as f64 / (f64::from(cfg.shift_mhz.max(1)) * 1000.0);
+    if let Some(m) = metrics.get() {
+        m.harvest_plans.inc();
+        m.harvest_disabled_cores.add(disabled.len() as u64);
+    }
+    HarvestPlan {
+        total_cores,
+        good_cores,
+        disabled,
+        max_bad_cores,
+        ships,
+        grade,
+        flat_cycles,
+        broadcast_cycles,
+        test_time_ms,
+    }
+}
+
+/// Accuracy/throughput evidence that harvesting works, from the
+/// behavioural inference stack.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceCheck {
+    /// Classifier accuracy with every core healthy.
+    pub healthy_accuracy: f64,
+    /// Accuracy when the defective cores stay in the round-robin pool
+    /// (the un-fused part).
+    pub faulty_accuracy: f64,
+    /// Accuracy after fusing off the defective cores and round-robining
+    /// over the survivors.
+    pub harvested_accuracy: f64,
+    /// Compute fraction remaining after harvesting.
+    pub throughput_fraction: f64,
+}
+
+/// Runs the degraded-SoC inference demonstration: a synthetic int8
+/// classification task is dispatched round-robin across `total_cores`
+/// behavioural 4×4 systolic arrays, with the cores in `bad_cores`
+/// carrying a severe stuck-bit PE defect. Reports accuracy for the
+/// healthy part, the faulty-but-unfused part, and the harvested part
+/// (bad cores removed from the pool).
+pub fn run_inference_check(total_cores: usize, bad_cores: &[usize], seed: u64) -> InferenceCheck {
+    assert!(total_cores > 0, "need at least one core");
+    let data = Dataset::synthetic(4, 16, 64, seed);
+    let mlp = data.prototype_classifier(seed ^ 0xA5A5);
+
+    let healthy: Vec<SystolicModel> = (0..total_cores).map(|_| SystolicModel::new(4, 4)).collect();
+    let faulty: Vec<SystolicModel> = (0..total_cores)
+        .map(|idx| {
+            let array = SystolicModel::new(4, 4);
+            if bad_cores.contains(&idx) {
+                // A high product bit stuck dominant: the worst class of
+                // PE defect for accuracy (cf. the criticality sweep).
+                array.with_fault(PeFault {
+                    row: idx % 4,
+                    col: (idx / 4) % 4,
+                    bit: 14,
+                    stuck: true,
+                })
+            } else {
+                array
+            }
+        })
+        .collect();
+    let harvested: Vec<SystolicModel> = (0..total_cores)
+        .filter(|idx| !bad_cores.contains(idx))
+        .map(|_| SystolicModel::new(4, 4))
+        .collect();
+
+    let round_robin = |arrays: &[SystolicModel]| -> f64 {
+        if arrays.is_empty() || data.samples.is_empty() {
+            return 0.0;
+        }
+        let hits = data
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(i, (x, label))| mlp.predict(&arrays[i % arrays.len()], x) == *label)
+            .count();
+        hits as f64 / data.samples.len() as f64
+    };
+
+    InferenceCheck {
+        healthy_accuracy: round_robin(&healthy),
+        faulty_accuracy: round_robin(&faulty),
+        harvested_accuracy: round_robin(&harvested),
+        throughput_fraction: harvested.len() as f64 / total_cores as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pass_ships_full_grade() {
+        let cfg = SocConfig::default();
+        let plan = plan_degradation(&[true; 16], 10_000, &cfg, 2, &MetricsHandle::disabled());
+        assert_eq!(plan.grade, ShipGrade::Full);
+        assert!(plan.ships);
+        assert_eq!(plan.good_cores, 16);
+        assert!(plan.disabled.is_empty());
+        assert!((plan.throughput_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_bad_cores_ship_degraded_with_cheaper_retest() {
+        let cfg = SocConfig::default();
+        let mut map = vec![true; 16];
+        map[3] = false;
+        map[11] = false;
+        let full = plan_degradation(&[true; 16], 10_000, &cfg, 2, &MetricsHandle::disabled());
+        let plan = plan_degradation(&map, 10_000, &cfg, 2, &MetricsHandle::disabled());
+        assert_eq!(plan.grade, ShipGrade::Degraded(2));
+        assert!(plan.ships);
+        assert_eq!(plan.disabled, vec![3, 11]);
+        assert_eq!(plan.good_cores, 14);
+        // Fewer cores can only shrink both schedules.
+        assert!(plan.flat_cycles <= full.flat_cycles);
+        assert!(plan.broadcast_cycles <= full.broadcast_cycles);
+        assert!(plan.test_time_ms > 0.0);
+    }
+
+    #[test]
+    fn too_many_bad_cores_scrap_the_die() {
+        let cfg = SocConfig::default();
+        let mut map = vec![true; 8];
+        map[0] = false;
+        map[1] = false;
+        map[2] = false;
+        let plan = plan_degradation(&map, 10_000, &cfg, 2, &MetricsHandle::disabled());
+        assert_eq!(plan.grade, ShipGrade::Scrap);
+        assert!(!plan.ships);
+    }
+
+    #[test]
+    fn all_bad_is_scrap_even_with_generous_floor() {
+        let cfg = SocConfig::default();
+        let plan = plan_degradation(&[false; 4], 10_000, &cfg, 8, &MetricsHandle::disabled());
+        assert!(!plan.ships);
+        assert_eq!(plan.grade, ShipGrade::Scrap);
+        assert_eq!(plan.broadcast_cycles, 0);
+    }
+
+    #[test]
+    fn metrics_count_plans_and_disabled_cores() {
+        let cfg = SocConfig::default();
+        let handle = MetricsHandle::enabled();
+        let mut map = vec![true; 16];
+        map[5] = false;
+        plan_degradation(&map, 10_000, &cfg, 2, &handle);
+        plan_degradation(&[true; 16], 10_000, &cfg, 2, &handle);
+        let m = handle.get().unwrap();
+        assert_eq!(m.harvest_plans.get(), 2);
+        assert_eq!(m.harvest_disabled_cores.get(), 1);
+    }
+
+    #[test]
+    fn harvesting_preserves_accuracy_and_unfused_faults_do_not() {
+        let check = run_inference_check(16, &[2, 9], 7);
+        assert!(check.healthy_accuracy > 0.9, "{check:?}");
+        // Clean survivors run the same computation as the healthy pool.
+        assert!((check.harvested_accuracy - check.healthy_accuracy).abs() < 1e-12);
+        // A bit-14 stuck-high PE corrupts the samples routed to bad cores.
+        assert!(check.faulty_accuracy < check.healthy_accuracy, "{check:?}");
+        assert!((check.throughput_fraction - 14.0 / 16.0).abs() < 1e-12);
+    }
+}

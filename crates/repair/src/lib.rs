@@ -1,0 +1,30 @@
+//! Built-in self-repair and graceful degradation: the layer that turns
+//! *detection* into a chip that still ships.
+//!
+//! The tutorial's DFT stack finds defects — MBIST locates SRAM fails,
+//! hierarchical broadcast test flags bad cores — but real AI chips
+//! survive those defects rather than discard the die. This crate closes
+//! the detect → repair → re-verify loop:
+//!
+//! * **Memory BISR** ([`bisr`]) — redundancy analysis over MBIST March
+//!   failure maps: must-repair extraction, essential-spare allocation
+//!   onto spare rows/columns, a repair signature applied as an address
+//!   remap, and a confirming re-March. Yield sweeps report the
+//!   repairable-vs-unrepairable split across injected fault densities.
+//! * **Core harvesting** ([`harvest`]) — the per-core pass/fail map from
+//!   broadcast screening feeds a degradation planner that fuses off bad
+//!   cores (N-1/N-2 ship grades), recomputes the broadcast test
+//!   schedule, and demonstrates that int8 inference accuracy is
+//!   preserved on the degraded SoC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisr;
+pub mod harvest;
+
+pub use bisr::{
+    analyze_redundancy, random_point_faults, yield_sweep, BisrEngine, BisrReport, FailureBitmap,
+    RepairSignature, RepairedSram, SpareConfig, SramGeometry, YieldPoint,
+};
+pub use harvest::{plan_degradation, run_inference_check, HarvestPlan, InferenceCheck, ShipGrade};

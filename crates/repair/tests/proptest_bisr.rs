@@ -1,0 +1,109 @@
+//! Property tests for the BISR redundancy-analysis and repair loop.
+//!
+//! Three invariants, over fault sets derived deterministically from the
+//! proptest seed (the vendored proptest has no collection strategies, so
+//! each case expands its seed into a fault list with an LCG):
+//!
+//! 1. A repair signature never spends the same spare twice and never
+//!    exceeds the spare budget.
+//! 2. When allocation succeeds, every failing cell is covered — i.e. all
+//!    must-repair rows/columns are cleared by the signature.
+//! 3. Any fault set of at most `spare_rows + spare_cols` SAF/TF point
+//!    faults is repairable, and the repaired SRAM passes a full March C-
+//!    (the end-to-end detect → repair → re-verify contract).
+
+use proptest::prelude::*;
+
+use dft_bist::SramModel;
+use dft_repair::{
+    analyze_redundancy, random_point_faults, BisrEngine, FailureBitmap, SpareConfig, SramGeometry,
+};
+
+const GEOM: SramGeometry = SramGeometry { rows: 8, cols: 8 };
+const SPARES: SpareConfig = SpareConfig {
+    spare_rows: 2,
+    spare_cols: 2,
+};
+
+/// Expands `seed` into a `rows x cols` failure bitmap with roughly
+/// `density`/16 of the cells failing.
+fn seeded_bitmap(seed: u64, density: u64) -> FailureBitmap {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let map: Vec<bool> = (0..GEOM.size())
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 60) < density
+        })
+        .collect();
+    FailureBitmap::from_map(GEOM, map)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No spare is ever assigned twice, and the signature never exceeds
+    /// the configured budget — for any failure bitmap, repairable or not.
+    #[test]
+    fn spares_are_never_double_assigned(seed in 0u64..100_000, density in 0u64..6) {
+        let bitmap = seeded_bitmap(seed, density);
+        if let Some(sig) = analyze_redundancy(&bitmap, &SPARES) {
+            let mut rows = sig.rows.clone();
+            rows.sort_unstable();
+            rows.dedup();
+            prop_assert_eq!(rows.len(), sig.rows.len(), "duplicate spare row");
+            let mut cols = sig.cols.clone();
+            cols.sort_unstable();
+            cols.dedup();
+            prop_assert_eq!(cols.len(), sig.cols.len(), "duplicate spare col");
+            prop_assert!(sig.rows.len() <= SPARES.spare_rows);
+            prop_assert!(sig.cols.len() <= SPARES.spare_cols);
+        }
+    }
+
+    /// When allocation succeeds the signature covers every failing cell;
+    /// in particular every must-repair row (more uncovered fails than
+    /// spare columns) holds a spare row, and symmetrically for columns.
+    #[test]
+    fn must_repair_lines_are_cleared(seed in 0u64..100_000, density in 0u64..6) {
+        let bitmap = seeded_bitmap(seed, density);
+        if let Some(sig) = analyze_redundancy(&bitmap, &SPARES) {
+            prop_assert!(sig.covers(&bitmap), "uncovered fail left behind");
+            for r in 0..GEOM.rows {
+                let uncovered = (0..GEOM.cols)
+                    .filter(|&c| bitmap.at(r, c) && !sig.cols.contains(&c))
+                    .count();
+                if uncovered > 0 {
+                    prop_assert!(sig.rows.contains(&r));
+                }
+            }
+            for c in 0..GEOM.cols {
+                let uncovered = (0..GEOM.rows)
+                    .filter(|&r| bitmap.at(r, c) && !sig.rows.contains(&r))
+                    .count();
+                if uncovered > 0 {
+                    prop_assert!(sig.cols.contains(&c));
+                }
+            }
+        }
+    }
+
+    /// Any set of at most `spare_rows + spare_cols` SAF/TF point faults
+    /// is repairable (worst case: one spare line per fault), and the
+    /// repaired SRAM passes a clean March C-.
+    #[test]
+    fn repaired_sram_passes_march(seed in 0u64..100_000, k in 0usize..5) {
+        prop_assert!(k <= SPARES.spare_rows + SPARES.spare_cols);
+        let faults = random_point_faults(GEOM, &SPARES, k, seed);
+        let physical = SramModel::with_faults(SPARES.physical_size(&GEOM), faults);
+        let report = BisrEngine::new().run(&physical, GEOM, &SPARES);
+        prop_assert!(!report.unrepairable, "k={k} within budget must repair: {report:?}");
+        prop_assert!(report.ships());
+        if report.pre_march.detected {
+            let post = report.post_march.expect("repair attempted");
+            prop_assert!(!post.detected, "re-March must be clean: {report:?}");
+            prop_assert!(report.signature.spares_used() <= k);
+        }
+    }
+}

@@ -55,14 +55,16 @@ const GOLDEN: &[Golden] = &[
         name: "mac4",
         patterns: 130,
         coverage_bp: 9672,
-        untestable: 10,
-        aborted: 4,
+        untestable: 13,
+        aborted: 1,
         ratio_centi: 77,
         counters: &[
             ("atpg_patterns", 130),
             ("podem_calls", 16),
             ("podem_backtracks", 1041),
             ("faultsim_gate_evals", 36332),
+            ("atpg_escalations", 3),
+            ("atpg_rescued", 3),
             ("edt_cubes_attempted", 2),
             ("edt_cubes_encoded", 2),
             ("gf2_solves", 2),
@@ -72,13 +74,15 @@ const GOLDEN: &[Golden] = &[
         name: "sys2x2",
         patterns: 135,
         coverage_bp: 9668,
-        untestable: 40,
-        aborted: 16,
+        untestable: 52,
+        aborted: 4,
         ratio_centi: 100,
         counters: &[
             ("atpg_patterns", 135),
             ("podem_backtracks", 4180),
             ("faultsim_gate_evals", 216517),
+            ("atpg_escalations", 12),
+            ("atpg_rescued", 12),
             ("edt_cubes_encoded", 7),
         ],
     },
@@ -176,6 +180,108 @@ fn golden_flow_results_and_counters() {
         failures.len(),
         failures.join("\n  ")
     );
+}
+
+/// Golden snapshot of the repair flow: one seeded faulty SRAM through
+/// the full BISR loop, and one 16-core SoC with two bad cores through
+/// screen → harvest → degraded inference. All integers (accuracies in
+/// basis points) so equality is exact; re-bless like the flow table.
+struct GoldenRepair {
+    /// BISR on a 16x16 + 2r/2c SRAM with 3 seeded point faults.
+    sram_initial_fails: usize,
+    sram_rounds: usize,
+    sram_spares_used: usize,
+    sram_repaired: bool,
+    /// Harvesting a 16-core SoC with seeded bad cores [4, 13].
+    soc_good_cores: usize,
+    soc_broadcast_cycles: u64,
+    soc_flat_cycles: u64,
+    healthy_acc_bp: u64,
+    faulty_acc_bp: u64,
+    harvested_acc_bp: u64,
+}
+
+const GOLDEN_REPAIR: GoldenRepair = GoldenRepair {
+    sram_initial_fails: 3,
+    sram_rounds: 1,
+    sram_spares_used: 3,
+    sram_repaired: true,
+    soc_good_cores: 14,
+    soc_broadcast_cycles: 1009,
+    soc_flat_cycles: 5495,
+    healthy_acc_bp: 10000,
+    faulty_acc_bp: 9063,
+    harvested_acc_bp: 10000,
+};
+
+#[test]
+fn golden_repair_flow() {
+    use dft_core::aichip::{broadcast_screen, hierarchical_plan, SocConfig};
+    use dft_core::atpg::AtpgConfig;
+    use dft_core::bist::SramModel;
+    use dft_core::metrics::MetricsHandle;
+    use dft_core::netlist::generators::mac_pe;
+    use dft_core::repair::{
+        plan_degradation, random_point_faults, run_inference_check, BisrEngine, SpareConfig,
+        SramGeometry,
+    };
+
+    let geom = SramGeometry { rows: 16, cols: 16 };
+    let spares = SpareConfig {
+        spare_rows: 2,
+        spare_cols: 2,
+    };
+    let faults = random_point_faults(geom, &spares, 3, 0xB15);
+    let physical = SramModel::with_faults(spares.physical_size(&geom), faults);
+    let report = BisrEngine::new().run(&physical, geom, &spares);
+
+    let core = mac_pe(4);
+    let cfg = SocConfig {
+        threads: 1,
+        ..SocConfig::default()
+    };
+    let atpg = AtpgConfig::new().threads(1);
+    let plan = hierarchical_plan(&core, &cfg, &atpg);
+    let pass_map = broadcast_screen(&core, &cfg, &atpg, &[4, 13]);
+    let hplan = plan_degradation(
+        &pass_map,
+        plan.per_core_cycles,
+        &cfg,
+        2,
+        &MetricsHandle::disabled(),
+    );
+    let check = run_inference_check(cfg.num_cores, &hplan.disabled, 0xC0DE);
+    let bp = |acc: f64| (acc * 10_000.0).round() as u64;
+
+    if bless_mode() {
+        println!("const GOLDEN_REPAIR: GoldenRepair = GoldenRepair {{");
+        println!("    sram_initial_fails: {},", report.initial_fails);
+        println!("    sram_rounds: {},", report.rounds);
+        println!("    sram_spares_used: {},", report.signature.spares_used());
+        println!("    sram_repaired: {},", report.repaired);
+        println!("    soc_good_cores: {},", hplan.good_cores);
+        println!("    soc_broadcast_cycles: {},", hplan.broadcast_cycles);
+        println!("    soc_flat_cycles: {},", hplan.flat_cycles);
+        println!("    healthy_acc_bp: {},", bp(check.healthy_accuracy));
+        println!("    faulty_acc_bp: {},", bp(check.faulty_accuracy));
+        println!("    harvested_acc_bp: {},", bp(check.harvested_accuracy));
+        println!("}};");
+        return;
+    }
+
+    let g = &GOLDEN_REPAIR;
+    assert_eq!(report.initial_fails, g.sram_initial_fails);
+    assert_eq!(report.rounds, g.sram_rounds);
+    assert_eq!(report.signature.spares_used(), g.sram_spares_used);
+    assert_eq!(report.repaired, g.sram_repaired);
+    assert!(report.ships());
+    assert_eq!(hplan.good_cores, g.soc_good_cores);
+    assert_eq!(hplan.disabled, vec![4, 13]);
+    assert_eq!(hplan.broadcast_cycles, g.soc_broadcast_cycles);
+    assert_eq!(hplan.flat_cycles, g.soc_flat_cycles);
+    assert_eq!(bp(check.healthy_accuracy), g.healthy_acc_bp);
+    assert_eq!(bp(check.faulty_accuracy), g.faulty_acc_bp);
+    assert_eq!(bp(check.harvested_accuracy), g.harvested_acc_bp);
 }
 
 /// The snapshot JSON itself is part of the stable surface (CI artifacts
