@@ -13,6 +13,7 @@ use dft_fault::{universe_stuck_at, FaultList};
 use dft_logicsim::{Executor, FaultSim};
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, ScanConfig, TestTimeModel};
+use dft_trace::TraceHandle;
 
 /// SoC description: one core design replicated `num_cores` times.
 #[derive(Debug, Clone, Copy)]
@@ -94,7 +95,21 @@ impl CoreTestPlan {
 /// seeded defect per core instance (in parallel across cores), and
 /// derives both application schedules.
 pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> CoreTestPlan {
-    let run = Atpg::new(core).run(atpg);
+    hierarchical_plan_traced(core, cfg, atpg, TraceHandle::disabled())
+}
+
+/// [`hierarchical_plan`] with span recording: a `hier_plan` root span
+/// wraps the single-core ATPG (with its phase spans), a
+/// `broadcast_verify` span over the fan-out, and per-core `core_screen`
+/// spans (`arg` = core index) on the worker threads.
+pub fn hierarchical_plan_traced(
+    core: &Netlist,
+    cfg: &SocConfig,
+    atpg: &AtpgConfig,
+    trace: TraceHandle,
+) -> CoreTestPlan {
+    let _plan = trace.span_arg("hier_plan", cfg.num_cores as u64);
+    let run = Atpg::new(core).with_trace(trace.clone()).run(atpg);
 
     // Per-core verification of the broadcast scheme: every core receives
     // the same stimulus, so a defective core is caught only if its local
@@ -106,7 +121,9 @@ pub fn hierarchical_plan(core: &Netlist, cfg: &SocConfig, atpg: &AtpgConfig) -> 
     let sim = FaultSim::new(core);
     let exec = Executor::with_threads(cfg.threads);
     let cores: Vec<usize> = (0..cfg.num_cores).collect();
+    let _verify = trace.span_arg("broadcast_verify", cfg.num_cores as u64);
     let defects_flagged = exec.map(&cores, |_, &core_idx| {
+        let _core = trace.span_arg("core_screen", core_idx as u64);
         if universe.is_empty() {
             return true;
         }
@@ -172,12 +189,27 @@ pub fn broadcast_screen(
     atpg: &AtpgConfig,
     defective_cores: &[usize],
 ) -> Vec<bool> {
-    let run = Atpg::new(core).run(atpg);
+    broadcast_screen_traced(core, cfg, atpg, defective_cores, TraceHandle::disabled())
+}
+
+/// [`broadcast_screen`] with span recording: a `broadcast_screen` root
+/// span wraps the shared ATPG and per-core `core_screen` spans (`arg` =
+/// core index) on the worker threads.
+pub fn broadcast_screen_traced(
+    core: &Netlist,
+    cfg: &SocConfig,
+    atpg: &AtpgConfig,
+    defective_cores: &[usize],
+    trace: TraceHandle,
+) -> Vec<bool> {
+    let _screen = trace.span_arg("broadcast_screen", cfg.num_cores as u64);
+    let run = Atpg::new(core).with_trace(trace.clone()).run(atpg);
     let universe = universe_stuck_at(core);
     let sim = FaultSim::new(core);
     let exec = Executor::with_threads(cfg.threads);
     let cores: Vec<usize> = (0..cfg.num_cores).collect();
     exec.map(&cores, |_, &core_idx| {
+        let _core = trace.span_arg("core_screen", core_idx as u64);
         if !defective_cores.contains(&core_idx) || universe.is_empty() {
             return true;
         }

@@ -7,6 +7,7 @@ use dft_fault::{collapse_equivalent, universe_stuck_at, Fault, FaultList, FaultS
 use dft_logicsim::{Executor, FaultSim, PatternSet, TestCube};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
+use dft_trace::TraceHandle;
 
 use crate::{compact_cubes, AtpgResult, DAlgorithm, Podem, PodemStats};
 
@@ -227,6 +228,7 @@ struct TopoffTally {
 pub struct Atpg<'a> {
     nl: &'a Netlist,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl<'a> Atpg<'a> {
@@ -235,6 +237,7 @@ impl<'a> Atpg<'a> {
         Atpg {
             nl,
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -242,6 +245,16 @@ impl<'a> Atpg<'a> {
     /// (PODEM, fault simulation) at `metrics`.
     pub fn with_metrics(mut self, metrics: MetricsHandle) -> Atpg<'a> {
         self.metrics = metrics;
+        self
+    }
+
+    /// Points span recording at `trace`: the run records
+    /// `atpg_random`/`atpg_topoff`/`atpg_signoff` phase spans (whose
+    /// durations are what [`AtpgRun`] reports, so phase times and trace
+    /// spans always agree), sampled per-fault `podem`/`dalg_escalation`
+    /// spans, and the fault-simulation spans underneath.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Atpg<'a> {
+        self.trace = trace;
         self
     }
 
@@ -257,7 +270,9 @@ impl<'a> Atpg<'a> {
         let exec = Executor::with_threads(config.threads);
         let collapsed = collapse_equivalent(self.nl, &universe);
         let mut reps = FaultList::new(collapsed.representatives().to_vec());
-        let mut sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
+        let mut sim = FaultSim::new(self.nl)
+            .with_metrics(self.metrics.clone())
+            .with_trace(self.trace.clone());
         if let Some(poison) = config.poison_fault {
             sim = sim.with_poisoned_fault(poison);
         }
@@ -271,14 +286,17 @@ impl<'a> Atpg<'a> {
 
         let mut patterns = PatternSet::for_netlist(self.nl);
 
-        // Phase 1: random patterns with fault dropping.
+        // Phase 1: random patterns with fault dropping. The phase span
+        // is the timing source, so the reported time and the trace span
+        // are one measurement.
+        let t_random = self.trace.timed_span("atpg_random");
         if config.random_patterns > 0 {
             let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
             failed_sim_batches += sim.run_with(&random, &mut reps, &exec).failed_batches;
             patterns.extend_from(&random);
         }
         let random_detected = reps.num_detected();
-        let random_time = start.elapsed();
+        let random_time = t_random.finish();
 
         // Phase 2: deterministic top-off, then (optionally) static
         // compaction. Compaction re-fills merged cubes with fresh random
@@ -286,6 +304,8 @@ impl<'a> Atpg<'a> {
         // patterns, so after a rebuild the flow re-simulates and tops off
         // again; the final top-off appends without rebuilding, which
         // guarantees convergence.
+        let t_deterministic = self.trace.timed_span("atpg_topoff");
+        let mut fault_ordinal = 0u64;
         let mut cubes: Vec<TestCube> = Vec::new();
         let mut podem_stats = PodemStats::default();
         let mut tally = TopoffTally::default();
@@ -319,6 +339,7 @@ impl<'a> Atpg<'a> {
                 &mut tally,
                 &mut failed_sim_batches,
                 &mut fill_seed,
+                &mut fault_ordinal,
             );
             if round == compaction_rounds || cubes.is_empty() {
                 break;
@@ -372,12 +393,12 @@ impl<'a> Atpg<'a> {
             }
         }
         let deterministic_detected = reps.num_detected().saturating_sub(random_detected);
-        let deterministic_time = start.elapsed().saturating_sub(random_time);
+        let deterministic_time = t_deterministic.finish();
 
         // Sign-off: fault-simulate the final pattern set against the full
         // universe, then project untestable/aborted statuses from the
         // collapsed list.
-        let signoff_start = Instant::now();
+        let t_signoff = self.trace.timed_span("atpg_signoff");
         let mut fault_list = FaultList::new(universe);
         failed_sim_batches += sim
             .run_with(&patterns, &mut fault_list, &exec)
@@ -395,7 +416,7 @@ impl<'a> Atpg<'a> {
             }
         }
 
-        let signoff_time = signoff_start.elapsed();
+        let signoff_time = t_signoff.finish();
         if let Some(m) = self.metrics.get() {
             m.atpg_runs.inc();
             m.atpg_patterns.add(patterns.len() as u64);
@@ -444,6 +465,7 @@ impl<'a> Atpg<'a> {
         tally: &mut TopoffTally,
         failed_sim_batches: &mut usize,
         fill_seed: &mut u64,
+        fault_ordinal: &mut u64,
     ) {
         loop {
             let target_idx = match reps.undetected().next() {
@@ -451,6 +473,15 @@ impl<'a> Atpg<'a> {
                 None => break,
             };
             let target = reps.faults()[target_idx];
+            // Sampled per-fault span (every_n knob bounds the volume);
+            // covers the PODEM attempt and any escalation retry.
+            let sampled = self.trace.fault_sampled(*fault_ordinal);
+            *fault_ordinal += 1;
+            let _fault_span = if sampled {
+                Some(self.trace.span_arg("podem", target_idx as u64))
+            } else {
+                None
+            };
             let target_start = Instant::now();
             let (result, st) = podem.generate(target, config.backtrack_limit);
             podem_stats.backtracks += st.backtracks;
@@ -467,6 +498,11 @@ impl<'a> Atpg<'a> {
                     if within_budget {
                         escalated = true;
                         tally.escalated += 1;
+                        let _dalg_span = if sampled {
+                            Some(self.trace.span_arg("dalg_escalation", target_idx as u64))
+                        } else {
+                            None
+                        };
                         dalg.generate(target, config.escalation_backtracks)
                     } else {
                         AtpgResult::Aborted

@@ -1,14 +1,16 @@
-//! Criterion: metrics-layer overhead. Every hot loop flushes counters at
-//! coarse boundaries (per block / per PODEM call / per encode), so the
-//! enabled and disabled variants must stay within noise of each other —
-//! this bench is the regression guard for that contract.
+//! Criterion: metrics- and trace-layer overhead. Every hot loop flushes
+//! counters at coarse boundaries (per block / per PODEM call / per
+//! encode) and records spans at batch granularity, so the enabled and
+//! disabled variants must stay within noise of each other — this bench
+//! is the regression guard for that contract.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dft_core::atpg::{Atpg, AtpgConfig};
 use dft_core::fault::{universe_stuck_at, FaultList};
 use dft_core::logicsim::{FaultSim, GoodSim, PatternSet};
 use dft_core::metrics::MetricsHandle;
-use dft_core::netlist::generators::random_logic;
+use dft_core::netlist::generators::{random_logic, systolic_array, SystolicConfig};
+use dft_core::trace::{TraceConfig, TraceHandle, TraceSession};
 
 fn handles() -> [(&'static str, MetricsHandle); 2] {
     [
@@ -71,10 +73,45 @@ fn bench_atpg_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// PPSFP on the sys2x2 array, untraced vs traced at default sampling.
+/// Spans are recorded once per run / per worker batch, so the traced
+/// variant must stay within a few percent of the untraced one (README
+/// states the measured number; target < 5%).
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_ppsfp");
+    group.sample_size(10);
+    let nl = systolic_array(SystolicConfig {
+        rows: 2,
+        cols: 2,
+        width: 4,
+    });
+    let faults = universe_stuck_at(&nl);
+    let ps = PatternSet::random(&nl, 64, 3);
+    // The session outlives the loop; its ring buffers wrap in place, so
+    // a long bench run measures steady-state recording, not allocation.
+    let session = TraceSession::new(TraceConfig::default());
+    let variants = [
+        ("untraced", TraceHandle::disabled()),
+        ("traced", session.handle()),
+    ];
+    for (label, trace) in variants {
+        let sim = FaultSim::new(&nl).with_trace(trace);
+        group.bench_with_input(BenchmarkId::new("sys2x2", label), &label, |b, _| {
+            b.iter(|| {
+                let mut list = FaultList::new(faults.clone());
+                sim.run(&ps, &mut list);
+                list.num_detected()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_goodsim_overhead,
     bench_ppsfp_overhead,
-    bench_atpg_overhead
+    bench_atpg_overhead,
+    bench_trace_overhead
 );
 criterion_main!(benches);

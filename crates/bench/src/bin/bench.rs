@@ -1,0 +1,192 @@
+//! `bench` — bench-trajectory and trace-validation tooling.
+//!
+//! ```text
+//! bench trend [--dir D] [--max-regress F]   diff BENCH_*.json vs last run
+//! bench validate-trace <trace.json> [--jsonl <journal.jsonl>]
+//! ```
+//!
+//! `trend` reads the `trend` block of every `BENCH_*.json` under `--dir`
+//! (default `.`), compares wall-clock and coverage against the entries
+//! stored in `BENCH_trend.json` by the previous invocation, rewrites
+//! that file, and prints a markdown delta table. It exits non-zero when
+//! any experiment got more than `--max-regress` (default `0.20`, i.e.
+//! 20%) slower or lost more than that fraction of coverage — CI gates
+//! on the exit status.
+//!
+//! `validate-trace` checks a Perfetto `trace_event` export structurally
+//! (JSON parses, `traceEvents` is a non-empty array, complete events
+//! carry name/ts/dur) and, with `--jsonl`, validates an
+//! `aidft-trace-v1` journal with the library validator.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dft_bench::json::Json;
+use dft_bench::trend;
+use dft_core::trace::validate_journal;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trend") => run_trend(&args[1..]),
+        Some("validate-trace") => run_validate(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: bench <trend [--dir D] [--max-regress F] | \
+                 validate-trace <trace.json> [--jsonl <journal.jsonl>]>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_trend(args: &[String]) -> ExitCode {
+    let mut dir = PathBuf::from(".");
+    let mut max_regress = 0.20f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => match it.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => return usage("--dir requires a path"),
+            },
+            "--max-regress" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => max_regress = f,
+                None => return usage("--max-regress requires a fraction, e.g. 0.20"),
+            },
+            other => return usage(&format!("unknown trend argument `{other}`")),
+        }
+    }
+    let (report, skipped) = match trend::run(&dir, max_regress) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench trend: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for path in &skipped {
+        eprintln!("bench trend: note: {} has no trend block", path.display());
+    }
+    print!("{}", report.markdown());
+    if report.deltas.is_empty() {
+        eprintln!(
+            "bench trend: no BENCH_*.json with trend blocks under {}",
+            dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "\nwrote {} ({} experiments, threshold {:.0}%)",
+        dir.join("BENCH_trend.json").display(),
+        report.deltas.len(),
+        max_regress * 100.0
+    );
+    if report.regressed {
+        eprintln!(
+            "bench trend: REGRESSION over {:.0}% threshold",
+            max_regress * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_validate(args: &[String]) -> ExitCode {
+    let mut trace_path: Option<&str> = None;
+    let mut jsonl_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jsonl" => match it.next() {
+                Some(p) => jsonl_path = Some(p),
+                None => return usage("--jsonl requires a path"),
+            },
+            p if trace_path.is_none() => trace_path = Some(p),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return usage("validate-trace requires a <trace.json> path");
+    };
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench validate-trace: read {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match validate_perfetto(&text) {
+        Ok((spans, instants)) => {
+            println!("{trace_path}: ok ({spans} spans, {instants} other events)");
+        }
+        Err(e) => {
+            eprintln!("bench validate-trace: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(jsonl_path) = jsonl_path {
+        let text = match std::fs::read_to_string(jsonl_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench validate-trace: read {jsonl_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match validate_journal(&text) {
+            Ok((spans, events)) => {
+                println!("{jsonl_path}: ok ({spans} spans, {events} events)");
+            }
+            Err(e) => {
+                eprintln!("bench validate-trace: {jsonl_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Structural check of a Chrome `trace_event` JSON document. Returns
+/// (complete spans, other events).
+fn validate_perfetto(text: &str) -> Result<(usize, usize), String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    if events.is_empty() {
+        return Err("empty `traceEvents`".to_owned());
+    }
+    let mut spans = 0usize;
+    let mut others = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing `ph`"))?;
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: missing `name`"));
+        }
+        match ph {
+            "X" => {
+                for key in ["ts", "dur", "pid", "tid"] {
+                    if ev.get(key).and_then(Json::as_f64).is_none() {
+                        return Err(format!("event {i}: complete event missing `{key}`"));
+                    }
+                }
+                spans += 1;
+            }
+            "B" | "E" | "i" | "C" | "M" => others += 1,
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+    if spans == 0 {
+        return Err("no complete (`X`) span events".to_owned());
+    }
+    Ok((spans, others))
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench: {msg}");
+    ExitCode::from(2)
+}

@@ -587,6 +587,8 @@ pub fn metrics_report() {
         "{:<10} {:>9} {:>12} {:>12} {:>10}",
         "circuit", "patterns", "backtracks", "gate evals", "edt cubes"
     );
+    let wall_start = Instant::now();
+    let mut coverage_sum = 0.0f64;
     for c in &circuits {
         let before = handle.snapshot().unwrap();
         let report = DftFlow::new(&c.netlist)
@@ -595,6 +597,7 @@ pub fn metrics_report() {
             .run();
         let after = handle.snapshot().unwrap();
         let delta = |k: &str| after.counter(k) - before.counter(k);
+        coverage_sum += report.test_coverage;
         println!(
             "{:<10} {:>9} {:>12} {:>12} {:>10}",
             c.name,
@@ -604,8 +607,17 @@ pub fn metrics_report() {
             delta("edt_cubes_attempted"),
         );
     }
+    let wall_ns = wall_start.elapsed().as_nanos();
+    let coverage = coverage_sum / circuits.len() as f64;
     let snap = handle.snapshot().unwrap();
-    std::fs::write("BENCH_metrics.json", snap.to_json()).expect("write BENCH_metrics.json");
+    // The trend block feeds `bench trend` (see trend.rs); the snapshot
+    // keeps the metrics schema documented in EXPERIMENTS.md.
+    let json = format!(
+        "{{\n\"trend\": {{\"experiment\":\"metrics\",\"wall_clock_ns\":{wall_ns},\
+         \"coverage\":{coverage:.6}}},\n\"snapshot\": {}}}\n",
+        snap.to_json().trim_end()
+    );
+    std::fs::write("BENCH_metrics.json", json).expect("write BENCH_metrics.json");
     println!(
         "wrote BENCH_metrics.json ({} counters, {} timers)",
         snap.counters.len(),
@@ -625,6 +637,7 @@ pub fn repair_report() {
     };
 
     let handle = MetricsHandle::enabled();
+    let wall_start = Instant::now();
 
     // Table 1: SRAM repair yield vs injected fault density.
     let geom = SramGeometry { rows: 16, cols: 16 };
@@ -734,8 +747,13 @@ pub fn repair_report() {
         "shape: accuracy holds while throughput degrades linearly; past the floor the die scraps."
     );
 
+    let wall_ns = wall_start.elapsed().as_nanos();
+    let mean_yield =
+        sweep.iter().map(|p| p.yield_fraction()).sum::<f64>() / sweep.len().max(1) as f64;
     let json = format!(
-        "{{\n  \"sram\": {{\"rows\":{},\"cols\":{},\"spare_rows\":{},\"spare_cols\":{}}},\n  \
+        "{{\n  \"trend\": {{\"experiment\":\"repair\",\"wall_clock_ns\":{wall_ns},\
+         \"coverage\":{mean_yield:.6}}},\n  \
+         \"sram\": {{\"rows\":{},\"cols\":{},\"spare_rows\":{},\"spare_cols\":{}}},\n  \
          \"yield_sweep\": [{}],\n  \"soc\": {{\"cores\":{},\"max_bad_cores\":{},\
          \"per_core_cycles\":{}}},\n  \"degradation\": [{}]\n}}\n",
         geom.rows,

@@ -1,0 +1,337 @@
+//! Bench-trajectory tracking: compare the `trend` blocks of the current
+//! `BENCH_*.json` files against the previous run and flag regressions.
+//!
+//! Every experiment that writes a `BENCH_<name>.json` embeds a stable
+//! top-level block:
+//!
+//! ```json
+//! "trend": {"experiment": "metrics", "wall_clock_ns": 123456, "coverage": 0.987}
+//! ```
+//!
+//! `bench trend` collects those blocks, diffs them against the entries
+//! recorded in `BENCH_trend.json` by the previous invocation, rewrites
+//! `BENCH_trend.json`, prints a markdown delta table, and reports
+//! whether any experiment regressed: wall-clock grew by more than
+//! `max_regress` (relative), or coverage fell by more than `max_regress`
+//! (relative). The CLI exits non-zero in that case so CI can gate on it.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// One experiment's trend sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendEntry {
+    /// Experiment id (`metrics`, `repair`, ...).
+    pub experiment: String,
+    /// Wall-clock of the experiment's measured section.
+    pub wall_clock_ns: u64,
+    /// Headline quality figure (test coverage, yield), when the
+    /// experiment has one.
+    pub coverage: Option<f64>,
+}
+
+/// A current sample joined with its predecessor.
+#[derive(Debug, Clone)]
+pub struct TrendDelta {
+    /// The current sample.
+    pub current: TrendEntry,
+    /// The matching entry of the previous run, if any.
+    pub previous: Option<TrendEntry>,
+    /// Relative wall-clock change (`+0.25` = 25% slower).
+    pub wall_delta: Option<f64>,
+    /// Relative coverage change (`-0.25` = 25% less coverage).
+    pub coverage_delta: Option<f64>,
+    /// True when this experiment breaches the regression threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of one `bench trend` evaluation.
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// Per-experiment deltas, sorted by experiment id.
+    pub deltas: Vec<TrendDelta>,
+    /// True when any experiment regressed.
+    pub regressed: bool,
+}
+
+impl TrendReport {
+    /// The markdown delta table.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| experiment | wall-clock | Δ wall | coverage | Δ coverage | status |\n");
+        out.push_str("|---|---:|---:|---:|---:|---|\n");
+        for d in &self.deltas {
+            let wall_ms = d.current.wall_clock_ns as f64 / 1e6;
+            let wall_delta = match d.wall_delta {
+                Some(x) => format!("{:+.1}%", x * 100.0),
+                None => "new".to_owned(),
+            };
+            let cov = match d.current.coverage {
+                Some(c) => format!("{:.4}", c),
+                None => "-".to_owned(),
+            };
+            let cov_delta = match d.coverage_delta {
+                Some(x) => format!("{:+.2}%", x * 100.0),
+                None => "-".to_owned(),
+            };
+            let status = if d.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "| {} | {:.3} ms | {} | {} | {} | {} |",
+                d.current.experiment, wall_ms, wall_delta, cov, cov_delta, status
+            );
+        }
+        out
+    }
+
+    /// The `BENCH_trend.json` payload: the current entries (consumed as
+    /// "previous" by the next invocation) plus the computed deltas.
+    pub fn to_json(&self) -> String {
+        let mut entries = String::new();
+        let mut deltas = String::new();
+        for (i, d) in self.deltas.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let cov = match d.current.coverage {
+                Some(c) => format!("{c:.6}"),
+                None => "null".to_owned(),
+            };
+            let _ = write!(
+                entries,
+                "{sep}\n    {{\"experiment\":\"{}\",\"wall_clock_ns\":{},\"coverage\":{}}}",
+                d.current.experiment, d.current.wall_clock_ns, cov
+            );
+            let wall_delta = match d.wall_delta {
+                Some(x) => format!("{x:.6}"),
+                None => "null".to_owned(),
+            };
+            let cov_delta = match d.coverage_delta {
+                Some(x) => format!("{x:.6}"),
+                None => "null".to_owned(),
+            };
+            let _ = write!(
+                deltas,
+                "{sep}\n    {{\"experiment\":\"{}\",\"wall_delta\":{},\"coverage_delta\":{},\
+                 \"regressed\":{}}}",
+                d.current.experiment, wall_delta, cov_delta, d.regressed
+            );
+        }
+        format!(
+            "{{\n  \"schema\": \"aidft-trend-v1\",\n  \"regressed\": {},\n  \"entries\": [{}\n  ],\
+             \n  \"deltas\": [{}\n  ]\n}}\n",
+            self.regressed, entries, deltas
+        )
+    }
+}
+
+/// Extracts the `trend` block of one `BENCH_*.json` document, if present.
+pub fn extract_trend(text: &str) -> Option<TrendEntry> {
+    let doc = Json::parse(text).ok()?;
+    let t = doc.get("trend")?;
+    Some(TrendEntry {
+        experiment: t.get("experiment")?.as_str()?.to_owned(),
+        wall_clock_ns: t.get("wall_clock_ns")?.as_u64()?,
+        coverage: t.get("coverage").and_then(Json::as_f64),
+    })
+}
+
+/// Reads the `entries` of a previous `BENCH_trend.json`.
+pub fn parse_previous(text: &str) -> Vec<TrendEntry> {
+    let Ok(doc) = Json::parse(text) else {
+        return Vec::new();
+    };
+    let Some(items) = doc.get("entries").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|t| {
+            Some(TrendEntry {
+                experiment: t.get("experiment")?.as_str()?.to_owned(),
+                wall_clock_ns: t.get("wall_clock_ns")?.as_u64()?,
+                coverage: t.get("coverage").and_then(Json::as_f64),
+            })
+        })
+        .collect()
+}
+
+/// Joins current samples with the previous run and applies the
+/// regression threshold (`max_regress` is relative, e.g. `0.20`).
+pub fn compare(
+    mut current: Vec<TrendEntry>,
+    previous: &[TrendEntry],
+    max_regress: f64,
+) -> TrendReport {
+    current.sort_by(|a, b| a.experiment.cmp(&b.experiment));
+    let deltas: Vec<TrendDelta> = current
+        .into_iter()
+        .map(|cur| {
+            let prev = previous.iter().find(|p| p.experiment == cur.experiment);
+            let wall_delta = prev.filter(|p| p.wall_clock_ns > 0).map(|p| {
+                (cur.wall_clock_ns as f64 - p.wall_clock_ns as f64) / p.wall_clock_ns as f64
+            });
+            let coverage_delta = match (prev.and_then(|p| p.coverage), cur.coverage) {
+                (Some(p), Some(c)) if p > 0.0 => Some((c - p) / p),
+                _ => None,
+            };
+            let regressed = wall_delta.is_some_and(|x| x > max_regress)
+                || coverage_delta.is_some_and(|x| -x > max_regress);
+            TrendDelta {
+                current: cur,
+                previous: prev.cloned(),
+                wall_delta,
+                coverage_delta,
+                regressed,
+            }
+        })
+        .collect();
+    let regressed = deltas.iter().any(|d| d.regressed);
+    TrendReport { deltas, regressed }
+}
+
+/// Collects the trend blocks of every `BENCH_*.json` under `dir`
+/// (excluding `BENCH_trend.json` itself). Files without a trend block
+/// are skipped and reported back by name.
+pub fn collect(dir: &Path) -> std::io::Result<(Vec<TrendEntry>, Vec<PathBuf>)> {
+    let mut entries = Vec::new();
+    let mut skipped = Vec::new();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                && p.file_name().and_then(|n| n.to_str()) != Some("BENCH_trend.json")
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        match extract_trend(&text) {
+            Some(e) => entries.push(e),
+            None => skipped.push(path),
+        }
+    }
+    Ok((entries, skipped))
+}
+
+/// The full `bench trend` operation: collect, diff against
+/// `<dir>/BENCH_trend.json`, rewrite it, and return the report plus the
+/// files that carried no trend block.
+pub fn run(dir: &Path, max_regress: f64) -> std::io::Result<(TrendReport, Vec<PathBuf>)> {
+    let (entries, skipped) = collect(dir)?;
+    let trend_path = dir.join("BENCH_trend.json");
+    let previous = match std::fs::read_to_string(&trend_path) {
+        Ok(text) => parse_previous(&text),
+        Err(_) => Vec::new(),
+    };
+    let report = compare(entries, &previous, max_regress);
+    std::fs::write(&trend_path, report.to_json())?;
+    Ok((report, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, wall: u64, cov: Option<f64>) -> TrendEntry {
+        TrendEntry {
+            experiment: name.to_owned(),
+            wall_clock_ns: wall,
+            coverage: cov,
+        }
+    }
+
+    #[test]
+    fn synthetic_25_percent_slowdown_regresses() {
+        let prev = [entry("metrics", 1_000_000, Some(0.99))];
+        let cur = vec![entry("metrics", 1_250_000, Some(0.99))];
+        let report = compare(cur, &prev, 0.20);
+        assert!(report.regressed);
+        assert_eq!(report.deltas[0].wall_delta, Some(0.25));
+        assert!(report.markdown().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn stable_run_passes() {
+        let prev = [
+            entry("metrics", 1_000_000, Some(0.99)),
+            entry("repair", 2_000_000, Some(0.95)),
+        ];
+        let cur = vec![
+            entry("metrics", 1_100_000, Some(0.99)), // +10%: under threshold
+            entry("repair", 1_900_000, Some(0.96)),
+        ];
+        let report = compare(cur, &prev, 0.20);
+        assert!(!report.regressed);
+        assert!(report.markdown().contains("| ok |") || report.markdown().contains(" ok "));
+    }
+
+    #[test]
+    fn coverage_drop_regresses_even_when_faster() {
+        let prev = [entry("metrics", 1_000_000, Some(0.90))];
+        let cur = vec![entry("metrics", 500_000, Some(0.60))]; // -33% coverage
+        let report = compare(cur, &prev, 0.20);
+        assert!(report.regressed);
+    }
+
+    #[test]
+    fn first_run_has_no_previous_and_passes() {
+        let report = compare(vec![entry("metrics", 42, Some(1.0))], &[], 0.20);
+        assert!(!report.regressed);
+        assert!(report.deltas[0].previous.is_none());
+        assert!(report.markdown().contains("new"));
+    }
+
+    #[test]
+    fn trend_json_roundtrips_as_next_previous() {
+        let report = compare(
+            vec![entry("metrics", 123, Some(0.5)), entry("repair", 456, None)],
+            &[],
+            0.20,
+        );
+        let text = report.to_json();
+        let back = parse_previous(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], entry("metrics", 123, Some(0.5)));
+        assert_eq!(back[1], entry("repair", 456, None));
+    }
+
+    #[test]
+    fn extract_trend_reads_bench_file() {
+        let text = r#"{"trend":{"experiment":"repair","wall_clock_ns":777,"coverage":0.84},
+                       "payload":{"rows":[1,2,3]}}"#;
+        assert_eq!(extract_trend(text), Some(entry("repair", 777, Some(0.84))));
+        assert_eq!(extract_trend(r#"{"no_trend":1}"#), None);
+    }
+
+    #[test]
+    fn end_to_end_over_directory() {
+        let dir = std::env::temp_dir().join(format!("aidft_trend_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |wall: u64| {
+            std::fs::write(
+                dir.join("BENCH_metrics.json"),
+                format!(
+                    "{{\"trend\":{{\"experiment\":\"metrics\",\"wall_clock_ns\":{wall},\
+                     \"coverage\":0.99}}}}"
+                ),
+            )
+            .unwrap();
+        };
+        write(1_000_000);
+        let (first, skipped) = run(&dir, 0.20).unwrap();
+        assert!(!first.regressed, "first run has no baseline");
+        assert!(skipped.is_empty());
+        write(1_250_000); // 25% slower than the recorded baseline
+        let (second, _) = run(&dir, 0.20).unwrap();
+        assert!(second.regressed);
+        write(1_250_000); // identical to new baseline
+        let (third, _) = run(&dir, 0.20).unwrap();
+        assert!(!third.regressed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,6 +4,7 @@ use dft_fault::{universe_stuck_at, FaultList};
 use dft_logicsim::{Executor, FaultSim, GoodSim, PatternSet};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
+use dft_trace::TraceHandle;
 
 use crate::Lfsr;
 
@@ -33,6 +34,7 @@ pub struct LogicBist<'a> {
     prpg_width: u32,
     exec: Executor,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl<'a> LogicBist<'a> {
@@ -43,6 +45,7 @@ impl<'a> LogicBist<'a> {
             prpg_width,
             exec: Executor::serial(),
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -50,6 +53,14 @@ impl<'a> LogicBist<'a> {
     /// underneath) at `metrics`.
     pub fn metrics(mut self, metrics: MetricsHandle) -> LogicBist<'a> {
         self.metrics = metrics;
+        self
+    }
+
+    /// Points span recording at `trace`: each session records an
+    /// `lbist_session` span (`arg` = pattern count) around the
+    /// fault-simulation and signature spans underneath.
+    pub fn trace(mut self, trace: TraceHandle) -> LogicBist<'a> {
+        self.trace = trace;
         self
     }
 
@@ -80,11 +91,14 @@ impl<'a> LogicBist<'a> {
     /// Runs a BIST session of `n` patterns: measures stuck-at coverage and
     /// computes the fault-free signature.
     pub fn run(&self, n: usize, seed: u64) -> BistResult {
+        let _session = self.trace.span_arg("lbist_session", n as u64);
         if let Some(m) = self.metrics.get() {
             m.bist_sessions.inc();
         }
         let ps = self.patterns(n, seed);
-        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
+        let sim = FaultSim::new(self.nl)
+            .with_metrics(self.metrics.clone())
+            .with_trace(self.trace.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
         sim.run_with(&ps, &mut list, &self.exec);
         let signature = self.signature(&ps);
@@ -100,6 +114,7 @@ impl<'a> LogicBist<'a> {
     /// signature): a rotating XOR fold of all response bits, equivalent in
     /// detection behaviour to a MISR for fully-specified responses.
     pub fn signature(&self, ps: &PatternSet) -> u64 {
+        let _span = self.trace.span_arg("misr_signature", ps.len() as u64);
         let mut sim = GoodSim::new(self.nl);
         sim.set_metrics(self.metrics.clone());
         if let Some(m) = self.metrics.get() {
@@ -178,12 +193,15 @@ impl<'a> LogicBist<'a> {
 
     /// Runs a weighted BIST session (same accounting as [`LogicBist::run`]).
     pub fn run_weighted(&self, n: usize, seed: u64, weights: &[f64]) -> BistResult {
+        let _session = self.trace.span_arg("lbist_weighted_session", n as u64);
         if let Some(m) = self.metrics.get() {
             m.bist_sessions.inc();
             m.bist_patterns.add(n as u64);
         }
         let ps = self.weighted_patterns(n, seed, weights);
-        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
+        let sim = FaultSim::new(self.nl)
+            .with_metrics(self.metrics.clone())
+            .with_trace(self.trace.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
         sim.run_with(&ps, &mut list, &self.exec);
         BistResult {

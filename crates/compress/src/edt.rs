@@ -4,6 +4,7 @@ use dft_logicsim::TestCube;
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 use dft_scan::ScanInsertion;
+use dft_trace::TraceHandle;
 
 use crate::gf2::Gf2System;
 use crate::{PhaseShifter, RingGenerator};
@@ -28,6 +29,7 @@ pub struct EdtCodec {
     /// the injected variables.
     cell_expr: Vec<Vec<Vec<u64>>>,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl EdtCodec {
@@ -65,12 +67,20 @@ impl EdtCodec {
             warmup,
             cell_expr,
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
     /// Points encode/solve counters at `metrics`.
     pub fn set_metrics(&mut self, metrics: MetricsHandle) {
         self.metrics = metrics;
+    }
+
+    /// Points span recording at `trace`: each [`EdtCodec::encode`] call
+    /// records an `edt_encode` span (`arg` = care bits) wrapping a
+    /// `gf2_solve` span around the linear solve.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Number of scan chains driven.
@@ -113,7 +123,11 @@ impl EdtCodec {
             }
         }
         let care_bits = sys.num_rows() as u64;
-        let (solution, eliminations) = sys.solve_counted();
+        let _encode = self.trace.span_arg("edt_encode", care_bits);
+        let (solution, eliminations) = {
+            let _solve = self.trace.span_arg("gf2_solve", care_bits);
+            sys.solve_counted()
+        };
         if let Some(m) = self.metrics.get() {
             m.edt_cubes_attempted.inc();
             m.edt_care_bits.add(care_bits);
@@ -223,6 +237,7 @@ pub struct ScanEdt<'a> {
     /// For each flop (by netlist dff order), its flat cell index.
     cell_of_ff: Vec<usize>,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl<'a> ScanEdt<'a> {
@@ -256,6 +271,7 @@ impl<'a> ScanEdt<'a> {
             codec,
             cell_of_ff,
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -263,6 +279,15 @@ impl<'a> ScanEdt<'a> {
     pub fn with_metrics(mut self, metrics: MetricsHandle) -> ScanEdt<'a> {
         self.codec.set_metrics(metrics.clone());
         self.metrics = metrics;
+        self
+    }
+
+    /// Points the binding (and its codec) at `trace`:
+    /// [`ScanEdt::compress_all`] records a `compress_all` span (`arg` =
+    /// cube count) around per-cube `edt_encode`/`gf2_solve` spans.
+    pub fn with_trace(mut self, trace: TraceHandle) -> ScanEdt<'a> {
+        self.codec.set_trace(trace.clone());
+        self.trace = trace;
         self
     }
 
@@ -290,6 +315,7 @@ impl<'a> ScanEdt<'a> {
 
     /// Encodes every cube, returning aggregate statistics.
     pub fn compress_all(&self, cubes: &[TestCube]) -> CompressionStats {
+        let _span = self.trace.span_arg("compress_all", cubes.len() as u64);
         let mut stats = CompressionStats::default();
         for cube in cubes {
             let cells = self.to_cell_cube(cube);

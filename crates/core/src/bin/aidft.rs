@@ -15,15 +15,27 @@
 //! environment variable sets the default for all commands. Any thread
 //! count produces bit-identical results.
 //!
-//! `atpg`, `flow`, and `bist` also accept `--metrics-json <path>`: the
-//! hot-path metric snapshot of the run (PODEM backtracks, fault-sim gate
-//! evaluations, EDT encode stats, phase timers) is written to `path` as
-//! JSON. See EXPERIMENTS.md for the schema.
+//! `atpg`, `flow`, `bist`, and `repair` also accept:
+//!
+//! - `--metrics-json <path>` — the hot-path metric snapshot of the run
+//!   (PODEM backtracks, fault-sim gate evaluations, EDT encode stats,
+//!   phase timers) as JSON. See EXPERIMENTS.md for the schema.
+//! - `--trace <path>` — a Chrome `trace_event` file of the run's span
+//!   tree, loadable in `ui.perfetto.dev` or `chrome://tracing`.
+//! - `--trace-jsonl <path>` — the same spans as a line-oriented
+//!   `aidft-trace-v1` journal (schema in EXPERIMENTS.md).
+//!
+//! Any of those paths may be `-` to write the payload to stdout; the
+//! human-readable report then moves to stderr so the machine output
+//! stays clean. When stderr is an interactive terminal, the long
+//! commands additionally show a one-line live progress spinner (current
+//! phase plus pattern/fault counters), erased before the report prints.
 //!
 //! Generator names for `gen`: anything from the benchmark suite (`c17`,
 //! `s27`, `add8`, `mult8`, `alu8`, `mac4`, `sys4x4`, ...).
 
 use std::fs;
+use std::io::{IsTerminal, Write};
 use std::process::ExitCode;
 
 use dft_core::atpg::{Atpg, AtpgConfig};
@@ -33,24 +45,51 @@ use dft_core::logicsim::PatternSet;
 use dft_core::metrics::MetricsHandle;
 use dft_core::netlist::generators::benchmark_suite;
 use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
+use dft_core::progress::ProgressLine;
+use dft_core::trace::{TraceConfig, TraceHandle, TraceSession};
 use dft_core::{DftError, DftFlow};
+
+/// Writes a human-readable report line: stdout normally, stderr when
+/// some `-` flag routed a machine payload to stdout.
+macro_rules! say {
+    ($out:expr, $($arg:tt)*) => { $out.line(format!($($arg)*)) };
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = match extract_threads(&mut args) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("aidft: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let metrics_path = match extract_metrics_json(&mut args) {
+    let parsed = (|| -> Result<_, DftError> {
+        let threads = extract_threads(&mut args)?;
+        let metrics_path = extract_path_flag(&mut args, "--metrics-json")?;
+        let trace_path = extract_path_flag(&mut args, "--trace")?;
+        let trace_jsonl_path = extract_path_flag(&mut args, "--trace-jsonl")?;
+        Ok((threads, metrics_path, trace_path, trace_jsonl_path))
+    })();
+    let (threads, metrics_path, trace_path, trace_jsonl_path) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("aidft: {e}");
             return ExitCode::from(2);
         }
     };
+    let out = Out {
+        human_to_stderr: [&metrics_path, &trace_path, &trace_jsonl_path]
+            .iter()
+            .any(|p| p.as_deref() == Some("-")),
+    };
+    // A full session when an export was requested, a phases-only one
+    // when we just need phase names for the terminal progress line.
+    let want_export = trace_path.is_some() || trace_jsonl_path.is_some();
+    let session = if want_export {
+        Some(TraceSession::new(TraceConfig::default()))
+    } else if std::io::stderr().is_terminal() {
+        Some(TraceSession::new(TraceConfig::phases_only()))
+    } else {
+        None
+    };
+    let trace = session
+        .as_ref()
+        .map(|s| s.handle())
+        .unwrap_or_else(TraceHandle::disabled);
     let result = match args.first().map(String::as_str) {
         Some("stats") => with_design(&args, 2, |nl, _| {
             println!("{}", NetlistStats::of(nl));
@@ -61,10 +100,14 @@ fn main() -> ExitCode {
         }),
         Some("atpg") => with_design(&args, 2, |nl, _| {
             let handle = MetricsHandle::enabled();
+            let progress = ProgressLine::spawn(trace.clone(), handle.clone());
             let run = Atpg::new(nl)
                 .with_metrics(handle.clone())
+                .with_trace(trace.clone())
                 .run(&AtpgConfig::new().threads(threads));
-            println!(
+            progress.finish();
+            say!(
+                out,
                 "{}: {} patterns, FC {:.2}%, TC {:.2}%, {} untestable, {} aborted, {:?}",
                 nl.name(),
                 run.patterns.len(),
@@ -74,15 +117,22 @@ fn main() -> ExitCode {
                 run.aborted,
                 run.elapsed
             );
-            write_metrics(&metrics_path, &handle)
+            write_metrics(&out, &metrics_path, &handle)
         }),
         Some("flow") => with_design(&args, 2, |nl, rest| {
             let chains = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4usize);
-            let report = DftFlow::new(nl).chains(chains).threads(threads).run();
-            print!("{report}");
+            let handle = MetricsHandle::enabled();
+            let progress = ProgressLine::spawn(trace.clone(), handle.clone());
+            let report = DftFlow::new(nl)
+                .chains(chains)
+                .threads(threads)
+                .metrics(handle)
+                .trace(trace.clone())
+                .run();
+            progress.finish();
+            out.text(format!("{report}"));
             if let Some(path) = &metrics_path {
-                fs::write(path, report.metrics.to_json())
-                    .map_err(|e| DftError::io(format!("write {path}"), e))?;
+                out.payload(path, &report.metrics.to_json())?;
             }
             Ok(())
         }),
@@ -92,11 +142,15 @@ fn main() -> ExitCode {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1024usize);
             let handle = MetricsHandle::enabled();
+            let progress = ProgressLine::spawn(trace.clone(), handle.clone());
             let r = LogicBist::new(nl, 32)
                 .metrics(handle.clone())
+                .trace(trace.clone())
                 .threads(threads)
                 .run(patterns, 0xB157);
-            println!(
+            progress.finish();
+            say!(
+                out,
                 "{}: {} PRPG patterns, coverage {:.2}%, signature {:016x}, {} undetected",
                 nl.name(),
                 r.patterns,
@@ -104,7 +158,7 @@ fn main() -> ExitCode {
                 r.signature,
                 r.undetected
             );
-            write_metrics(&metrics_path, &handle)
+            write_metrics(&out, &metrics_path, &handle)
         }),
         Some("gen") => {
             if args.len() != 3 {
@@ -151,20 +205,77 @@ fn main() -> ExitCode {
         Some("repair") => {
             let mut rest: Vec<String> = args[1..].to_vec();
             match extract_max_bad_cores(&mut rest) {
-                Ok(max_bad_cores) => run_repair_demo(threads, max_bad_cores, &metrics_path),
+                Ok(max_bad_cores) => {
+                    run_repair_demo(&out, threads, max_bad_cores, &metrics_path, &trace)
+                }
                 Err(e) => Err(e),
             }
         }
         _ => Err(DftError::usage(
             "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair> [--threads N] \
-             [--metrics-json <path>] <args>; see README",
+             [--metrics-json <path>] [--trace <path>] [--trace-jsonl <path>] <args>; \
+             `-` as a path writes to stdout; see README",
         )),
     };
+    let result = result.and_then(|()| {
+        if let Some(session) = &session {
+            let dump = session.snapshot();
+            if let Some(path) = &trace_path {
+                out.payload(path, &dump.to_perfetto_json())?;
+            }
+            if let Some(path) = &trace_jsonl_path {
+                out.payload(path, &dump.to_jsonl())?;
+            }
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("aidft: {e}");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Where human-readable report text goes, and how machine payloads are
+/// written. When any `--metrics-json`/`--trace`/`--trace-jsonl` path is
+/// `-`, stdout is reserved for that payload and the report moves to
+/// stderr.
+#[derive(Clone, Copy)]
+struct Out {
+    human_to_stderr: bool,
+}
+
+impl Out {
+    fn line(&self, s: String) {
+        if self.human_to_stderr {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    }
+
+    /// Like [`Out::line`] but without a trailing newline (for payloads
+    /// that already end in one, e.g. the flow report).
+    fn text(&self, s: String) {
+        if self.human_to_stderr {
+            eprint!("{s}");
+        } else {
+            print!("{s}");
+        }
+    }
+
+    /// Writes a machine payload to `path`, or to stdout when `path` is
+    /// `-`.
+    fn payload(&self, path: &str, content: &str) -> Result<(), DftError> {
+        if path == "-" {
+            let mut o = std::io::stdout().lock();
+            o.write_all(content.as_bytes())
+                .and_then(|()| o.flush())
+                .map_err(|e| DftError::io("write stdout", e))
+        } else {
+            fs::write(path, content).map_err(|e| DftError::io(format!("write {path}"), e))
         }
     }
 }
@@ -217,11 +328,13 @@ fn extract_max_bad_cores(args: &mut Vec<String>) -> Result<usize, DftError> {
 /// a replicated-core SoC, fuse off the bad cores, recompute the test
 /// schedule, and check degraded inference accuracy).
 fn run_repair_demo(
+    out: &Out,
     threads: usize,
     max_bad_cores: usize,
     metrics_path: &Option<String>,
+    trace: &TraceHandle,
 ) -> Result<(), DftError> {
-    use dft_core::aichip::{broadcast_screen, hierarchical_plan, SocConfig};
+    use dft_core::aichip::{broadcast_screen_traced, hierarchical_plan_traced, SocConfig};
     use dft_core::bist::SramModel;
     use dft_core::netlist::generators::mac_pe;
     use dft_core::repair::{
@@ -237,15 +350,22 @@ fn run_repair_demo(
         spare_rows: 2,
         spare_cols: 2,
     };
-    println!(
+    say!(
+        out,
         "memory BISR: {}x{} SRAM + {} spare rows, {} spare cols (March C-)",
-        geom.rows, geom.cols, spares.spare_rows, spares.spare_cols
+        geom.rows,
+        geom.cols,
+        spares.spare_rows,
+        spares.spare_cols
     );
-    let engine = BisrEngine::new().with_metrics(handle.clone());
+    let engine = BisrEngine::new()
+        .with_metrics(handle.clone())
+        .with_trace(trace.clone());
     let faults = random_point_faults(geom, &spares, 3, 0xB15);
     let physical = SramModel::with_faults(spares.physical_size(&geom), faults);
     let report = engine.run(&physical, geom, &spares);
-    println!(
+    say!(
+        out,
         "  seeded die: {} failing cells -> {} spare(s) in {} round(s), {}",
         report.initial_fails,
         report.signature.spares_used(),
@@ -258,10 +378,11 @@ fn run_repair_demo(
             "clean, no repair needed"
         }
     );
-    println!("  yield sweep (20 dies per density):");
-    println!("    faults  clean  repaired  unrepairable  yield");
+    say!(out, "  yield sweep (20 dies per density):");
+    say!(out, "    faults  clean  repaired  unrepairable  yield");
     for p in yield_sweep(&engine, geom, &spares, &[1, 2, 3, 4, 6, 8], 20, 0xD1E) {
-        println!(
+        say!(
+            out,
             "    {:<7} {:<6} {:<9} {:<13} {:.0}%",
             p.faults_injected,
             p.clean,
@@ -278,9 +399,11 @@ fn run_repair_demo(
         ..SocConfig::default()
     };
     let atpg = AtpgConfig::new().threads(threads);
-    let plan = hierarchical_plan(&core, &cfg, &atpg);
+    let progress = ProgressLine::spawn(trace.clone(), handle.clone());
+    let plan = hierarchical_plan_traced(&core, &cfg, &atpg, trace.clone());
     let defective = [4usize, 13];
-    let pass_map = broadcast_screen(&core, &cfg, &atpg, &defective);
+    let pass_map = broadcast_screen_traced(&core, &cfg, &atpg, &defective, trace.clone());
+    progress.finish();
     let hplan = plan_degradation(
         &pass_map,
         plan.per_core_cycles,
@@ -288,26 +411,37 @@ fn run_repair_demo(
         max_bad_cores,
         &handle,
     );
-    println!(
+    say!(
+        out,
         "core harvesting: {}-core SoC, seeded bad cores {:?}, floor --max-bad-cores {}",
-        cfg.num_cores, defective, max_bad_cores
+        cfg.num_cores,
+        defective,
+        max_bad_cores
     );
     let grade = match hplan.grade {
         ShipGrade::Full => "full spec".to_owned(),
         ShipGrade::Degraded(n) => format!("degraded N-{n}"),
         ShipGrade::Scrap => "SCRAP".to_owned(),
     };
-    println!(
+    say!(
+        out,
         "  screen: {}/{} cores pass; disabled {:?}; grade {}",
-        hplan.good_cores, hplan.total_cores, hplan.disabled, grade
+        hplan.good_cores,
+        hplan.total_cores,
+        hplan.disabled,
+        grade
     );
-    println!(
+    say!(
+        out,
         "  retest schedule for shipped part: {} broadcast cycles ({:.3} ms), {} flat cycles",
-        hplan.broadcast_cycles, hplan.test_time_ms, hplan.flat_cycles
+        hplan.broadcast_cycles,
+        hplan.test_time_ms,
+        hplan.flat_cycles
     );
     if hplan.ships {
         let check = run_inference_check(cfg.num_cores, &hplan.disabled, 0xC0DE);
-        println!(
+        say!(
+            out,
             "  inference: healthy {:.1}%, unfused-faulty {:.1}%, harvested {:.1}% \
              at {:.0}% throughput",
             check.healthy_accuracy * 100.0,
@@ -316,18 +450,17 @@ fn run_repair_demo(
             check.throughput_fraction * 100.0
         );
     } else {
-        println!("  die does not ship at this harvesting floor");
+        say!(out, "  die does not ship at this harvesting floor");
     }
 
-    write_metrics(metrics_path, &handle)
+    write_metrics(out, metrics_path, &handle)
 }
 
-/// Removes `--metrics-json <path>` from `args` and returns the path, if
-/// given.
-fn extract_metrics_json(args: &mut Vec<String>) -> Result<Option<String>, DftError> {
-    if let Some(pos) = args.iter().position(|a| a == "--metrics-json") {
+/// Removes `<flag> <path>` from `args` and returns the path, if given.
+fn extract_path_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, DftError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
         if pos + 1 >= args.len() {
-            return Err(DftError::usage("--metrics-json requires a path"));
+            return Err(DftError::usage(format!("{flag} requires a path")));
         }
         let path = args[pos + 1].clone();
         args.drain(pos..pos + 2);
@@ -338,9 +471,9 @@ fn extract_metrics_json(args: &mut Vec<String>) -> Result<Option<String>, DftErr
 
 /// Writes the snapshot of `handle` to `path` as JSON (no-op when the flag
 /// was not given).
-fn write_metrics(path: &Option<String>, handle: &MetricsHandle) -> Result<(), DftError> {
+fn write_metrics(out: &Out, path: &Option<String>, handle: &MetricsHandle) -> Result<(), DftError> {
     if let (Some(path), Some(snap)) = (path, handle.snapshot()) {
-        fs::write(path, snap.to_json()).map_err(|e| DftError::io(format!("write {path}"), e))?;
+        out.payload(path, &snap.to_json())?;
     }
     Ok(())
 }

@@ -34,6 +34,10 @@ pub use dft_logicsim as logicsim;
 /// Re-export of `dft-metrics` (counters, histograms, phase timers).
 pub use dft_metrics as metrics;
 
+/// Re-export of `dft-trace` (hierarchical span tracing, Perfetto/JSONL
+/// export).
+pub use dft_trace as trace;
+
 /// Re-export of `dft-atpg`.
 pub use dft_atpg as atpg;
 
@@ -57,10 +61,9 @@ pub use dft_repair as repair;
 
 pub mod config;
 mod error;
+pub mod progress;
 
 pub use error::DftError;
-
-use std::time::Instant;
 
 use dft_atpg::{Atpg, AtpgConfig};
 use dft_compress::{CompressionStats, ScanEdt};
@@ -68,6 +71,7 @@ use dft_logicsim::Parallelism;
 use dft_metrics::{MetricsHandle, MetricsSnapshot};
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, ScanConfig, ScanInsertion, TestTimeModel};
+use dft_trace::TraceHandle;
 
 /// The one-stop DFT sign-off flow.
 ///
@@ -82,6 +86,7 @@ pub struct DftFlow<'a> {
     atpg: AtpgConfig,
     threads: Option<usize>,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl<'a> DftFlow<'a> {
@@ -97,6 +102,7 @@ impl<'a> DftFlow<'a> {
             atpg: AtpgConfig::default(),
             threads: None,
             metrics: MetricsHandle::enabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -141,6 +147,17 @@ impl<'a> DftFlow<'a> {
         self
     }
 
+    /// Points the flow at a tracing session (see [`trace`]): every phase
+    /// records a span, ATPG adds sampled per-fault spans, and the
+    /// fault-simulation engines add worker-tagged batch spans. The
+    /// default disabled handle costs one untaken branch per record site.
+    /// Phase *timings* in [`FlowReport`] are span-derived either way, so
+    /// `sum(phases) <= total` always holds.
+    pub fn trace(mut self, handle: TraceHandle) -> Self {
+        self.trace = handle;
+        self
+    }
+
     /// Overrides the metrics registry. By default each flow run collects
     /// into a fresh registry surfaced as [`FlowReport::metrics`]; pass
     /// [`MetricsHandle::disabled`] to strip every instrument down to one
@@ -151,12 +168,19 @@ impl<'a> DftFlow<'a> {
     }
 
     /// Runs the full flow: scan insertion, ATPG, compression, timing.
+    ///
+    /// Every phase duration in [`FlowReport::phase_times`] is the length
+    /// of that phase's trace span; the spans are opened and closed
+    /// sequentially on one monotonic clock inside the enclosing `flow`
+    /// span, so the per-phase times are disjoint and
+    /// `sum(phases) <= total` holds by construction.
     pub fn run(self) -> FlowReport {
         let mut atpg_cfg = self.atpg.clone();
         if let Some(t) = self.threads {
             atpg_cfg.threads = t;
         }
-        let scan_start = Instant::now();
+        let t_flow = self.trace.phase_span("flow");
+        let t_scan = self.trace.phase_span("scan_insertion");
         let scan = {
             let _t = self.metrics.get().map(|m| m.t_scan_insertion.timed());
             insert_scan(
@@ -166,28 +190,32 @@ impl<'a> DftFlow<'a> {
                 },
             )
         };
-        let scan_time = scan_start.elapsed();
+        let scan_time = t_scan.finish();
         let run = Atpg::new(self.nl)
             .with_metrics(self.metrics.clone())
+            .with_trace(self.trace.clone())
             .run(&atpg_cfg);
         let timing = TestTimeModel::for_architecture(&scan, run.patterns.len(), self.shift_mhz);
-        let compress_start = Instant::now();
+        let t_compress = self.trace.phase_span("compression");
         let compression = if self.nl.num_dffs() > 0 && !run.cubes.is_empty() {
             let _t = self.metrics.get().map(|m| m.t_edt_compress.timed());
             let ring_len = self
                 .ring_len
                 .unwrap_or_else(|| scan.shift_cycles().clamp(8, 32));
             let edt = ScanEdt::new(self.nl, &scan, self.channels, ring_len, 0xED7)
-                .with_metrics(self.metrics.clone());
+                .with_metrics(self.metrics.clone())
+                .with_trace(self.trace.clone());
             Some(edt.compress_all(&run.cubes))
         } else {
             None
         };
+        let compression_time = t_compress.finish();
         let phase_times = PhaseTimes {
             scan: scan_time,
             random_sim: run.random_time,
             deterministic: run.deterministic_time + run.signoff_time,
-            compression: compress_start.elapsed(),
+            compression: compression_time,
+            total: t_flow.finish(),
             threads: Parallelism::from_threads(atpg_cfg.threads).resolve(),
         };
         let metrics = self
@@ -232,8 +260,19 @@ pub struct PhaseTimes {
     pub deterministic: Duration,
     /// EDT compression of the deterministic cubes.
     pub compression: Duration,
+    /// Whole-flow wall-clock (the `flow` trace span). The phases above
+    /// are disjoint sub-intervals measured on the same clock, so their
+    /// sum never exceeds this.
+    pub total: Duration,
     /// Resolved worker-thread count the simulation phases ran with.
     pub threads: usize,
+}
+
+impl PhaseTimes {
+    /// Sum of the per-phase durations (always `<=` [`PhaseTimes::total`]).
+    pub fn sum_phases(&self) -> Duration {
+        self.scan + self.random_sim + self.deterministic + self.compression
+    }
 }
 
 /// The sign-off report produced by [`DftFlow::run`].
@@ -344,11 +383,12 @@ impl fmt::Display for FlowReport {
         let t = &self.phase_times;
         writeln!(
             f,
-            "  timing: scan {:?}, random sim {:?}, deterministic {:?}, compression {:?} ({} thread{})",
+            "  timing: scan {:?}, random sim {:?}, deterministic {:?}, compression {:?}, total {:?} ({} thread{})",
             t.scan,
             t.random_sim,
             t.deterministic,
             t.compression,
+            t.total,
             t.threads,
             if t.threads == 1 { "" } else { "s" }
         )?;
@@ -386,6 +426,65 @@ mod tests {
         let report = DftFlow::new(&nl).chains(2).shift_mhz(50).run();
         assert_eq!(report.chains, 2);
         assert_eq!(report.max_chain_len, 4);
+    }
+
+    #[test]
+    fn phase_times_sum_never_exceeds_total() {
+        // The phase durations are span-derived sub-intervals of the one
+        // `flow` span, all measured on the same monotonic clock, so the
+        // report can never claim more phase time than wall-clock time.
+        let nl = mac_pe(4);
+        for _ in 0..3 {
+            let report = DftFlow::new(&nl).chains(4).run();
+            let t = &report.phase_times;
+            assert!(
+                t.sum_phases() <= t.total,
+                "phase drift: {:?} + {:?} + {:?} + {:?} = {:?} > total {:?}",
+                t.scan,
+                t.random_sim,
+                t.deterministic,
+                t.compression,
+                t.sum_phases(),
+                t.total
+            );
+            assert!(t.total > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn flow_trace_records_phase_and_worker_spans() {
+        let session = dft_trace::TraceSession::new(dft_trace::TraceConfig::default());
+        let nl = mac_pe(4);
+        let report = DftFlow::new(&nl)
+            .chains(4)
+            .threads(4)
+            .trace(session.handle())
+            .run();
+        assert!(report.patterns > 0);
+        let dump = session.snapshot();
+        let spans = dump.spans().expect("balanced span forest");
+        let mut names: Vec<&'static str> = Vec::new();
+        fn collect(nodes: &[dft_trace::SpanNode], out: &mut Vec<&'static str>) {
+            for n in nodes {
+                out.push(n.name);
+                collect(&n.children, out);
+            }
+        }
+        collect(&spans, &mut names);
+        for phase in [
+            "flow",
+            "scan_insertion",
+            "atpg_random",
+            "atpg_topoff",
+            "atpg_signoff",
+            "compression",
+        ] {
+            assert!(names.contains(&phase), "missing phase span {phase}");
+        }
+        assert!(
+            names.iter().filter(|n| **n == "faultsim_batch").count() >= 2,
+            "expected worker-tagged fault-sim batch spans, got names {names:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Terminal live-progress line for long flow runs.
+//!
+//! [`ProgressLine::spawn`] starts a background thread that polls the
+//! flow's [`TraceHandle`](dft_trace::TraceHandle) for the current phase
+//! and the [`MetricsHandle`](dft_metrics::MetricsHandle) for fault and
+//! pattern counters, rewriting a single spinner line on stderr roughly
+//! ten times a second. The line is only drawn when stderr is an
+//! interactive terminal (or when forced for tests); in pipes and CI
+//! logs the reporter is a silent no-op. [`ProgressLine::finish`] stops
+//! the thread and clears the line so the final report starts on a
+//! clean row.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dft_metrics::MetricsHandle;
+use dft_trace::TraceHandle;
+
+const SPINNER: [char; 4] = ['|', '/', '-', '\\'];
+const POLL: Duration = Duration::from_millis(100);
+
+/// Handle to a running progress reporter thread.
+///
+/// Dropping the handle without calling [`ProgressLine::finish`] also
+/// stops the thread and clears the line.
+pub struct ProgressLine {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ProgressLine {
+    /// Starts the reporter if stderr is a terminal; otherwise returns a
+    /// no-op handle. `trace` supplies the phase name (use a
+    /// `phases_only` session when full tracing is not wanted) and
+    /// `metrics` the live counters.
+    pub fn spawn(trace: TraceHandle, metrics: MetricsHandle) -> ProgressLine {
+        ProgressLine::spawn_inner(trace, metrics, std::io::stderr().is_terminal())
+    }
+
+    /// Like [`ProgressLine::spawn`] but with an explicit TTY decision,
+    /// so tests can exercise the thread without a terminal.
+    pub fn spawn_forced(trace: TraceHandle, metrics: MetricsHandle) -> ProgressLine {
+        ProgressLine::spawn_inner(trace, metrics, true)
+    }
+
+    fn spawn_inner(trace: TraceHandle, metrics: MetricsHandle, active: bool) -> ProgressLine {
+        if !active || !trace.is_enabled() {
+            return ProgressLine {
+                stop: Arc::new(AtomicBool::new(true)),
+                thread: None,
+            };
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut tick = 0usize;
+            while !stop2.load(Ordering::Acquire) {
+                let line = render(&trace, &metrics, SPINNER[tick % SPINNER.len()]);
+                let mut err = std::io::stderr().lock();
+                // Pad-and-return keeps a shrinking line from leaving
+                // stale characters behind.
+                let _ = write!(err, "\r{line:<70}\r");
+                let _ = err.flush();
+                tick += 1;
+                std::thread::sleep(POLL);
+            }
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r{:70}\r", "");
+            let _ = err.flush();
+        });
+        ProgressLine {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the reporter thread and clears the line.
+    pub fn finish(mut self) {
+        self.stop_thread();
+    }
+
+    fn stop_thread(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ProgressLine {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+/// One progress-line snapshot (exposed for tests; the thread calls this
+/// every poll).
+pub fn render(trace: &TraceHandle, metrics: &MetricsHandle, spinner: char) -> String {
+    let phase = trace.current_phase().unwrap_or("starting");
+    match metrics.get() {
+        Some(m) => {
+            let patterns = m.atpg_patterns.get() + m.bist_patterns.get();
+            let faults = m.faultsim_detected.get() + m.transition_detected.get();
+            format!(
+                "{spinner} {phase}: {} patterns, {} faults detected, {} podem calls",
+                patterns,
+                faults,
+                m.podem_calls.get()
+            )
+        }
+        None => format!("{spinner} {phase}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_trace::{TraceConfig, TraceSession};
+
+    #[test]
+    fn render_reports_phase_and_counters() {
+        let session = TraceSession::new(TraceConfig::phases_only());
+        let trace = session.handle();
+        let metrics = MetricsHandle::enabled();
+        let _phase = trace.phase_span("atpg_random");
+        metrics.get().unwrap().atpg_patterns.add(7);
+        metrics.get().unwrap().podem_calls.add(3);
+        let line = render(&trace, &metrics, '|');
+        assert!(line.contains("atpg_random"), "line: {line}");
+        assert!(line.contains("7 patterns"), "line: {line}");
+        assert!(line.contains("3 podem calls"), "line: {line}");
+    }
+
+    #[test]
+    fn disabled_trace_spawns_no_thread() {
+        let p = ProgressLine::spawn_forced(TraceHandle::disabled(), MetricsHandle::disabled());
+        assert!(p.thread.is_none());
+        p.finish();
+    }
+
+    #[test]
+    fn spawned_reporter_stops_cleanly() {
+        let session = TraceSession::new(TraceConfig::phases_only());
+        let p = ProgressLine::spawn_forced(session.handle(), MetricsHandle::enabled());
+        assert!(p.thread.is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        p.finish();
+    }
+}

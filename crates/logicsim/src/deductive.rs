@@ -19,6 +19,7 @@ use std::collections::{HashMap, HashSet};
 use dft_fault::{Fault, FaultSite};
 use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Levelization, Netlist};
+use dft_trace::TraceHandle;
 
 use crate::Pattern;
 
@@ -29,6 +30,7 @@ pub struct DeductiveSim<'a> {
     lv: Levelization,
     sources: Vec<GateId>,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl<'a> DeductiveSim<'a> {
@@ -43,6 +45,7 @@ impl<'a> DeductiveSim<'a> {
             lv: Levelization::compute(nl).expect("netlist must be acyclic"),
             sources: nl.combinational_sources(),
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -52,10 +55,20 @@ impl<'a> DeductiveSim<'a> {
         self
     }
 
+    /// Points span recording at `trace`: each [`DeductiveSim::detected`]
+    /// call records a `deductive_pattern` span (`arg` = universe size).
+    pub fn with_trace(mut self, trace: TraceHandle) -> DeductiveSim<'a> {
+        self.trace = trace;
+        self
+    }
+
     /// Simulates `pattern` once and returns, for every fault in
     /// `universe`, whether the pattern detects it.
     pub fn detected(&self, pattern: &Pattern, universe: &[Fault]) -> Vec<bool> {
         assert_eq!(pattern.len(), self.sources.len(), "pattern width");
+        let _span = self
+            .trace
+            .span_arg("deductive_pattern", universe.len() as u64);
         let nl = self.nl;
 
         // Index the universe by site for O(1) local-fault lookup.

@@ -15,6 +15,7 @@
 use dft_fault::{Fault, FaultList, FaultSite};
 use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Netlist};
+use dft_trace::TraceHandle;
 
 use crate::{Executor, GoodSim, Pattern, PatternSet};
 
@@ -115,6 +116,7 @@ pub struct FaultSim<'a> {
     /// For each gate, `Some(i)` if it is sink number `i`.
     sink_index: Vec<Option<u32>>,
     metrics: MetricsHandle,
+    trace: TraceHandle,
     /// Test-only poison hook; see [`FaultSim::with_poisoned_fault`].
     poison: Option<Fault>,
 }
@@ -135,6 +137,7 @@ impl<'a> FaultSim<'a> {
             sim,
             sink_index,
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
             poison: None,
         }
     }
@@ -156,6 +159,15 @@ impl<'a> FaultSim<'a> {
     pub fn with_metrics(mut self, metrics: MetricsHandle) -> FaultSim<'a> {
         self.sim.set_metrics(metrics.clone());
         self.metrics = metrics;
+        self
+    }
+
+    /// Points the simulator at `trace`: each `run`/`run_with` call
+    /// records a `faultsim_run` span, a `goodsim_eval` span for the
+    /// shared good-machine precompute, and one worker-tagged
+    /// `faultsim_batch` span per executor chunk (`arg` = worker index).
+    pub fn with_trace(mut self, trace: TraceHandle) -> FaultSim<'a> {
+        self.trace = trace;
         self
     }
 
@@ -228,19 +240,34 @@ impl<'a> FaultSim<'a> {
         } else {
             *exec
         };
+        let _run = self.trace.span_arg("faultsim_run", active.len() as u64);
         // Precompute good values for every block (shared read-only).
         let blocks: Vec<(usize, Vec<u64>, usize)> = patterns.blocks().collect();
-        let goods: Vec<Vec<u64>> = blocks
-            .iter()
-            .map(|(_, words, _)| self.sim.eval_block(words))
-            .collect();
+        let goods: Vec<Vec<u64>> = {
+            let _g = self.trace.span_arg("goodsim_eval", blocks.len() as u64);
+            blocks
+                .iter()
+                .map(|(_, words, _)| self.sim.eval_block(words))
+                .collect()
+        };
         let num_gates = self.sim.netlist().num_gates();
         let faults = list.faults();
         // One result per chunk, in chunk (= fault) order: the detections
         // of that chunk, its gate-evaluation count, and how many of its
         // fault batches panicked.
         type ChunkResult = (Vec<(usize, u32)>, u64, usize);
-        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |_, part| {
+        // Worker index for batch-span tagging (chunking is static and
+        // contiguous, mirroring Executor::map_chunks).
+        let chunk_len = active.len().div_ceil(exec.threads()).max(1);
+        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |base, part| {
+            let _batch = if self.trace.batch_spans() {
+                Some(
+                    self.trace
+                        .span_arg("faultsim_batch", (base / chunk_len) as u64),
+                )
+            } else {
+                None
+            };
             let mut ws = SimWorkspace::new(num_gates);
             let mut detections = Vec::new();
             let mut evals = 0u64;

@@ -10,6 +10,7 @@
 use dft_fault::{Fault, FaultList};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
+use dft_trace::TraceHandle;
 
 use crate::ppsfp::SimWorkspace;
 use crate::{Executor, FaultSim, Pattern, PatternSet};
@@ -20,6 +21,7 @@ use crate::{Executor, FaultSim, Pattern, PatternSet};
 pub struct TransitionSim<'a> {
     sim: FaultSim<'a>,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl<'a> TransitionSim<'a> {
@@ -32,6 +34,7 @@ impl<'a> TransitionSim<'a> {
         TransitionSim {
             sim: FaultSim::new(nl),
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -39,6 +42,15 @@ impl<'a> TransitionSim<'a> {
     pub fn with_metrics(mut self, metrics: MetricsHandle) -> TransitionSim<'a> {
         self.sim = self.sim.with_metrics(metrics.clone());
         self.metrics = metrics;
+        self
+    }
+
+    /// Points span recording (and the wrapped stuck-at engine) at
+    /// `trace`: each run records a `transition_run` span, and the
+    /// parallel path records worker-tagged `transition_batch` spans.
+    pub fn with_trace(mut self, trace: TraceHandle) -> TransitionSim<'a> {
+        self.sim = self.sim.with_trace(trace.clone());
+        self.trace = trace;
         self
     }
 
@@ -90,6 +102,7 @@ impl<'a> TransitionSim<'a> {
     /// Runs all pattern pairs against the undetected faults in `list`
     /// (fault dropping). `pairs[i]` pairs `launch[i]` with `capture[i]`.
     pub fn run(&self, pairs: &[(Pattern, Pattern)], list: &mut FaultList) {
+        let _run = self.trace.span_arg("transition_run", pairs.len() as u64);
         let nl = self.sim.good_sim().netlist();
         let mut ws = SimWorkspace::new(nl.num_gates());
         let mut detected = 0u64;
@@ -168,6 +181,7 @@ impl<'a> TransitionSim<'a> {
         if exec.is_serial() || active.len() * pairs.len() < PARALLEL_THRESHOLD {
             return self.run(pairs, list);
         }
+        let _run = self.trace.span_arg("transition_run", pairs.len() as u64);
         let nl = self.sim.good_sim().netlist();
         // Precompute launch/capture good values for every 64-pair block.
         struct Block {
@@ -209,7 +223,16 @@ impl<'a> TransitionSim<'a> {
         let faults = list.faults();
         let num_gates = nl.num_gates();
         type ChunkResult = (Vec<(usize, u32)>, u64);
-        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |_, part| {
+        let chunk_len = active.len().div_ceil(exec.threads()).max(1);
+        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |base, part| {
+            let _batch = if self.trace.batch_spans() {
+                Some(
+                    self.trace
+                        .span_arg("transition_batch", (base / chunk_len) as u64),
+                )
+            } else {
+                None
+            };
             let mut ws = SimWorkspace::new(num_gates);
             let mut out = Vec::new();
             let mut evals = 0u64;

@@ -154,6 +154,14 @@ pub fn benchmark_suite() -> Vec<NamedCircuit> {
             netlist: mac_pe(8),
         },
         NamedCircuit {
+            name: "sys2x2",
+            netlist: systolic_array(SystolicConfig {
+                rows: 2,
+                cols: 2,
+                width: 4,
+            }),
+        },
+        NamedCircuit {
             name: "sys4x4",
             netlist: systolic_array(SystolicConfig {
                 rows: 4,

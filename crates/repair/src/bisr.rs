@@ -29,6 +29,7 @@ use dft_bist::{
     MemoryModel, SramModel,
 };
 use dft_metrics::MetricsHandle;
+use dft_trace::TraceHandle;
 
 /// Logical dimensions of the main (visible) array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -359,6 +360,7 @@ pub struct BisrEngine {
     algo: MarchAlgorithm,
     max_rounds: usize,
     metrics: MetricsHandle,
+    trace: TraceHandle,
 }
 
 impl Default for BisrEngine {
@@ -375,6 +377,7 @@ impl BisrEngine {
             algo: dft_bist::march_c_minus(),
             max_rounds: 4,
             metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -396,6 +399,14 @@ impl BisrEngine {
         self
     }
 
+    /// Points span recording at `trace`: each run records a `bisr_run`
+    /// span around per-iteration `bisr_round` spans (`arg` = round
+    /// number) and `mbist_march` spans for the detect/confirm Marches.
+    pub fn with_trace(mut self, trace: TraceHandle) -> BisrEngine {
+        self.trace = trace;
+        self
+    }
+
     /// Runs the full loop against `physical` (an array sized
     /// [`SpareConfig::physical_size`], with whatever faults injected):
     /// March → failure map → redundancy analysis → repaired view →
@@ -411,10 +422,14 @@ impl BisrEngine {
             spares.physical_size(&geom),
             "physical array does not match geometry + spares"
         );
+        let _run = self.trace.span("bisr_run");
         // Round 0: MBIST through the identity mapping.
         let mut view =
             RepairedSram::new(physical.clone(), geom, spares, &RepairSignature::default());
-        let (pre_march, map) = run_march_with_map(&self.algo, &mut view);
+        let (pre_march, map) = {
+            let _march = self.trace.span_arg("mbist_march", 0);
+            run_march_with_map(&self.algo, &mut view)
+        };
         let mut merged = FailureBitmap::from_map(geom, map);
         let initial_fails = merged.fail_count();
         let mut report = BisrReport {
@@ -432,6 +447,7 @@ impl BisrEngine {
         }
         for _ in 0..self.max_rounds {
             report.rounds += 1;
+            let _round = self.trace.span_arg("bisr_round", report.rounds as u64);
             let sig = match analyze_redundancy(&merged, spares) {
                 Some(sig) => sig,
                 None => {
@@ -441,7 +457,10 @@ impl BisrEngine {
                 }
             };
             let mut view = RepairedSram::new(physical.clone(), geom, spares, &sig);
-            let (post, map) = run_march_with_map(&self.algo, &mut view);
+            let (post, map) = {
+                let _march = self.trace.span_arg("mbist_march", report.rounds as u64);
+                run_march_with_map(&self.algo, &mut view)
+            };
             report.signature = sig;
             report.post_march = Some(post);
             if !post.detected {

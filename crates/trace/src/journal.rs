@@ -1,0 +1,264 @@
+//! The compact JSONL event journal (schema `aidft-trace-v1`).
+//!
+//! One JSON object per line. The first line is a header:
+//!
+//! ```json
+//! {"schema":"aidft-trace-v1","spans":N,"events":M,"dropped":D}
+//! ```
+//!
+//! followed by one line per completed span (paired from the ring
+//! buffers, start order), instant, and counter sample:
+//!
+//! ```json
+//! {"ev":"span","name":"podem","tid":0,"t0":1200,"t1":5400,"depth":2,"arg":17}
+//! {"ev":"instant","name":"topoff_done","tid":0,"t":6000,"arg":3}
+//! {"ev":"counter","name":"faults_left","tid":1,"t":6100,"value":12}
+//! ```
+//!
+//! Times are integer nanoseconds on the session timeline. The schema is
+//! stable: fields are only ever added, never renamed or reordered. The
+//! journal is *sortable*: sorting span lines by `(tid, t0, depth)`
+//! reproduces a valid forest per thread, which [`validate_journal`]
+//! checks.
+
+use crate::{EventKind, TraceDump};
+
+pub(crate) fn to_jsonl(dump: &TraceDump) -> String {
+    let spans = dump.spans().unwrap_or_default();
+    let mut out = String::new();
+    let instants = dump
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Instant | EventKind::Counter))
+        .count();
+    out.push_str(&format!(
+        "{{\"schema\":\"aidft-trace-v1\",\"spans\":{},\"events\":{},\"dropped\":{}}}\n",
+        spans.len(),
+        spans.len() * 2 + instants,
+        dump.dropped
+    ));
+    for s in &spans {
+        out.push_str(&format!(
+            "{{\"ev\":\"span\",\"name\":\"{}\",\"tid\":{},\"t0\":{},\"t1\":{},\
+             \"depth\":{},\"arg\":{}}}\n",
+            s.name, s.tid, s.start_ns, s.end_ns, s.depth, s.arg
+        ));
+    }
+    for e in &dump.events {
+        match e.kind {
+            EventKind::Instant => out.push_str(&format!(
+                "{{\"ev\":\"instant\",\"name\":\"{}\",\"tid\":{},\"t\":{},\"arg\":{}}}\n",
+                e.name, e.tid, e.ts_ns, e.arg
+            )),
+            EventKind::Counter => out.push_str(&format!(
+                "{{\"ev\":\"counter\",\"name\":\"{}\",\"tid\":{},\"t\":{},\"value\":{}}}\n",
+                e.name, e.tid, e.ts_ns, e.arg
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A journal failed [`validate_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    /// 1-based line number the problem was detected on (0 = whole file).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Pulls an integer field (`"key":123`) out of a JSON line. The journal
+/// writer emits no nested objects, so a flat scan is exact.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Checks that a JSONL journal is well-formed and that its span lines,
+/// sorted by `(tid, t0, depth)`, form a valid forest on every thread:
+/// spans at one depth never overlap, and each span lies inside its
+/// innermost enclosing (shallower) span.
+///
+/// Returns `(span_count, thread_count)` on success.
+pub fn validate_journal(text: &str) -> Result<(usize, usize), JournalError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| JournalError {
+        line: 0,
+        message: "empty journal".into(),
+    })?;
+    if field_str(header, "schema") != Some("aidft-trace-v1") {
+        return Err(JournalError {
+            line: 1,
+            message: "missing or unknown schema header".into(),
+        });
+    }
+    let declared = field_u64(header, "spans").ok_or_else(|| JournalError {
+        line: 1,
+        message: "header missing span count".into(),
+    })?;
+
+    // (tid, t0, t1, depth, source line)
+    let mut spans: Vec<(u64, u64, u64, u64, usize)> = Vec::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = field_str(line, "ev").ok_or_else(|| JournalError {
+            line: lineno,
+            message: "missing \"ev\" field".into(),
+        })?;
+        match ev {
+            "span" => {
+                let get = |key: &str| {
+                    field_u64(line, key).ok_or_else(|| JournalError {
+                        line: lineno,
+                        message: format!("span missing \"{key}\""),
+                    })
+                };
+                let (tid, t0, t1, depth) = (get("tid")?, get("t0")?, get("t1")?, get("depth")?);
+                if field_str(line, "name").is_none() {
+                    return Err(JournalError {
+                        line: lineno,
+                        message: "span missing \"name\"".into(),
+                    });
+                }
+                if t1 < t0 {
+                    return Err(JournalError {
+                        line: lineno,
+                        message: format!("span ends before it starts ({t1} < {t0})"),
+                    });
+                }
+                spans.push((tid, t0, t1, depth, lineno));
+            }
+            "instant" | "counter" => {
+                if field_u64(line, "t").is_none() || field_str(line, "name").is_none() {
+                    return Err(JournalError {
+                        line: lineno,
+                        message: format!("{ev} missing \"t\" or \"name\""),
+                    });
+                }
+            }
+            other => {
+                return Err(JournalError {
+                    line: lineno,
+                    message: format!("unknown event kind \"{other}\""),
+                })
+            }
+        }
+    }
+    if spans.len() as u64 != declared {
+        return Err(JournalError {
+            line: 1,
+            message: format!(
+                "header declares {declared} spans, journal has {}",
+                spans.len()
+            ),
+        });
+    }
+
+    // Sorting by (tid, t0, depth) must reproduce a valid forest.
+    spans.sort_unstable_by_key(|&(tid, t0, _, depth, _)| (tid, t0, depth));
+    let mut threads = 0usize;
+    let mut cur_tid = None;
+    // Stack of (t1, depth) for currently-enclosing spans.
+    let mut stack: Vec<(u64, u64)> = Vec::new();
+    for &(tid, t0, t1, depth, lineno) in &spans {
+        if cur_tid != Some(tid) {
+            cur_tid = Some(tid);
+            threads += 1;
+            stack.clear();
+        }
+        while let Some(&(end, d)) = stack.last() {
+            if end <= t0 || d >= depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if depth as usize != stack.len() {
+            return Err(JournalError {
+                line: lineno,
+                message: format!("span at depth {depth} has {} enclosing spans", stack.len()),
+            });
+        }
+        if let Some(&(end, _)) = stack.last() {
+            if t1 > end {
+                return Err(JournalError {
+                    line: lineno,
+                    message: format!("span [{t0},{t1}] escapes its parent (ends {end})"),
+                });
+            }
+        }
+        stack.push((t1, depth));
+    }
+    Ok((spans.len(), threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, TraceConfig, TraceSession};
+
+    #[test]
+    fn journal_round_trips_through_validator() {
+        let session = TraceSession::new(TraceConfig::default());
+        let t = session.handle();
+        {
+            let _a = span!(t, "flow");
+            {
+                let _b = span!(t, "atpg", 9);
+                let _c = span!(t, "podem", 17);
+            }
+            t.instant("done", 1);
+            t.counter("left", 2);
+        }
+        let jsonl = session.snapshot().to_jsonl();
+        let (spans, threads) = validate_journal(&jsonl).unwrap();
+        assert_eq!(spans, 3);
+        assert_eq!(threads, 1);
+        assert!(jsonl.lines().next().unwrap().contains("aidft-trace-v1"));
+        assert!(jsonl.contains("\"ev\":\"instant\""));
+        assert!(jsonl.contains("\"ev\":\"counter\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_journals() {
+        assert!(validate_journal("").is_err());
+        assert!(validate_journal("{\"schema\":\"other\"}\n").is_err());
+        let bad_count = "{\"schema\":\"aidft-trace-v1\",\"spans\":2,\"events\":0,\"dropped\":0}\n\
+             {\"ev\":\"span\",\"name\":\"a\",\"tid\":0,\"t0\":0,\"t1\":5,\"depth\":0,\"arg\":0}\n";
+        assert!(validate_journal(bad_count).is_err());
+        let escapes_parent =
+            "{\"schema\":\"aidft-trace-v1\",\"spans\":2,\"events\":4,\"dropped\":0}\n\
+             {\"ev\":\"span\",\"name\":\"a\",\"tid\":0,\"t0\":0,\"t1\":5,\"depth\":0,\"arg\":0}\n\
+             {\"ev\":\"span\",\"name\":\"b\",\"tid\":0,\"t0\":3,\"t1\":9,\"depth\":1,\"arg\":0}\n";
+        assert!(validate_journal(escapes_parent).is_err());
+        let ok = "{\"schema\":\"aidft-trace-v1\",\"spans\":2,\"events\":4,\"dropped\":0}\n\
+             {\"ev\":\"span\",\"name\":\"a\",\"tid\":0,\"t0\":0,\"t1\":9,\"depth\":0,\"arg\":0}\n\
+             {\"ev\":\"span\",\"name\":\"b\",\"tid\":0,\"t0\":3,\"t1\":7,\"depth\":1,\"arg\":0}\n";
+        assert_eq!(validate_journal(ok).unwrap(), (2, 1));
+    }
+}

@@ -1,0 +1,141 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! The output is the JSON-object form (`{"traceEvents": [...]}`) of the
+//! Trace Event Format, loadable directly in `ui.perfetto.dev` or
+//! `chrome://tracing`:
+//!
+//! * paired Begin/End events are emitted as complete (`"ph":"X"`) slices
+//!   with microsecond `ts`/`dur` (3 decimal places preserve the
+//!   nanosecond resolution of the ring timestamps),
+//! * [`EventKind::Instant`] becomes a thread-scoped instant (`"ph":"i"`),
+//! * [`EventKind::Counter`] becomes a counter sample (`"ph":"C"`),
+//! * one process metadata record names the process `aidft`.
+//!
+//! Span args travel in `"args":{"arg":N}`; the logical worker id is the
+//! `tid`.
+
+use crate::{EventKind, SpanNode, TraceDump};
+
+/// Formats nanoseconds as microseconds with nanosecond precision
+/// (`1234` ns -> `1.234`).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_span(node: &SpanNode, out: &mut Vec<String>) {
+    let mut ev = format!(
+        "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"aidft\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+        node.name,
+        node.tid,
+        us(node.start_ns),
+        us(node.end_ns.saturating_sub(node.start_ns)),
+    );
+    if node.arg != 0 {
+        ev.push_str(&format!(",\"args\":{{\"arg\":{}}}", node.arg));
+    }
+    ev.push('}');
+    out.push(ev);
+    for c in &node.children {
+        push_span(c, out);
+    }
+}
+
+/// Serializes a dump as Perfetto-loadable `trace_event` JSON.
+///
+/// Unpaired Begin/End events (possible after ring overflow) degrade
+/// gracefully: pairing is per-thread and best-effort, so intact threads
+/// still render.
+pub(crate) fn to_perfetto_json(dump: &TraceDump) -> String {
+    let mut out: Vec<String> = Vec::with_capacity(dump.events.len() / 2 + 2);
+    out.push(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"aidft\"}}"
+            .to_string(),
+    );
+    match dump.build_forest() {
+        Ok(forest) => {
+            for root in &forest {
+                push_span(root, &mut out);
+            }
+        }
+        Err(_) => {
+            // Overflowed or still-open session: fall back to raw
+            // Begin/End ("B"/"E") events, which viewers pair leniently.
+            for e in &dump.events {
+                let ph = match e.kind {
+                    EventKind::Begin => "B",
+                    EventKind::End => "E",
+                    _ => continue,
+                };
+                out.push(format!(
+                    "{{\"ph\":\"{}\",\"name\":\"{}\",\"cat\":\"aidft\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{}}}",
+                    ph,
+                    e.name,
+                    e.tid,
+                    us(e.ts_ns)
+                ));
+            }
+        }
+    }
+    for e in &dump.events {
+        match e.kind {
+            EventKind::Instant => out.push(format!(
+                "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"aidft\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{},\"s\":\"t\",\"args\":{{\"arg\":{}}}}}",
+                e.name,
+                e.tid,
+                us(e.ts_ns),
+                e.arg
+            )),
+            EventKind::Counter => out.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"args\":{{\"value\":{}}}}}",
+                e.name,
+                e.tid,
+                us(e.ts_ns),
+                e.arg
+            )),
+            _ => {}
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n",
+        out.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{span, TraceConfig, TraceSession};
+
+    #[test]
+    fn perfetto_json_has_complete_events_and_metadata() {
+        let session = TraceSession::new(TraceConfig::default());
+        let t = session.handle();
+        {
+            let _a = span!(t, "flow");
+            let _b = span!(t, "atpg", 42);
+            t.instant("topoff_done", 3);
+            t.counter("faults_left", 17);
+        }
+        let json = session.snapshot().to_perfetto_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"flow\""));
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"atpg\""));
+        assert!(json.contains("\"args\":{\"arg\":42}"));
+        assert!(json.contains("\"ph\":\"i\",\"name\":\"topoff_done\""));
+        assert!(json.contains("\"ph\":\"C\",\"name\":\"faults_left\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn open_session_falls_back_to_begin_end_events() {
+        let session = TraceSession::new(TraceConfig::default());
+        let t = session.handle();
+        let _open = span!(t, "still_running");
+        let json = session.snapshot().to_perfetto_json();
+        assert!(json.contains("\"ph\":\"B\",\"name\":\"still_running\""));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: concurrent workers always produce a journal that
+//! sorts into a valid forest, and the in-memory forest agrees with the
+//! journal validator.
+
+use dft_trace::{validate_journal, TraceConfig, TraceSession};
+use proptest::prelude::*;
+
+/// Expands a seed into per-worker span programs (a bool per step: open a
+/// nested span, or close the innermost). SplitMix64 keeps the expansion
+/// deterministic for the sampled inputs.
+fn programs(seed: u64, workers: usize, max_steps: usize) -> Vec<Vec<bool>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..workers)
+        .map(|_| {
+            let steps = 1 + (next() as usize) % max_steps;
+            (0..steps).map(|_| next() & 1 == 1).collect()
+        })
+        .collect()
+}
+
+/// A tiny span program one worker executes.
+fn run_program(t: &dft_trace::TraceHandle, steps: &[bool]) {
+    let mut open = Vec::new();
+    for (i, &push) in steps.iter().enumerate() {
+        if push {
+            open.push(t.span_arg("work", i as u64));
+        } else {
+            open.pop();
+        }
+        // A little leaf work between stack ops.
+        let _leaf = t.span_arg("leaf", i as u64);
+    }
+    // Guards drop here, closing any still-open spans innermost-first.
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of worker span programs drains to a journal the
+    /// validator accepts, with one thread lane per worker and span
+    /// counts matching the work submitted.
+    #[test]
+    fn concurrent_workers_journal_sorts_into_valid_forest(
+        seed in 0u64..1 << 48,
+        workers in 1usize..6,
+    ) {
+        let progs = programs(seed, workers, 24);
+        let session = TraceSession::new(TraceConfig::default());
+        let handle = session.handle();
+        std::thread::scope(|s| {
+            for prog in &progs {
+                let t = handle.clone();
+                s.spawn(move || run_program(&t, prog));
+            }
+        });
+        let dump = session.snapshot();
+        prop_assert_eq!(dump.dropped, 0);
+
+        // The ring contents pair into a clean forest...
+        let spans = dump.spans().expect("rings pair into a valid forest");
+        let leaves = spans.iter().filter(|s| s.name == "leaf").count();
+        let expected_leaves: usize = progs.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(leaves, expected_leaves);
+
+        // ...and the exported journal independently re-validates.
+        let jsonl = dump.to_jsonl();
+        let (span_count, threads) =
+            validate_journal(&jsonl).expect("journal sorts into a valid forest");
+        prop_assert_eq!(span_count, spans.len());
+        prop_assert_eq!(threads, progs.len());
+
+        // Per-thread, spans at equal depth never overlap.
+        for a in &spans {
+            for b in &spans {
+                if a.tid == b.tid && a.depth == b.depth && a.start_ns < b.start_ns {
+                    prop_assert!(
+                        a.end_ns <= b.start_ns,
+                        "overlap on tid {}: [{},{}] vs [{},{}]",
+                        a.tid, a.start_ns, a.end_ns, b.start_ns, b.end_ns
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Perfetto export is structurally sound JSON for any workload:
+    /// balanced braces/brackets throughout.
+    #[test]
+    fn perfetto_export_is_balanced_json(
+        seed in 0u64..1 << 48,
+        workers in 1usize..4,
+    ) {
+        let progs = programs(seed, workers, 12);
+        let session = TraceSession::new(TraceConfig::default());
+        let handle = session.handle();
+        std::thread::scope(|s| {
+            for prog in &progs {
+                let t = handle.clone();
+                s.spawn(move || run_program(&t, prog));
+            }
+        });
+        let json = session.snapshot().to_perfetto_json();
+        let mut depth = 0i64;
+        let mut square = 0i64;
+        for c in json.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                '[' => square += 1,
+                ']' => square -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0 && square >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+        prop_assert_eq!(square, 0);
+        prop_assert!(json.contains("\"traceEvents\""));
+    }
+}
