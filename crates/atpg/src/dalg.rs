@@ -13,6 +13,7 @@
 //! values are produced only by forward evaluation, which keeps the
 //! implication engine simple and sound.
 
+use dft_checkpoint::CancelToken;
 use dft_fault::Fault;
 use dft_logicsim::TestCube;
 use dft_metrics::MetricsHandle;
@@ -28,6 +29,9 @@ pub struct DAlgorithm<'a> {
     lv: Levelization,
     source_index: Vec<Option<u32>>,
     metrics: MetricsHandle,
+    /// Cooperative cancellation, checked at each recursion step. A
+    /// cancelled search aborts; the driver discards the result.
+    cancel: Option<CancelToken>,
 }
 
 struct Search<'a> {
@@ -36,6 +40,7 @@ struct Search<'a> {
     vals: Vec<Logic>,
     backtracks: u32,
     limit: u32,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> DAlgorithm<'a> {
@@ -55,12 +60,19 @@ impl<'a> DAlgorithm<'a> {
             lv,
             source_index,
             metrics: MetricsHandle::disabled(),
+            cancel: None,
         }
     }
 
     /// Points per-call counters at `metrics`.
     pub fn set_metrics(&mut self, metrics: MetricsHandle) {
         self.metrics = metrics;
+    }
+
+    /// Attaches a cancellation token; a cancelled search returns
+    /// [`AtpgResult::Aborted`] at its next recursion step.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
     }
 
     /// Generates a test for a stem fault.
@@ -80,6 +92,7 @@ impl<'a> DAlgorithm<'a> {
             vals: vec![Logic::X; self.nl.num_gates()],
             backtracks: 0,
             limit: backtrack_limit,
+            cancel: self.cancel.clone(),
         };
         // Activation: the site carries D (good 1 / faulty 0) for SA0,
         // D̄ for SA1; the good value must be justified through the site
@@ -124,6 +137,11 @@ impl<'a> Search<'a> {
     /// Top-level recursive search. `Some(true)` = test found, `Some(false)`
     /// = exhausted, `None` = aborted at the backtrack limit.
     fn solve(&mut self) -> Option<bool> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return None; // aborted; the driver discards this result
+            }
+        }
         if !self.imply() {
             return Some(false);
         }

@@ -1,8 +1,24 @@
 //! The production-shaped ATPG flow: random phase, deterministic top-off,
 //! compaction, and sign-off fault simulation.
+//!
+//! Two entry points share one engine. [`Atpg::run`] is the plain flow —
+//! infallible, no durability overhead. [`Atpg::run_durable`] layers
+//! durable execution on top: a [`dft_checkpoint::CancelToken`] polled at
+//! fault boundaries, per-phase deadlines, periodic `aidft-ckpt-v1`
+//! journal checkpoints, and resume from a prior checkpoint that replays
+//! to a **bit-identical** final result. Checkpoints are only ever taken
+//! at consistent boundaries (between faults, between phases); an
+//! interrupted fault-simulation pass is wholly discarded, so a resumed
+//! run re-executes it deterministically.
 
+use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use dft_checkpoint::{
+    fnv1a, CancelToken, ChaosConfig, ChaosSite, CkptError, CkptPhase, CkptSection, CkptState,
+    CkptStatus, Journal,
+};
 use dft_fault::{collapse_equivalent, universe_stuck_at, Fault, FaultList, FaultStatus};
 use dft_logicsim::{Executor, FaultSim, PatternSet, TestCube};
 use dft_metrics::MetricsHandle;
@@ -58,6 +74,16 @@ pub struct AtpgConfig {
     /// budget can classify differently across machines/runs — leave it
     /// at 0 whenever reproducibility matters (golden tests do).
     pub fault_budget_ms: u64,
+    /// Per-phase wall-clock deadline in milliseconds for durable runs
+    /// (`0` = none). Each phase — random, top-off, sign-off — re-arms
+    /// the deadline on entry; when it expires the run drains
+    /// cooperatively at the next fault boundary, writes a checkpoint,
+    /// and returns [`AtpgError::Interrupted`] with
+    /// [`AtpgInterrupt::deadline`] set. Ignored by the plain
+    /// [`Atpg::run`], and deliberately excluded from
+    /// [`AtpgConfig::fingerprint`] so a resumed run may use a different
+    /// (or no) deadline.
+    pub deadline_ms: u64,
     /// Test-only hook, forwarded to
     /// [`dft_logicsim::FaultSim::with_poisoned_fault`]: every
     /// fault-simulation pass panics on this fault's batch, exercising
@@ -80,6 +106,7 @@ impl Default for AtpgConfig {
             escalate_aborts: true,
             escalation_backtracks: 512,
             fault_budget_ms: 0,
+            deadline_ms: 0,
             poison_fault: None,
         }
     }
@@ -157,11 +184,42 @@ impl AtpgConfig {
         self
     }
 
+    /// Sets the per-phase deadline in milliseconds for durable runs
+    /// (`0` = none). See [`AtpgConfig::deadline_ms`].
+    pub fn deadline_ms(mut self, ms: u64) -> AtpgConfig {
+        self.deadline_ms = ms;
+        self
+    }
+
     /// Sets the test-only poisoned fault (see
     /// [`AtpgConfig::poison_fault`]).
     pub fn poison_fault(mut self, fault: Fault) -> AtpgConfig {
         self.poison_fault = Some(fault);
         self
+    }
+
+    /// FNV-1a fingerprint of every knob that affects the *result* of a
+    /// run, plus the design name and fault-universe size. Stored in each
+    /// checkpoint; resume refuses a mismatch, because replaying with a
+    /// different seed or search limit would silently diverge from the
+    /// original run. Durability-only knobs (`threads`, `deadline_ms`,
+    /// and the checkpoint cadence) are excluded — any thread count
+    /// produces bit-identical results, and a resumed run may legitimately
+    /// drop the deadline that interrupted it.
+    pub fn fingerprint(&self, design: &str, universe_len: usize) -> u64 {
+        let text = format!(
+            "{design}|{universe_len}|{}|{}|{}|{:?}|{}|{}|{}|{}|{}",
+            self.random_patterns,
+            self.seed,
+            self.backtrack_limit,
+            self.compaction,
+            self.guided_backtrace,
+            self.dynamic_targets,
+            self.escalate_aborts,
+            self.escalation_backtracks,
+            self.fault_budget_ms
+        );
+        fnv1a(text.as_bytes())
     }
 }
 
@@ -214,13 +272,408 @@ impl AtpgRun {
 }
 
 /// Top-off classification counters, snapshotted and restored as a unit
-/// around the compaction rebuild.
+/// around the compaction rebuild (and around each fault under durable
+/// execution).
 #[derive(Debug, Clone, Copy, Default)]
 struct TopoffTally {
     untestable: usize,
     aborted: usize,
     escalated: usize,
     rescued: usize,
+}
+
+impl TopoffTally {
+    fn to_array(self) -> [u64; 4] {
+        [
+            self.untestable as u64,
+            self.aborted as u64,
+            self.escalated as u64,
+            self.rescued as u64,
+        ]
+    }
+
+    fn from_array(a: [u64; 4]) -> TopoffTally {
+        TopoffTally {
+            untestable: a[0] as usize,
+            aborted: a[1] as usize,
+            escalated: a[2] as usize,
+            rescued: a[3] as usize,
+        }
+    }
+}
+
+/// Durable-execution controls for [`Atpg::run_durable`]: the
+/// cancellation token, the checkpoint journal and cadence, the chaos
+/// harness, and an optional checkpoint to resume from.
+#[derive(Debug)]
+pub struct Durability {
+    cancel: CancelToken,
+    journal: Option<Journal>,
+    /// Checkpoint cadence: a record every N top-off faults (0 = phase
+    /// boundaries only).
+    every_faults: u64,
+    chaos: Option<ChaosConfig>,
+    resume: Option<CkptState>,
+    seq: u64,
+    has_record: bool,
+    write_failures: u64,
+}
+
+impl Default for Durability {
+    fn default() -> Durability {
+        Durability::new(CancelToken::new())
+    }
+}
+
+impl Durability {
+    /// Durability with `cancel` as the interrupt source, no journal, and
+    /// the default checkpoint cadence (every 64 top-off faults once a
+    /// journal is attached).
+    pub fn new(cancel: CancelToken) -> Durability {
+        Durability {
+            cancel,
+            journal: None,
+            every_faults: 64,
+            chaos: None,
+            resume: None,
+            seq: 0,
+            has_record: false,
+            write_failures: 0,
+        }
+    }
+
+    /// Attaches an `aidft-ckpt-v1` journal; the run appends periodic
+    /// checkpoints and a final record on interruption.
+    pub fn with_journal(mut self, journal: Journal) -> Durability {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Sets the checkpoint cadence in top-off faults (`0` = checkpoints
+    /// only at phase boundaries and on interruption).
+    pub fn checkpoint_every(mut self, faults: u64) -> Durability {
+        self.every_faults = faults;
+        self
+    }
+
+    /// Attaches the chaos harness: checkpoint-write failures and
+    /// deadline clock skips inject here; worker panics and batch delays
+    /// are forwarded to the fault simulator.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Durability {
+        self.chaos = chaos.is_active().then_some(chaos);
+        self
+    }
+
+    /// Resumes from `state` (typically
+    /// [`Journal::load_last`]) instead of starting fresh. The run
+    /// verifies the design name and configuration fingerprint before
+    /// touching any state and refuses a mismatch with
+    /// [`AtpgError::Resume`].
+    pub fn resume_from(mut self, state: CkptState) -> Durability {
+        self.resume = Some(state);
+        self
+    }
+
+    /// The shared cancellation token (clone it into signal handlers).
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Checkpoint writes that failed (chaos-injected or real I/O). The
+    /// run continues past a failed periodic write — the journal still
+    /// holds the previous record.
+    pub fn checkpoint_write_failures(&self) -> u64 {
+        self.write_failures
+    }
+}
+
+/// What an interrupted durable run managed to save.
+#[derive(Debug)]
+pub struct AtpgInterrupt {
+    /// Journal holding a complete resume checkpoint, when one was
+    /// written. `None` when the run had no journal or every final write
+    /// attempt failed.
+    pub checkpoint: Option<PathBuf>,
+    /// `true` when a phase deadline (rather than an explicit cancel)
+    /// fired the token.
+    pub deadline: bool,
+    /// Patterns accumulated at the interrupt point.
+    pub patterns: usize,
+    /// Collapsed faults detected at the interrupt point.
+    pub detected: usize,
+    /// Size of the collapsed fault list.
+    pub total_faults: usize,
+    /// Phase that observed the interrupt: `random`, `topoff`, or
+    /// `signoff`.
+    pub phase: &'static str,
+}
+
+/// Why a durable run returned early.
+#[derive(Debug)]
+pub enum AtpgError {
+    /// The cancellation token fired (signal or phase deadline); the run
+    /// drained cleanly at a fault boundary and checkpointed.
+    Interrupted(AtpgInterrupt),
+    /// The resume checkpoint could not be used (wrong design, wrong
+    /// configuration, or wrong shape).
+    Resume(CkptError),
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::Interrupted(i) => {
+                let cause = if i.deadline {
+                    "phase deadline"
+                } else {
+                    "cancelled"
+                };
+                write!(
+                    f,
+                    "ATPG interrupted in {} phase ({}): {}/{} faults detected, {} patterns",
+                    i.phase, cause, i.detected, i.total_faults, i.patterns
+                )?;
+                match &i.checkpoint {
+                    Some(path) => write!(f, "; checkpoint at {}", path.display()),
+                    None => write!(f, "; no checkpoint written"),
+                }
+            }
+            AtpgError::Resume(e) => write!(f, "cannot resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AtpgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtpgError::Resume(e) => Some(e),
+            AtpgError::Interrupted(_) => None,
+        }
+    }
+}
+
+/// The mutable frontier of a run — everything a checkpoint must capture
+/// and a resume must restore.
+struct Working {
+    reps: FaultList,
+    patterns: PatternSet,
+    cubes: Vec<TestCube>,
+    tally: TopoffTally,
+    fill_seed: u64,
+    fault_ordinal: u64,
+    random_detected: usize,
+    podem_stats: PodemStats,
+    failed_sim_batches: usize,
+}
+
+/// A complete (patterns, cubes, statuses, counters) state from before
+/// the compaction rebuild. Restored as a unit: restoring only the
+/// patterns would let rebuild-run abort/untestable classifications leak
+/// into the sign-off projection.
+struct Snapshot {
+    patterns: PatternSet,
+    cubes: Vec<TestCube>,
+    reps: FaultList,
+    tally: TopoffTally,
+}
+
+fn section_of(
+    reps: &FaultList,
+    patterns: &PatternSet,
+    cubes: &[TestCube],
+    tally: TopoffTally,
+) -> CkptSection {
+    CkptSection {
+        statuses: (0..reps.len())
+            .map(|i| match reps.status(i) {
+                FaultStatus::Undetected => CkptStatus::Undetected,
+                FaultStatus::Detected(p) => CkptStatus::Detected(p),
+                FaultStatus::Untestable => CkptStatus::Untestable,
+                FaultStatus::Aborted => CkptStatus::Aborted,
+            })
+            .collect(),
+        patterns: patterns.iter().cloned().collect(),
+        cubes: cubes.iter().map(|c| c.bits().to_vec()).collect(),
+        tally: tally.to_array(),
+    }
+}
+
+fn restore_section(
+    faults: &[Fault],
+    width: usize,
+    s: &CkptSection,
+) -> (FaultList, PatternSet, Vec<TestCube>, TopoffTally) {
+    let mut reps = FaultList::new(faults.to_vec());
+    for (i, st) in s.statuses.iter().enumerate() {
+        match *st {
+            CkptStatus::Undetected => {}
+            CkptStatus::Detected(p) => reps.mark_detected(i, p),
+            CkptStatus::Untestable => reps.set_status(i, FaultStatus::Untestable),
+            CkptStatus::Aborted => reps.set_status(i, FaultStatus::Aborted),
+        }
+    }
+    let mut patterns = PatternSet::new(width);
+    for p in &s.patterns {
+        patterns.push(p.clone());
+    }
+    let cubes = s
+        .cubes
+        .iter()
+        .map(|c| TestCube::from_bits(c.clone()))
+        .collect();
+    (reps, patterns, cubes, TopoffTally::from_array(s.tally))
+}
+
+/// Per-run durable context: the caller's [`Durability`] plus the run
+/// identity a checkpoint records.
+struct DurCtx<'d> {
+    d: &'d mut Durability,
+    design: String,
+    config_hash: u64,
+    seed: u64,
+    metrics: MetricsHandle,
+    trace: TraceHandle,
+}
+
+impl DurCtx<'_> {
+    fn state_of(&self, phase: CkptPhase, w: &Working, pre: Option<&Snapshot>) -> CkptState {
+        CkptState {
+            design: self.design.clone(),
+            config_hash: self.config_hash,
+            phase,
+            seed: self.seed,
+            fill_seed: w.fill_seed,
+            fault_ordinal: w.fault_ordinal,
+            random_detected: w.random_detected as u64,
+            width: w.patterns.width(),
+            main: section_of(&w.reps, &w.patterns, &w.cubes, w.tally),
+            pre_compaction: pre.map(|s| section_of(&s.reps, &s.patterns, &s.cubes, s.tally)),
+        }
+    }
+
+    /// Appends one checkpoint record. Returns `true` on success; a
+    /// failed write is counted and survived — the journal still holds
+    /// the previous record.
+    fn write(&mut self, phase: CkptPhase, w: &Working, pre: Option<&Snapshot>) -> bool {
+        let Some(journal) = self.d.journal.clone() else {
+            return false;
+        };
+        self.d.seq += 1;
+        let seq = self.d.seq;
+        let _span = self.trace.span_arg("ckpt_write", seq);
+        if let Some(chaos) = self.d.chaos {
+            if chaos.fires(ChaosSite::ClockSkip, seq) {
+                self.d.cancel.skip_clock(chaos.clock_skip);
+                if let Some(m) = self.metrics.get() {
+                    m.chaos_clock_skips.inc();
+                }
+            }
+        }
+        let state = self.state_of(phase, w, pre);
+        let torn = self
+            .d
+            .chaos
+            .is_some_and(|c| c.fires(ChaosSite::CkptIo, seq));
+        let t0 = Instant::now();
+        let result = if torn {
+            journal.append_torn(&state, seq)
+        } else {
+            journal.append(&state, seq)
+        };
+        match result {
+            Ok(bytes) => {
+                self.d.has_record = true;
+                if let Some(m) = self.metrics.get() {
+                    m.ckpt_writes.inc();
+                    m.ckpt_bytes.add(bytes);
+                    m.t_ckpt_write.record(t0.elapsed());
+                }
+                true
+            }
+            Err(_) => {
+                self.d.write_failures += 1;
+                if let Some(m) = self.metrics.get() {
+                    m.ckpt_write_failures.inc();
+                }
+                false
+            }
+        }
+    }
+
+    /// The interrupt-time record must land if at all possible: retry a
+    /// few times, each attempt under a fresh sequence number (so a
+    /// chaos-injected I/O failure rolls fresh dice).
+    fn write_final(&mut self, phase: CkptPhase, w: &Working, pre: Option<&Snapshot>) {
+        if self.d.journal.is_none() {
+            return;
+        }
+        for _ in 0..3 {
+            if self.write(phase, w, pre) {
+                return;
+            }
+        }
+    }
+
+    /// Builds the interrupt error for a drained run: writes the final
+    /// checkpoint and reports where (and why) the run stopped.
+    fn interrupt(
+        &mut self,
+        phase_name: &'static str,
+        ckpt_phase: CkptPhase,
+        w: &Working,
+        pre: Option<&Snapshot>,
+    ) -> AtpgError {
+        if let Some(m) = self.metrics.get() {
+            m.cancel_requests.inc();
+        }
+        self.write_final(ckpt_phase, w, pre);
+        AtpgError::Interrupted(AtpgInterrupt {
+            checkpoint: if self.d.has_record {
+                self.d.journal.as_ref().map(|j| j.path().to_path_buf())
+            } else {
+                None
+            },
+            deadline: self.d.cancel.deadline_exceeded(),
+            patterns: w.patterns.len(),
+            detected: w.reps.num_detected(),
+            total_faults: w.reps.len(),
+            phase: phase_name,
+        })
+    }
+}
+
+/// Arms the per-phase deadline on phase entry (no-op for plain runs or
+/// a zero budget).
+fn arm(dur: &mut Option<DurCtx<'_>>, ms: u64) {
+    if ms == 0 {
+        return;
+    }
+    if let Some(ctx) = dur {
+        ctx.d.cancel.arm_deadline(Duration::from_millis(ms));
+    }
+}
+
+/// Builds the interrupt error at a drain point. The `None` arm is
+/// unreachable in practice (only durable runs carry a cancellation
+/// source) but keeps the engine panic-free by construction.
+fn interrupted(
+    dur: &mut Option<DurCtx<'_>>,
+    phase: &'static str,
+    ckpt: CkptPhase,
+    w: &Working,
+    pre: Option<&Snapshot>,
+) -> AtpgError {
+    match dur.as_mut() {
+        Some(ctx) => ctx.interrupt(phase, ckpt, w, pre),
+        None => AtpgError::Interrupted(AtpgInterrupt {
+            checkpoint: None,
+            deadline: false,
+            patterns: w.patterns.len(),
+            detected: w.reps.num_detected(),
+            total_faults: w.reps.len(),
+            phase,
+        }),
+    }
 }
 
 /// The ATPG driver bound to one netlist.
@@ -252,7 +705,8 @@ impl<'a> Atpg<'a> {
     /// `atpg_random`/`atpg_topoff`/`atpg_signoff` phase spans (whose
     /// durations are what [`AtpgRun`] reports, so phase times and trace
     /// spans always agree), sampled per-fault `podem`/`dalg_escalation`
-    /// spans, and the fault-simulation spans underneath.
+    /// spans, and the fault-simulation spans underneath. Durable runs
+    /// add a `ckpt_write` span per journal append.
     pub fn with_trace(mut self, trace: TraceHandle) -> Atpg<'a> {
         self.trace = trace;
         self
@@ -266,15 +720,69 @@ impl<'a> Atpg<'a> {
 
     /// Runs the full flow on a caller-provided stuck-at universe.
     pub fn run_on(&self, config: &AtpgConfig, universe: Vec<Fault>) -> AtpgRun {
+        match self.run_inner(config, universe, None) {
+            Ok(run) => run,
+            // A plain run has no cancellation source and no resume
+            // state, so neither error can occur.
+            Err(e) => unreachable!("plain ATPG run cannot fail: {e}"),
+        }
+    }
+
+    /// Runs the full flow durably on the single stuck-at universe: the
+    /// token in `dur` is polled at fault boundaries, phase deadlines
+    /// apply, checkpoints stream to the journal, and a fired token
+    /// drains the run into [`AtpgError::Interrupted`]. A run resumed
+    /// via [`Durability::resume_from`] replays to a result
+    /// bit-identical to the uninterrupted run.
+    pub fn run_durable(
+        &self,
+        config: &AtpgConfig,
+        dur: &mut Durability,
+    ) -> Result<AtpgRun, AtpgError> {
+        let universe = universe_stuck_at(self.nl);
+        self.run_durable_on(config, universe, dur)
+    }
+
+    /// [`Atpg::run_durable`] on a caller-provided stuck-at universe.
+    pub fn run_durable_on(
+        &self,
+        config: &AtpgConfig,
+        universe: Vec<Fault>,
+        dur: &mut Durability,
+    ) -> Result<AtpgRun, AtpgError> {
+        let ctx = DurCtx {
+            design: self.nl.name().to_owned(),
+            config_hash: config.fingerprint(self.nl.name(), universe.len()),
+            seed: config.seed,
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            d: dur,
+        };
+        self.run_inner(config, universe, Some(ctx))
+    }
+
+    /// The engine behind both entry points. `dur == None` is the plain
+    /// flow — no polling, no checkpoints, infallible.
+    fn run_inner(
+        &self,
+        config: &AtpgConfig,
+        universe: Vec<Fault>,
+        mut dur: Option<DurCtx<'_>>,
+    ) -> Result<AtpgRun, AtpgError> {
         let start = Instant::now();
         let exec = Executor::with_threads(config.threads);
         let collapsed = collapse_equivalent(self.nl, &universe);
-        let mut reps = FaultList::new(collapsed.representatives().to_vec());
         let mut sim = FaultSim::new(self.nl)
             .with_metrics(self.metrics.clone())
             .with_trace(self.trace.clone());
         if let Some(poison) = config.poison_fault {
             sim = sim.with_poisoned_fault(poison);
+        }
+        if let Some(ctx) = &dur {
+            sim = sim.with_cancel(ctx.d.cancel.clone());
+            if let Some(chaos) = ctx.d.chaos {
+                sim = sim.with_chaos(chaos);
+            }
         }
         let sim = sim;
         let mut podem = Podem::new(self.nl);
@@ -282,20 +790,103 @@ impl<'a> Atpg<'a> {
         podem.set_metrics(self.metrics.clone());
         let mut dalg = DAlgorithm::new(self.nl);
         dalg.set_metrics(self.metrics.clone());
-        let mut failed_sim_batches = 0usize;
+        if let Some(ctx) = &dur {
+            podem.set_cancel(ctx.d.cancel.clone());
+            dalg.set_cancel(ctx.d.cancel.clone());
+        }
 
-        let mut patterns = PatternSet::for_netlist(self.nl);
+        let mut w = Working {
+            reps: FaultList::new(collapsed.representatives().to_vec()),
+            patterns: PatternSet::for_netlist(self.nl),
+            cubes: Vec::new(),
+            tally: TopoffTally::default(),
+            fill_seed: config.seed ^ 0xF111,
+            fault_ordinal: 0,
+            random_detected: 0,
+            podem_stats: PodemStats::default(),
+            failed_sim_batches: 0,
+        };
+
+        // Resume: verify the checkpoint's identity, then restore the
+        // frontier. `Init` means nothing durable happened before the
+        // interrupt — rerun from scratch.
+        let mut resume_round = 0u32;
+        let mut resume_signoff = false;
+        let mut restored = false;
+        let mut pre_compaction: Option<Snapshot> = None;
+        if let Some(ctx) = &mut dur {
+            if let Some(state) = ctx.d.resume.take() {
+                state
+                    .verify(&ctx.design, ctx.config_hash)
+                    .map_err(AtpgError::Resume)?;
+                if state.main.statuses.len() != w.reps.len() || state.width != w.patterns.width() {
+                    return Err(AtpgError::Resume(CkptError::Mismatch {
+                        what: "shape",
+                        expected: format!(
+                            "{} faults x {} bits",
+                            state.main.statuses.len(),
+                            state.width
+                        ),
+                        found: format!("{} faults x {} bits", w.reps.len(), w.patterns.width()),
+                    }));
+                }
+                match state.phase {
+                    CkptPhase::Init => {}
+                    phase => {
+                        let (reps, patterns, cubes, tally) =
+                            restore_section(collapsed.representatives(), state.width, &state.main);
+                        w.reps = reps;
+                        w.patterns = patterns;
+                        w.cubes = cubes;
+                        w.tally = tally;
+                        w.fill_seed = state.fill_seed;
+                        w.fault_ordinal = state.fault_ordinal;
+                        w.random_detected = state.random_detected as usize;
+                        pre_compaction = state.pre_compaction.as_ref().map(|pre| {
+                            let (reps, patterns, cubes, tally) =
+                                restore_section(collapsed.representatives(), state.width, pre);
+                            Snapshot {
+                                patterns,
+                                cubes,
+                                reps,
+                                tally,
+                            }
+                        });
+                        match phase {
+                            CkptPhase::Topoff(r) => resume_round = r,
+                            CkptPhase::Signoff => resume_signoff = true,
+                            CkptPhase::Init => unreachable!(),
+                        }
+                        restored = true;
+                    }
+                }
+                ctx.d.has_record = true;
+                if let Some(m) = self.metrics.get() {
+                    m.ckpt_resumes.inc();
+                }
+            }
+        }
 
         // Phase 1: random patterns with fault dropping. The phase span
         // is the timing source, so the reported time and the trace span
-        // are one measurement.
+        // are one measurement. Skipped on resume — the checkpointed
+        // frontier already includes the random-phase detections.
         let t_random = self.trace.timed_span("atpg_random");
-        if config.random_patterns > 0 {
-            let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
-            failed_sim_batches += sim.run_with(&random, &mut reps, &exec).failed_batches;
-            patterns.extend_from(&random);
+        if !restored {
+            arm(&mut dur, config.deadline_ms);
+            if config.random_patterns > 0 {
+                let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
+                let stats = sim.run_with(&random, &mut w.reps, &exec);
+                w.failed_sim_batches += stats.failed_batches;
+                if stats.interrupted {
+                    // The interrupted pass marked nothing, so the state
+                    // is still the pristine Init state.
+                    return Err(interrupted(&mut dur, "random", CkptPhase::Init, &w, None));
+                }
+                w.patterns.extend_from(&random);
+            }
+            w.random_detected = w.reps.num_detected();
         }
-        let random_detected = reps.num_detected();
         let random_time = t_random.finish();
 
         // Phase 2: deterministic top-off, then (optionally) static
@@ -305,107 +896,134 @@ impl<'a> Atpg<'a> {
         // again; the final top-off appends without rebuilding, which
         // guarantees convergence.
         let t_deterministic = self.trace.timed_span("atpg_topoff");
-        let mut fault_ordinal = 0u64;
-        let mut cubes: Vec<TestCube> = Vec::new();
-        let mut podem_stats = PodemStats::default();
-        let mut tally = TopoffTally::default();
-        let mut fill_seed = config.seed ^ 0xF111;
+        arm(&mut dur, config.deadline_ms);
         let compaction_rounds = if matches!(config.compaction, CompactionMode::None) {
             0
         } else {
             1
         };
-        // A complete (patterns, cubes, statuses, counters) state from
-        // before the compaction rebuild. Restored as a unit: restoring
-        // only the patterns would let rebuild-run abort/untestable
-        // classifications leak into the sign-off projection.
-        struct Snapshot {
-            patterns: PatternSet,
-            cubes: Vec<TestCube>,
-            reps: FaultList,
-            tally: TopoffTally,
-        }
-        let mut pre_compaction: Option<Snapshot> = None;
-        for round in 0..=compaction_rounds {
-            self.topoff(
-                config,
-                &podem,
-                &dalg,
-                &sim,
-                &mut reps,
-                &mut patterns,
-                &mut cubes,
-                &mut podem_stats,
-                &mut tally,
-                &mut failed_sim_batches,
-                &mut fill_seed,
-                &mut fault_ordinal,
-            );
-            if round == compaction_rounds || cubes.is_empty() {
-                break;
-            }
-            let merged = compact_cubes(&cubes);
-            if merged.len() == cubes.len() {
-                break; // nothing merged: patterns already final
-            }
-            pre_compaction = Some(Snapshot {
-                patterns: patterns.clone(),
-                cubes: cubes.clone(),
-                reps: reps.clone(),
-                tally,
-            });
-            // Rebuild the pattern set: random prefix + merged cubes.
-            let mut rebuilt = PatternSet::for_netlist(self.nl);
-            if config.random_patterns > 0 {
-                let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
-                rebuilt.extend_from(&random);
-            }
-            for cube in &merged {
-                fill_seed = fill_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-                rebuilt.push(cube.random_fill(fill_seed));
-            }
-            patterns = rebuilt;
-            cubes = merged;
-            // Re-simulate from scratch to find lost collateral detections.
-            let mut fresh = FaultList::new(reps.faults().to_vec());
-            for i in 0..reps.len() {
-                match reps.status(i) {
-                    FaultStatus::Untestable => fresh.set_status(i, FaultStatus::Untestable),
-                    FaultStatus::Aborted => fresh.set_status(i, FaultStatus::Aborted),
-                    _ => {}
+        if !resume_signoff {
+            for round in resume_round..=compaction_rounds {
+                self.topoff(
+                    config,
+                    &podem,
+                    &dalg,
+                    &sim,
+                    &mut w,
+                    &mut dur,
+                    round,
+                    pre_compaction.as_ref(),
+                )?;
+                if round == compaction_rounds || w.cubes.is_empty() {
+                    break;
                 }
+                let merged = compact_cubes(&w.cubes);
+                if merged.len() == w.cubes.len() {
+                    break; // nothing merged: patterns already final
+                }
+                let fill_seed_before = w.fill_seed;
+                pre_compaction = Some(Snapshot {
+                    patterns: w.patterns.clone(),
+                    cubes: w.cubes.clone(),
+                    reps: w.reps.clone(),
+                    tally: w.tally,
+                });
+                // Rebuild the pattern set: random prefix + merged cubes.
+                let mut rebuilt = PatternSet::for_netlist(self.nl);
+                if config.random_patterns > 0 {
+                    let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
+                    rebuilt.extend_from(&random);
+                }
+                for cube in &merged {
+                    w.fill_seed = w.fill_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                    rebuilt.push(cube.random_fill(w.fill_seed));
+                }
+                // Re-simulate from scratch to find lost collateral
+                // detections.
+                let mut fresh = FaultList::new(w.reps.faults().to_vec());
+                for i in 0..w.reps.len() {
+                    match w.reps.status(i) {
+                        FaultStatus::Untestable => fresh.set_status(i, FaultStatus::Untestable),
+                        FaultStatus::Aborted => fresh.set_status(i, FaultStatus::Aborted),
+                        _ => {}
+                    }
+                }
+                let stats = sim.run_with(&rebuilt, &mut fresh, &exec);
+                w.failed_sim_batches += stats.failed_batches;
+                if stats.interrupted {
+                    // Discard the half-done rebuild entirely; the
+                    // checkpoint captures the pre-rebuild boundary and
+                    // resume replays the rebuild deterministically.
+                    let snap = pre_compaction.take().expect("snapshot just taken");
+                    w.patterns = snap.patterns;
+                    w.cubes = snap.cubes;
+                    w.reps = snap.reps;
+                    w.tally = snap.tally;
+                    w.fill_seed = fill_seed_before;
+                    return Err(interrupted(
+                        &mut dur,
+                        "topoff",
+                        CkptPhase::Topoff(round),
+                        &w,
+                        None,
+                    ));
+                }
+                w.patterns = rebuilt;
+                w.cubes = merged;
+                w.reps = fresh;
             }
-            failed_sim_batches += sim.run_with(&patterns, &mut fresh, &exec).failed_batches;
-            reps = fresh;
         }
         // Compaction must never make the result worse: keep the rebuilt
         // set only when it is no larger *and* detects at least as many
         // collapsed faults (the re-top-off can abort faults that the
         // pre-compaction set detected). Otherwise restore the snapshot.
         if let Some(snap) = pre_compaction {
-            let rebuilt_wins = patterns.len() <= snap.patterns.len()
-                && reps.num_detected() >= snap.reps.num_detected();
+            let rebuilt_wins = w.patterns.len() <= snap.patterns.len()
+                && w.reps.num_detected() >= snap.reps.num_detected();
             if !rebuilt_wins {
-                patterns = snap.patterns;
-                cubes = snap.cubes;
-                reps = snap.reps;
-                tally = snap.tally;
+                w.patterns = snap.patterns;
+                w.cubes = snap.cubes;
+                w.reps = snap.reps;
+                w.tally = snap.tally;
             }
         }
-        let deterministic_detected = reps.num_detected().saturating_sub(random_detected);
+        let deterministic_detected = w.reps.num_detected().saturating_sub(w.random_detected);
         let deterministic_time = t_deterministic.finish();
 
         // Sign-off: fault-simulate the final pattern set against the full
         // universe, then project untestable/aborted statuses from the
-        // collapsed list.
+        // collapsed list. The frontier is final here, so the phase opens
+        // with a `signoff` checkpoint — a kill anywhere past this point
+        // resumes straight into sign-off.
         let t_signoff = self.trace.timed_span("atpg_signoff");
+        arm(&mut dur, config.deadline_ms);
+        if let Some(ctx) = dur.as_mut() {
+            ctx.write(CkptPhase::Signoff, &w, None);
+            if ctx.d.cancel.poll() {
+                return Err(interrupted(
+                    &mut dur,
+                    "signoff",
+                    CkptPhase::Signoff,
+                    &w,
+                    None,
+                ));
+            }
+        }
         let mut fault_list = FaultList::new(universe);
-        failed_sim_batches += sim
-            .run_with(&patterns, &mut fault_list, &exec)
-            .failed_batches;
+        let stats = sim.run_with(&w.patterns, &mut fault_list, &exec);
+        w.failed_sim_batches += stats.failed_batches;
+        if stats.interrupted {
+            return Err(interrupted(
+                &mut dur,
+                "signoff",
+                CkptPhase::Signoff,
+                &w,
+                None,
+            ));
+        }
         for (i, &f) in fault_list.faults().to_vec().iter().enumerate() {
             let rep = collapsed.representative(f);
-            if let Some(status) = reps.status_of(rep) {
+            if let Some(status) = w.reps.status_of(rep) {
                 match status {
                     FaultStatus::Untestable => fault_list.set_status(i, FaultStatus::Untestable),
                     FaultStatus::Aborted if !fault_list.status(i).is_detected() => {
@@ -417,40 +1035,47 @@ impl<'a> Atpg<'a> {
         }
 
         let signoff_time = t_signoff.finish();
+        if let Some(ctx) = &dur {
+            ctx.d.cancel.clear_deadline();
+        }
         if let Some(m) = self.metrics.get() {
             m.atpg_runs.inc();
-            m.atpg_patterns.add(patterns.len() as u64);
-            m.atpg_untestable.add(tally.untestable as u64);
-            m.atpg_aborted.add(tally.aborted as u64);
-            m.atpg_escalations.add(tally.escalated as u64);
-            m.atpg_rescued.add(tally.rescued as u64);
+            m.atpg_patterns.add(w.patterns.len() as u64);
+            m.atpg_untestable.add(w.tally.untestable as u64);
+            m.atpg_aborted.add(w.tally.aborted as u64);
+            m.atpg_escalations.add(w.tally.escalated as u64);
+            m.atpg_rescued.add(w.tally.rescued as u64);
             m.t_atpg_random.record(random_time);
             m.t_atpg_deterministic.record(deterministic_time);
             m.t_atpg_signoff.record(signoff_time);
         }
 
-        AtpgRun {
-            patterns,
+        Ok(AtpgRun {
+            patterns: w.patterns,
             fault_list,
-            cubes,
-            random_detected,
+            cubes: w.cubes,
+            random_detected: w.random_detected,
             deterministic_detected,
-            untestable: tally.untestable,
-            aborted: tally.aborted,
-            escalated: tally.escalated,
-            rescued: tally.rescued,
-            failed_sim_batches,
-            podem: podem_stats,
+            untestable: w.tally.untestable,
+            aborted: w.tally.aborted,
+            escalated: w.tally.escalated,
+            rescued: w.tally.rescued,
+            failed_sim_batches: w.failed_sim_batches,
+            podem: w.podem_stats,
             elapsed: start.elapsed(),
             random_time,
             deterministic_time,
             signoff_time,
-        }
+        })
     }
 
     /// One deterministic top-off pass: PODEM every remaining undetected
     /// fault (escalating aborts to the D-algorithm when configured),
-    /// fault-dropping each new pattern against the list.
+    /// fault-dropping each new pattern against the list. Under durable
+    /// execution the loop polls the cancellation token and checkpoints
+    /// at the configured fault cadence; an interrupt mid-fault rolls the
+    /// per-fault state back to the last fault boundary so the checkpoint
+    /// is always consistent.
     #[allow(clippy::too_many_arguments)]
     fn topoff(
         &self,
@@ -458,25 +1083,34 @@ impl<'a> Atpg<'a> {
         podem: &Podem<'_>,
         dalg: &DAlgorithm<'_>,
         sim: &FaultSim<'_>,
-        reps: &mut FaultList,
-        patterns: &mut PatternSet,
-        cubes: &mut Vec<TestCube>,
-        podem_stats: &mut PodemStats,
-        tally: &mut TopoffTally,
-        failed_sim_batches: &mut usize,
-        fill_seed: &mut u64,
-        fault_ordinal: &mut u64,
-    ) {
+        w: &mut Working,
+        dur: &mut Option<DurCtx<'_>>,
+        round: u32,
+        pre: Option<&Snapshot>,
+    ) -> Result<(), AtpgError> {
         loop {
-            let target_idx = match reps.undetected().next() {
+            if let Some(ctx) = dur.as_mut() {
+                if ctx.d.cancel.poll() {
+                    return Err(ctx.interrupt("topoff", CkptPhase::Topoff(round), w, pre));
+                }
+                let every = ctx.d.every_faults;
+                if every != 0 && w.fault_ordinal.is_multiple_of(every) {
+                    ctx.write(CkptPhase::Topoff(round), w, pre);
+                }
+            }
+            let target_idx = match w.reps.undetected().next() {
                 Some(i) => i,
                 None => break,
             };
-            let target = reps.faults()[target_idx];
+            let target = w.reps.faults()[target_idx];
+            // Everything a cancelled fault attempt may have half-mutated,
+            // restored before checkpointing so the record sits exactly at
+            // the previous fault boundary.
+            let saved = (w.fill_seed, w.fault_ordinal, w.tally);
             // Sampled per-fault span (every_n knob bounds the volume);
             // covers the PODEM attempt and any escalation retry.
-            let sampled = self.trace.fault_sampled(*fault_ordinal);
-            *fault_ordinal += 1;
+            let sampled = self.trace.fault_sampled(w.fault_ordinal);
+            w.fault_ordinal += 1;
             let _fault_span = if sampled {
                 Some(self.trace.span_arg("podem", target_idx as u64))
             } else {
@@ -484,9 +1118,9 @@ impl<'a> Atpg<'a> {
             };
             let target_start = Instant::now();
             let (result, st) = podem.generate(target, config.backtrack_limit);
-            podem_stats.backtracks += st.backtracks;
-            podem_stats.simulations += st.simulations;
-            podem_stats.decisions += st.decisions;
+            w.podem_stats.backtracks += st.backtracks;
+            w.podem_stats.simulations += st.simulations;
+            w.podem_stats.decisions += st.decisions;
             // Escalation: retry a PODEM abort once with the structural
             // D-algorithm (stem faults only — it has no branch-fault
             // model), unless this fault already blew its time budget.
@@ -497,7 +1131,7 @@ impl<'a> Atpg<'a> {
                         || target_start.elapsed().as_millis() < u128::from(config.fault_budget_ms);
                     if within_budget {
                         escalated = true;
-                        tally.escalated += 1;
+                        w.tally.escalated += 1;
                         let _dalg_span = if sampled {
                             Some(self.trace.span_arg("dalg_escalation", target_idx as u64))
                         } else {
@@ -510,41 +1144,64 @@ impl<'a> Atpg<'a> {
                 }
                 other => other,
             };
+            // A cancelled search returns early with Aborted/no-test — a
+            // result that must not be classified. Roll the fault back
+            // and drain.
+            if dur.as_ref().is_some_and(|ctx| ctx.d.cancel.is_cancelled()) {
+                (w.fill_seed, w.fault_ordinal, w.tally) = saved;
+                return Err(interrupted(dur, "topoff", CkptPhase::Topoff(round), w, pre));
+            }
             match result {
                 AtpgResult::Test(mut cube) => {
                     if config.compaction == CompactionMode::Dynamic {
-                        cube = self.extend_cube(podem, cube, reps, target_idx, config, podem_stats);
+                        cube = self.extend_cube(
+                            podem,
+                            cube,
+                            &w.reps,
+                            target_idx,
+                            config,
+                            &mut w.podem_stats,
+                        );
                     }
-                    *fill_seed = fill_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-                    let pattern = cube.random_fill(*fill_seed);
+                    w.fill_seed = w.fill_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                    let pattern = cube.random_fill(w.fill_seed);
                     let mut single = PatternSet::for_netlist(self.nl);
                     single.push(pattern.clone());
-                    *failed_sim_batches += sim.run(&single, reps).failed_batches;
+                    let stats = sim.run(&single, &mut w.reps);
+                    w.failed_sim_batches += stats.failed_batches;
+                    if stats.interrupted {
+                        // The interrupted pass marked nothing and the
+                        // pattern was not pushed: rolling back the
+                        // per-fault counters restores the boundary.
+                        (w.fill_seed, w.fault_ordinal, w.tally) = saved;
+                        return Err(interrupted(dur, "topoff", CkptPhase::Topoff(round), w, pre));
+                    }
                     // Guard against a generator/fault-sim disagreement
                     // leaving the target undetected (would loop forever).
-                    if !reps.status(target_idx).is_detected() {
-                        reps.set_status(target_idx, FaultStatus::Aborted);
-                        tally.aborted += 1;
+                    if !w.reps.status(target_idx).is_detected() {
+                        w.reps.set_status(target_idx, FaultStatus::Aborted);
+                        w.tally.aborted += 1;
                     } else if escalated {
                         // The D-algorithm produced a sim-confirmed test.
-                        tally.rescued += 1;
+                        w.tally.rescued += 1;
                     }
-                    patterns.push(pattern);
-                    cubes.push(cube);
+                    w.patterns.push(pattern);
+                    w.cubes.push(cube);
                 }
                 AtpgResult::Untestable => {
-                    reps.set_status(target_idx, FaultStatus::Untestable);
-                    tally.untestable += 1;
+                    w.reps.set_status(target_idx, FaultStatus::Untestable);
+                    w.tally.untestable += 1;
                     if escalated {
-                        tally.rescued += 1;
+                        w.tally.rescued += 1;
                     }
                 }
                 AtpgResult::Aborted => {
-                    reps.set_status(target_idx, FaultStatus::Aborted);
-                    tally.aborted += 1;
+                    w.reps.set_status(target_idx, FaultStatus::Aborted);
+                    w.tally.aborted += 1;
                 }
             }
         }
+        Ok(())
     }
 
     /// Dynamic compaction: extend `cube` with tests for additional
@@ -753,5 +1410,161 @@ mod tests {
             run.test_coverage(),
             run.aborted
         );
+    }
+
+    // ---- durable execution --------------------------------------------
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("aidft-atpg-dur-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn assert_same_result(run: &AtpgRun, reference: &AtpgRun, context: &str) {
+        assert_eq!(
+            run.patterns.len(),
+            reference.patterns.len(),
+            "{context}: pattern count"
+        );
+        for (i, (a, b)) in run
+            .patterns
+            .iter()
+            .zip(reference.patterns.iter())
+            .enumerate()
+        {
+            assert_eq!(a, b, "{context}: pattern {i}");
+        }
+        for i in 0..reference.fault_list.len() {
+            assert_eq!(
+                run.fault_list.status(i),
+                reference.fault_list.status(i),
+                "{context}: fault {i}"
+            );
+        }
+        assert_eq!(run.untestable, reference.untestable, "{context}");
+        assert_eq!(run.aborted, reference.aborted, "{context}");
+        assert_eq!(run.escalated, reference.escalated, "{context}");
+        assert_eq!(run.rescued, reference.rescued, "{context}");
+    }
+
+    #[test]
+    fn durable_run_without_interruption_matches_plain_run() {
+        let nl = ripple_adder(4);
+        let cfg = AtpgConfig::default();
+        let plain = Atpg::new(&nl).run(&cfg);
+        let path = ckpt_path("clean.ckpt");
+        let mut dur = Durability::new(CancelToken::new())
+            .with_journal(Journal::new(&path))
+            .checkpoint_every(8);
+        let run = Atpg::new(&nl)
+            .run_durable(&cfg, &mut dur)
+            .expect("no interruption");
+        assert_same_result(&run, &plain, "clean durable run");
+        assert_eq!(dur.checkpoint_write_failures(), 0);
+        // The journal closed with a sign-off-phase record.
+        let last = Journal::new(&path).load_last().expect("valid record");
+        assert_eq!(last.phase, CkptPhase::Signoff);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let nl = decoder(5);
+        let cfg = AtpgConfig {
+            random_patterns: 32,
+            ..AtpgConfig::default()
+        };
+        let plain = Atpg::new(&nl).run(&cfg);
+        for &kill in &[1u64, 3, 7, 25] {
+            let path = ckpt_path(&format!("kill{kill}.ckpt"));
+            let cancel = CancelToken::new();
+            cancel.trip_after_polls(kill);
+            let mut dur = Durability::new(cancel)
+                .with_journal(Journal::new(&path))
+                .checkpoint_every(4);
+            let run = match Atpg::new(&nl).run_durable(&cfg, &mut dur) {
+                Err(AtpgError::Interrupted(int)) => {
+                    assert!(
+                        int.checkpoint.is_some(),
+                        "interrupt at kill point {kill} wrote no checkpoint"
+                    );
+                    let state = Journal::new(&path).load_last().expect("valid record");
+                    let mut resumed = Durability::new(CancelToken::new())
+                        .with_journal(Journal::new(&path))
+                        .checkpoint_every(4)
+                        .resume_from(state);
+                    Atpg::new(&nl)
+                        .run_durable(&cfg, &mut resumed)
+                        .expect("resume completes")
+                }
+                Ok(run) => run, // kill point past the end of the run
+                Err(e) => panic!("unexpected error at kill point {kill}: {e}"),
+            };
+            assert_same_result(&run, &plain, &format!("kill point {kill}"));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn phase_deadline_interrupts_and_resume_completes() {
+        let nl = mac_pe(4);
+        let cfg = AtpgConfig {
+            deadline_ms: 1,
+            ..AtpgConfig::default()
+        };
+        let path = ckpt_path("deadline.ckpt");
+        let mut dur = Durability::new(CancelToken::new())
+            .with_journal(Journal::new(&path))
+            .checkpoint_every(16);
+        let err = Atpg::new(&nl).run_durable(&cfg, &mut dur);
+        let int = match err {
+            Err(AtpgError::Interrupted(int)) => int,
+            other => panic!("1ms phase deadline did not interrupt: {other:?}"),
+        };
+        assert!(int.deadline, "cause should be the phase deadline");
+        assert!(int.checkpoint.is_some());
+        // Resume without the deadline: the fingerprint excludes
+        // durability knobs, so this is the "same run".
+        let plain_cfg = AtpgConfig::default();
+        let plain = Atpg::new(&nl).run(&plain_cfg);
+        let state = Journal::new(&path).load_last().expect("valid record");
+        let mut resumed = Durability::new(CancelToken::new())
+            .with_journal(Journal::new(&path))
+            .resume_from(state);
+        let run = Atpg::new(&nl)
+            .run_durable(&plain_cfg, &mut resumed)
+            .expect("resume without deadline completes");
+        assert_same_result(&run, &plain, "deadline resume");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_config() {
+        let nl = ripple_adder(4);
+        let cfg = AtpgConfig::default();
+        let path = ckpt_path("mismatch.ckpt");
+        let cancel = CancelToken::new();
+        cancel.trip_after_polls(2);
+        let mut dur = Durability::new(cancel)
+            .with_journal(Journal::new(&path))
+            .checkpoint_every(2);
+        let _ = Atpg::new(&nl).run_durable(&cfg, &mut dur);
+        let state = Journal::new(&path).load_last().expect("valid record");
+        let other = AtpgConfig {
+            seed: 0xBAD,
+            ..AtpgConfig::default()
+        };
+        let mut resumed = Durability::new(CancelToken::new()).resume_from(state);
+        let err = Atpg::new(&nl).run_durable(&other, &mut resumed);
+        assert!(matches!(
+            err,
+            Err(AtpgError::Resume(CkptError::Mismatch {
+                what: "config",
+                ..
+            }))
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -8,6 +8,7 @@
 //! Optional *constraints* (required values on arbitrary nets) support the
 //! launch condition of broadside transition ATPG.
 
+use dft_checkpoint::CancelToken;
 use dft_fault::Fault;
 use dft_logicsim::testability::{scoap, Scoap};
 use dft_logicsim::{FiveSim, TestCube};
@@ -54,6 +55,10 @@ pub struct Podem<'a> {
     /// selection (`false`) — the E3 ablation knob.
     pub guided: bool,
     metrics: MetricsHandle,
+    /// Cooperative cancellation, checked once per search iteration. A
+    /// cancelled search returns [`AtpgResult::Aborted`]; the driver
+    /// discards that result rather than classifying the fault.
+    cancel: Option<CancelToken>,
 }
 
 struct Decision {
@@ -80,7 +85,14 @@ impl<'a> Podem<'a> {
             source_index,
             guided: true,
             metrics: MetricsHandle::disabled(),
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token; see [`Podem::generate`]'s abort
+    /// behavior in the `cancel` field docs.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
     }
 
     /// Points per-call counters (calls, decisions, backtracks, outcomes)
@@ -150,6 +162,11 @@ impl<'a> Podem<'a> {
         let mut stack: Vec<Decision> = Vec::new();
 
         loop {
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    return (AtpgResult::Aborted, stats);
+                }
+            }
             stats.simulations += 1;
             let vals = self.sim.simulate(&assignment, Some(fault));
 

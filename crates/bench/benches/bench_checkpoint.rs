@@ -1,0 +1,44 @@
+//! Criterion: checkpoint overhead. The acceptance bar for durable
+//! flows is <= 2% wall-clock over a plain run, so this group times the
+//! same ATPG run three ways: plain, durable with no journal (cancel
+//! polling only), and durable with a journal at the default cadence.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dft_core::atpg::{Atpg, AtpgConfig, Durability};
+use dft_core::checkpoint::{CancelToken, Journal};
+use dft_core::netlist::generators::mac_pe;
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_overhead");
+    group.sample_size(10);
+    let nl = mac_pe(4);
+    let atpg = Atpg::new(&nl);
+    let cfg = AtpgConfig::default();
+    let faults = atpg.run(&cfg).fault_list.len() as u64;
+    group.throughput(Throughput::Elements(faults));
+
+    group.bench_function("plain", |b| {
+        b.iter(|| atpg.run(&cfg));
+    });
+
+    group.bench_function("durable_no_journal", |b| {
+        b.iter(|| {
+            let mut dur = Durability::new(CancelToken::new());
+            atpg.run_durable(&cfg, &mut dur).expect("uninterrupted")
+        });
+    });
+
+    let path = std::env::temp_dir().join(format!("aidft-bench-ckpt-{}.ckpt", std::process::id()));
+    group.bench_function("durable_journal_every64", |b| {
+        b.iter(|| {
+            std::fs::remove_file(&path).ok();
+            let mut dur = Durability::new(CancelToken::new()).with_journal(Journal::new(&path));
+            atpg.run_durable(&cfg, &mut dur).expect("uninterrupted")
+        });
+    });
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_overhead);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Cooperative cancellation with per-phase deadlines.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Why the token fired: 0 = not fired, 1 = explicit cancel (signal),
+    /// 2 = deadline.
+    cause: AtomicU64,
+    /// Total [`CancelToken::poll`] calls, across all clones and threads.
+    polls: AtomicU64,
+    /// Test/chaos hook: the poll whose ordinal reaches this value trips
+    /// the token (0 = disabled). Gives tests a deterministic kill point
+    /// without wall clocks or signals.
+    trip_at: AtomicU64,
+    /// Chaos clock skew in nanoseconds, added to "now" when checking the
+    /// deadline (simulates a tester clock jumping forward).
+    skew_nanos: AtomicU64,
+    /// Deadline for the current phase, if any. Read only on the coarse
+    /// poll path, so a mutex is fine.
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// A cheap, cloneable cancellation token shared between a driver and its
+/// workers.
+///
+/// Two observation tiers keep the hot paths hot:
+///
+/// * [`CancelToken::is_cancelled`] — one relaxed atomic load; safe to
+///   call per fault in inner simulation loops.
+/// * [`CancelToken::poll`] — additionally counts the poll, applies the
+///   deterministic trip point, and checks the phase deadline. Called at
+///   batch/fault boundaries (hundreds per second, not millions).
+///
+/// Cancellation is **cooperative and monotonic**: once fired the token
+/// never un-fires, and every observer drains at its next boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+/// Cancellation cause, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cause {
+    Explicit = 1,
+    Deadline = 2,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token (idempotent). Signal handlers route here via a
+    /// watcher thread; tests call it directly.
+    pub fn cancel(&self) {
+        self.inner
+            .cause
+            .compare_exchange(
+                0,
+                Cause::Explicit as u64,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .ok();
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once the token has fired. One relaxed load — usable in
+    /// inner loops.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// `true` when the firing cause was a phase deadline rather than an
+    /// explicit [`CancelToken::cancel`].
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner.cause.load(Ordering::SeqCst) == Cause::Deadline as u64
+    }
+
+    /// Arms a deadline `budget` from now. Observers see it on their next
+    /// [`CancelToken::poll`]. Phases re-arm on entry; [`CancelToken::clear_deadline`]
+    /// disarms between phases.
+    pub fn arm_deadline(&self, budget: Duration) {
+        *self.inner.deadline.lock().unwrap() = Some(Instant::now() + budget);
+    }
+
+    /// Disarms the phase deadline (a fired token stays fired).
+    pub fn clear_deadline(&self) {
+        *self.inner.deadline.lock().unwrap() = None;
+    }
+
+    /// Deterministic kill point for tests and the chaos harness: the
+    /// `n`-th future call to [`CancelToken::poll`] (counting across all
+    /// clones) trips the token. `n == 0` disables the hook.
+    pub fn trip_after_polls(&self, n: u64) {
+        let base = self.inner.polls.load(Ordering::SeqCst);
+        self.inner
+            .trip_at
+            .store(if n == 0 { 0 } else { base + n }, Ordering::SeqCst);
+    }
+
+    /// Chaos hook: skips the deadline clock forward by `d` (the token
+    /// behaves as if `d` of wall-clock time passed instantly).
+    pub fn skip_clock(&self, d: Duration) {
+        self.inner
+            .skew_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// The coarse check: counts the poll, applies the deterministic trip
+    /// point and the phase deadline, and returns [`CancelToken::is_cancelled`].
+    /// Call at batch/fault boundaries.
+    pub fn poll(&self) -> bool {
+        let n = self.inner.polls.fetch_add(1, Ordering::SeqCst) + 1;
+        let trip = self.inner.trip_at.load(Ordering::SeqCst);
+        if trip != 0 && n >= trip {
+            self.cancel();
+            return true;
+        }
+        if let Some(deadline) = *self.inner.deadline.lock().unwrap() {
+            let skew = Duration::from_nanos(self.inner.skew_nanos.load(Ordering::SeqCst));
+            if Instant::now() + skew >= deadline {
+                self.inner
+                    .cause
+                    .compare_exchange(
+                        0,
+                        Cause::Deadline as u64,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .ok();
+                self.inner.cancelled.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        self.is_cancelled()
+    }
+
+    /// Polls performed so far (diagnostics; the chaos suite uses it to
+    /// size randomized kill points).
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unfired_and_fires_idempotently() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.poll());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.poll());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn trip_after_polls_is_deterministic() {
+        let t = CancelToken::new();
+        t.trip_after_polls(3);
+        assert!(!t.poll());
+        assert!(!t.poll());
+        assert!(t.poll());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn trip_point_counts_from_arming_time() {
+        let t = CancelToken::new();
+        t.poll();
+        t.poll();
+        t.trip_after_polls(2);
+        assert!(!t.poll());
+        assert!(t.poll());
+    }
+
+    #[test]
+    fn deadline_fires_on_poll_and_reports_cause() {
+        let t = CancelToken::new();
+        t.arm_deadline(Duration::from_secs(3600));
+        assert!(!t.poll());
+        // Skip the clock past the deadline instead of sleeping.
+        t.skip_clock(Duration::from_secs(7200));
+        assert!(t.poll());
+        assert!(t.deadline_exceeded());
+    }
+
+    #[test]
+    fn clear_deadline_disarms_before_firing() {
+        let t = CancelToken::new();
+        t.arm_deadline(Duration::from_nanos(1));
+        t.clear_deadline();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!t.poll());
+    }
+}

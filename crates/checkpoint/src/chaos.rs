@@ -1,0 +1,254 @@
+//! The `AIDFT_CHAOS` fault-injection harness.
+//!
+//! Chaos decisions are **deterministic**: whether injection point
+//! `(site, ordinal)` fires is a pure function of the configured seed, so
+//! a chaos run can be replayed exactly and per-site ordinals that are
+//! stable across thread counts (e.g. fault-list indices) inject the same
+//! failures no matter how work is scheduled.
+
+use std::time::Duration;
+
+/// Which class of failure an injection point belongs to. Each site is
+/// salted separately so e.g. `panic` and `delay` decisions at the same
+/// ordinal are independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosSite {
+    /// Panic a worker's fault batch (exercises panic isolation).
+    WorkerPanic,
+    /// Delay a worker batch by [`ChaosConfig::delay`] (exercises
+    /// stragglers and deadline drains).
+    DelayBatch,
+    /// Fail a checkpoint journal write with a synthetic I/O error,
+    /// leaving a torn partial record behind (exercises journal
+    /// recovery).
+    CkptIo,
+    /// Skip the deadline clock forward by [`ChaosConfig::clock_skip`]
+    /// (exercises spurious deadline firings).
+    ClockSkip,
+}
+
+impl ChaosSite {
+    fn salt(self) -> u64 {
+        match self {
+            ChaosSite::WorkerPanic => 0x9E37_79B9_7F4A_7C15,
+            ChaosSite::DelayBatch => 0xBF58_476D_1CE4_E5B9,
+            ChaosSite::CkptIo => 0x94D0_49BB_1331_11EB,
+            ChaosSite::ClockSkip => 0xD6E8_FEB8_6659_FD93,
+        }
+    }
+}
+
+/// Parsed `AIDFT_CHAOS` configuration.
+///
+/// The environment variable is a comma-separated `key=value` list:
+///
+/// ```text
+/// AIDFT_CHAOS="panic=0.02,delay=0.01,delay_ms=5,io=0.2,clock=0.01,clock_ms=50,seed=7"
+/// ```
+///
+/// | key        | meaning                                             | default |
+/// |------------|-----------------------------------------------------|---------|
+/// | `panic`    | probability a fault batch panics                    | 0.0     |
+/// | `delay`    | probability a worker chunk is delayed               | 0.0     |
+/// | `delay_ms` | delay length in milliseconds                        | 2       |
+/// | `io`       | probability a checkpoint write fails (torn record)  | 0.0     |
+/// | `clock`    | probability a checkpoint boundary skips the clock   | 0.0     |
+/// | `clock_ms` | clock-skip length in milliseconds                   | 100     |
+/// | `seed`     | decision seed (replays are exact)                   | 0       |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability a worker's fault batch panics.
+    pub panic_prob: f64,
+    /// Probability a worker chunk sleeps for [`ChaosConfig::delay`].
+    pub delay_prob: f64,
+    /// Injected delay length.
+    pub delay: Duration,
+    /// Probability a checkpoint journal write fails torn.
+    pub io_prob: f64,
+    /// Probability a checkpoint boundary skips the deadline clock.
+    pub clock_skip_prob: f64,
+    /// Injected clock-skip length.
+    pub clock_skip: Duration,
+    /// Seed for the deterministic decision hash.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            panic_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::from_millis(2),
+            io_prob: 0.0,
+            clock_skip_prob: 0.0,
+            clock_skip: Duration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The all-off configuration (every probability zero).
+    pub fn disabled() -> ChaosConfig {
+        ChaosConfig::default()
+    }
+
+    /// `true` when at least one injection class can fire.
+    pub fn is_active(&self) -> bool {
+        self.panic_prob > 0.0
+            || self.delay_prob > 0.0
+            || self.io_prob > 0.0
+            || self.clock_skip_prob > 0.0
+    }
+
+    /// Reads `AIDFT_CHAOS` from the environment. `None` when unset or
+    /// empty; a malformed value is an `Err` so operators notice typos
+    /// instead of silently running without chaos.
+    pub fn from_env() -> Result<Option<ChaosConfig>, String> {
+        match std::env::var("AIDFT_CHAOS") {
+            Ok(v) if !v.trim().is_empty() => ChaosConfig::parse(&v).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Parses the `key=value,key=value` knob list (see the type docs for
+    /// the table).
+    pub fn parse(text: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos knob `{part}` is not key=value"))?;
+            let fval = || -> Result<f64, String> {
+                let p: f64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad chaos probability `{value}` for `{key}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos probability `{key}={value}` outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            let uval = || -> Result<u64, String> {
+                value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad chaos value `{value}` for `{key}`"))
+            };
+            match key.trim() {
+                "panic" => cfg.panic_prob = fval()?,
+                "delay" => cfg.delay_prob = fval()?,
+                "delay_ms" => cfg.delay = Duration::from_millis(uval()?),
+                "io" => cfg.io_prob = fval()?,
+                "clock" => cfg.clock_skip_prob = fval()?,
+                "clock_ms" => cfg.clock_skip = Duration::from_millis(uval()?),
+                "seed" => cfg.seed = uval()?,
+                other => return Err(format!("unknown chaos knob `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether injection point `(site, ordinal)` fires. Pure function of
+    /// `(seed, site, ordinal)` — replays and thread counts cannot change
+    /// the answer.
+    pub fn fires(&self, site: ChaosSite, ordinal: u64) -> bool {
+        let prob = match site {
+            ChaosSite::WorkerPanic => self.panic_prob,
+            ChaosSite::DelayBatch => self.delay_prob,
+            ChaosSite::CkptIo => self.io_prob,
+            ChaosSite::ClockSkip => self.clock_skip_prob,
+        };
+        if prob <= 0.0 {
+            return false;
+        }
+        if prob >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ site.salt() ^ ordinal.wrapping_mul(0xA076_1D64_78BD_642F));
+        // Map the top 53 bits to [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < prob
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_knob_list() {
+        let c = ChaosConfig::parse(
+            "panic=0.02,delay=0.01,delay_ms=5,io=0.2,clock=0.01,clock_ms=50,seed=7",
+        )
+        .unwrap();
+        assert_eq!(c.panic_prob, 0.02);
+        assert_eq!(c.delay_prob, 0.01);
+        assert_eq!(c.delay, Duration::from_millis(5));
+        assert_eq!(c.io_prob, 0.2);
+        assert_eq!(c.clock_skip_prob, 0.01);
+        assert_eq!(c.clock_skip, Duration::from_millis(50));
+        assert_eq!(c.seed, 7);
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(ChaosConfig::parse("panic").is_err());
+        assert!(ChaosConfig::parse("panic=2.0").is_err());
+        assert!(ChaosConfig::parse("warp=0.5").is_err());
+        assert!(ChaosConfig::parse("seed=x").is_err());
+        assert!(!ChaosConfig::parse("").unwrap().is_active());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_sites_independent() {
+        let c = ChaosConfig {
+            panic_prob: 0.5,
+            io_prob: 0.5,
+            seed: 42,
+            ..ChaosConfig::default()
+        };
+        for i in 0..64 {
+            assert_eq!(
+                c.fires(ChaosSite::WorkerPanic, i),
+                c.fires(ChaosSite::WorkerPanic, i)
+            );
+        }
+        // With both probs at 0.5 the two sites should disagree somewhere.
+        assert!(
+            (0..64).any(|i| c.fires(ChaosSite::WorkerPanic, i) != c.fires(ChaosSite::CkptIo, i))
+        );
+    }
+
+    #[test]
+    fn fire_rate_tracks_probability() {
+        let c = ChaosConfig {
+            panic_prob: 0.25,
+            seed: 9,
+            ..ChaosConfig::default()
+        };
+        let hits = (0..10_000)
+            .filter(|&i| c.fires(ChaosSite::WorkerPanic, i))
+            .count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!(!ChaosConfig::disabled().fires(ChaosSite::WorkerPanic, 3));
+        let always = ChaosConfig {
+            delay_prob: 1.0,
+            ..ChaosConfig::default()
+        };
+        assert!(always.fires(ChaosSite::DelayBatch, 11));
+    }
+}

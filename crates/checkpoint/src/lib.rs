@@ -1,0 +1,39 @@
+//! `dft-checkpoint`: the durability layer of the aidft toolkit.
+//!
+//! Long DFT jobs (ATPG, fault simulation, BIST sweeps) die hours in on
+//! real testers and server farms; this crate makes that failure a
+//! first-class, recoverable event instead of a lost run. It has three
+//! pieces, deliberately dependency-free so every other crate in the
+//! workspace can use them:
+//!
+//! * [`CancelToken`] — cooperative cancellation with optional per-phase
+//!   deadlines. Workers poll the token at batch boundaries and drain
+//!   cleanly; nothing is ever interrupted mid-mutation.
+//! * [`Journal`] / [`CkptState`] — the `aidft-ckpt-v1` append-only
+//!   checkpoint journal. Each record is framed and checksummed, so a
+//!   process killed mid-write leaves the previous record intact and
+//!   [`Journal::load_last`] always recovers the newest *complete*
+//!   checkpoint.
+//! * [`ChaosConfig`] — the `AIDFT_CHAOS` fault-injection harness:
+//!   seeded, deterministic decisions to panic a worker batch, delay a
+//!   batch, fail a checkpoint write, or skip the deadline clock forward.
+//!   The chaos test suite uses it to prove kill-at-any-point → resume →
+//!   identical-output.
+//!
+//! The serialized state model ([`CkptState`]) is plain data (strings,
+//! integers, bit vectors) so this crate stays at the bottom of the
+//! dependency graph; the ATPG driver converts its working state to and
+//! from it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cancel;
+mod chaos;
+mod journal;
+
+pub use cancel::CancelToken;
+pub use chaos::{ChaosConfig, ChaosSite};
+pub use journal::{
+    fnv1a, CkptError, CkptPhase, CkptSection, CkptState, CkptStatus, Journal, CKPT_FORMAT,
+};

@@ -1,0 +1,155 @@
+//! Property tests for the `aidft-ckpt-v1` record codec and journal:
+//! serialize → parse is the identity for arbitrary states, and the
+//! newest complete record always survives torn tails and garbage.
+
+use proptest::prelude::*;
+
+use dft_checkpoint::{CkptPhase, CkptSection, CkptState, CkptStatus, Journal};
+
+/// SplitMix64: one seed → an arbitrary-but-deterministic state, the
+/// same construction idiom the engines use.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn section(&mut self, width: usize) -> CkptSection {
+        let statuses = (0..self.below(40))
+            .map(|_| match self.below(4) {
+                0 => CkptStatus::Undetected,
+                1 => CkptStatus::Detected(self.below(5000) as u32),
+                2 => CkptStatus::Untestable,
+                _ => CkptStatus::Aborted,
+            })
+            .collect();
+        let patterns = (0..self.below(10))
+            .map(|_| (0..width).map(|_| self.next() & 1 == 1).collect())
+            .collect();
+        let cubes = (0..self.below(8))
+            .map(|_| {
+                (0..width)
+                    .map(|_| match self.below(5) {
+                        0 => Some(true),
+                        1 => Some(false),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        CkptSection {
+            statuses,
+            patterns,
+            cubes,
+            tally: [
+                self.below(10_000),
+                self.below(10_000),
+                self.below(10_000),
+                self.below(10_000),
+            ],
+        }
+    }
+
+    fn state(&mut self) -> CkptState {
+        let width = 1 + self.below(24) as usize;
+        let name_len = 1 + self.below(12) as usize;
+        let design: String = (0..name_len)
+            .map(|_| (b'a' + self.below(26) as u8) as char)
+            .collect();
+        CkptState {
+            design,
+            config_hash: self.next(),
+            phase: match self.below(3) {
+                0 => CkptPhase::Init,
+                1 => CkptPhase::Topoff(self.below(6) as u32),
+                _ => CkptPhase::Signoff,
+            },
+            seed: self.next(),
+            fill_seed: self.next(),
+            fault_ordinal: self.next(),
+            random_detected: self.below(100_000),
+            width,
+            main: self.section(width),
+            pre_compaction: (self.next() & 1 == 1).then(|| self.section(width)),
+        }
+    }
+}
+
+fn temp_journal(tag: &str, case: u64) -> Journal {
+    let dir = std::env::temp_dir().join(format!("aidft-ckpt-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = Journal::new(dir.join(format!("{tag}-{case}.ckpt")));
+    std::fs::remove_file(journal.path()).ok();
+    journal
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// to_record → parse_record is the identity: the resumable frontier
+    /// (fault partitions, pattern set, cubes, tallies, seeds) survives a
+    /// serialization roundtrip bit-for-bit.
+    #[test]
+    fn record_roundtrip_is_identity(seed in 0u64..1_000_000, seq in 0u64..1000) {
+        let state = Gen(seed).state();
+        let record = state.to_record(seq);
+        let parsed = CkptState::parse_record(&record).expect("own record parses");
+        prop_assert_eq!(parsed, state);
+    }
+
+    /// Appending through a journal file and loading the last record
+    /// returns the newest state, even with earlier records present.
+    #[test]
+    fn journal_returns_newest_record(seed in 0u64..1_000_000, n in 1u64..4) {
+        let mut gen = Gen(seed);
+        let states: Vec<CkptState> = (0..n).map(|_| gen.state()).collect();
+        let journal = temp_journal("newest", seed);
+        for (i, s) in states.iter().enumerate() {
+            journal.append(s, i as u64).unwrap();
+        }
+        let loaded = journal.load_last().expect("complete records on disk");
+        prop_assert_eq!(&loaded, states.last().unwrap());
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    /// A torn (half-written) tail — the crash-mid-write case — never
+    /// hides the previous complete record.
+    #[test]
+    fn torn_tail_is_skipped(seed in 0u64..1_000_000) {
+        let mut gen = Gen(seed);
+        let good = gen.state();
+        let torn = gen.state();
+        let journal = temp_journal("torn", seed);
+        journal.append(&good, 0).unwrap();
+        let _ = journal.append_torn(&torn, 1);
+        let loaded = journal.load_last().expect("first record intact");
+        prop_assert_eq!(loaded, good);
+        std::fs::remove_file(journal.path()).ok();
+    }
+
+    /// Arbitrary garbage appended to the journal (partial lines, bit
+    /// rot) is treated as absent, not fatal.
+    #[test]
+    fn trailing_garbage_is_ignored(seed in 0u64..1_000_000, glen in 0usize..200) {
+        let mut gen = Gen(seed);
+        let state = gen.state();
+        let journal = temp_journal("garbage", seed);
+        journal.append(&state, 7).unwrap();
+        let garbage: Vec<u8> = (0..glen).map(|_| (gen.below(95) + 32) as u8).collect();
+        let mut bytes = std::fs::read(journal.path()).unwrap();
+        bytes.extend_from_slice(&garbage);
+        std::fs::write(journal.path(), &bytes).unwrap();
+        let loaded = journal.load_last().expect("complete record survives");
+        prop_assert_eq!(loaded, state);
+        std::fs::remove_file(journal.path()).ok();
+    }
+}

@@ -1,5 +1,6 @@
 //! The EDT codec: cube encoding (GF(2) solve) and stimulus expansion.
 
+use dft_checkpoint::CancelToken;
 use dft_logicsim::TestCube;
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
@@ -204,6 +205,10 @@ pub struct CompressionStats {
     pub compressed_bits: u64,
     /// Total flat stimulus bits for the same patterns.
     pub flat_bits: u64,
+    /// Cubes skipped because a [`CancelToken`] fired mid-pass (see
+    /// [`ScanEdt::compress_all_cancellable`]). Non-zero means the stats
+    /// cover only a prefix of the cube set.
+    pub skipped: usize,
 }
 
 impl CompressionStats {
@@ -315,9 +320,31 @@ impl<'a> ScanEdt<'a> {
 
     /// Encodes every cube, returning aggregate statistics.
     pub fn compress_all(&self, cubes: &[TestCube]) -> CompressionStats {
+        self.compress_inner(cubes, None)
+    }
+
+    /// [`ScanEdt::compress_all`] with cooperative cancellation: the token
+    /// is checked at every cube boundary and a fired token drains the
+    /// pass, counting the unprocessed tail in
+    /// [`CompressionStats::skipped`]. Compression is a pure accounting
+    /// pass (nothing downstream consumes its intermediate state), so a
+    /// drained pass is simply rerun after resume.
+    pub fn compress_all_cancellable(
+        &self,
+        cubes: &[TestCube],
+        cancel: &CancelToken,
+    ) -> CompressionStats {
+        self.compress_inner(cubes, Some(cancel))
+    }
+
+    fn compress_inner(&self, cubes: &[TestCube], cancel: Option<&CancelToken>) -> CompressionStats {
         let _span = self.trace.span_arg("compress_all", cubes.len() as u64);
         let mut stats = CompressionStats::default();
-        for cube in cubes {
+        for (i, cube) in cubes.iter().enumerate() {
+            if cancel.is_some_and(|tok| tok.is_cancelled()) {
+                stats.skipped = cubes.len() - i;
+                break;
+            }
             let cells = self.to_cell_cube(cube);
             stats.flat_bits += self.codec.flat_bits() as u64;
             match self.codec.encode(&cells) {
@@ -393,9 +420,28 @@ mod tests {
             failed: 10,
             compressed_bits: 90 * 64 + 10 * 1024,
             flat_bits: 100 * 1024,
+            skipped: 0,
         };
         assert!(stats.ratio() > 6.0);
         assert!((stats.encode_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancelled_compression_counts_the_skipped_tail() {
+        use dft_netlist::generators::counter;
+        let nl = counter(8);
+        let scan = insert_scan(&nl, &ScanConfig { num_chains: 2 });
+        let edt = ScanEdt::new(&nl, &scan, 1, 16, 9);
+        let cubes = vec![TestCube::all_x(1 + 8); 5];
+        let tok = CancelToken::new();
+        tok.cancel();
+        let stats = edt.compress_all_cancellable(&cubes, &tok);
+        assert_eq!(stats.skipped, 5);
+        assert_eq!(stats.encoded + stats.failed, 0);
+        // An un-fired token leaves the pass identical to the plain one.
+        let clean = edt.compress_all_cancellable(&cubes, &CancelToken::new());
+        assert_eq!(clean, edt.compress_all(&cubes));
+        assert_eq!(clean.skipped, 0);
     }
 
     #[test]

@@ -31,15 +31,43 @@
 //! commands additionally show a one-line live progress spinner (current
 //! phase plus pattern/fault counters), erased before the report prints.
 //!
+//! # Durability
+//!
+//! `atpg` and `flow` are durable: Ctrl-C (SIGINT) or SIGTERM drains the
+//! engines cleanly at a fault boundary instead of killing the process
+//! mid-write. Related flags:
+//!
+//! - `--checkpoint <path>` — append resume checkpoints to an
+//!   `aidft-ckpt-v1` journal (schema in EXPERIMENTS.md).
+//! - `--checkpoint-every <n>` — checkpoint cadence in faults
+//!   (default 64; `0` = phase boundaries only).
+//! - `--phase-timeout <ms>` — per-phase deadline; an overrunning phase
+//!   is drained and checkpointed like a signal.
+//! - `--resume <path>` — continue from the newest complete checkpoint
+//!   in the journal; the finished run is bit-identical to an
+//!   uninterrupted one.
+//!
+//! The `AIDFT_CHAOS` environment variable enables deterministic fault
+//! injection (worker panics, delayed batches, torn checkpoint writes,
+//! deadline-clock skips) for durability testing; see EXPERIMENTS.md for
+//! the knob table.
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error,
+//! `3` interrupted (a resume checkpoint path is printed when one was
+//! written), `4` lost worker (panic).
+//!
 //! Generator names for `gen`: anything from the benchmark suite (`c17`,
 //! `s27`, `add8`, `mult8`, `alu8`, `mac4`, `sys4x4`, ...).
 
 use std::fs;
 use std::io::{IsTerminal, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
-use dft_core::atpg::{Atpg, AtpgConfig};
+use dft_core::atpg::{Atpg, AtpgConfig, AtpgError, Durability};
 use dft_core::bist::LogicBist;
+use dft_core::checkpoint::{CancelToken, ChaosConfig, Journal};
 use dft_core::diagnosis::{diagnose, FailureLog};
 use dft_core::logicsim::PatternSet;
 use dft_core::metrics::MetricsHandle;
@@ -47,12 +75,93 @@ use dft_core::netlist::generators::benchmark_suite;
 use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
 use dft_core::progress::ProgressLine;
 use dft_core::trace::{TraceConfig, TraceHandle, TraceSession};
-use dft_core::{DftError, DftFlow};
+use dft_core::{DftError, DftFlow, PartialResult};
+
+/// Set by the `SIGINT`/`SIGTERM` handler; a watcher thread converts it
+/// into a [`CancelToken`] fire so the engines drain cooperatively.
+static SIGNAL_FIRED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handler() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_FIRED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: the handler only touches an atomic flag, which is
+    // async-signal-safe; `signal` itself is a plain libc call.
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handler() {}
+
+/// Installs the signal handler and spawns the watcher thread that trips
+/// `token` when a signal lands. The thread exits once the token fires
+/// (from the signal or from a phase deadline).
+fn cancel_on_signals(token: CancelToken) {
+    install_signal_handler();
+    std::thread::spawn(move || loop {
+        if SIGNAL_FIRED.load(Ordering::SeqCst) {
+            token.cancel();
+            return;
+        }
+        if token.is_cancelled() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+}
 
 /// Writes a human-readable report line: stdout normally, stderr when
 /// some `-` flag routed a machine payload to stdout.
 macro_rules! say {
     ($out:expr, $($arg:tt)*) => { $out.line(format!($($arg)*)) };
+}
+
+/// The durability knobs shared by the `atpg` and `flow` commands.
+struct DurOpts {
+    /// Journal path for new checkpoints (`--checkpoint`).
+    checkpoint: Option<String>,
+    /// Checkpoint cadence in faults (`--checkpoint-every`).
+    every: Option<u64>,
+    /// Per-phase deadline in milliseconds (`--phase-timeout`).
+    timeout_ms: u64,
+    /// Journal to resume from (`--resume`).
+    resume: Option<String>,
+    /// Parsed `AIDFT_CHAOS` configuration, when set and active.
+    chaos: Option<ChaosConfig>,
+}
+
+impl DurOpts {
+    /// Builds the engine-side [`Durability`] handle: cancellation token
+    /// wired to the process signals, journal, cadence, chaos, and the
+    /// loaded resume state.
+    fn build(&self) -> Result<Durability, DftError> {
+        let token = CancelToken::new();
+        cancel_on_signals(token.clone());
+        let mut dur = Durability::new(token);
+        if let Some(path) = self.checkpoint.as_ref().or(self.resume.as_ref()) {
+            dur = dur.with_journal(Journal::new(path));
+        }
+        if let Some(n) = self.every {
+            dur = dur.checkpoint_every(n);
+        }
+        if let Some(chaos) = self.chaos {
+            dur = dur.with_chaos(chaos);
+        }
+        if let Some(path) = &self.resume {
+            dur = dur.resume_from(Journal::new(path).load_last()?);
+        }
+        Ok(dur)
+    }
 }
 
 fn main() -> ExitCode {
@@ -62,9 +171,17 @@ fn main() -> ExitCode {
         let metrics_path = extract_path_flag(&mut args, "--metrics-json")?;
         let trace_path = extract_path_flag(&mut args, "--trace")?;
         let trace_jsonl_path = extract_path_flag(&mut args, "--trace-jsonl")?;
-        Ok((threads, metrics_path, trace_path, trace_jsonl_path))
+        let dur = DurOpts {
+            checkpoint: extract_path_flag(&mut args, "--checkpoint")?,
+            every: extract_u64_flag(&mut args, "--checkpoint-every")?,
+            timeout_ms: extract_u64_flag(&mut args, "--phase-timeout")?.unwrap_or(0),
+            resume: extract_path_flag(&mut args, "--resume")?,
+            chaos: ChaosConfig::from_env()
+                .map_err(|e| DftError::usage(format!("bad AIDFT_CHAOS value: {e}")))?,
+        };
+        Ok((threads, metrics_path, trace_path, trace_jsonl_path, dur))
     })();
-    let (threads, metrics_path, trace_path, trace_jsonl_path) = match parsed {
+    let (threads, metrics_path, trace_path, trace_jsonl_path, dur_opts) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("aidft: {e}");
@@ -101,11 +218,17 @@ fn main() -> ExitCode {
         Some("atpg") => with_design(&args, 2, |nl, _| {
             let handle = MetricsHandle::enabled();
             let progress = ProgressLine::spawn(trace.clone(), handle.clone());
+            let mut dur = dur_opts.build()?;
+            let cfg = AtpgConfig::new()
+                .threads(threads)
+                .deadline_ms(dur_opts.timeout_ms);
             let run = Atpg::new(nl)
                 .with_metrics(handle.clone())
                 .with_trace(trace.clone())
-                .run(&AtpgConfig::new().threads(threads));
+                .run_durable(&cfg, &mut dur)
+                .map_err(|e| lift_atpg_error(nl.name(), e));
             progress.finish();
+            let run = run?;
             say!(
                 out,
                 "{}: {} patterns, FC {:.2}%, TC {:.2}%, {} untestable, {} aborted, {:?}",
@@ -123,13 +246,16 @@ fn main() -> ExitCode {
             let chains = rest.first().and_then(|s| s.parse().ok()).unwrap_or(4usize);
             let handle = MetricsHandle::enabled();
             let progress = ProgressLine::spawn(trace.clone(), handle.clone());
+            let mut dur = dur_opts.build()?;
             let report = DftFlow::new(nl)
                 .chains(chains)
                 .threads(threads)
+                .atpg_config(AtpgConfig::new().deadline_ms(dur_opts.timeout_ms))
                 .metrics(handle)
                 .trace(trace.clone())
-                .run();
+                .run_durable(&mut dur);
             progress.finish();
+            let report = report?;
             out.text(format!("{report}"));
             if let Some(path) = &metrics_path {
                 out.payload(path, &report.metrics.to_json())?;
@@ -213,8 +339,9 @@ fn main() -> ExitCode {
         }
         _ => Err(DftError::usage(
             "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair> [--threads N] \
-             [--metrics-json <path>] [--trace <path>] [--trace-jsonl <path>] <args>; \
-             `-` as a path writes to stdout; see README",
+             [--metrics-json <path>] [--trace <path>] [--trace-jsonl <path>] \
+             [--checkpoint <path>] [--checkpoint-every <faults>] [--phase-timeout <ms>] \
+             [--resume <path>] <args>; `-` as a path writes to stdout; see README",
         )),
     };
     let result = result.and_then(|()| {
@@ -233,8 +360,39 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("aidft: {e}");
-            ExitCode::from(2)
+            if let DftError::Interrupted {
+                checkpoint: Some(path),
+                ..
+            } = &e
+            {
+                eprintln!("aidft: checkpoint written to {}", path.display());
+            }
+            ExitCode::from(match e {
+                DftError::Usage(_) => 2,
+                DftError::Interrupted { .. } => 3,
+                DftError::WorkerPanic { .. } => 4,
+                _ => 1,
+            })
         }
+    }
+}
+
+/// Lifts an ATPG-layer durability error into the CLI error type,
+/// attaching the design name.
+fn lift_atpg_error(design: &str, e: AtpgError) -> DftError {
+    match e {
+        AtpgError::Interrupted(i) => DftError::Interrupted {
+            checkpoint: i.checkpoint,
+            partial: Box::new(PartialResult {
+                design: design.to_owned(),
+                phase: i.phase,
+                patterns: i.patterns,
+                detected: i.detected,
+                total_faults: i.total_faults,
+                deadline: i.deadline,
+            }),
+        },
+        AtpgError::Resume(e) => e.into(),
     }
 }
 
@@ -454,6 +612,22 @@ fn run_repair_demo(
     }
 
     write_metrics(out, metrics_path, &handle)
+}
+
+/// Removes `<flag> <n>` from `args` and returns the parsed integer, if
+/// given.
+fn extract_u64_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, DftError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(DftError::usage(format!("{flag} requires a value")));
+        }
+        let value = args[pos + 1]
+            .parse()
+            .map_err(|_| DftError::usage(format!("bad {flag} value `{}`", args[pos + 1])))?;
+        args.drain(pos..pos + 2);
+        return Ok(Some(value));
+    }
+    Ok(None)
 }
 
 /// Removes `<flag> <path>` from `args` and returns the path, if given.

@@ -7,7 +7,8 @@
 //! (`AtpgConfig::new().random_patterns(64).threads(8)`).
 
 pub use dft_aichip::SocConfig;
-pub use dft_atpg::{AtpgConfig, CompactionMode};
+pub use dft_atpg::{AtpgConfig, CompactionMode, Durability};
+pub use dft_checkpoint::{CancelToken, ChaosConfig, CkptState, Journal};
 pub use dft_logicsim::{Executor, Parallelism};
 pub use dft_netlist::generators::SystolicConfig;
 pub use dft_repair::{SpareConfig, SramGeometry};

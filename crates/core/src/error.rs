@@ -2,10 +2,33 @@
 
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
+use dft_checkpoint::CkptError;
 use dft_diagnosis::JsonError;
 use dft_logicsim::ExecError;
 use dft_netlist::NetlistError;
+
+/// What a durable flow had accomplished when it was interrupted: the
+/// progress counters an operator needs to decide whether to resume.
+/// The *resumable state itself* lives in the checkpoint journal, not
+/// here — an interrupted run's partial patterns are never trusted.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// Design name.
+    pub design: String,
+    /// The phase the interrupt landed in (`random`, `topoff`,
+    /// `signoff`).
+    pub phase: &'static str,
+    /// Patterns accumulated so far.
+    pub patterns: usize,
+    /// Detected faults so far (collapsed).
+    pub detected: usize,
+    /// Total collapsed faults targeted.
+    pub total_faults: usize,
+    /// `true` when a phase deadline (not a signal) fired the token.
+    pub deadline: bool,
+}
 
 /// Everything that can go wrong driving the toolkit from the outside:
 /// file I/O, `.bench` parsing, failure-log parsing, bad arguments, and
@@ -58,6 +81,21 @@ pub enum DftError {
         /// The worker's panic payload rendered as text.
         message: String,
     },
+    /// A durable flow was interrupted (signal or phase deadline) and
+    /// drained cleanly. When `checkpoint` is set, the journal holds a
+    /// complete resume record and `aidft --resume <path>` reproduces the
+    /// uninterrupted result bit-identically.
+    Interrupted {
+        /// Journal holding a complete resume checkpoint, when one was
+        /// written.
+        checkpoint: Option<PathBuf>,
+        /// Progress at the point of interruption.
+        partial: Box<PartialResult>,
+    },
+    /// A resume checkpoint could not be used: the journal is missing,
+    /// has no complete record, or belongs to a different design or
+    /// configuration.
+    Checkpoint(CkptError),
 }
 
 impl DftError {
@@ -99,11 +137,12 @@ impl DftError {
     }
 
     /// `true` when the error is recoverable engine trouble (a budget
-    /// abort or an isolated worker panic) rather than bad input.
+    /// abort, an isolated worker panic, or a checkpointed interrupt)
+    /// rather than bad input.
     pub fn is_recoverable(&self) -> bool {
         matches!(
             self,
-            DftError::Aborted { .. } | DftError::WorkerPanic { .. }
+            DftError::Aborted { .. } | DftError::WorkerPanic { .. } | DftError::Interrupted { .. }
         )
     }
 }
@@ -121,6 +160,30 @@ impl fmt::Display for DftError {
             DftError::WorkerPanic { context, message } => {
                 write!(f, "{context}: worker panicked: {message}")
             }
+            DftError::Interrupted {
+                checkpoint,
+                partial,
+            } => {
+                write!(
+                    f,
+                    "flow {} interrupted in {} phase ({}): {}/{} faults detected, {} patterns",
+                    partial.design,
+                    partial.phase,
+                    if partial.deadline {
+                        "phase deadline"
+                    } else {
+                        "cancelled"
+                    },
+                    partial.detected,
+                    partial.total_faults,
+                    partial.patterns
+                )?;
+                match checkpoint {
+                    Some(path) => write!(f, "; resume with --resume {}", path.display()),
+                    None => write!(f, "; no checkpoint written"),
+                }
+            }
+            DftError::Checkpoint(e) => write!(f, "cannot resume: {e}"),
         }
     }
 }
@@ -131,8 +194,18 @@ impl std::error::Error for DftError {
             DftError::Io { source, .. } => Some(source),
             DftError::Netlist { source, .. } => Some(source),
             DftError::FailLog(e) => Some(e),
-            DftError::Usage(_) | DftError::Aborted { .. } | DftError::WorkerPanic { .. } => None,
+            DftError::Checkpoint(e) => Some(e),
+            DftError::Usage(_)
+            | DftError::Aborted { .. }
+            | DftError::WorkerPanic { .. }
+            | DftError::Interrupted { .. } => None,
         }
+    }
+}
+
+impl From<CkptError> for DftError {
+    fn from(e: CkptError) -> DftError {
+        DftError::Checkpoint(e)
     }
 }
 
@@ -187,6 +260,51 @@ mod tests {
         );
         assert!(e.is_recoverable());
         assert!(!DftError::usage("x").is_recoverable());
+    }
+
+    #[test]
+    fn interrupted_renders_progress_and_resume_hint() {
+        let partial = PartialResult {
+            design: "mac4".into(),
+            phase: "topoff",
+            patterns: 12,
+            detected: 90,
+            total_faults: 120,
+            deadline: false,
+        };
+        let e = DftError::Interrupted {
+            checkpoint: Some(PathBuf::from("/tmp/mac4.ckpt")),
+            partial: Box::new(partial.clone()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("mac4"), "{msg}");
+        assert!(msg.contains("topoff"), "{msg}");
+        assert!(msg.contains("90/120"), "{msg}");
+        assert!(msg.contains("--resume /tmp/mac4.ckpt"), "{msg}");
+        assert!(e.is_recoverable());
+
+        let e = DftError::Interrupted {
+            checkpoint: None,
+            partial: Box::new(PartialResult {
+                deadline: true,
+                ..partial
+            }),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("phase deadline"), "{msg}");
+        assert!(msg.contains("no checkpoint written"), "{msg}");
+    }
+
+    #[test]
+    fn checkpoint_errors_chain_their_source() {
+        use std::error::Error;
+        let e: DftError = CkptError::NoValidRecord {
+            path: "x.ckpt".to_owned(),
+        }
+        .into();
+        assert!(e.to_string().starts_with("cannot resume:"));
+        assert!(e.source().is_some());
+        assert!(!e.is_recoverable());
     }
 
     #[test]

@@ -22,6 +22,11 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Re-export of `dft-checkpoint` (cooperative cancellation, the
+/// `aidft-ckpt-v1` checkpoint journal, and the `AIDFT_CHAOS` fault
+/// injection harness).
+pub use dft_checkpoint as checkpoint;
+
 /// Re-export of `dft-netlist`.
 pub use dft_netlist as netlist;
 
@@ -63,9 +68,9 @@ pub mod config;
 mod error;
 pub mod progress;
 
-pub use error::DftError;
+pub use error::{DftError, PartialResult};
 
-use dft_atpg::{Atpg, AtpgConfig};
+use dft_atpg::{Atpg, AtpgConfig, AtpgError, Durability};
 use dft_compress::{CompressionStats, ScanEdt};
 use dft_logicsim::Parallelism;
 use dft_metrics::{MetricsHandle, MetricsSnapshot};
@@ -175,6 +180,32 @@ impl<'a> DftFlow<'a> {
     /// span, so the per-phase times are disjoint and
     /// `sum(phases) <= total` holds by construction.
     pub fn run(self) -> FlowReport {
+        match self.run_inner(None) {
+            Ok(report) => report,
+            // A plain run has no cancellation source and no resume
+            // state, so the durable error paths cannot occur.
+            Err(e) => unreachable!("plain flow cannot fail: {e}"),
+        }
+    }
+
+    /// Runs the flow durably: cancellation (signals, per-phase
+    /// deadlines) drains cleanly into a checkpoint, and a resume state
+    /// loaded into `dur` continues a prior run to the bit-identical
+    /// final result.
+    ///
+    /// On interruption the ATPG engine writes a final checkpoint and
+    /// this returns [`DftError::Interrupted`] carrying the journal path
+    /// and a [`PartialResult`] progress summary; a stale or mismatched
+    /// resume state returns [`DftError::Checkpoint`]. EDT compression
+    /// also polls the token — cubes skipped by a late cancel are counted
+    /// in [`CompressionStats::skipped`] rather than failing the run,
+    /// since by then the checkpoint already covers the full pattern set.
+    pub fn run_durable(self, dur: &mut Durability) -> Result<FlowReport, DftError> {
+        self.run_inner(Some(dur))
+    }
+
+    fn run_inner(self, mut dur: Option<&mut Durability>) -> Result<FlowReport, DftError> {
+        let design = self.nl.name().to_owned();
         let mut atpg_cfg = self.atpg.clone();
         if let Some(t) = self.threads {
             atpg_cfg.threads = t;
@@ -191,10 +222,15 @@ impl<'a> DftFlow<'a> {
             )
         };
         let scan_time = t_scan.finish();
-        let run = Atpg::new(self.nl)
+        let atpg = Atpg::new(self.nl)
             .with_metrics(self.metrics.clone())
-            .with_trace(self.trace.clone())
-            .run(&atpg_cfg);
+            .with_trace(self.trace.clone());
+        let run = match dur.as_deref_mut() {
+            Some(d) => atpg
+                .run_durable(&atpg_cfg, d)
+                .map_err(|e| flow_error(&design, e))?,
+            None => atpg.run(&atpg_cfg),
+        };
         let timing = TestTimeModel::for_architecture(&scan, run.patterns.len(), self.shift_mhz);
         let t_compress = self.trace.phase_span("compression");
         let compression = if self.nl.num_dffs() > 0 && !run.cubes.is_empty() {
@@ -205,7 +241,10 @@ impl<'a> DftFlow<'a> {
             let edt = ScanEdt::new(self.nl, &scan, self.channels, ring_len, 0xED7)
                 .with_metrics(self.metrics.clone())
                 .with_trace(self.trace.clone());
-            Some(edt.compress_all(&run.cubes))
+            Some(match dur.as_deref() {
+                Some(d) => edt.compress_all_cancellable(&run.cubes, d.cancel()),
+                None => edt.compress_all(&run.cubes),
+            })
         } else {
             None
         };
@@ -222,10 +261,10 @@ impl<'a> DftFlow<'a> {
             .metrics
             .snapshot()
             .unwrap_or_else(|| dft_metrics::Metrics::new().snapshot());
-        FlowReport {
+        Ok(FlowReport {
             phase_times,
             metrics,
-            design: self.nl.name().to_owned(),
+            design,
             gates: self.nl.num_gates(),
             flops: self.nl.num_dffs(),
             scan_added_gates: scan.added_gates,
@@ -245,7 +284,26 @@ impl<'a> DftFlow<'a> {
             compression,
             scan,
             atpg_run: run,
-        }
+        })
+    }
+}
+
+/// Lifts an ATPG-layer durability error into the flow error type,
+/// attaching the design name the ATPG interrupt does not carry.
+fn flow_error(design: &str, e: AtpgError) -> DftError {
+    match e {
+        AtpgError::Interrupted(i) => DftError::Interrupted {
+            checkpoint: i.checkpoint,
+            partial: Box::new(PartialResult {
+                design: design.to_owned(),
+                phase: i.phase,
+                patterns: i.patterns,
+                detected: i.detected,
+                total_faults: i.total_faults,
+                deadline: i.deadline,
+            }),
+        },
+        AtpgError::Resume(e) => DftError::Checkpoint(e),
     }
 }
 

@@ -12,6 +12,7 @@
 //! and must propagate through logic to a sink, exactly like a
 //! pseudo-primary-input fault.
 
+use dft_checkpoint::{CancelToken, ChaosConfig, ChaosSite};
 use dft_fault::{Fault, FaultList, FaultSite};
 use dft_metrics::MetricsHandle;
 use dft_netlist::{GateId, GateKind, Netlist};
@@ -36,6 +37,11 @@ pub struct SimStats {
     /// clean run. Non-zero only when a worker died mid-simulation (or the
     /// test-only [`FaultSim::with_poisoned_fault`] hook fired).
     pub failed_batches: usize,
+    /// `true` when a [`CancelToken`] fired during the run. An interrupted
+    /// run marks **no** detections at all — the fault list is exactly as
+    /// it was on entry — so a resumed run that repeats the pass produces
+    /// bit-identical results.
+    pub interrupted: bool,
 }
 
 /// Reusable scratch memory for single-fault propagation.
@@ -119,6 +125,10 @@ pub struct FaultSim<'a> {
     trace: TraceHandle,
     /// Test-only poison hook; see [`FaultSim::with_poisoned_fault`].
     poison: Option<Fault>,
+    /// Cooperative cancellation; polled once per fault batch.
+    cancel: Option<CancelToken>,
+    /// Chaos injection (worker panics / delays), keyed on fault indices.
+    chaos: Option<ChaosConfig>,
 }
 
 impl<'a> FaultSim<'a> {
@@ -139,7 +149,26 @@ impl<'a> FaultSim<'a> {
             metrics: MetricsHandle::disabled(),
             trace: TraceHandle::disabled(),
             poison: None,
+            cancel: None,
+            chaos: None,
         }
+    }
+
+    /// Attaches a cancellation token. Workers poll it once per fault
+    /// batch; when it fires, the pass drains and **discards** its
+    /// detections (see [`SimStats::interrupted`]), leaving the fault
+    /// list untouched so the pass can be repeated bit-identically.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> FaultSim<'a> {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches the chaos harness: worker-panic and batch-delay
+    /// injections fire deterministically per fault-list index, so the
+    /// same faults are hit regardless of thread count.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> FaultSim<'a> {
+        self.chaos = chaos.is_active().then_some(chaos);
+        self
     }
 
     /// Test-only hook: makes [`FaultSim::run`]/[`FaultSim::run_with`]
@@ -273,6 +302,19 @@ impl<'a> FaultSim<'a> {
             let mut evals = 0u64;
             let mut failed = 0usize;
             for &idx in part {
+                // Cooperative cancellation: drain at the next fault
+                // boundary. Whatever this chunk found is discarded at
+                // merge time, so breaking early is always consistent.
+                if let Some(tok) = &self.cancel {
+                    if tok.poll() {
+                        break;
+                    }
+                }
+                if let Some(chaos) = &self.chaos {
+                    if chaos.fires(ChaosSite::DelayBatch, idx as u64) {
+                        std::thread::sleep(chaos.delay);
+                    }
+                }
                 let fault = faults[idx];
                 // One fault = one batch: contain any panic to it. The
                 // workspace is safe to reuse after a mid-propagation
@@ -280,6 +322,11 @@ impl<'a> FaultSim<'a> {
                 let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     if self.poison == Some(fault) {
                         panic!("poisoned fault batch: {fault}");
+                    }
+                    if let Some(chaos) = &self.chaos {
+                        if chaos.fires(ChaosSite::WorkerPanic, idx as u64) {
+                            panic!("chaos: injected worker panic at fault {idx}");
+                        }
                     }
                     let mut e = 0u64;
                     for ((start, _, count), good) in blocks.iter().zip(&goods) {
@@ -304,9 +351,16 @@ impl<'a> FaultSim<'a> {
             }
             (detections, evals, failed)
         });
+        stats.interrupted = self.cancel.as_ref().is_some_and(|tok| tok.is_cancelled());
         for (detections, evals, failed) in chunks {
             stats.gate_evals += evals;
             stats.failed_batches += failed;
+            if stats.interrupted {
+                // Discard every detection: the fault list stays exactly
+                // as it was on entry, so a resumed run repeating this
+                // pass is bit-identical to an uninterrupted one.
+                continue;
+            }
             for (idx, pattern) in detections {
                 list.mark_detected(idx, pattern);
                 stats.detected += 1;
@@ -880,6 +934,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cancelled_run_discards_all_detections() {
+        let nl = ripple_adder(8);
+        let ps = PatternSet::random(&nl, 96, 17);
+        let tok = CancelToken::new();
+        tok.cancel();
+        let sim = FaultSim::new(&nl).with_cancel(tok);
+        let mut list = FaultList::new(universe_stuck_at(&nl));
+        let stats = sim.run(&ps, &mut list);
+        assert!(stats.interrupted);
+        assert_eq!(stats.detected, 0);
+        assert_eq!(list.num_detected(), 0);
+    }
+
+    #[test]
+    fn mid_run_trip_is_repeatable_bit_identically() {
+        let nl = ripple_adder(8);
+        let ps = PatternSet::random(&nl, 96, 17);
+        let universe = universe_stuck_at(&nl);
+        let mut clean = FaultList::new(universe.clone());
+        FaultSim::new(&nl).run(&ps, &mut clean);
+        // Trip partway through the pass: nothing may be marked.
+        let tok = CancelToken::new();
+        tok.trip_after_polls(universe.len() as u64 / 2);
+        let sim = FaultSim::new(&nl).with_cancel(tok.clone());
+        let mut list = FaultList::new(universe.clone());
+        let stats = sim.run(&ps, &mut list);
+        assert!(stats.interrupted);
+        assert!(tok.is_cancelled());
+        assert_eq!(list.num_detected(), 0);
+        // Repeating the pass on the untouched list matches the clean run.
+        FaultSim::new(&nl).run(&ps, &mut list);
+        for i in 0..clean.len() {
+            assert_eq!(list.status(i), clean.status(i), "fault {i}");
+        }
+    }
+
+    #[test]
+    fn chaos_panics_hit_the_same_faults_at_any_thread_count() {
+        let nl = ripple_adder(8);
+        let ps = PatternSet::random(&nl, 96, 17);
+        let universe = universe_stuck_at(&nl);
+        let chaos = ChaosConfig::parse("panic=0.05,seed=11").unwrap();
+        let mut results = Vec::new();
+        for threads in [1usize, 4] {
+            let sim = FaultSim::new(&nl).with_chaos(chaos);
+            let mut list = FaultList::new(universe.clone());
+            let stats = sim.run_parallel(&ps, &mut list, threads);
+            assert!(stats.failed_batches > 0, "threads={threads}");
+            let statuses: Vec<_> = (0..list.len()).map(|i| list.status(i)).collect();
+            results.push((stats.failed_batches, statuses));
+        }
+        assert_eq!(results[0], results[1]);
     }
 
     #[test]

@@ -283,6 +283,13 @@ registry! {
         bisr_spares_used: "Spare rows + columns allocated across BISR runs.",
         harvest_plans: "Core-harvesting degradation plans computed.",
         harvest_disabled_cores: "Cores fused off across harvesting plans.",
+        // --- Durability: checkpoint/resume, cancellation, chaos ---
+        ckpt_writes: "Checkpoint journal records written successfully.",
+        ckpt_bytes: "Bytes appended to checkpoint journals.",
+        ckpt_write_failures: "Checkpoint writes that failed (real or chaos-injected I/O errors).",
+        ckpt_resumes: "Runs resumed from a checkpoint journal.",
+        cancel_requests: "Cooperative cancellations observed (signals and phase deadlines).",
+        chaos_clock_skips: "Chaos-injected deadline-clock skips applied at checkpoint boundaries.",
     }
     histograms {
         podem_backtracks_per_call: "Distribution of backtracks per PODEM call (log2 buckets).",
@@ -294,6 +301,7 @@ registry! {
         t_atpg_deterministic: "Wall-clock time of deterministic top-off + compaction.",
         t_atpg_signoff: "Wall-clock time of sign-off fault simulation.",
         t_edt_compress: "Wall-clock time of EDT compression.",
+        t_ckpt_write: "Wall-clock time of checkpoint journal writes.",
     }
 }
 

@@ -35,6 +35,15 @@ pub enum NetlistError {
         /// The unknown type token.
         name: String,
     },
+    /// A `.bench` file could not be opened or read. Carries the path and
+    /// the rendered cause (the error type is `Clone + Eq`, so the raw
+    /// `io::Error` is flattened to text).
+    Io {
+        /// The path that failed to open.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -56,6 +65,7 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownGateType { line, name } => {
                 write!(f, "unknown gate type `{name}` at line {line}")
             }
+            NetlistError::Io { path, message } => write!(f, "read {path}: {message}"),
         }
     }
 }

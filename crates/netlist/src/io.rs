@@ -14,8 +14,30 @@
 //! We additionally accept `BUF`/`BUFF`, `MUX`, `CONST0`, `CONST1`.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use crate::{GateId, GateKind, Netlist, NetlistError};
+
+/// Reads and parses a `.bench` netlist from `path`. The design name is
+/// the file stem (`designs/mac4.bench` → `mac4`).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] (carrying the path and the rendered
+/// cause) when the file cannot be opened or read, or any
+/// [`parse_bench`] error for malformed content.
+pub fn load_bench(path: impl AsRef<Path>) -> Result<Netlist, NetlistError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    parse_bench(name, &text)
+}
 
 /// Parses a netlist from `.bench` text.
 ///
@@ -294,6 +316,29 @@ G23 = NAND(G16, G19)
         let text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
         let err = parse_bench("bad", text).unwrap_err();
         assert!(matches!(err, NetlistError::UndefinedNet(n) if n == "ghost"));
+    }
+
+    #[test]
+    fn load_bench_reads_files_and_reports_the_path_on_failure() {
+        let dir = std::env::temp_dir().join(format!("aidft-nl-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c17.bench");
+        std::fs::write(&path, C17).unwrap();
+        let nl = load_bench(&path).unwrap();
+        assert_eq!(nl.name(), "c17");
+        assert_eq!(nl.num_inputs(), 5);
+
+        let missing = dir.join("ghost.bench");
+        let err = load_bench(&missing).unwrap_err();
+        match &err {
+            NetlistError::Io { path, message } => {
+                assert!(path.contains("ghost.bench"), "{path}");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("ghost.bench"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod generators;
 pub use cone::{fanin_cone, fanout_cone, output_cone_map};
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
-pub use io::{parse_bench, write_bench};
+pub use io::{load_bench, parse_bench, write_bench};
 pub use levelize::Levelization;
 pub use logic::Logic;
 pub use netlist::Netlist;

@@ -25,9 +25,10 @@
 //! stage resolves everything.
 
 use dft_bist::{
-    run_march, run_march_with_map, MarchAlgorithm, MarchResult, MemFault, MemFaultKind,
-    MemoryModel, SramModel,
+    run_march, run_march_with_map, run_march_with_map_cancellable, MarchAlgorithm, MarchResult,
+    MemFault, MemFaultKind, MemoryModel, SramModel,
 };
+use dft_checkpoint::CancelToken;
 use dft_metrics::MetricsHandle;
 use dft_trace::TraceHandle;
 
@@ -338,13 +339,18 @@ pub struct BisrReport {
     /// The confirming (post-repair) March outcome, when a repair was
     /// attempted and allocation succeeded.
     pub post_march: Option<MarchResult>,
+    /// `true` when a cancellation token fired mid-loop: the run drained
+    /// at the next address boundary and no verdict (`repaired` /
+    /// `unrepairable`) was reached. An interrupted report never ships.
+    pub interrupted: bool,
 }
 
 impl BisrReport {
     /// `true` when the die ships: either clean from the start or
-    /// repaired to a clean re-March.
+    /// repaired to a clean re-March. An interrupted run never ships —
+    /// it must be rerun (or resumed) to reach a verdict.
     pub fn ships(&self) -> bool {
-        !self.unrepairable && (self.repaired || self.signature.is_empty())
+        !self.interrupted && !self.unrepairable && (self.repaired || self.signature.is_empty())
     }
 }
 
@@ -361,6 +367,7 @@ pub struct BisrEngine {
     max_rounds: usize,
     metrics: MetricsHandle,
     trace: TraceHandle,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for BisrEngine {
@@ -378,6 +385,7 @@ impl BisrEngine {
             max_rounds: 4,
             metrics: MetricsHandle::disabled(),
             trace: TraceHandle::disabled(),
+            cancel: None,
         }
     }
 
@@ -407,6 +415,23 @@ impl BisrEngine {
         self
     }
 
+    /// Attaches a cancellation token: the detect and confirm Marches
+    /// check it at every address boundary, and the repair loop checks it
+    /// before each round. A fired token drains the run cleanly with
+    /// [`BisrReport::interrupted`] set.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> BisrEngine {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    fn march(&self, ordinal: u64, view: &mut RepairedSram) -> (MarchResult, Vec<bool>) {
+        let _march = self.trace.span_arg("mbist_march", ordinal);
+        match &self.cancel {
+            Some(tok) => run_march_with_map_cancellable(&self.algo, view, tok),
+            None => run_march_with_map(&self.algo, view),
+        }
+    }
+
     /// Runs the full loop against `physical` (an array sized
     /// [`SpareConfig::physical_size`], with whatever faults injected):
     /// March → failure map → redundancy analysis → repaired view →
@@ -426,10 +451,7 @@ impl BisrEngine {
         // Round 0: MBIST through the identity mapping.
         let mut view =
             RepairedSram::new(physical.clone(), geom, spares, &RepairSignature::default());
-        let (pre_march, map) = {
-            let _march = self.trace.span_arg("mbist_march", 0);
-            run_march_with_map(&self.algo, &mut view)
-        };
+        let (pre_march, map) = self.march(0, &mut view);
         let mut merged = FailureBitmap::from_map(geom, map);
         let initial_fails = merged.fail_count();
         let mut report = BisrReport {
@@ -440,12 +462,24 @@ impl BisrEngine {
             unrepairable: false,
             pre_march,
             post_march: None,
+            interrupted: pre_march.interrupted,
         };
+        if report.interrupted {
+            // The detect March drained on a fired token: its fail map is
+            // partial, so no analysis or verdict is possible.
+            self.flush(&report);
+            return report;
+        }
         if !pre_march.detected {
             self.flush(&report);
             return report; // clean die, no repair needed
         }
         for _ in 0..self.max_rounds {
+            if self.cancel.as_ref().is_some_and(|tok| tok.is_cancelled()) {
+                report.interrupted = true;
+                self.flush(&report);
+                return report;
+            }
             report.rounds += 1;
             let _round = self.trace.span_arg("bisr_round", report.rounds as u64);
             let sig = match analyze_redundancy(&merged, spares) {
@@ -457,12 +491,16 @@ impl BisrEngine {
                 }
             };
             let mut view = RepairedSram::new(physical.clone(), geom, spares, &sig);
-            let (post, map) = {
-                let _march = self.trace.span_arg("mbist_march", report.rounds as u64);
-                run_march_with_map(&self.algo, &mut view)
-            };
+            let (post, map) = self.march(report.rounds as u64, &mut view);
             report.signature = sig;
             report.post_march = Some(post);
+            if post.interrupted {
+                // The confirming March drained mid-pass: neither a clean
+                // verdict nor a trustworthy extension of the fail map.
+                report.interrupted = true;
+                self.flush(&report);
+                return report;
+            }
             if !post.detected {
                 report.repaired = true;
                 self.flush(&report);
@@ -693,6 +731,53 @@ mod tests {
         assert!((points[1].yield_fraction() - 1.0).abs() < 1e-12);
         // 8 random point faults on an 8x8 with 4 spares: mostly scrap.
         assert!(points[2].yield_fraction() < 1.0);
+    }
+
+    #[test]
+    fn cancelled_bisr_drains_and_never_ships() {
+        let physical =
+            SramModel::with_faults(SPARES.physical_size(&GEOM), vec![saf(GEOM, &SPARES, 3, 5)]);
+        let tok = CancelToken::new();
+        tok.cancel();
+        let report = BisrEngine::new()
+            .with_cancel(tok)
+            .run(&physical, GEOM, &SPARES);
+        assert!(report.interrupted);
+        assert!(!report.ships());
+        assert!(!report.repaired);
+        assert!(!report.unrepairable);
+        // An un-fired token leaves the verdict identical to a plain run.
+        let live = BisrEngine::new()
+            .with_cancel(CancelToken::new())
+            .run(&physical, GEOM, &SPARES);
+        let plain = BisrEngine::new().run(&physical, GEOM, &SPARES);
+        assert!(!live.interrupted);
+        assert_eq!(live.repaired, plain.repaired);
+        assert_eq!(live.signature, plain.signature);
+    }
+
+    #[test]
+    fn persistent_spare_fault_terminates_at_the_round_limit() {
+        // A defective spare row: the must-repair remap of logical row 2
+        // lands on a stuck cell inside the spare region, so every
+        // confirming March keeps detecting and no repair converges. The
+        // loop must still terminate at max_rounds with an unrepairable
+        // verdict rather than iterating forever.
+        let phys_cols = GEOM.cols + SPARES.spare_cols;
+        let mut faults: Vec<MemFault> = (0..4).map(|c| saf(GEOM, &SPARES, 2, c * 2)).collect();
+        for spare_row in GEOM.rows..GEOM.rows + SPARES.spare_rows {
+            faults.push(MemFault {
+                cell: spare_row * phys_cols + 1,
+                kind: MemFaultKind::StuckAt { value: true },
+            });
+        }
+        let physical = SramModel::with_faults(SPARES.physical_size(&GEOM), faults);
+        let report = BisrEngine::new()
+            .with_max_rounds(3)
+            .run(&physical, GEOM, &SPARES);
+        assert!(report.rounds <= 3);
+        assert!(!report.repaired);
+        assert!(!report.ships());
     }
 
     #[test]
