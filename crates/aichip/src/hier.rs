@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use dft_atpg::{Atpg, AtpgConfig};
 use dft_fault::{universe_stuck_at, FaultList};
-use dft_logicsim::{Executor, FaultSim};
+use dft_logicsim::{AnyKernel, Executor, SimKernel};
 use dft_netlist::Netlist;
 use dft_scan::{insert_scan, ScanConfig, TestTimeModel};
 use dft_trace::TraceHandle;
@@ -118,7 +118,8 @@ pub fn hierarchical_plan_traced(
     // fault-simulate the shared pattern set against it — each core is an
     // independent simulation, fanned out across `cfg.threads` workers.
     let universe = universe_stuck_at(core);
-    let sim = FaultSim::new(core);
+    // Compile the kernel once; every core screens against the same tape.
+    let sim = AnyKernel::compile(core);
     let exec = Executor::with_threads(cfg.threads);
     let cores: Vec<usize> = (0..cfg.num_cores).collect();
     let _verify = trace.span_arg("broadcast_verify", cfg.num_cores as u64);
@@ -129,7 +130,7 @@ pub fn hierarchical_plan_traced(
         }
         let defect = seeded_defect(core_idx, &universe);
         let mut list = FaultList::new(vec![defect]);
-        sim.run(&run.patterns, &mut list);
+        sim.fault_batch(&run.patterns, &mut list, &Executor::serial());
         list.num_detected() == 1
     });
 
@@ -205,7 +206,8 @@ pub fn broadcast_screen_traced(
     let _screen = trace.span_arg("broadcast_screen", cfg.num_cores as u64);
     let run = Atpg::new(core).with_trace(trace.clone()).run(atpg);
     let universe = universe_stuck_at(core);
-    let sim = FaultSim::new(core);
+    // Compile the kernel once; every core screens against the same tape.
+    let sim = AnyKernel::compile(core);
     let exec = Executor::with_threads(cfg.threads);
     let cores: Vec<usize> = (0..cfg.num_cores).collect();
     exec.map(&cores, |_, &core_idx| {
@@ -215,7 +217,7 @@ pub fn broadcast_screen_traced(
         }
         let defect = seeded_defect(core_idx, &universe);
         let mut list = FaultList::new(vec![defect]);
-        sim.run(&run.patterns, &mut list);
+        sim.fault_batch(&run.patterns, &mut list, &Executor::serial());
         // Detected defect -> local compare mismatches -> core fails.
         list.num_detected() == 0
     })

@@ -8,7 +8,7 @@
 //!   in reverse order and drop patterns that detect nothing new.
 
 use dft_fault::FaultList;
-use dft_logicsim::{FaultSim, PatternSet, TestCube};
+use dft_logicsim::{AnyKernel, Executor, PatternSet, SimKernel, TestCube};
 use dft_netlist::Netlist;
 
 /// Greedily merges compatible cubes (first-fit). Returns the merged cube
@@ -32,7 +32,8 @@ pub fn reverse_order_compaction(
     patterns: &PatternSet,
     faults: Vec<dft_fault::Fault>,
 ) -> PatternSet {
-    let sim = FaultSim::new(nl);
+    let sim = AnyKernel::compile(nl);
+    let exec = Executor::serial();
     let mut list = FaultList::new(faults);
     let mut keep = vec![false; patterns.len()];
     // Simulate one pattern at a time, last first, keeping only those that
@@ -41,7 +42,7 @@ pub fn reverse_order_compaction(
         let mut single = PatternSet::new(patterns.width());
         single.push(patterns.pattern(i).clone());
         let before = list.num_detected();
-        sim.run(&single, &mut list);
+        sim.fault_batch(&single, &mut list, &exec);
         if list.num_detected() > before {
             keep[i] = true;
         }
@@ -92,10 +93,10 @@ mod tests {
             .collect();
         let merged = compact_cubes(&cubes);
         assert!(merged.len() < cubes.len());
-        let sim = FaultSim::new(&nl);
+        let sim = AnyKernel::compile(&nl);
         let patterns: PatternSet = merged.iter().map(|c| c.fill_with(false)).collect();
         let mut list = FaultList::new(faults);
-        sim.run(&patterns, &mut list);
+        sim.fault_batch(&patterns, &mut list, &Executor::serial());
         assert!(
             (list.fault_coverage() - 1.0).abs() < 1e-12,
             "coverage {} with {} patterns",
@@ -107,14 +108,15 @@ mod tests {
     #[test]
     fn reverse_compaction_never_loses_coverage() {
         let nl = c17();
-        let sim = FaultSim::new(&nl);
+        let sim = AnyKernel::compile(&nl);
+        let exec = Executor::serial();
         let ps = PatternSet::random(&nl, 64, 13);
         let mut before = FaultList::new(universe_stuck_at(&nl));
-        sim.run(&ps, &mut before);
+        sim.fault_batch(&ps, &mut before, &exec);
         let compacted = reverse_order_compaction(&nl, &ps, universe_stuck_at(&nl));
         assert!(compacted.len() < ps.len());
         let mut after = FaultList::new(universe_stuck_at(&nl));
-        sim.run(&compacted, &mut after);
+        sim.fault_batch(&compacted, &mut after, &exec);
         assert_eq!(before.num_detected(), after.num_detected());
     }
 }

@@ -20,7 +20,7 @@ use dft_checkpoint::{
     CkptStatus, Journal,
 };
 use dft_fault::{collapse_equivalent, universe_stuck_at, Fault, FaultList, FaultStatus};
-use dft_logicsim::{Executor, FaultSim, PatternSet, TestCube};
+use dft_logicsim::{AnyKernel, Executor, PatternSet, SimKernel, TestCube};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 use dft_trace::TraceHandle;
@@ -255,6 +255,9 @@ pub struct AtpgRun {
     pub podem: PodemStats,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Wall-clock time spent compiling the simulation kernel (tape
+    /// levelization and layout; paid once per run, before phase 1).
+    pub compile_time: Duration,
     /// Wall-clock time of the random-pattern phase (phase 1).
     pub random_time: Duration,
     /// Wall-clock time of deterministic top-off and compaction (phase 2).
@@ -772,7 +775,12 @@ impl<'a> Atpg<'a> {
         let start = Instant::now();
         let exec = Executor::with_threads(config.threads);
         let collapsed = collapse_equivalent(self.nl, &universe);
-        let mut sim = FaultSim::new(self.nl)
+        // Compile the simulation kernel once per run; the span is the
+        // timing source for the reported compile phase.
+        let t_compile = self.trace.timed_span("sim_compile");
+        let compiled = AnyKernel::compile(self.nl);
+        let compile_time = t_compile.finish();
+        let mut sim = compiled
             .with_metrics(self.metrics.clone())
             .with_trace(self.trace.clone());
         if let Some(poison) = config.poison_fault {
@@ -876,7 +884,7 @@ impl<'a> Atpg<'a> {
             arm(&mut dur, config.deadline_ms);
             if config.random_patterns > 0 {
                 let random = PatternSet::random(self.nl, config.random_patterns, config.seed);
-                let stats = sim.run_with(&random, &mut w.reps, &exec);
+                let stats = sim.fault_batch(&random, &mut w.reps, &exec);
                 w.failed_sim_batches += stats.failed_batches;
                 if stats.interrupted {
                     // The interrupted pass marked nothing, so the state
@@ -948,7 +956,7 @@ impl<'a> Atpg<'a> {
                         _ => {}
                     }
                 }
-                let stats = sim.run_with(&rebuilt, &mut fresh, &exec);
+                let stats = sim.fault_batch(&rebuilt, &mut fresh, &exec);
                 w.failed_sim_batches += stats.failed_batches;
                 if stats.interrupted {
                     // Discard the half-done rebuild entirely; the
@@ -1010,7 +1018,7 @@ impl<'a> Atpg<'a> {
             }
         }
         let mut fault_list = FaultList::new(universe);
-        let stats = sim.run_with(&w.patterns, &mut fault_list, &exec);
+        let stats = sim.fault_batch(&w.patterns, &mut fault_list, &exec);
         w.failed_sim_batches += stats.failed_batches;
         if stats.interrupted {
             return Err(interrupted(
@@ -1063,6 +1071,7 @@ impl<'a> Atpg<'a> {
             failed_sim_batches: w.failed_sim_batches,
             podem: w.podem_stats,
             elapsed: start.elapsed(),
+            compile_time,
             random_time,
             deterministic_time,
             signoff_time,
@@ -1082,7 +1091,7 @@ impl<'a> Atpg<'a> {
         config: &AtpgConfig,
         podem: &Podem<'_>,
         dalg: &DAlgorithm<'_>,
-        sim: &FaultSim<'_>,
+        sim: &AnyKernel<'_>,
         w: &mut Working,
         dur: &mut Option<DurCtx<'_>>,
         round: u32,
@@ -1167,7 +1176,7 @@ impl<'a> Atpg<'a> {
                     let pattern = cube.random_fill(w.fill_seed);
                     let mut single = PatternSet::for_netlist(self.nl);
                     single.push(pattern.clone());
-                    let stats = sim.run(&single, &mut w.reps);
+                    let stats = sim.fault_batch(&single, &mut w.reps, &Executor::serial());
                     w.failed_sim_batches += stats.failed_batches;
                     if stats.interrupted {
                         // The interrupted pass marked nothing and the

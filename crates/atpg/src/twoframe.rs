@@ -10,7 +10,7 @@
 //! broadside launch condition.
 
 use dft_fault::{Fault, FaultKind, FaultList, FaultSite, FaultStatus};
-use dft_logicsim::{broadside_pairs, PatternSet, TransitionSim};
+use dft_logicsim::{broadside_pairs, AnyKernel, Executor, PatternSet, SimKernel};
 use dft_netlist::{GateId, GateKind, Netlist};
 
 use crate::{AtpgResult, Podem};
@@ -142,7 +142,8 @@ impl<'a> TransitionAtpg<'a> {
         backtrack_limit: u32,
         seed: u64,
     ) -> TransitionAtpgRun {
-        let tsim = TransitionSim::new(self.nl);
+        let tsim = AnyKernel::compile(self.nl);
+        let exec = Executor::serial();
         let mut list = FaultList::new(universe);
 
         // Phase 1: random scan patterns -> broadside pairs.
@@ -150,7 +151,7 @@ impl<'a> TransitionAtpg<'a> {
         if random_pairs > 0 {
             let ps = PatternSet::random(self.nl, random_pairs, seed);
             pairs = broadside_pairs(self.nl, &ps);
-            tsim.run(&pairs, &mut list);
+            tsim.transition_batch(&pairs, &mut list, &exec);
         }
 
         // Phase 2: deterministic top-off on the expanded circuit.
@@ -201,7 +202,7 @@ impl<'a> TransitionAtpg<'a> {
                     let mut single = PatternSet::for_netlist(self.nl);
                     single.push(launch_vec);
                     let new_pairs = broadside_pairs(self.nl, &single);
-                    tsim.run(&new_pairs, &mut list);
+                    tsim.transition_batch(&new_pairs, &mut list, &exec);
                     if !list.status(idx).is_detected() {
                         // Two-frame model and pair simulation disagree —
                         // should not happen; fail safe.
@@ -227,7 +228,7 @@ impl<'a> TransitionAtpg<'a> {
         // Final sign-off: re-simulate the whole pair list against a fresh
         // fault list so Detected(pattern) indices are globally consistent.
         let mut final_list = FaultList::new(list.faults().to_vec());
-        tsim.run(&pairs, &mut final_list);
+        tsim.transition_batch(&pairs, &mut final_list, &exec);
         for i in 0..list.len() {
             match list.status(i) {
                 FaultStatus::Untestable => final_list.set_status(i, FaultStatus::Untestable),
@@ -325,7 +326,7 @@ mod tests {
         let nl = s27();
         let atpg = TransitionAtpg::new(&nl);
         let run = atpg.run(universe_transition(&nl), 8, 200, 5);
-        let tsim = TransitionSim::new(&nl);
+        let tsim = dft_logicsim::TransitionSim::new(&nl);
         for i in 0..run.fault_list.len() {
             if let FaultStatus::Detected(p) = run.fault_list.status(i) {
                 let (l, c) = &run.pairs[p as usize];

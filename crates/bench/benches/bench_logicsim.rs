@@ -1,29 +1,36 @@
-//! Criterion: good-machine simulation throughput (patterns/second).
+//! Criterion: good-machine simulation throughput (patterns/second),
+//! legacy 64-wide blocks vs the 256-wide gate tape.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dft_core::logicsim::{GoodSim, PatternSet};
+use dft_core::logicsim::{LegacyKernel, PatternSet, SimKernel, TapeKernel};
 use dft_core::netlist::generators::{random_logic, systolic_array, SystolicConfig};
+use dft_core::netlist::Netlist;
+
+fn bench_both(group: &mut criterion::BenchmarkGroup<'_>, name: &str, nl: &Netlist) {
+    let ps = PatternSet::random(nl, 256, 1);
+    group.throughput(Throughput::Elements(256));
+    let legacy = LegacyKernel::compile(nl);
+    group.bench_with_input(BenchmarkId::new(name, "legacy"), &name, |b, _| {
+        b.iter(|| legacy.eval_batch(&ps).len());
+    });
+    let tape = TapeKernel::compile(nl);
+    group.bench_with_input(BenchmarkId::new(name, "tape"), &name, |b, _| {
+        b.iter(|| tape.eval_batch(&ps).len());
+    });
+}
 
 fn bench_goodsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("goodsim");
     for gates in [1000usize, 5000, 20000] {
         let nl = random_logic(64, gates, 0xB1);
-        let sim = GoodSim::new(&nl);
-        let ps = PatternSet::random(&nl, 256, 1);
-        group.throughput(Throughput::Elements(256));
-        group.bench_with_input(BenchmarkId::new("random_logic", gates), &gates, |b, _| {
-            b.iter(|| sim.simulate_all(&ps));
-        });
+        bench_both(&mut group, &format!("random_logic_{gates}"), &nl);
     }
     let nl = systolic_array(SystolicConfig {
         rows: 4,
         cols: 4,
         width: 4,
     });
-    let sim = GoodSim::new(&nl);
-    let ps = PatternSet::random(&nl, 256, 2);
-    group.throughput(Throughput::Elements(256));
-    group.bench_function("systolic4x4", |b| b.iter(|| sim.simulate_all(&ps)));
+    bench_both(&mut group, "systolic4x4", &nl);
     group.finish();
 }
 

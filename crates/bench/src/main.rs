@@ -44,6 +44,7 @@ fn main() {
         ("e12", experiments::e12_ssn),
         ("metrics", experiments::metrics_report),
         ("repair", experiments::repair_report),
+        ("ppsfp", experiments::ppsfp_report),
     ];
     match which {
         "all" => {
@@ -58,7 +59,7 @@ fn main() {
         id => match all.iter().find(|(n, _)| *n == id) {
             Some((_, f)) => f(),
             None => {
-                eprintln!("unknown experiment `{id}`; use e1..e12, metrics, repair, or all");
+                eprintln!("unknown experiment `{id}`; use e1..e12, metrics, repair, ppsfp, or all");
                 std::process::exit(2);
             }
         },

@@ -2,7 +2,7 @@
 
 use dft_checkpoint::CancelToken;
 use dft_fault::{universe_stuck_at, FaultList};
-use dft_logicsim::{Executor, FaultSim, GoodSim, PatternSet};
+use dft_logicsim::{AnyKernel, Executor, PatternSet, SimKernel};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 use dft_trace::TraceHandle;
@@ -112,14 +112,14 @@ impl<'a> LogicBist<'a> {
             m.bist_sessions.inc();
         }
         let ps = self.patterns(n, seed);
-        let mut sim = FaultSim::new(self.nl)
+        let mut sim = AnyKernel::compile(self.nl)
             .with_metrics(self.metrics.clone())
             .with_trace(self.trace.clone());
         if let Some(tok) = &self.cancel {
             sim = sim.with_cancel(tok.clone());
         }
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        let stats = sim.run_with(&ps, &mut list, &self.exec);
+        let stats = sim.fault_batch(&ps, &mut list, &self.exec);
         let signature = self.signature(&ps);
         BistResult {
             patterns: n,
@@ -135,14 +135,13 @@ impl<'a> LogicBist<'a> {
     /// detection behaviour to a MISR for fully-specified responses.
     pub fn signature(&self, ps: &PatternSet) -> u64 {
         let _span = self.trace.span_arg("misr_signature", ps.len() as u64);
-        let mut sim = GoodSim::new(self.nl);
-        sim.set_metrics(self.metrics.clone());
+        let sim = AnyKernel::compile(self.nl).with_metrics(self.metrics.clone());
         if let Some(m) = self.metrics.get() {
             // One MISR absorb cycle per response shifted out.
             m.misr_cycles.add(ps.len() as u64);
         }
         let mut sig = 0u64;
-        for resp in sim.simulate_all(ps) {
+        for resp in sim.eval_batch(ps) {
             for (i, bit) in resp.iter().enumerate() {
                 sig = sig.rotate_left(1) ^ ((*bit as u64) << (i % 7));
             }
@@ -164,9 +163,9 @@ impl<'a> LogicBist<'a> {
     ) -> Vec<f64> {
         use dft_atpg::{AtpgResult, Podem};
         let ps = self.patterns(base_patterns, seed);
-        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
+        let sim = AnyKernel::compile(self.nl).with_metrics(self.metrics.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        sim.run_with(&ps, &mut list, &self.exec);
+        sim.fault_batch(&ps, &mut list, &self.exec);
         let mut podem = Podem::new(self.nl);
         podem.set_metrics(self.metrics.clone());
         let width = self.nl.num_inputs() + self.nl.num_dffs();
@@ -219,14 +218,14 @@ impl<'a> LogicBist<'a> {
             m.bist_patterns.add(n as u64);
         }
         let ps = self.weighted_patterns(n, seed, weights);
-        let mut sim = FaultSim::new(self.nl)
+        let mut sim = AnyKernel::compile(self.nl)
             .with_metrics(self.metrics.clone())
             .with_trace(self.trace.clone());
         if let Some(tok) = &self.cancel {
             sim = sim.with_cancel(tok.clone());
         }
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        let stats = sim.run_with(&ps, &mut list, &self.exec);
+        let stats = sim.fault_batch(&ps, &mut list, &self.exec);
         BistResult {
             patterns: n,
             coverage: list.fault_coverage(),
@@ -241,9 +240,9 @@ impl<'a> LogicBist<'a> {
     pub fn coverage_curve(&self, checkpoints: &[usize], seed: u64) -> Vec<(usize, f64)> {
         let max = checkpoints.iter().copied().max().unwrap_or(0);
         let ps = self.patterns(max, seed);
-        let sim = FaultSim::new(self.nl).with_metrics(self.metrics.clone());
+        let sim = AnyKernel::compile(self.nl).with_metrics(self.metrics.clone());
         let mut list = FaultList::new(universe_stuck_at(self.nl));
-        sim.run_with(&ps, &mut list, &self.exec);
+        sim.fault_batch(&ps, &mut list, &self.exec);
         // First-detection indices give the whole curve in one pass.
         checkpoints
             .iter()
@@ -264,7 +263,6 @@ impl<'a> LogicBist<'a> {
 mod tests {
     use super::*;
     use dft_fault::{universe_stuck_at, FaultList};
-    use dft_logicsim::FaultSim;
     use dft_netlist::generators::{decoder, parity_tree};
     use dft_netlist::GateKind;
 
@@ -312,19 +310,24 @@ mod tests {
         nl.add_output(and, "po_and");
         nl.add_output(or, "po_or");
         let bist = LogicBist::new(&nl, 32);
-        let sim = FaultSim::new(&nl);
+        let sim = AnyKernel::compile(&nl);
+        let exec = Executor::serial();
 
         let all_flat = {
             let ps = bist.patterns(512, 0xAA);
             let mut list = FaultList::new(universe_stuck_at(&nl));
-            sim.run(&ps, &mut list);
+            sim.fault_batch(&ps, &mut list, &exec);
             list.fault_coverage()
         };
         let mixed = {
             let mut list = FaultList::new(universe_stuck_at(&nl));
-            sim.run(&bist.patterns(256, 0xAA), &mut list);
+            sim.fault_batch(&bist.patterns(256, 0xAA), &mut list, &exec);
             let weights = bist.weight_set_from_residual(256, 0xAA, 64);
-            sim.run(&bist.weighted_patterns(256, 0xAB, &weights), &mut list);
+            sim.fault_batch(
+                &bist.weighted_patterns(256, 0xAB, &weights),
+                &mut list,
+                &exec,
+            );
             list.fault_coverage()
         };
         assert!(

@@ -251,6 +251,7 @@ impl<'a> DftFlow<'a> {
         let compression_time = t_compress.finish();
         let phase_times = PhaseTimes {
             scan: scan_time,
+            compile: run.compile_time,
             random_sim: run.random_time,
             deterministic: run.deterministic_time + run.signoff_time,
             compression: compression_time,
@@ -312,6 +313,9 @@ fn flow_error(design: &str, e: AtpgError) -> DftError {
 pub struct PhaseTimes {
     /// Scan insertion.
     pub scan: Duration,
+    /// Simulation-kernel compilation (tape levelization and layout;
+    /// paid once per run, before the first simulation phase).
+    pub compile: Duration,
     /// Random-pattern fault simulation (ATPG phase 1).
     pub random_sim: Duration,
     /// Deterministic ATPG: top-off, compaction, and sign-off simulation.
@@ -329,7 +333,7 @@ pub struct PhaseTimes {
 impl PhaseTimes {
     /// Sum of the per-phase durations (always `<=` [`PhaseTimes::total`]).
     pub fn sum_phases(&self) -> Duration {
-        self.scan + self.random_sim + self.deterministic + self.compression
+        self.scan + self.compile + self.random_sim + self.deterministic + self.compression
     }
 }
 
@@ -441,8 +445,9 @@ impl fmt::Display for FlowReport {
         let t = &self.phase_times;
         writeln!(
             f,
-            "  timing: scan {:?}, random sim {:?}, deterministic {:?}, compression {:?}, total {:?} ({} thread{})",
+            "  timing: scan {:?}, compile {:?}, random sim {:?}, deterministic {:?}, compression {:?}, total {:?} ({} thread{})",
             t.scan,
+            t.compile,
             t.random_sim,
             t.deterministic,
             t.compression,
@@ -497,8 +502,9 @@ mod tests {
             let t = &report.phase_times;
             assert!(
                 t.sum_phases() <= t.total,
-                "phase drift: {:?} + {:?} + {:?} + {:?} = {:?} > total {:?}",
+                "phase drift: {:?} + {:?} + {:?} + {:?} + {:?} = {:?} > total {:?}",
                 t.scan,
+                t.compile,
                 t.random_sim,
                 t.deterministic,
                 t.compression,
@@ -506,6 +512,9 @@ mod tests {
                 t.total
             );
             assert!(t.total > std::time::Duration::ZERO);
+            // The kernel-compile phase is measured (its span ran), even
+            // if it rounds to zero on tiny designs.
+            assert!(t.sum_phases() >= t.compile);
         }
     }
 
@@ -532,6 +541,7 @@ mod tests {
         for phase in [
             "flow",
             "scan_insertion",
+            "sim_compile",
             "atpg_random",
             "atpg_topoff",
             "atpg_signoff",

@@ -64,6 +64,11 @@ impl<'a> DeductiveSim<'a> {
 
     /// Simulates `pattern` once and returns, for every fault in
     /// `universe`, whether the pattern detects it.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the SimKernel API for batch detection; DeductiveSim remains a \
+                test-only cross-check oracle"
+    )]
     pub fn detected(&self, pattern: &Pattern, universe: &[Fault]) -> Vec<bool> {
         assert_eq!(pattern.len(), self.sources.len(), "pattern width");
         let _span = self
@@ -191,6 +196,7 @@ impl<'a> DeductiveSim<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy oracle directly
     use super::*;
     use crate::{FaultSim, PatternSet};
     use dft_fault::universe_stuck_at;

@@ -123,6 +123,10 @@ impl<'a> GoodSim<'a> {
     }
 
     /// Simulates every pattern in `set`; returns one response per pattern.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the SimKernel API: compile an AnyKernel and call eval_batch"
+    )]
     pub fn simulate_all(&self, set: &PatternSet) -> Vec<Response> {
         let mut out = Vec::with_capacity(set.len());
         for (_, words, count) in set.blocks() {
@@ -143,6 +147,7 @@ impl<'a> GoodSim<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entry points directly
     use super::*;
     use dft_netlist::generators::{c17, ripple_adder};
     use dft_netlist::Netlist;

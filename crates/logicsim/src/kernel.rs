@@ -1,0 +1,824 @@
+//! The unified simulation-kernel API.
+//!
+//! [`SimKernel`] is the single entry point every simulation consumer
+//! (ATPG, LBIST, EDT verification, the aichip broadcast screen) goes
+//! through: compile a netlist once, then run good-machine, stuck-at, and
+//! transition batches against the compiled design. Callers stop owning
+//! graph-walk details, and the engine becomes swappable behind the trait:
+//!
+//! - [`TapeKernel`] — the default: a compile-once levelized
+//!   [`GateTape`] evaluated 256 patterns per pass (see [`crate::tape`]).
+//! - [`LegacyKernel`] — the original per-evaluation graph walkers
+//!   ([`FaultSim`]/[`TransitionSim`]), kept until the migration window
+//!   closes and used by CI to cross-check bit-identical coverage.
+//! - [`AnyKernel`] — a runtime-selected kernel; [`AnyKernel::compile`]
+//!   honours the `AIDFT_KERNEL` environment variable (`legacy` or
+//!   `tape`, default `tape`) so CI can pin either engine without a
+//!   rebuild.
+//!
+//! Both kernels obey the same determinism contract as the legacy
+//! entry points: the detected-fault set, each fault's first detecting
+//! pattern, and the coverage numbers are bit-identical across kernels
+//! and across thread counts. Only the work counters (`gate_evals`)
+//! differ, because the tape evaluates 256 patterns per gate visit.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dft_checkpoint::{CancelToken, ChaosConfig, ChaosSite};
+use dft_fault::{Fault, FaultList};
+use dft_metrics::MetricsHandle;
+use dft_netlist::Netlist;
+use dft_trace::TraceHandle;
+
+use crate::tape::{GateTape, TapeWorkspace, WideWord, LANES, WIDE_PATTERNS};
+use crate::{Executor, FaultSim, Pattern, PatternSet, Response, SimStats, TransitionSim};
+
+/// Below this many fault×pattern propagations the spawn/merge cost
+/// dominates; kernels fall back to the calling thread. Matches the
+/// legacy engines so scheduling decisions stay identical.
+const PARALLEL_THRESHOLD: usize = 1 << 12;
+
+/// A compiled simulation engine for one netlist.
+///
+/// Compile once, evaluate many: the constructor pays any per-design
+/// analysis (levelization, tape layout) exactly once, and every batch
+/// call reuses it. All batch methods take `&self` and are safe to call
+/// from multiple threads.
+pub trait SimKernel<'nl>: Sized {
+    /// Compiles `nl` into an engine-specific design representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational loop.
+    fn compile(nl: &'nl Netlist) -> Self;
+
+    /// The netlist this kernel was compiled from.
+    fn netlist(&self) -> &'nl Netlist;
+
+    /// Good-machine simulation of every pattern: returns one
+    /// [`Response`] per pattern (primary outputs first, then flop D-pin
+    /// captures, in netlist source order).
+    fn eval_batch(&self, patterns: &PatternSet) -> Vec<Response>;
+
+    /// PPSFP stuck-at fault simulation: runs all `patterns` against the
+    /// undetected faults in `list`, marking first detections (fault
+    /// dropping) and returning run statistics. Bit-identical results for
+    /// any thread count and any [`SimKernel`] implementation.
+    fn fault_batch(&self, patterns: &PatternSet, list: &mut FaultList, exec: &Executor)
+        -> SimStats;
+
+    /// Transition-delay fault simulation over launch/capture pairs
+    /// (`pairs[i]` launches with `.0` and captures with `.1`), marking
+    /// first detections in `list`. Bit-identical across kernels and
+    /// thread counts.
+    fn transition_batch(
+        &self,
+        pairs: &[(Pattern, Pattern)],
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats;
+}
+
+/// Which simulation engine an [`AnyKernel`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Per-evaluation netlist graph walk (the original engines).
+    Legacy,
+    /// Compile-once levelized gate tape, 256 patterns per pass.
+    Tape,
+}
+
+impl KernelKind {
+    /// Reads the kernel selection from the `AIDFT_KERNEL` environment
+    /// variable: `legacy` selects [`KernelKind::Legacy`]; anything else
+    /// (including unset) selects the default [`KernelKind::Tape`].
+    pub fn from_env() -> KernelKind {
+        match std::env::var("AIDFT_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("legacy") => KernelKind::Legacy,
+            _ => KernelKind::Tape,
+        }
+    }
+
+    /// Stable lower-case name (`legacy` / `tape`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Legacy => "legacy",
+            KernelKind::Tape => "tape",
+        }
+    }
+}
+
+/// The original graph-walk engines behind the [`SimKernel`] API.
+///
+/// Wraps [`TransitionSim`] (which itself wraps [`FaultSim`] and
+/// [`crate::GoodSim`]); exists so the legacy path stays reachable for
+/// cross-kernel verification while its direct entry points are
+/// deprecated.
+#[derive(Debug)]
+pub struct LegacyKernel<'nl> {
+    nl: &'nl Netlist,
+    tsim: TransitionSim<'nl>,
+}
+
+impl<'nl> LegacyKernel<'nl> {
+    /// Attaches a cancellation token (see [`FaultSim::with_cancel`]).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> LegacyKernel<'nl> {
+        self.tsim = self.tsim.with_cancel(cancel);
+        self
+    }
+
+    /// Attaches the chaos harness (see [`FaultSim::with_chaos`]).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> LegacyKernel<'nl> {
+        self.tsim = self.tsim.with_chaos(chaos);
+        self
+    }
+
+    /// Test-only poison hook (see [`FaultSim::with_poisoned_fault`]).
+    pub fn with_poisoned_fault(mut self, fault: Fault) -> LegacyKernel<'nl> {
+        self.tsim = self.tsim.with_poisoned_fault(fault);
+        self
+    }
+
+    /// Points run counters at `metrics`.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> LegacyKernel<'nl> {
+        self.tsim = self.tsim.with_metrics(metrics);
+        self
+    }
+
+    /// Points span recording at `trace`.
+    pub fn with_trace(mut self, trace: TraceHandle) -> LegacyKernel<'nl> {
+        self.tsim = self.tsim.with_trace(trace);
+        self
+    }
+
+    /// The wrapped stuck-at engine (rich per-fault APIs used by
+    /// diagnosis live there).
+    pub fn fault_sim(&self) -> &FaultSim<'nl> {
+        self.tsim.fault_sim()
+    }
+}
+
+impl<'nl> SimKernel<'nl> for LegacyKernel<'nl> {
+    fn compile(nl: &'nl Netlist) -> Self {
+        LegacyKernel {
+            nl,
+            tsim: TransitionSim::new(nl),
+        }
+    }
+
+    fn netlist(&self) -> &'nl Netlist {
+        self.nl
+    }
+
+    fn eval_batch(&self, patterns: &PatternSet) -> Vec<Response> {
+        #[allow(deprecated)]
+        self.tsim.fault_sim().good_sim().simulate_all(patterns)
+    }
+
+    fn fault_batch(
+        &self,
+        patterns: &PatternSet,
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
+        #[allow(deprecated)]
+        self.tsim.fault_sim().run_with(patterns, list, exec)
+    }
+
+    fn transition_batch(
+        &self,
+        pairs: &[(Pattern, Pattern)],
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
+        #[allow(deprecated)]
+        self.tsim.run_with(pairs, list, exec)
+    }
+}
+
+/// The compile-once gate-tape engine behind the [`SimKernel`] API.
+///
+/// [`TapeKernel::compile`] levelizes and flattens the netlist into a
+/// [`GateTape`]; every batch then evaluates 256 patterns per pass and
+/// propagates faults with per-level event buckets. Scheduling,
+/// cancellation, chaos, and panic-isolation semantics mirror
+/// [`FaultSim::run_with`] exactly.
+#[derive(Debug)]
+pub struct TapeKernel<'nl> {
+    nl: &'nl Netlist,
+    tape: GateTape,
+    metrics: MetricsHandle,
+    trace: TraceHandle,
+    poison: Option<Fault>,
+    cancel: Option<CancelToken>,
+    chaos: Option<ChaosConfig>,
+}
+
+impl<'nl> TapeKernel<'nl> {
+    /// Attaches a cancellation token; same drain-and-discard contract as
+    /// [`FaultSim::with_cancel`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> TapeKernel<'nl> {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches the chaos harness; injections key on fault-list indices,
+    /// so the same faults are hit as on the legacy engine.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> TapeKernel<'nl> {
+        self.chaos = chaos.is_active().then_some(chaos);
+        self
+    }
+
+    /// Test-only poison hook; see [`FaultSim::with_poisoned_fault`].
+    pub fn with_poisoned_fault(mut self, fault: Fault) -> TapeKernel<'nl> {
+        self.poison = Some(fault);
+        self
+    }
+
+    /// Points run counters at `metrics` (same counter families as the
+    /// legacy engines; `*_gate_evals` count wide evaluations).
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> TapeKernel<'nl> {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Points span recording at `trace`; emits the same span names as
+    /// the legacy engines (`faultsim_run`, `goodsim_eval`,
+    /// `faultsim_batch`, `transition_run`, `transition_batch`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> TapeKernel<'nl> {
+        self.trace = trace;
+        self
+    }
+
+    /// The compiled tape.
+    pub fn tape(&self) -> &GateTape {
+        &self.tape
+    }
+
+    /// Counts one good-machine wide pass into the `goodsim_*` family.
+    fn note_good_pass(&self) {
+        if let Some(m) = self.metrics.get() {
+            m.goodsim_blocks.inc();
+            m.goodsim_gate_evals.add(self.tape.evals_per_pass());
+        }
+    }
+
+    /// Flushes one fault run's [`SimStats`] (same registry counters as
+    /// [`FaultSim`]).
+    fn flush_fault_stats(&self, stats: &SimStats) {
+        if let Some(m) = self.metrics.get() {
+            m.faultsim_runs.inc();
+            m.faultsim_patterns.add(stats.patterns as u64);
+            m.faultsim_faults.add(stats.faults_simulated as u64);
+            m.faultsim_detected.add(stats.detected as u64);
+            m.faultsim_gate_evals.add(stats.gate_evals);
+            m.faultsim_failed_batches.add(stats.failed_batches as u64);
+        }
+    }
+
+    /// Flushes one transition run's [`SimStats`] (same registry counters
+    /// as [`TransitionSim`]).
+    fn flush_transition_stats(&self, stats: &SimStats) {
+        if let Some(m) = self.metrics.get() {
+            m.transition_runs.inc();
+            m.transition_pairs.add(stats.patterns as u64);
+            m.transition_detected.add(stats.detected as u64);
+            m.transition_gate_evals.add(stats.gate_evals);
+        }
+    }
+
+    /// First detecting pattern within a wide block, if any: lanes are
+    /// consecutive 64-pattern sub-blocks, so the first non-zero lane's
+    /// lowest set bit is the earliest detecting pattern.
+    #[inline]
+    fn first_detection(start: usize, det: &WideWord) -> Option<u32> {
+        (0..LANES)
+            .find(|&l| det[l] != 0)
+            .map(|l| (start + 64 * l) as u32 + det[l].trailing_zeros())
+    }
+}
+
+impl<'nl> SimKernel<'nl> for TapeKernel<'nl> {
+    fn compile(nl: &'nl Netlist) -> Self {
+        TapeKernel {
+            nl,
+            tape: GateTape::compile(nl),
+            metrics: MetricsHandle::disabled(),
+            trace: TraceHandle::disabled(),
+            poison: None,
+            cancel: None,
+            chaos: None,
+        }
+    }
+
+    fn netlist(&self) -> &'nl Netlist {
+        self.nl
+    }
+
+    fn eval_batch(&self, patterns: &PatternSet) -> Vec<Response> {
+        let mut out = Vec::with_capacity(patterns.len());
+        let mut vals = Vec::new();
+        let mut start = 0usize;
+        while start < patterns.len() {
+            let (src, count) = GateTape::pack_wide(patterns, start);
+            self.tape.eval_wide(&src, &mut vals);
+            self.note_good_pass();
+            let sinks = self.tape.sink_words_wide(&vals);
+            for k in 0..count {
+                out.push(
+                    sinks
+                        .iter()
+                        .map(|w| (w[k / 64] >> (k % 64)) & 1 == 1)
+                        .collect(),
+                );
+            }
+            start += WIDE_PATTERNS;
+        }
+        out
+    }
+
+    fn fault_batch(
+        &self,
+        patterns: &PatternSet,
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
+        let active: Vec<usize> = list.undetected().collect();
+        let mut stats = SimStats {
+            patterns: patterns.len(),
+            faults_simulated: active.len(),
+            ..SimStats::default()
+        };
+        let exec = if active.len() * patterns.len() < PARALLEL_THRESHOLD {
+            Executor::serial()
+        } else {
+            *exec
+        };
+        let _run = self.trace.span_arg("faultsim_run", active.len() as u64);
+        // Precompute wide good values for every 256-pattern block
+        // (shared read-only across workers), plus a packed copy of lane 0
+        // for the scalar fast path.
+        let blocks: Vec<(usize, Vec<WideWord>, Vec<u64>, WideWord)> = {
+            let _g = self.trace.span_arg(
+                "goodsim_eval",
+                patterns.len().div_ceil(WIDE_PATTERNS) as u64,
+            );
+            let mut blocks = Vec::new();
+            let mut start = 0usize;
+            while start < patterns.len() {
+                let (src, count) = GateTape::pack_wide(patterns, start);
+                let mut vals = Vec::new();
+                self.tape.eval_wide(&src, &mut vals);
+                self.note_good_pass();
+                let lane0 = GateTape::lane_values(&vals, 0);
+                blocks.push((start, vals, lane0, GateTape::wide_mask(count)));
+                start += WIDE_PATTERNS;
+            }
+            blocks
+        };
+        let faults = list.faults();
+        // One result per chunk, in chunk (= fault) order.
+        type ChunkResult = (Vec<(usize, u32)>, u64, usize);
+        let chunk_len = active.len().div_ceil(exec.threads()).max(1);
+        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |base, part| {
+            let _batch = if self.trace.batch_spans() {
+                Some(
+                    self.trace
+                        .span_arg("faultsim_batch", (base / chunk_len) as u64),
+                )
+            } else {
+                None
+            };
+            let mut ws = TapeWorkspace::new(&self.tape);
+            let mut detections = Vec::new();
+            let mut evals = 0u64;
+            let mut failed = 0usize;
+            // Block-major over the chunk: faults still alive (undetected,
+            // not failed) carry over to the next wide block. Per-fault
+            // work and results are identical to fault-major order; this
+            // order lets the workspace keep one block's good lane loaded
+            // across the whole fault sweep.
+            let mut alive: Vec<usize> = part.to_vec();
+            'blocks: for (start, good, lane0, mask) in &blocks {
+                if alive.is_empty() {
+                    break;
+                }
+                ws.load_lane(lane0);
+                let mut kept = Vec::with_capacity(alive.len());
+                for &idx in &alive {
+                    if let Some(tok) = &self.cancel {
+                        if tok.poll() {
+                            break 'blocks;
+                        }
+                    }
+                    if let Some(chaos) = &self.chaos {
+                        if chaos.fires(ChaosSite::DelayBatch, idx as u64) {
+                            std::thread::sleep(chaos.delay);
+                        }
+                    }
+                    let fault = faults[idx];
+                    // One fault = one batch: contain any panic to it. The
+                    // workspace is safe to reuse after a mid-propagation
+                    // panic because the next injection's re-arm restores
+                    // the current-value array and frontier bitset.
+                    let batch = catch_unwind(AssertUnwindSafe(|| {
+                        if self.poison == Some(fault) {
+                            panic!("poisoned fault batch: {fault}");
+                        }
+                        if let Some(chaos) = &self.chaos {
+                            if chaos.fires(ChaosSite::WorkerPanic, idx as u64) {
+                                panic!("chaos: injected worker panic at fault {idx}");
+                            }
+                        }
+                        // Fast path: most drops happen within the first
+                        // 64 patterns of a block, so propagate lane 0
+                        // alone (scalar, quarter the traffic). Survivors
+                        // pay one wide pass for the remaining three lanes
+                        // together instead of three scalar passes.
+                        let mut e = 0u64;
+                        let (det0, de) = self.tape.detect_lane(mask[0], fault, &mut ws);
+                        e += de;
+                        if det0 != 0 {
+                            return (Some(*start as u32 + det0.trailing_zeros()), e);
+                        }
+                        if mask[1] != 0 {
+                            let tail = [0, mask[1], mask[2], mask[3]];
+                            let (det, de) = self.tape.detect_wide(good, &tail, fault, &mut ws);
+                            e += de;
+                            if let Some(pattern) = Self::first_detection(*start, &det) {
+                                return (Some(pattern), e);
+                            }
+                        }
+                        (None, e)
+                    }));
+                    match batch {
+                        Ok((hit, e)) => {
+                            evals += e;
+                            match hit {
+                                Some(pattern) => detections.push((idx, pattern)),
+                                None => kept.push(idx),
+                            }
+                        }
+                        // A failed batch is not retried on later blocks.
+                        Err(_) => failed += 1,
+                    }
+                }
+                alive = kept;
+            }
+            (detections, evals, failed)
+        });
+        stats.interrupted = self.cancel.as_ref().is_some_and(|tok| tok.is_cancelled());
+        for (detections, evals, failed) in chunks {
+            stats.gate_evals += evals;
+            stats.failed_batches += failed;
+            if stats.interrupted {
+                // Discard every detection (see SimStats::interrupted).
+                continue;
+            }
+            for (idx, pattern) in detections {
+                list.mark_detected(idx, pattern);
+                stats.detected += 1;
+            }
+        }
+        self.flush_fault_stats(&stats);
+        stats
+    }
+
+    fn transition_batch(
+        &self,
+        pairs: &[(Pattern, Pattern)],
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
+        let active: Vec<usize> = list.undetected().collect();
+        let mut stats = SimStats {
+            patterns: pairs.len(),
+            faults_simulated: active.len(),
+            ..SimStats::default()
+        };
+        let exec = if active.len() * pairs.len() < PARALLEL_THRESHOLD {
+            Executor::serial()
+        } else {
+            *exec
+        };
+        let _run = self.trace.span_arg("transition_run", pairs.len() as u64);
+        // Wide launch/capture good values per 256-pair block.
+        struct Block {
+            start: usize,
+            good1: Vec<WideWord>,
+            good2: Vec<WideWord>,
+            mask: WideWord,
+        }
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        while start < pairs.len() {
+            let count = (pairs.len() - start).min(WIDE_PATTERNS);
+            let width = pairs[0].0.len();
+            let mut w1 = vec![[0u64; LANES]; width];
+            let mut w2 = vec![[0u64; LANES]; width];
+            for k in 0..count {
+                let (lane, bit) = (k / 64, k % 64);
+                let (l, c) = &pairs[start + k];
+                for s in 0..width {
+                    if l[s] {
+                        w1[s][lane] |= 1 << bit;
+                    }
+                    if c[s] {
+                        w2[s][lane] |= 1 << bit;
+                    }
+                }
+            }
+            let mut good1 = Vec::new();
+            self.tape.eval_wide(&w1, &mut good1);
+            self.note_good_pass();
+            let mut good2 = Vec::new();
+            self.tape.eval_wide(&w2, &mut good2);
+            self.note_good_pass();
+            blocks.push(Block {
+                start,
+                good1,
+                good2,
+                mask: GateTape::wide_mask(count),
+            });
+            start += count;
+        }
+        let faults = list.faults();
+        type ChunkResult = (Vec<(usize, u32)>, u64);
+        let chunk_len = active.len().div_ceil(exec.threads()).max(1);
+        let chunks: Vec<ChunkResult> = exec.map_chunks(&active, |base, part| {
+            let _batch = if self.trace.batch_spans() {
+                Some(
+                    self.trace
+                        .span_arg("transition_batch", (base / chunk_len) as u64),
+                )
+            } else {
+                None
+            };
+            let mut ws = TapeWorkspace::new(&self.tape);
+            let mut out = Vec::new();
+            let mut evals = 0u64;
+            'fault: for &idx in part {
+                let fault = faults[idx];
+                let lvv = match fault.kind.launch_value() {
+                    Some(v) => v,
+                    None => continue, // not a transition fault
+                };
+                let site = self.tape.site_position(fault.site);
+                let stuck = Fault {
+                    site: fault.site,
+                    kind: if fault.kind.stuck_value() {
+                        dft_fault::FaultKind::StuckAt1
+                    } else {
+                        dft_fault::FaultKind::StuckAt0
+                    },
+                };
+                for b in &blocks {
+                    // Launch condition: site holds the pre-transition
+                    // value during v1.
+                    let g1 = &b.good1[site];
+                    let launch_ok: WideWord =
+                        std::array::from_fn(|l| (if lvv { g1[l] } else { !g1[l] }) & b.mask[l]);
+                    if launch_ok.iter().all(|&w| w == 0) {
+                        continue;
+                    }
+                    let (det, e) = self.tape.detect_wide(&b.good2, &b.mask, stuck, &mut ws);
+                    evals += e;
+                    let det: WideWord = std::array::from_fn(|l| det[l] & launch_ok[l]);
+                    if let Some(pair) = Self::first_detection(b.start, &det) {
+                        out.push((idx, pair));
+                        continue 'fault;
+                    }
+                }
+            }
+            (out, evals)
+        });
+        for (detections, evals) in chunks {
+            stats.gate_evals += evals;
+            for (idx, pattern) in detections {
+                list.mark_detected(idx, pattern);
+                stats.detected += 1;
+            }
+        }
+        self.flush_transition_stats(&stats);
+        stats
+    }
+}
+
+/// A runtime-selected [`SimKernel`]: the one type flow code holds so the
+/// engine stays swappable without generics bubbling through every API.
+#[derive(Debug)]
+pub enum AnyKernel<'nl> {
+    /// Graph-walk engines (deprecated entry points, kept for
+    /// cross-checking).
+    Legacy(LegacyKernel<'nl>),
+    /// Compile-once gate tape (default).
+    Tape(TapeKernel<'nl>),
+}
+
+impl<'nl> AnyKernel<'nl> {
+    /// Compiles `nl` on an explicitly chosen engine.
+    pub fn compile_kind(kind: KernelKind, nl: &'nl Netlist) -> AnyKernel<'nl> {
+        match kind {
+            KernelKind::Legacy => AnyKernel::Legacy(LegacyKernel::compile(nl)),
+            KernelKind::Tape => AnyKernel::Tape(TapeKernel::compile(nl)),
+        }
+    }
+
+    /// Which engine this kernel runs on.
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            AnyKernel::Legacy(_) => KernelKind::Legacy,
+            AnyKernel::Tape(_) => KernelKind::Tape,
+        }
+    }
+
+    /// Attaches a cancellation token (drain-and-discard contract).
+    pub fn with_cancel(self, cancel: CancelToken) -> AnyKernel<'nl> {
+        match self {
+            AnyKernel::Legacy(k) => AnyKernel::Legacy(k.with_cancel(cancel)),
+            AnyKernel::Tape(k) => AnyKernel::Tape(k.with_cancel(cancel)),
+        }
+    }
+
+    /// Attaches the chaos harness.
+    pub fn with_chaos(self, chaos: ChaosConfig) -> AnyKernel<'nl> {
+        match self {
+            AnyKernel::Legacy(k) => AnyKernel::Legacy(k.with_chaos(chaos)),
+            AnyKernel::Tape(k) => AnyKernel::Tape(k.with_chaos(chaos)),
+        }
+    }
+
+    /// Test-only poison hook.
+    pub fn with_poisoned_fault(self, fault: Fault) -> AnyKernel<'nl> {
+        match self {
+            AnyKernel::Legacy(k) => AnyKernel::Legacy(k.with_poisoned_fault(fault)),
+            AnyKernel::Tape(k) => AnyKernel::Tape(k.with_poisoned_fault(fault)),
+        }
+    }
+
+    /// Points run counters at `metrics`.
+    pub fn with_metrics(self, metrics: MetricsHandle) -> AnyKernel<'nl> {
+        match self {
+            AnyKernel::Legacy(k) => AnyKernel::Legacy(k.with_metrics(metrics)),
+            AnyKernel::Tape(k) => AnyKernel::Tape(k.with_metrics(metrics)),
+        }
+    }
+
+    /// Points span recording at `trace`.
+    pub fn with_trace(self, trace: TraceHandle) -> AnyKernel<'nl> {
+        match self {
+            AnyKernel::Legacy(k) => AnyKernel::Legacy(k.with_trace(trace)),
+            AnyKernel::Tape(k) => AnyKernel::Tape(k.with_trace(trace)),
+        }
+    }
+}
+
+impl<'nl> SimKernel<'nl> for AnyKernel<'nl> {
+    /// Compiles on the engine selected by `AIDFT_KERNEL` (default:
+    /// tape). See [`KernelKind::from_env`].
+    fn compile(nl: &'nl Netlist) -> Self {
+        AnyKernel::compile_kind(KernelKind::from_env(), nl)
+    }
+
+    fn netlist(&self) -> &'nl Netlist {
+        match self {
+            AnyKernel::Legacy(k) => k.netlist(),
+            AnyKernel::Tape(k) => k.netlist(),
+        }
+    }
+
+    fn eval_batch(&self, patterns: &PatternSet) -> Vec<Response> {
+        match self {
+            AnyKernel::Legacy(k) => k.eval_batch(patterns),
+            AnyKernel::Tape(k) => k.eval_batch(patterns),
+        }
+    }
+
+    fn fault_batch(
+        &self,
+        patterns: &PatternSet,
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
+        match self {
+            AnyKernel::Legacy(k) => k.fault_batch(patterns, list, exec),
+            AnyKernel::Tape(k) => k.fault_batch(patterns, list, exec),
+        }
+    }
+
+    fn transition_batch(
+        &self,
+        pairs: &[(Pattern, Pattern)],
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
+        match self {
+            AnyKernel::Legacy(k) => k.transition_batch(pairs, list, exec),
+            AnyKernel::Tape(k) => k.transition_batch(pairs, list, exec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_fault::{universe_stuck_at, universe_transition, FaultStatus};
+    use dft_netlist::generators::{c17, counter, mac_pe, ripple_adder};
+
+    fn statuses(list: &FaultList) -> Vec<FaultStatus> {
+        (0..list.faults().len()).map(|i| list.status(i)).collect()
+    }
+
+    #[test]
+    fn kernels_agree_on_fault_batches_across_threads() {
+        for nl in [c17(), ripple_adder(8), counter(6), mac_pe(4)] {
+            let ps = PatternSet::random(&nl, 200, 99);
+            let legacy = LegacyKernel::compile(&nl);
+            let tape = TapeKernel::compile(&nl);
+            let mut base = FaultList::new(universe_stuck_at(&nl));
+            let s0 = legacy.fault_batch(&ps, &mut base, &Executor::serial());
+            for threads in [1usize, 2, 7] {
+                let mut list = FaultList::new(universe_stuck_at(&nl));
+                let s = tape.fault_batch(&ps, &mut list, &Executor::with_threads(threads));
+                assert_eq!(statuses(&base), statuses(&list), "{}", nl.name());
+                assert_eq!(s0.detected, s.detected);
+                assert_eq!(s0.patterns, s.patterns);
+                assert_eq!(s0.faults_simulated, s.faults_simulated);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_good_eval() {
+        for nl in [c17(), counter(5), mac_pe(3)] {
+            let ps = PatternSet::random(&nl, 137, 3);
+            let legacy = LegacyKernel::compile(&nl);
+            let tape = TapeKernel::compile(&nl);
+            assert_eq!(
+                legacy.eval_batch(&ps),
+                tape.eval_batch(&ps),
+                "{}",
+                nl.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_transition_batches() {
+        for nl in [ripple_adder(8), counter(6), mac_pe(4)] {
+            let ps = PatternSet::random(&nl, 150, 17);
+            let pairs: Vec<(Pattern, Pattern)> = (0..ps.len() - 1)
+                .map(|i| (ps.pattern(i).clone(), ps.pattern(i + 1).clone()))
+                .collect();
+            let legacy = LegacyKernel::compile(&nl);
+            let tape = TapeKernel::compile(&nl);
+            let mut base = FaultList::new(universe_transition(&nl));
+            let s0 = legacy.transition_batch(&pairs, &mut base, &Executor::serial());
+            for threads in [1usize, 3] {
+                let mut list = FaultList::new(universe_transition(&nl));
+                let s = tape.transition_batch(&pairs, &mut list, &Executor::with_threads(threads));
+                assert_eq!(statuses(&base), statuses(&list), "{}", nl.name());
+                assert_eq!(s0.detected, s.detected);
+            }
+        }
+    }
+
+    #[test]
+    fn env_selects_kernel_kind() {
+        // Don't mutate the environment (tests run in-process threads);
+        // just pin the explicit constructors and the default.
+        let nl = c17();
+        assert_eq!(
+            AnyKernel::compile_kind(KernelKind::Legacy, &nl).kind(),
+            KernelKind::Legacy
+        );
+        assert_eq!(
+            AnyKernel::compile_kind(KernelKind::Tape, &nl).kind(),
+            KernelKind::Tape
+        );
+        assert_eq!(KernelKind::Legacy.name(), "legacy");
+        assert_eq!(KernelKind::Tape.name(), "tape");
+    }
+
+    #[test]
+    fn tape_poisoned_fault_is_isolated() {
+        let nl = mac_pe(3);
+        let ps = PatternSet::random(&nl, 96, 5);
+        let faults = universe_stuck_at(&nl);
+        let poison = faults[faults.len() / 2];
+        let clean = TapeKernel::compile(&nl);
+        let mut want = FaultList::new(faults.clone());
+        clean.fault_batch(&ps, &mut want, &Executor::serial());
+        let sim = TapeKernel::compile(&nl).with_poisoned_fault(poison);
+        let mut list = FaultList::new(faults.clone());
+        let stats = sim.fault_batch(&ps, &mut list, &Executor::with_threads(4));
+        assert_eq!(stats.failed_batches, 1);
+        for (i, &f) in faults.iter().enumerate() {
+            if f == poison {
+                assert_eq!(list.status(i), FaultStatus::Undetected);
+            } else {
+                assert_eq!(list.status(i), want.status(i), "fault {i}");
+            }
+        }
+    }
+}

@@ -1,15 +1,27 @@
 //! Logic simulation and fault simulation.
 //!
-//! Three engines, all operating on the full-scan combinational view of a
-//! [`dft_netlist::Netlist`]:
+//! The front door is the [`SimKernel`] trait: compile a
+//! [`dft_netlist::Netlist`] once, then run good-machine
+//! ([`SimKernel::eval_batch`]), stuck-at PPSFP
+//! ([`SimKernel::fault_batch`]), and transition-delay
+//! ([`SimKernel::transition_batch`]) simulation against the compiled
+//! design. Two engines implement it:
 //!
-//! * [`GoodSim`] — 64-way bit-parallel good-machine simulation (one pattern
-//!   per bit of a `u64` word).
-//! * [`FiveSim`] — five-valued (0, 1, X, D, D̄) simulation with single-fault
-//!   injection; the engine under PODEM.
-//! * [`FaultSim`] — parallel-pattern single-fault propagation (PPSFP)
-//!   stuck-at fault simulation, plus a launch/capture wrapper for
-//!   transition-delay faults ([`TransitionSim`]).
+//! * [`TapeKernel`] — the default: a compile-once levelized [`GateTape`]
+//!   evaluated 256 patterns per pass (`[u64; 4]` lanes).
+//! * [`LegacyKernel`] — the original per-evaluation graph walkers,
+//!   retained for cross-kernel verification (`AIDFT_KERNEL=legacy`).
+//!
+//! [`AnyKernel`] picks between them at runtime. The underlying engines
+//! remain available for rich per-fault APIs (diagnosis, PODEM support):
+//!
+//! * [`GoodSim`] — 64-way bit-parallel good-machine simulation.
+//! * [`FiveSim`] — five-valued (0, 1, X, D, D̄) simulation with
+//!   single-fault injection; the engine under PODEM.
+//! * [`FaultSim`] — PPSFP stuck-at fault simulation, plus a
+//!   launch/capture wrapper for transition-delay faults
+//!   ([`TransitionSim`]). Their batch entry points are deprecated in
+//!   favor of the kernel API.
 //!
 //! Plus [`testability`]: COP signal probabilities and SCOAP
 //! controllability/observability, used for ATPG backtrace guidance and
@@ -20,13 +32,13 @@
 //! ```
 //! use dft_netlist::generators::c17;
 //! use dft_fault::{universe_stuck_at, FaultList};
-//! use dft_logicsim::{FaultSim, PatternSet};
+//! use dft_logicsim::{AnyKernel, Executor, PatternSet, SimKernel};
 //!
 //! let nl = c17();
-//! let sim = FaultSim::new(&nl);
+//! let kernel = AnyKernel::compile(&nl); // honours AIDFT_KERNEL
 //! let patterns = PatternSet::random(&nl, 32, 0xBEEF);
 //! let mut list = FaultList::new(universe_stuck_at(&nl));
-//! sim.run(&patterns, &mut list);
+//! kernel.fault_batch(&patterns, &mut list, &Executor::serial());
 //! assert!(list.fault_coverage() > 0.9);
 //! ```
 
@@ -38,8 +50,10 @@ mod deductive;
 pub mod exec;
 mod fivesim;
 mod goodsim;
+mod kernel;
 mod patterns;
 mod ppsfp;
+pub mod tape;
 pub mod testability;
 mod transition;
 
@@ -48,6 +62,8 @@ pub use deductive::DeductiveSim;
 pub use exec::{ExecError, Executor, Parallelism};
 pub use fivesim::FiveSim;
 pub use goodsim::GoodSim;
+pub use kernel::{AnyKernel, KernelKind, LegacyKernel, SimKernel, TapeKernel};
 pub use patterns::{Pattern, PatternSet, Response};
 pub use ppsfp::{FaultSim, SimStats, SimWorkspace};
+pub use tape::{GateTape, TapeWorkspace, WideWord, LANES, WIDE_PATTERNS};
 pub use transition::{broadside_pairs, TransitionSim};

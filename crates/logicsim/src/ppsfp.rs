@@ -219,19 +219,29 @@ impl<'a> FaultSim<'a> {
 
     /// Runs all `patterns` against the undetected faults in `list`,
     /// marking detections (fault dropping). Returns run statistics.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the SimKernel API: compile an AnyKernel and call fault_batch"
+    )]
     pub fn run(&self, patterns: &PatternSet, list: &mut FaultList) -> SimStats {
+        #[allow(deprecated)]
         self.run_with(patterns, list, &Executor::serial())
     }
 
     /// Multi-threaded variant of [`FaultSim::run`], partitioning the
     /// undetected faults across `threads` workers. See
     /// [`FaultSim::run_with`] for the determinism contract.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the SimKernel API: compile an AnyKernel and call fault_batch"
+    )]
     pub fn run_parallel(
         &self,
         patterns: &PatternSet,
         list: &mut FaultList,
         threads: usize,
     ) -> SimStats {
+        #[allow(deprecated)]
         self.run_with(patterns, list, &Executor::with_threads(threads))
     }
 
@@ -249,6 +259,10 @@ impl<'a> FaultSim<'a> {
     /// panic inside a batch is caught, counted in
     /// [`SimStats::failed_batches`], and leaves that fault undetected,
     /// while every other batch's outcome is bit-identical to a clean run.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the SimKernel API: compile an AnyKernel and call fault_batch"
+    )]
     pub fn run_with(
         &self,
         patterns: &PatternSet,
@@ -660,6 +674,7 @@ fn block_mask(count: usize) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entry points directly
     use super::*;
     use dft_fault::{universe_stuck_at, FaultStatus};
     use dft_netlist::generators::{c17, parity_tree, ripple_adder};

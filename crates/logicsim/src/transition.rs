@@ -7,13 +7,14 @@
 //! the dense MAC arrays in AI chips is transition-dominated, which is why
 //! the tutorial calls it out.
 
+use dft_checkpoint::{CancelToken, ChaosConfig};
 use dft_fault::{Fault, FaultList};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 use dft_trace::TraceHandle;
 
 use crate::ppsfp::SimWorkspace;
-use crate::{Executor, FaultSim, Pattern, PatternSet};
+use crate::{Executor, FaultSim, Pattern, PatternSet, SimStats};
 
 /// A transition-fault simulator: wraps the stuck-at PPSFP engine with the
 /// launch-cycle initialization condition.
@@ -51,6 +52,27 @@ impl<'a> TransitionSim<'a> {
     pub fn with_trace(mut self, trace: TraceHandle) -> TransitionSim<'a> {
         self.sim = self.sim.with_trace(trace.clone());
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a cancellation token to the wrapped stuck-at engine
+    /// (see [`FaultSim::with_cancel`]).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> TransitionSim<'a> {
+        self.sim = self.sim.with_cancel(cancel);
+        self
+    }
+
+    /// Attaches the chaos harness to the wrapped stuck-at engine (see
+    /// [`FaultSim::with_chaos`]).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> TransitionSim<'a> {
+        self.sim = self.sim.with_chaos(chaos);
+        self
+    }
+
+    /// Test-only poison hook on the wrapped stuck-at engine (see
+    /// [`FaultSim::with_poisoned_fault`]).
+    pub fn with_poisoned_fault(mut self, fault: Fault) -> TransitionSim<'a> {
+        self.sim = self.sim.with_poisoned_fault(fault);
         self
     }
 
@@ -101,9 +123,15 @@ impl<'a> TransitionSim<'a> {
 
     /// Runs all pattern pairs against the undetected faults in `list`
     /// (fault dropping). `pairs[i]` pairs `launch[i]` with `capture[i]`.
-    pub fn run(&self, pairs: &[(Pattern, Pattern)], list: &mut FaultList) {
+    /// Returns run statistics (`patterns` counts pairs).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the SimKernel API: compile an AnyKernel and call transition_batch"
+    )]
+    pub fn run(&self, pairs: &[(Pattern, Pattern)], list: &mut FaultList) -> SimStats {
         let _run = self.trace.span_arg("transition_run", pairs.len() as u64);
         let nl = self.sim.good_sim().netlist();
+        let faults_simulated = list.undetected().count();
         let mut ws = SimWorkspace::new(nl.num_gates());
         let mut detected = 0u64;
         let mut gate_evals = 0u64;
@@ -167,6 +195,13 @@ impl<'a> TransitionSim<'a> {
             start += count;
         }
         self.flush_run(pairs.len(), detected, gate_evals);
+        SimStats {
+            patterns: pairs.len(),
+            faults_simulated,
+            detected: detected as usize,
+            gate_evals,
+            ..SimStats::default()
+        }
     }
 
     /// Runs all pattern pairs against the undetected faults in `list` on
@@ -174,11 +209,22 @@ impl<'a> TransitionSim<'a> {
     /// computed once per 64-pair block, then the faults are partitioned
     /// across the workers and merged in fault order. Detection results —
     /// including each fault's first detecting pair — are bit-identical to
-    /// [`TransitionSim::run`] for any thread count.
-    pub fn run_with(&self, pairs: &[(Pattern, Pattern)], list: &mut FaultList, exec: &Executor) {
+    /// [`TransitionSim::run`] for any thread count. Returns run
+    /// statistics (`patterns` counts pairs).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the SimKernel API: compile an AnyKernel and call transition_batch"
+    )]
+    pub fn run_with(
+        &self,
+        pairs: &[(Pattern, Pattern)],
+        list: &mut FaultList,
+        exec: &Executor,
+    ) -> SimStats {
         const PARALLEL_THRESHOLD: usize = 1 << 12;
         let active: Vec<usize> = list.undetected().collect();
         if exec.is_serial() || active.len() * pairs.len() < PARALLEL_THRESHOLD {
+            #[allow(deprecated)]
             return self.run(pairs, list);
         }
         let _run = self.trace.span_arg("transition_run", pairs.len() as u64);
@@ -281,12 +327,20 @@ impl<'a> TransitionSim<'a> {
             }
         }
         self.flush_run(pairs.len(), detected, gate_evals);
+        SimStats {
+            patterns: pairs.len(),
+            faults_simulated: active.len(),
+            detected: detected as usize,
+            gate_evals,
+            ..SimStats::default()
+        }
     }
 
     /// Transition-fault coverage achieved by `pairs` on `faults` (no list
     /// mutation).
     pub fn coverage(&self, pairs: &[(Pattern, Pattern)], faults: Vec<Fault>) -> f64 {
         let mut list = FaultList::new(faults);
+        #[allow(deprecated)]
         self.run(pairs, &mut list);
         list.fault_coverage()
     }
@@ -300,6 +354,7 @@ pub fn broadside_pairs(nl: &Netlist, patterns: &PatternSet) -> Vec<(Pattern, Pat
     let sim = crate::GoodSim::new(nl);
     let num_pi = nl.num_inputs();
     let num_po = nl.num_outputs();
+    #[allow(deprecated)]
     let responses = sim.simulate_all(patterns);
     patterns
         .iter()
@@ -317,6 +372,7 @@ pub fn broadside_pairs(nl: &Netlist, patterns: &PatternSet) -> Vec<(Pattern, Pat
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy entry points directly
     use super::*;
     use dft_fault::{universe_transition, FaultKind, FaultSite, FaultStatus};
     use dft_netlist::generators::{counter, ripple_adder};

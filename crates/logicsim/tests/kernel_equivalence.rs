@@ -1,0 +1,113 @@
+//! Property tests: the compiled gate tape is bit-identical to the legacy
+//! graph-walk simulator — gate for gate on good values, fault for fault
+//! (statuses including first-detecting pattern) under PPSFP, and pair for
+//! pair under transition simulation — on random netlists across thread
+//! counts. This is the equivalence proof backing the golden-metrics
+//! cross-kernel CI run.
+
+use proptest::prelude::*;
+
+use dft_fault::{universe_stuck_at, universe_transition, FaultList};
+use dft_logicsim::{
+    broadside_pairs, Executor, GateTape, GoodSim, LegacyKernel, PatternSet, SimKernel, TapeKernel,
+};
+use dft_netlist::generators::random_logic;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Good-machine values agree gate for gate: every lane of every wide
+    /// tape pass equals the legacy 64-pattern block word of that gate.
+    #[test]
+    fn tape_good_values_match_legacy_gate_for_gate(
+        seed in 0u64..400,
+        gates in 20usize..220,
+        inputs in 4usize..20,
+    ) {
+        let nl = random_logic(inputs, gates, seed);
+        let sim = GoodSim::new(&nl);
+        let tape = GateTape::compile(&nl);
+        // 300 patterns straddles a 256-wide boundary, so the final pass
+        // exercises partial lanes.
+        let ps = PatternSet::random(&nl, 300, seed ^ 0x5A);
+        let mut vals = Vec::new();
+        let mut start = 0;
+        while start < ps.len() {
+            let (wide, count) = GateTape::pack_wide(&ps, start);
+            let mask = GateTape::wide_mask(count);
+            tape.eval_wide(&wide, &mut vals);
+            for (lane, &lane_mask) in mask.iter().enumerate() {
+                let lane_start = start + 64 * lane;
+                if lane_start >= ps.len() {
+                    break;
+                }
+                let (words, _) = ps.pack_block(lane_start);
+                let legacy_vals = sim.eval_block(&words);
+                for (idx, &legacy_word) in legacy_vals.iter().enumerate().take(nl.num_gates()) {
+                    let id = dft_netlist::GateId(idx as u32);
+                    prop_assert_eq!(
+                        vals[tape.position(id)][lane] & lane_mask,
+                        legacy_word & lane_mask,
+                        "gate {} lane {} of wide block at {}", idx, lane, start
+                    );
+                }
+            }
+            start += count;
+        }
+    }
+
+    /// PPSFP fault statuses (detected / first-detecting pattern) agree
+    /// between kernels for every fault, at any worker count.
+    #[test]
+    fn tape_fault_batch_matches_legacy_across_threads(
+        seed in 0u64..400,
+        gates in 20usize..220,
+        threads in prop::select(vec![1usize, 2, 4]),
+    ) {
+        let nl = random_logic(8, gates, seed);
+        let faults = universe_stuck_at(&nl);
+        let ps = PatternSet::random(&nl, 192, seed ^ 0xC3);
+        let legacy = LegacyKernel::compile(&nl);
+        let tape = TapeKernel::compile(&nl);
+        let exec = Executor::with_threads(threads);
+        let mut legacy_list = FaultList::new(faults.clone());
+        let legacy_stats = legacy.fault_batch(&ps, &mut legacy_list, &exec);
+        let mut tape_list = FaultList::new(faults.clone());
+        let tape_stats = tape.fault_batch(&ps, &mut tape_list, &exec);
+        prop_assert_eq!(legacy_stats.detected, tape_stats.detected);
+        for (i, &fault) in faults.iter().enumerate() {
+            prop_assert_eq!(
+                legacy_list.status(i),
+                tape_list.status(i),
+                "fault {} ({}) threads={}", i, fault, threads
+            );
+        }
+    }
+
+    /// Transition (launch-off-shift pair) detection agrees between
+    /// kernels for every transition fault.
+    #[test]
+    fn tape_transition_batch_matches_legacy(
+        seed in 0u64..200,
+        gates in 20usize..150,
+    ) {
+        let nl = random_logic(8, gates, seed);
+        let faults = universe_transition(&nl);
+        let ps = PatternSet::random(&nl, 96, seed ^ 0x77);
+        let pairs = broadside_pairs(&nl, &ps);
+        let exec = Executor::serial();
+        let legacy = LegacyKernel::compile(&nl);
+        let tape = TapeKernel::compile(&nl);
+        let mut legacy_list = FaultList::new(faults.clone());
+        legacy.transition_batch(&pairs, &mut legacy_list, &exec);
+        let mut tape_list = FaultList::new(faults.clone());
+        tape.transition_batch(&pairs, &mut tape_list, &exec);
+        for (i, &fault) in faults.iter().enumerate() {
+            prop_assert_eq!(
+                legacy_list.status(i),
+                tape_list.status(i),
+                "transition fault {} ({})", i, fault
+            );
+        }
+    }
+}

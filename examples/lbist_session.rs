@@ -8,7 +8,7 @@
 
 use dft_core::bist::{build_stumps, LogicBist};
 use dft_core::fault::{universe_stuck_at, FaultList};
-use dft_core::logicsim::FaultSim;
+use dft_core::logicsim::{AnyKernel, Executor, SimKernel};
 use dft_core::netlist::generators::mac_pe;
 use dft_core::netlist::NetlistStats;
 
@@ -18,12 +18,17 @@ fn main() {
 
     // --- Behavioural LBIST with a weighted second session ---------------
     let bist = LogicBist::new(&core, 32);
-    let sim = FaultSim::new(&core);
+    let sim = AnyKernel::compile(&core);
+    let exec = Executor::serial();
     let mut list = FaultList::new(universe_stuck_at(&core));
-    sim.run(&bist.patterns(512, 0xAB), &mut list);
+    sim.fault_batch(&bist.patterns(512, 0xAB), &mut list, &exec);
     let flat = list.fault_coverage();
     let weights = bist.weight_set_from_residual(512, 0xAB, 64);
-    sim.run(&bist.weighted_patterns(512, 0xAC, &weights), &mut list);
+    sim.fault_batch(
+        &bist.weighted_patterns(512, 0xAC, &weights),
+        &mut list,
+        &exec,
+    );
     println!(
         "behavioural session: flat 512 -> {:.2}%, +512 weighted -> {:.2}%",
         flat * 100.0,

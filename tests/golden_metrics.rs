@@ -62,7 +62,7 @@ const GOLDEN: &[Golden] = &[
             ("atpg_patterns", 130),
             ("podem_calls", 16),
             ("podem_backtracks", 1041),
-            ("faultsim_gate_evals", 36332),
+            ("faultsim_gate_evals", 36316),
             ("atpg_escalations", 3),
             ("atpg_rescued", 3),
             ("edt_cubes_attempted", 2),
@@ -80,7 +80,7 @@ const GOLDEN: &[Golden] = &[
         counters: &[
             ("atpg_patterns", 135),
             ("podem_backtracks", 4180),
-            ("faultsim_gate_evals", 216517),
+            ("faultsim_gate_evals", 215535),
             ("atpg_escalations", 12),
             ("atpg_rescued", 12),
             ("edt_cubes_encoded", 7),
@@ -105,6 +105,13 @@ fn circuit(name: &str) -> Netlist {
 
 fn bless_mode() -> bool {
     std::env::var("AIDFT_BLESS_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn legacy_kernel() -> bool {
+    matches!(
+        dft_core::config::KernelKind::from_env(),
+        dft_core::config::KernelKind::Legacy
+    )
 }
 
 /// Prints a `Golden` row literal for the observed run (bless mode).
@@ -170,6 +177,16 @@ fn golden_flow_results_and_counters() {
         check("aborted", report.aborted as u64, g.aborted as u64);
         check("ratio_centi", ratio_centi, g.ratio_centi);
         for (key, want) in g.counters {
+            // `faultsim_gate_evals` counts engine work, not results: the
+            // tape and the graph walk legitimately evaluate different
+            // gate counts for the identical detections. The golden
+            // values are blessed under the default tape kernel; CI
+            // re-runs this suite under AIDFT_KERNEL=legacy to prove
+            // every *result* (patterns, coverage, detections) is
+            // bit-identical across kernels, skipping that one counter.
+            if *key == "faultsim_gate_evals" && legacy_kernel() {
+                continue;
+            }
             check(key, report.metrics.counter(key), *want);
         }
     }

@@ -4,7 +4,7 @@
 use dft_core::atpg::{Atpg, AtpgConfig, CompactionMode};
 use dft_core::compress::ScanEdt;
 use dft_core::fault::{universe_stuck_at, FaultList};
-use dft_core::logicsim::FaultSim;
+use dft_core::logicsim::{AnyKernel, Executor, SimKernel};
 use dft_core::netlist::generators::{benchmark_suite, systolic_array, SystolicConfig};
 use dft_core::scan::{chain_loads, expected_unloads, insert_scan, ScanConfig};
 use dft_core::DftFlow;
@@ -49,9 +49,9 @@ fn atpg_patterns_verified_by_independent_fault_sim() {
             backtrack_limit: 128,
             ..AtpgConfig::default()
         });
-        let sim = FaultSim::new(&circuit.netlist);
+        let sim = AnyKernel::compile(&circuit.netlist);
         let mut fresh = FaultList::new(universe_stuck_at(&circuit.netlist));
-        sim.run(&run.patterns, &mut fresh);
+        sim.fault_batch(&run.patterns, &mut fresh, &Executor::serial());
         assert_eq!(
             fresh.num_detected(),
             run.fault_list.num_detected(),

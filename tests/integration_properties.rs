@@ -6,7 +6,7 @@ use dft_core::atpg::{AtpgResult, Podem};
 use dft_core::bist::{march_c_minus, run_march, MemFault, MemFaultKind, SramModel};
 use dft_core::compress::EdtCodec;
 use dft_core::fault::{collapse_equivalent, universe_stuck_at, FaultList};
-use dft_core::logicsim::{FaultSim, GoodSim, PatternSet, TestCube};
+use dft_core::logicsim::{AnyKernel, Executor, FaultSim, GoodSim, PatternSet, SimKernel, TestCube};
 use dft_core::netlist::generators::random_logic;
 
 proptest! {
@@ -18,8 +18,9 @@ proptest! {
     fn bit_parallel_equals_scalar(seed in 0u64..1000, gates in 20usize..200) {
         let nl = random_logic(8, gates, seed);
         let sim = GoodSim::new(&nl);
+        let kernel = AnyKernel::compile(&nl);
         let ps = PatternSet::random(&nl, 70, seed ^ 1);
-        let block = sim.simulate_all(&ps);
+        let block = kernel.eval_batch(&ps);
         for (i, p) in ps.iter().enumerate() {
             prop_assert_eq!(&block[i], &sim.simulate(p));
         }
@@ -162,14 +163,14 @@ proptest! {
             "mac4" => mac_pe(4),
             _ => s27(),
         };
-        let sim = FaultSim::new(&nl);
+        let sim = AnyKernel::compile(&nl);
         let ps = PatternSet::random(&nl, 192, seed);
         let faults = universe_stuck_at(&nl);
 
         let mut serial = FaultList::new(faults.clone());
-        let stats_serial = sim.run(&ps, &mut serial);
+        let stats_serial = sim.fault_batch(&ps, &mut serial, &Executor::serial());
         let mut parallel = FaultList::new(faults.clone());
-        let stats_parallel = sim.run_with(&ps, &mut parallel, &Executor::with_threads(threads));
+        let stats_parallel = sim.fault_batch(&ps, &mut parallel, &Executor::with_threads(threads));
 
         prop_assert_eq!(serial.fault_coverage(), parallel.fault_coverage());
         prop_assert_eq!(stats_serial.detected, stats_parallel.detected);
@@ -209,9 +210,9 @@ proptest! {
         let mut runs = Vec::new();
         for threads in [1usize, 2, 8] {
             let handle = MetricsHandle::enabled();
-            let sim = FaultSim::new(&nl).with_metrics(handle.clone());
+            let sim = AnyKernel::compile(&nl).with_metrics(handle.clone());
             let mut list = FaultList::new(faults.clone());
-            sim.run_with(&ps, &mut list, &Executor::with_threads(threads));
+            sim.fault_batch(&ps, &mut list, &Executor::with_threads(threads));
             runs.push((threads, list.num_detected(), handle.snapshot().unwrap()));
         }
         let (_, detected_1, snap_1) = &runs[0];
@@ -234,10 +235,11 @@ proptest! {
     fn fault_dropping_is_sound(seed in 0u64..300) {
         let nl = random_logic(6, 80, seed);
         let sim = FaultSim::new(&nl);
+        let kernel = AnyKernel::compile(&nl);
         let ps = PatternSet::random(&nl, 32, seed ^ 3);
         let faults = universe_stuck_at(&nl);
         let mut dropped = FaultList::new(faults.clone());
-        sim.run(&ps, &mut dropped);
+        kernel.fault_batch(&ps, &mut dropped, &Executor::serial());
         // Reference: per-fault any-pattern detection without dropping.
         for (i, &f) in faults.iter().enumerate() {
             let detected_ref = ps.iter().any(|p| sim.detects(p, f));
