@@ -223,8 +223,12 @@ pub fn broadcast_screen_traced(
     })
 }
 
-/// SplitMix64 of the instance index picks that core's seeded defect.
-fn seeded_defect(core_idx: usize, universe: &[dft_fault::Fault]) -> dft_fault::Fault {
+/// SplitMix64 of the instance index picks that instance's seeded
+/// defect. Pure in the index and the fault universe, so every consumer
+/// that seeds "identical cores, distinct defects" — broadcast screening
+/// here, per-die fault seeding in the serve layer — agrees on which
+/// instance carries which fault.
+pub fn seeded_defect(core_idx: usize, universe: &[dft_fault::Fault]) -> dft_fault::Fault {
     let mut z = (core_idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -885,6 +885,98 @@ pub fn repair_report() {
     );
 }
 
+/// `serve` — test-floor fleet-service throughput. Streams the whole
+/// mac4 broadcast to a 32-die simulated fleet over loopback TCP,
+/// verifies every uploaded MISR signature, and reports dies/sec,
+/// signatures/sec, and the adaptive-retest rate. Writes
+/// `BENCH_serve.json`; the `trend` block carries total wall clock and
+/// the fleet pass fraction as coverage, so `bench trend --ratchet
+/// serve` guards both throughput and yield.
+pub fn serve_report() {
+    use dft_core::serve::{run_fleet, ServeConfig, ServeOpts};
+
+    let circuits = selected_circuits(&["mac4"]);
+    let nl = &circuits[0].netlist;
+    let handle = MetricsHandle::enabled();
+    let wall_start = Instant::now();
+    let cfg = ServeConfig {
+        dies: 32,
+        client_threads: match threads() {
+            0 => 8,
+            n => n,
+        },
+        ..ServeConfig::default()
+    };
+    let opts = ServeOpts {
+        metrics: handle.clone(),
+        ..ServeOpts::default()
+    };
+    let report = run_fleet(nl, &cfg, &opts).expect("serve fleet");
+    let wall_ns = wall_start.elapsed().as_nanos();
+
+    let s = report.summary;
+    let serve_secs = report.wall.as_secs_f64().max(1e-9);
+    let dies_per_sec = s.tested as f64 / serve_secs;
+    let sigs_per_sec = s.signatures as f64 / serve_secs;
+    let retest_rate = s.retested as f64 / s.tested.max(1) as f64;
+    let pass_fraction = s.passed as f64 / s.tested.max(1) as f64;
+    let snap = handle.snapshot().expect("metrics enabled");
+
+    println!(
+        "SERVE: mac4 fleet, {} dies x {} windows, {} client threads",
+        s.dies, s.windows_per_die, cfg.client_threads
+    );
+    print!("{}", s.render(report.wall));
+    println!(
+        "broadcast: {} patterns ({} EDT-encoded, {} flat)",
+        report.patterns, report.edt_encoded, report.edt_flat
+    );
+    println!(
+        "throughput: {dies_per_sec:.0} dies/s, {sigs_per_sec:.0} signatures/s, \
+         retest rate {:.1}%",
+        retest_rate * 100.0
+    );
+    println!("shape: defective dies always mismatch, retest, and route to harvest/scrap.");
+
+    let json = format!(
+        "{{\n  \"trend\": {{\"experiment\":\"serve\",\"wall_clock_ns\":{wall_ns},\
+         \"coverage\":{pass_fraction:.6}}},\n  \
+         \"fleet\": {{\"design\":\"mac4\",\"dies\":{},\"windows_per_die\":{},\
+         \"window_patterns\":{},\"patterns\":{},\"edt_encoded\":{},\"edt_flat\":{},\
+         \"client_threads\":{}}},\n  \
+         \"summary\": {{\"tested\":{},\"passed\":{},\"failed\":{},\"defective\":{},\
+         \"retested\":{},\"full\":{},\"harvested\":{},\"scrapped\":{},\
+         \"signatures\":{}}},\n  \
+         \"throughput\": {{\"dies_per_sec\":{dies_per_sec:.2},\
+         \"signatures_per_sec\":{sigs_per_sec:.2},\"retest_rate\":{retest_rate:.4}}},\n  \
+         \"transport\": {{\"windows_sent\":{},\"conn_drops\":{},\"torn_frames\":{}}}\n}}\n",
+        s.dies,
+        s.windows_per_die,
+        cfg.window_patterns,
+        report.patterns,
+        report.edt_encoded,
+        report.edt_flat,
+        cfg.client_threads,
+        s.tested,
+        s.passed,
+        s.failed,
+        s.defective,
+        s.retested,
+        s.full,
+        s.harvested,
+        s.scrapped,
+        s.signatures,
+        snap.counter("serve_windows"),
+        snap.counter("serve_conn_drops"),
+        snap.counter("serve_torn_frames"),
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!(
+        "wrote BENCH_serve.json ({} dies, {} signatures)",
+        s.tested, s.signatures
+    );
+}
+
 /// Picks circuits by name from the standard suite.
 fn selected_circuits(names: &[&str]) -> Vec<dft_core::netlist::generators::NamedCircuit> {
     benchmark_suite()

@@ -45,6 +45,7 @@ fn main() {
         ("metrics", experiments::metrics_report),
         ("repair", experiments::repair_report),
         ("ppsfp", experiments::ppsfp_report),
+        ("serve", experiments::serve_report),
     ];
     match which {
         "all" => {
@@ -59,7 +60,9 @@ fn main() {
         id => match all.iter().find(|(n, _)| *n == id) {
             Some((_, f)) => f(),
             None => {
-                eprintln!("unknown experiment `{id}`; use e1..e12, metrics, repair, ppsfp, or all");
+                eprintln!(
+                    "unknown experiment `{id}`; use e1..e12, metrics, repair, ppsfp, serve, or all"
+                );
                 std::process::exit(2);
             }
         },

@@ -25,6 +25,15 @@ pub enum ChaosSite {
     /// Skip the deadline clock forward by [`ChaosConfig::clock_skip`]
     /// (exercises spurious deadline firings).
     ClockSkip,
+    /// Drop a tester↔die connection mid-stream (exercises session
+    /// reconnect and window resume in the serve layer).
+    DropConn,
+    /// Write only a torn prefix of a frame before dropping the
+    /// connection (exercises frame-codec truncation detection).
+    TornFrame,
+    /// Delay a die's signature upload by [`ChaosConfig::delay`]
+    /// (exercises per-session backpressure and slow-die isolation).
+    DelayDie,
 }
 
 impl ChaosSite {
@@ -34,6 +43,9 @@ impl ChaosSite {
             ChaosSite::DelayBatch => 0xBF58_476D_1CE4_E5B9,
             ChaosSite::CkptIo => 0x94D0_49BB_1331_11EB,
             ChaosSite::ClockSkip => 0xD6E8_FEB8_6659_FD93,
+            ChaosSite::DropConn => 0xC2B2_AE3D_27D4_EB4F,
+            ChaosSite::TornFrame => 0x1656_67B1_9E37_79F9,
+            ChaosSite::DelayDie => 0x2545_F491_4F6C_DD1D,
         }
     }
 }
@@ -54,7 +66,12 @@ impl ChaosSite {
 /// | `io`       | probability a checkpoint write fails (torn record)  | 0.0     |
 /// | `clock`    | probability a checkpoint boundary skips the clock   | 0.0     |
 /// | `clock_ms` | clock-skip length in milliseconds                   | 100     |
+/// | `drop`     | probability a tester↔die connection is dropped      | 0.0     |
+/// | `tear`     | probability a frame write is torn mid-frame         | 0.0     |
 /// | `seed`     | decision seed (replays are exact)                   | 0       |
+///
+/// The serve layer's delayed-die site ([`ChaosSite::DelayDie`]) fires
+/// on the shared `delay`/`delay_ms` knobs (with an independent salt).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosConfig {
     /// Probability a worker's fault batch panics.
@@ -69,6 +86,10 @@ pub struct ChaosConfig {
     pub clock_skip_prob: f64,
     /// Injected clock-skip length.
     pub clock_skip: Duration,
+    /// Probability a tester↔die connection is dropped mid-stream.
+    pub drop_prob: f64,
+    /// Probability a frame write is torn (partial bytes, then dropped).
+    pub tear_prob: f64,
     /// Seed for the deterministic decision hash.
     pub seed: u64,
 }
@@ -82,6 +103,8 @@ impl Default for ChaosConfig {
             io_prob: 0.0,
             clock_skip_prob: 0.0,
             clock_skip: Duration::from_millis(100),
+            drop_prob: 0.0,
+            tear_prob: 0.0,
             seed: 0,
         }
     }
@@ -99,6 +122,8 @@ impl ChaosConfig {
             || self.delay_prob > 0.0
             || self.io_prob > 0.0
             || self.clock_skip_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.tear_prob > 0.0
     }
 
     /// Reads `AIDFT_CHAOS` from the environment. `None` when unset or
@@ -146,6 +171,8 @@ impl ChaosConfig {
                 "io" => cfg.io_prob = fval()?,
                 "clock" => cfg.clock_skip_prob = fval()?,
                 "clock_ms" => cfg.clock_skip = Duration::from_millis(uval()?),
+                "drop" => cfg.drop_prob = fval()?,
+                "tear" => cfg.tear_prob = fval()?,
                 "seed" => cfg.seed = uval()?,
                 other => return Err(format!("unknown chaos knob `{other}`")),
             }
@@ -162,6 +189,9 @@ impl ChaosConfig {
             ChaosSite::DelayBatch => self.delay_prob,
             ChaosSite::CkptIo => self.io_prob,
             ChaosSite::ClockSkip => self.clock_skip_prob,
+            ChaosSite::DropConn => self.drop_prob,
+            ChaosSite::TornFrame => self.tear_prob,
+            ChaosSite::DelayDie => self.delay_prob,
         };
         if prob <= 0.0 {
             return false;
@@ -191,7 +221,7 @@ mod tests {
     #[test]
     fn parse_full_knob_list() {
         let c = ChaosConfig::parse(
-            "panic=0.02,delay=0.01,delay_ms=5,io=0.2,clock=0.01,clock_ms=50,seed=7",
+            "panic=0.02,delay=0.01,delay_ms=5,io=0.2,clock=0.01,clock_ms=50,drop=0.1,tear=0.05,seed=7",
         )
         .unwrap();
         assert_eq!(c.panic_prob, 0.02);
@@ -200,8 +230,12 @@ mod tests {
         assert_eq!(c.io_prob, 0.2);
         assert_eq!(c.clock_skip_prob, 0.01);
         assert_eq!(c.clock_skip, Duration::from_millis(50));
+        assert_eq!(c.drop_prob, 0.1);
+        assert_eq!(c.tear_prob, 0.05);
         assert_eq!(c.seed, 7);
         assert!(c.is_active());
+        assert!(ChaosConfig::parse("drop=1.0").unwrap().is_active());
+        assert!(ChaosConfig::parse("tear=1.0").unwrap().is_active());
     }
 
     #[test]

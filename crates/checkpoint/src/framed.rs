@@ -1,0 +1,223 @@
+//! Generic framed, checksummed journal records.
+//!
+//! The `aidft-ckpt-v1` journal ([`crate::Journal`]) frames every record
+//! as a `ckpt <format> <seq>` header, a line-oriented body, and an
+//! `end <crc>` trailer whose FNV-1a checksum covers everything above it.
+//! That framing is useful beyond ATPG state — the serve fleet journal
+//! (`aidft-serve-v1`) needs exactly the same torn-tail-tolerant,
+//! append-only durability — so the format-agnostic half lives here:
+//! frame a body, validate a candidate record, and scan a journal file
+//! newest-first for the latest record that checks out.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::journal::{fnv1a, CkptError};
+
+/// Frames `body` (newline-terminated lines, no header/trailer) as one
+/// journal record for `format`: `ckpt <format> <seq>` header, the body,
+/// and the `end <crc>` trailer. The result is what
+/// [`FramedJournal::append`] writes and [`parse_framed`] validates.
+pub fn frame_record(format: &str, seq: u64, body: &str) -> String {
+    let mut text = format!("ckpt {format} {seq}\n");
+    text.push_str(body);
+    if !body.is_empty() && !body.ends_with('\n') {
+        text.push('\n');
+    }
+    let crc = fnv1a(text.as_bytes());
+    text.push_str(&format!("end {crc:016x}\n"));
+    text
+}
+
+/// Validates one framed record (header line through `end`) against
+/// `format` and returns `(seq, body)` — the lines between header and
+/// trailer. `None` on any framing, header, or checksum problem: a bad
+/// record is treated as absent, never fatal.
+pub fn parse_framed(text: &str, format: &str) -> Option<(u64, String)> {
+    let end_pos = text.rfind("\nend ")?;
+    let framed = &text[..end_pos + 1];
+    let crc_line = text[end_pos + 1..].lines().next()?;
+    let crc = u64::from_str_radix(crc_line.strip_prefix("end ")?.trim(), 16).ok()?;
+    if fnv1a(framed.as_bytes()) != crc {
+        return None;
+    }
+    let (header, body) = framed.split_once('\n')?;
+    let mut h = header.split_whitespace();
+    if h.next()? != "ckpt" || h.next()? != format {
+        return None;
+    }
+    let seq: u64 = h.next()?.parse().ok()?;
+    Some((seq, body.to_owned()))
+}
+
+/// `true` when the file at `path` ends mid-line (a torn tail from a
+/// crash or injected write failure): the next record must be preceded
+/// by a newline so its header starts at a line boundary and stays
+/// visible to the newest-first scan.
+pub(crate) fn needs_realignment(path: &Path) -> io::Result<bool> {
+    let mut f = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    if f.metadata()?.len() == 0 {
+        return Ok(false);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] != b'\n')
+}
+
+/// Appends `record` (already framed) to the file at `path`, realigning
+/// after a torn tail. When `torn` is set only the first half of the
+/// record is written and a synthetic I/O error is returned — the chaos
+/// hook that models a kill mid-write. Returns the bytes written.
+pub(crate) fn append_record(path: &Path, record: &str, torn: bool) -> io::Result<u64> {
+    let realign = needs_realignment(path)?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if realign {
+        f.write_all(b"\n")?;
+    }
+    if torn {
+        f.write_all(&record.as_bytes()[..record.len() / 2])?;
+        f.flush()?;
+        return Err(io::Error::other("chaos: injected checkpoint write failure"));
+    }
+    f.write_all(record.as_bytes())?;
+    f.flush()?;
+    Ok(record.len() as u64)
+}
+
+/// Scans `text` newest-first for records of `format` and returns the
+/// first one `parse` accepts. Torn tails and corrupt records are
+/// skipped, exactly like [`crate::Journal::load_last`].
+pub(crate) fn scan_last<T>(
+    text: &str,
+    format: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Option<T> {
+    let header = format!("ckpt {format} ");
+    let mut starts: Vec<usize> = Vec::new();
+    let mut at = 0usize;
+    while let Some(pos) = text[at..].find(&header) {
+        let abs = at + pos;
+        if abs == 0 || text.as_bytes()[abs - 1] == b'\n' {
+            starts.push(abs);
+        }
+        at = abs + header.len();
+    }
+    for (i, &start) in starts.iter().enumerate().rev() {
+        let end = starts.get(i + 1).copied().unwrap_or(text.len());
+        if let Some(value) = parse(&text[start..end]) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// An append-only journal of [`frame_record`]-framed records for one
+/// format id. The generic counterpart of [`crate::Journal`]: same
+/// torn-tail realignment on append, same newest-first recovery on load,
+/// but the body is opaque text owned by the caller.
+#[derive(Debug, Clone)]
+pub struct FramedJournal {
+    path: PathBuf,
+    format: &'static str,
+}
+
+impl FramedJournal {
+    /// A journal at `path` holding `format` records (created on first
+    /// append).
+    pub fn new(path: impl Into<PathBuf>, format: &'static str) -> FramedJournal {
+        FramedJournal {
+            path: path.into(),
+            format,
+        }
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The format id this journal frames records with.
+    pub fn format(&self) -> &'static str {
+        self.format
+    }
+
+    /// Appends one framed record; returns the bytes written.
+    pub fn append(&self, seq: u64, body: &str) -> io::Result<u64> {
+        append_record(&self.path, &frame_record(self.format, seq, body), false)
+    }
+
+    /// Chaos hook: appends only a torn prefix of the record, then
+    /// returns an error. The previous record stays recoverable.
+    pub fn append_torn(&self, seq: u64, body: &str) -> io::Result<u64> {
+        append_record(&self.path, &frame_record(self.format, seq, body), true)
+    }
+
+    /// Loads the newest complete, checksum-valid record as
+    /// `(seq, body)`. Torn tails and corrupt records are skipped; only
+    /// a journal with *no* valid record is an error.
+    pub fn load_last(&self) -> Result<(u64, String), CkptError> {
+        let text = std::fs::read_to_string(&self.path).map_err(|e| CkptError::Io {
+            path: self.path.display().to_string(),
+            source: e,
+        })?;
+        scan_last(&text, self.format, |t| parse_framed(t, self.format)).ok_or_else(|| {
+            CkptError::NoValidRecord {
+                path: self.path.display().to_string(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aidft-framed-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn frame_and_parse_roundtrip() {
+        let body = "dies 4\ndone 2\n";
+        let text = frame_record("test-v1", 7, body);
+        let (seq, back) = parse_framed(&text, "test-v1").expect("parses");
+        assert_eq!(seq, 7);
+        assert_eq!(back, body);
+        // Wrong format id is rejected, as is any tampering.
+        assert!(parse_framed(&text, "other-v1").is_none());
+        assert!(parse_framed(&text.replace("done 2", "done 3"), "test-v1").is_none());
+        assert!(parse_framed(&text[..text.len() / 2], "test-v1").is_none());
+    }
+
+    #[test]
+    fn journal_recovers_newest_after_torn_tail() {
+        let j = FramedJournal::new(temp("framed.ckpt"), "test-v1");
+        j.append(0, "state a\n").unwrap();
+        assert!(j.append_torn(1, "state b\n").is_err());
+        assert_eq!(j.load_last().unwrap(), (0, "state a\n".to_owned()));
+        // Realignment keeps the next record loadable.
+        j.append(2, "state c\n").unwrap();
+        assert_eq!(j.load_last().unwrap(), (2, "state c\n".to_owned()));
+        std::fs::remove_file(j.path()).unwrap();
+    }
+
+    #[test]
+    fn empty_body_and_missing_newline_are_framed() {
+        let (seq, body) = parse_framed(&frame_record("t", 0, ""), "t").unwrap();
+        assert_eq!((seq, body.as_str()), (0, ""));
+        let (_, body) = parse_framed(&frame_record("t", 1, "no newline"), "t").unwrap();
+        assert_eq!(body, "no newline\n");
+    }
+}

@@ -32,7 +32,7 @@
 //! ```
 
 use std::fmt;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// The on-disk format identifier; bump on any incompatible change.
@@ -383,40 +383,10 @@ impl Journal {
         &self.path
     }
 
-    /// `true` when the journal ends mid-line (a torn tail from a crash
-    /// or injected write failure): the next record must be preceded by
-    /// a newline so its header starts at a line boundary and stays
-    /// visible to [`Journal::load_last`].
-    fn needs_realignment(&self) -> io::Result<bool> {
-        use std::io::{Read, Seek, SeekFrom};
-        let mut f = match std::fs::File::open(&self.path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
-            Err(e) => return Err(e),
-        };
-        if f.metadata()?.len() == 0 {
-            return Ok(false);
-        }
-        f.seek(SeekFrom::End(-1))?;
-        let mut last = [0u8; 1];
-        f.read_exact(&mut last)?;
-        Ok(last[0] != b'\n')
-    }
-
     /// Appends one complete record; returns the bytes written.
+    /// Torn-tail realignment is shared with [`crate::FramedJournal`].
     pub fn append(&self, state: &CkptState, seq: u64) -> io::Result<u64> {
-        let record = state.to_record(seq);
-        let realign = self.needs_realignment()?;
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        if realign {
-            f.write_all(b"\n")?;
-        }
-        f.write_all(record.as_bytes())?;
-        f.flush()?;
-        Ok(record.len() as u64)
+        crate::framed::append_record(&self.path, &state.to_record(seq), false)
     }
 
     /// Chaos hook: simulates a write failure by appending only a torn
@@ -424,19 +394,7 @@ impl Journal {
     /// record stays recoverable — exactly what a kill mid-write leaves
     /// behind.
     pub fn append_torn(&self, state: &CkptState, seq: u64) -> io::Result<u64> {
-        let record = state.to_record(seq);
-        let torn = &record.as_bytes()[..record.len() / 2];
-        let realign = self.needs_realignment()?;
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        if realign {
-            f.write_all(b"\n")?;
-        }
-        f.write_all(torn)?;
-        f.flush()?;
-        Err(io::Error::other("chaos: injected checkpoint write failure"))
+        crate::framed::append_record(&self.path, &state.to_record(seq), true)
     }
 
     /// Loads the newest complete, checksum-valid record. Torn tails and
@@ -447,25 +405,10 @@ impl Journal {
             path: self.path.display().to_string(),
             source: e,
         })?;
-        let header = format!("ckpt {CKPT_FORMAT} ");
-        // Record start offsets, oldest first.
-        let mut starts: Vec<usize> = Vec::new();
-        let mut at = 0usize;
-        while let Some(pos) = text[at..].find(&header) {
-            let abs = at + pos;
-            if abs == 0 || text.as_bytes()[abs - 1] == b'\n' {
-                starts.push(abs);
+        crate::framed::scan_last(&text, CKPT_FORMAT, CkptState::parse_record).ok_or_else(|| {
+            CkptError::NoValidRecord {
+                path: self.path.display().to_string(),
             }
-            at = abs + header.len();
-        }
-        for (i, &start) in starts.iter().enumerate().rev() {
-            let end = starts.get(i + 1).copied().unwrap_or(text.len());
-            if let Some(state) = CkptState::parse_record(&text[start..end]) {
-                return Ok(state);
-            }
-        }
-        Err(CkptError::NoValidRecord {
-            path: self.path.display().to_string(),
         })
     }
 }

@@ -30,10 +30,12 @@
 
 mod cancel;
 mod chaos;
+mod framed;
 mod journal;
 
 pub use cancel::CancelToken;
 pub use chaos::{ChaosConfig, ChaosSite};
+pub use framed::{frame_record, parse_framed, FramedJournal};
 pub use journal::{
     fnv1a, CkptError, CkptPhase, CkptSection, CkptState, CkptStatus, Journal, CKPT_FORMAT,
 };

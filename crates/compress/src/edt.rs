@@ -318,6 +318,29 @@ impl<'a> ScanEdt<'a> {
         cells
     }
 
+    /// The inverse of [`ScanEdt::to_cell_cube`] composed with
+    /// [`EdtCodec::expand`]: reassembles a full simulation pattern
+    /// (netlist source order: PIs then flops) from directly-driven PI
+    /// bits and the per-chain scan loads the decompressor shifts in.
+    /// Cells the scan architecture padded past the real flops are
+    /// ignored; an unmapped flop loads `false`. Both the tester and the
+    /// die derive patterns through this one function, so a cube that
+    /// round-trips the codec yields bit-identical stimulus on each side.
+    pub fn to_pattern(&self, pi_bits: &[bool], loads: &[Vec<bool>]) -> Vec<bool> {
+        let num_pi = self.nl.num_inputs();
+        assert_eq!(pi_bits.len(), num_pi, "PI bit count mismatch");
+        let chain_len = self.scan.shift_cycles();
+        let mut pattern = vec![false; num_pi + self.cell_of_ff.len()];
+        pattern[..num_pi].copy_from_slice(pi_bits);
+        for (ff_idx, &cell) in self.cell_of_ff.iter().enumerate() {
+            if cell == usize::MAX {
+                continue;
+            }
+            pattern[num_pi + ff_idx] = loads[cell / chain_len][cell % chain_len];
+        }
+        pattern
+    }
+
     /// Encodes every cube, returning aggregate statistics.
     pub fn compress_all(&self, cubes: &[TestCube]) -> CompressionStats {
         self.compress_inner(cubes, None)

@@ -33,10 +33,12 @@ mod broadcast;
 mod edt;
 mod gf2;
 mod misr;
+mod pack;
 mod ring;
 
 pub use broadcast::{IllinoisMode, IllinoisScan};
 pub use edt::{CompressionStats, EdtCodec, ScanEdt};
 pub use gf2::Gf2System;
 pub use misr::{signature_with_mask, Misr, XMask};
+pub use pack::{pack_bits, unpack_bits};
 pub use ring::{PhaseShifter, RingGenerator};

@@ -1,0 +1,62 @@
+//! Bit-vector packing for wire formats and signature hashing.
+//!
+//! Scan stimulus, MISR signatures, and channel streams all travel as
+//! `Vec<bool>` inside the toolkit but must cross process boundaries
+//! (the serve framing protocol, checkpoint journals) as bytes. These
+//! helpers define the one canonical packing — LSB-first within each
+//! byte, zero-padded to the byte boundary — so every layer that hashes
+//! or frames bits agrees on the encoding.
+
+/// Packs `bits` LSB-first into bytes (bit `i` lands in byte `i / 8`,
+/// position `i % 8`). The final byte is zero-padded.
+pub fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+/// Unpacks `count` bits from `bytes`, inverting [`pack_bits`]. Returns
+/// `None` when `bytes` is too short for `count` bits or padding bits
+/// past `count` are set (a torn or corrupt encoding, never a panic).
+pub fn unpack_bits(bytes: &[u8], count: usize) -> Option<Vec<bool>> {
+    if bytes.len() != count.div_ceil(8) {
+        return None;
+    }
+    let mut bits = Vec::with_capacity(count);
+    for i in 0..count {
+        bits.push(bytes[i / 8] & (1 << (i % 8)) != 0);
+    }
+    // Reject set padding bits so every bit vector has one encoding.
+    if !count.is_multiple_of(8) && bytes[count / 8] >> (count % 8) != 0 {
+        return None;
+    }
+    Some(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for len in 0..40usize {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 7 + 3) % 5 < 2).collect();
+            let bytes = pack_bits(&bits);
+            assert_eq!(bytes.len(), len.div_ceil(8));
+            assert_eq!(unpack_bits(&bytes, len).as_deref(), Some(&bits[..]));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lengths_and_padding() {
+        assert!(unpack_bits(&[0xFF], 4).is_none()); // padding bits set
+        assert!(unpack_bits(&[0x0F], 4).is_some());
+        assert!(unpack_bits(&[0x00], 9).is_none()); // too short
+        assert!(unpack_bits(&[0x00, 0x00], 8).is_none()); // too long
+        assert_eq!(unpack_bits(&[], 0).as_deref(), Some(&[][..]));
+    }
+}

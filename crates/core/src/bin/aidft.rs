@@ -8,7 +8,16 @@
 //! aidft gen      <name> <out.bench>        write a generated circuit
 //! aidft diagnose <design.bench> <log.json> diagnose a failure log
 //! aidft repair   [--max-bad-cores N]       BISR + core-harvesting demo
+//! aidft serve    <design.bench>            test-floor fleet server
 //! ```
+//!
+//! `serve` streams compressed pattern windows to a simulated die fleet
+//! over loopback TCP and verifies the uploaded MISR signatures. It
+//! accepts `--dies N` (fleet size, default 16), `--window K` (patterns
+//! per window, default 32), and `--client-threads N` (concurrent die
+//! clients, default from `--threads`), plus the durability flags below
+//! (`--checkpoint-every` counts dies). The final fleet state is
+//! bit-identical for any thread count and any kill/resume split.
 //!
 //! `atpg`, `flow`, and `bist` accept `--threads N` (`0` = one worker per
 //! hardware thread, the default; `1` = serial). The `AIDFT_THREADS`
@@ -67,13 +76,14 @@ use std::time::Duration;
 
 use dft_core::atpg::{Atpg, AtpgConfig, AtpgError, Durability};
 use dft_core::bist::LogicBist;
-use dft_core::checkpoint::{CancelToken, ChaosConfig, Journal};
+use dft_core::checkpoint::{CancelToken, ChaosConfig, FramedJournal, Journal};
 use dft_core::diagnosis::{diagnose, FailureLog};
 use dft_core::logicsim::PatternSet;
 use dft_core::metrics::MetricsHandle;
 use dft_core::netlist::generators::benchmark_suite;
 use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
 use dft_core::progress::ProgressLine;
+use dft_core::serve::{run_fleet, ServeConfig, ServeError, ServeOpts, SERVE_FORMAT};
 use dft_core::trace::{TraceConfig, TraceHandle, TraceSession};
 use dft_core::{DftError, DftFlow, PartialResult};
 
@@ -328,6 +338,56 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
+        Some("serve") => with_design(&args, 2, |nl, rest| {
+            let mut rest: Vec<String> = rest.to_vec();
+            let dies = extract_u64_flag(&mut rest, "--dies")?.unwrap_or(16) as usize;
+            let window = extract_u64_flag(&mut rest, "--window")?.unwrap_or(32) as usize;
+            let client_threads = extract_u64_flag(&mut rest, "--client-threads")?
+                .map(|n| n as usize)
+                .unwrap_or_else(|| threads.clamp(1, 8))
+                .max(1);
+            if let Some(extra) = rest.first() {
+                return Err(DftError::usage(format!("unknown serve argument `{extra}`")));
+            }
+            let handle = MetricsHandle::enabled();
+            let progress = ProgressLine::spawn(trace.clone(), handle.clone());
+            let token = CancelToken::new();
+            cancel_on_signals(token.clone());
+            let journal = dur_opts
+                .checkpoint
+                .as_ref()
+                .or(dur_opts.resume.as_ref())
+                .map(|p| FramedJournal::new(p, SERVE_FORMAT));
+            let opts = ServeOpts {
+                metrics: handle.clone(),
+                trace: trace.clone(),
+                cancel: token,
+                chaos: dur_opts.chaos.unwrap_or_default(),
+                journal,
+                resume: dur_opts.resume.is_some(),
+            };
+            let mut cfg = ServeConfig {
+                dies: dies.max(1),
+                window_patterns: window.max(1),
+                client_threads,
+                ..ServeConfig::default()
+            };
+            if let Some(n) = dur_opts.every {
+                cfg.checkpoint_every = n as usize;
+            }
+            let report = run_fleet(nl, &cfg, &opts);
+            progress.finish();
+            let report = report.map_err(|e| lift_serve_error(nl.name(), e))?;
+            if report.resumed_dies > 0 {
+                say!(
+                    out,
+                    "resumed: {} dies restored from checkpoint",
+                    report.resumed_dies
+                );
+            }
+            out.text(report.summary.render(report.wall));
+            write_metrics(&out, &metrics_path, &handle)
+        }),
         Some("repair") => {
             let mut rest: Vec<String> = args[1..].to_vec();
             match extract_max_bad_cores(&mut rest) {
@@ -338,7 +398,7 @@ fn main() -> ExitCode {
             }
         }
         _ => Err(DftError::usage(
-            "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair> [--threads N] \
+            "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair|serve> [--threads N] \
              [--metrics-json <path>] [--trace <path>] [--trace-jsonl <path>] \
              [--checkpoint <path>] [--checkpoint-every <faults>] [--phase-timeout <ms>] \
              [--resume <path>] <args>; `-` as a path writes to stdout; see README",
@@ -374,6 +434,32 @@ fn main() -> ExitCode {
                 _ => 1,
             })
         }
+    }
+}
+
+/// Lifts a serve-layer fleet error into the CLI error type. An
+/// interrupted fleet maps onto the standard interrupt shape (exit 3,
+/// checkpoint path printed) with dies standing in for faults.
+fn lift_serve_error(design: &str, e: ServeError) -> DftError {
+    match e {
+        ServeError::Interrupted {
+            checkpoint,
+            done,
+            dies,
+        } => DftError::Interrupted {
+            checkpoint,
+            partial: Box::new(PartialResult {
+                design: design.to_owned(),
+                phase: "serve",
+                patterns: done,
+                detected: done,
+                total_faults: dies,
+                deadline: false,
+            }),
+        },
+        ServeError::Checkpoint(e) => DftError::Checkpoint(e),
+        ServeError::Io(e) => DftError::io(format!("serve {design}"), e),
+        ServeError::Client(msg) => DftError::worker_panic(format!("serve {design}"), msg),
     }
 }
 

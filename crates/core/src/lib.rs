@@ -64,6 +64,9 @@ pub use dft_aichip as aichip;
 /// Re-export of `dft-repair` (memory BISR, core harvesting).
 pub use dft_repair as repair;
 
+/// Re-export of `dft-serve` (test-floor pattern server).
+pub use dft_serve as serve;
+
 pub mod config;
 mod error;
 pub mod progress;

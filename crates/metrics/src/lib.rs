@@ -290,6 +290,16 @@ registry! {
         ckpt_resumes: "Runs resumed from a checkpoint journal.",
         cancel_requests: "Cooperative cancellations observed (signals and phase deadlines).",
         chaos_clock_skips: "Chaos-injected deadline-clock skips applied at checkpoint boundaries.",
+        // --- Test-floor service ---
+        serve_sessions: "Die sessions accepted by the pattern server (reconnects included).",
+        serve_windows: "Pattern windows streamed to dies (retest windows included).",
+        serve_signatures: "MISR signatures uploaded by dies and verified.",
+        serve_mismatches: "Signature uploads that mismatched the golden reference.",
+        serve_retests: "Retest windows streamed to failing dies.",
+        serve_harvested: "Failing dies that shipped degraded through the harvest path.",
+        serve_conn_drops: "Die connections dropped (chaos-injected or real).",
+        serve_torn_frames: "Torn frames detected by the codec (chaos-injected or real).",
+        serve_resumes: "Fleet runs resumed from a serve checkpoint journal.",
     }
     histograms {
         podem_backtracks_per_call: "Distribution of backtracks per PODEM call (log2 buckets).",

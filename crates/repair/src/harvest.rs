@@ -27,6 +27,38 @@ pub enum ShipGrade {
     Scrap,
 }
 
+impl std::fmt::Display for ShipGrade {
+    /// Stable single-token spelling (`full` / `degraded-N` / `scrap`)
+    /// used by fleet summaries and the serve checkpoint journal.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShipGrade::Full => write!(f, "full"),
+            ShipGrade::Degraded(n) => write!(f, "degraded-{n}"),
+            ShipGrade::Scrap => write!(f, "scrap"),
+        }
+    }
+}
+
+impl std::str::FromStr for ShipGrade {
+    type Err = String;
+
+    /// Parses the [`Display`](ShipGrade#impl-Display-for-ShipGrade)
+    /// spelling back; journals round-trip grades through this pair.
+    fn from_str(s: &str) -> Result<ShipGrade, String> {
+        match s {
+            "full" => Ok(ShipGrade::Full),
+            "scrap" => Ok(ShipGrade::Scrap),
+            other => {
+                let n = other
+                    .strip_prefix("degraded-")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("unknown ship grade `{other}`"))?;
+                Ok(ShipGrade::Degraded(n))
+            }
+        }
+    }
+}
+
 /// A degradation plan for one screened die.
 #[derive(Debug, Clone)]
 pub struct HarvestPlan {

@@ -1,0 +1,262 @@
+//! The simulated die fleet: defect seeding, response computation, and
+//! the TCP die client.
+//!
+//! Die `d` of a fleet is deterministically healthy or defective —
+//! [`die_defect`] hashes `(seed, d)` against the configured defect rate
+//! and, when it fires, picks [`dft_aichip::seeded_defect`]`(d)` from
+//! the design's stuck-at universe. Tester and die agree on the fleet's
+//! health from the seed alone; no out-of-band channel exists, exactly
+//! like silicon.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dft_aichip::seeded_defect;
+use dft_checkpoint::{ChaosConfig, ChaosSite};
+use dft_compress::Misr;
+use dft_fault::Fault;
+use dft_logicsim::{AnyKernel, FaultSim, PatternSet, Response, SimKernel};
+use dft_metrics::MetricsHandle;
+use dft_netlist::Netlist;
+
+use crate::frame::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
+use crate::stimulus::{window_signatures, ServeConfig, ServedStimulus};
+
+/// The defect seeded into die `die_id`, or `None` for a healthy die.
+/// Pure in `(seed, defect_rate, die_id)`; the same splitmix64-style
+/// unit-interval mapping the chaos harness uses.
+pub fn die_defect(die_id: u32, seed: u64, defect_rate: f64, universe: &[Fault]) -> Option<Fault> {
+    if defect_rate <= 0.0 || universe.is_empty() {
+        return None;
+    }
+    let mut z = (seed ^ u64::from(die_id).wrapping_mul(0xA076_1D64_78BD_642F))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    (unit < defect_rate).then(|| seeded_defect(die_id as usize, universe))
+}
+
+/// Shared, compile-once simulation engines for the whole fleet: every
+/// die evaluates through the same kernel (healthy) or the same legacy
+/// fault injector (defective). All methods take `&self` and are called
+/// from many client threads concurrently.
+#[derive(Debug)]
+pub struct DieSim<'nl> {
+    kernel: AnyKernel<'nl>,
+    fsim: FaultSim<'nl>,
+}
+
+impl<'nl> DieSim<'nl> {
+    /// Compiles the fleet engines for `nl` on the stimulus's kernel.
+    pub fn new(nl: &'nl Netlist, stim: &ServedStimulus<'nl>) -> DieSim<'nl> {
+        DieSim {
+            kernel: AnyKernel::compile_kind(stim.kernel_kind, nl),
+            fsim: FaultSim::new(nl),
+        }
+    }
+
+    /// Responses of one die to `patterns`: the good machine for a
+    /// healthy die, per-pattern faulty responses for a defective one.
+    pub fn responses(&self, patterns: &PatternSet, defect: Option<Fault>) -> Vec<Response> {
+        match defect {
+            None => self.kernel.eval_batch(patterns),
+            Some(f) => patterns
+                .iter()
+                .map(|p| self.fsim.faulty_response(p, f))
+                .collect(),
+        }
+    }
+
+    /// One window's MISR signature for one die.
+    pub fn window_signature(
+        &self,
+        patterns: &PatternSet,
+        defect: Option<Fault>,
+        misr_width: usize,
+    ) -> Vec<bool> {
+        let responses = self.responses(patterns, defect);
+        let mut misr = Misr::new(misr_width);
+        let mut padded = vec![false; misr_width];
+        for r in &responses {
+            padded[..r.len()].copy_from_slice(&r[..]);
+            misr.absorb(&padded);
+        }
+        misr.signature().to_vec()
+    }
+}
+
+/// Reference per-window signatures for one die, computed directly (no
+/// server, no sockets) — what the fleet tests compare the served run
+/// against bit-for-bit.
+pub fn die_reference_signatures(
+    stim: &ServedStimulus<'_>,
+    sim: &DieSim<'_>,
+    cfg: &ServeConfig,
+    die_id: u32,
+) -> Vec<Vec<bool>> {
+    match die_defect(die_id, cfg.seed, cfg.defect_rate, &stim.universe) {
+        None => stim.golden_sigs.clone(),
+        Some(f) => {
+            let responses = sim.responses(&stim.patterns, Some(f));
+            window_signatures(&responses, cfg.window_patterns.max(1), stim.misr_width)
+        }
+    }
+}
+
+/// One die's client: connects, handshakes, evaluates streamed windows,
+/// uploads signatures, and reconnects through chaos-injected drops and
+/// torn frames until the server issues a verdict.
+pub struct DieClient<'a> {
+    /// Fleet index.
+    pub die_id: u32,
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Shared broadcast content (for the wire decoder).
+    pub stim: &'a ServedStimulus<'a>,
+    /// Shared simulation engines.
+    pub sim: &'a DieSim<'a>,
+    /// Run configuration.
+    pub cfg: &'a ServeConfig,
+    /// Chaos knobs (the die honors `DelayDie`).
+    pub chaos: ChaosConfig,
+    /// Counter sink.
+    pub metrics: MetricsHandle,
+}
+
+/// Reconnect attempts before a die gives up. Chaos drop/tear
+/// probabilities are per-window, so even aggressive settings converge
+/// well inside this budget; hitting it means the server is gone.
+const MAX_CONNECTS: usize = 32;
+
+impl DieClient<'_> {
+    /// Runs the die to its verdict. `Ok(true)` when the server reported
+    /// the die passed.
+    pub fn run(&self) -> Result<bool, FrameError> {
+        let decoder = self.stim.decoder();
+        let defect = die_defect(
+            self.die_id,
+            self.cfg.seed,
+            self.cfg.defect_rate,
+            &self.stim.universe,
+        );
+        let mut last_err: Option<FrameError> = None;
+        for _attempt in 0..MAX_CONNECTS {
+            match self.session(&decoder, defect) {
+                Ok(passed) => return Ok(passed),
+                // Drops and tears are recoverable: reconnect and let the
+                // server resume from the last verified window.
+                Err(FrameError::Torn) | Err(FrameError::Io(_)) => {
+                    if let Some(m) = self.metrics.get() {
+                        m.serve_conn_drops.inc();
+                    }
+                    last_err = Some(FrameError::Torn);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(FrameError::Torn))
+    }
+
+    /// One connection's worth of protocol, ending at `Bye` or a
+    /// transport error.
+    fn session(
+        &self,
+        decoder: &crate::stimulus::StimulusDecoder<'_>,
+        defect: Option<Fault>,
+    ) -> Result<bool, FrameError> {
+        let stream = TcpStream::connect(self.addr).map_err(FrameError::Io)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone().map_err(FrameError::Io)?);
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                die_id: self.die_id,
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match read_frame(&mut reader)? {
+            Frame::Welcome {
+                die_id,
+                pattern_width,
+                misr_width,
+                ..
+            } => {
+                if die_id != self.die_id
+                    || pattern_width as usize != self.stim.pattern_width
+                    || misr_width as usize != self.stim.misr_width
+                {
+                    return Err(FrameError::BadPayload("welcome geometry mismatch"));
+                }
+            }
+            _ => return Err(FrameError::BadPayload("expected Welcome")),
+        }
+        let mut passed = false;
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Frame::Window {
+                    window_idx,
+                    stimuli,
+                    ..
+                }) => {
+                    let patterns = decoder.decode_window(&stimuli)?;
+                    let sig = self
+                        .sim
+                        .window_signature(&patterns, defect, self.stim.misr_width);
+                    // Chaos: a slow die. The bounded per-session channel
+                    // means it stalls only its own window pipeline.
+                    let ordinal = u64::from(self.die_id) * 1009 + u64::from(window_idx);
+                    if self.chaos.fires(ChaosSite::DelayDie, ordinal) {
+                        std::thread::sleep(self.chaos.delay.min(Duration::from_millis(50)));
+                    }
+                    write_frame(
+                        &mut writer,
+                        &Frame::Signature {
+                            die_id: self.die_id,
+                            window_idx,
+                            bits: sig,
+                        },
+                    )?;
+                }
+                Ok(Frame::Verdict { passed: p, .. }) => passed = p,
+                Ok(Frame::Bye) => return Ok(passed),
+                Ok(_) => return Err(FrameError::BadPayload("unexpected frame in session")),
+                Err(FrameError::Torn) => {
+                    if let Some(m) = self.metrics.get() {
+                        m.serve_torn_frames.inc();
+                    }
+                    return Err(FrameError::Torn);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defect_seeding_is_deterministic_and_tracks_rate() {
+        let universe = vec![];
+        assert!(die_defect(3, 7, 0.5, &universe).is_none());
+        let nl = dft_netlist::parse_bench("c", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let universe = dft_fault::universe_stuck_at(&nl);
+        let hits = (0..1000u32)
+            .filter(|&d| die_defect(d, 7, 0.25, &universe).is_some())
+            .count();
+        assert!((180..320).contains(&hits), "hits {hits}");
+        for d in 0..32 {
+            assert_eq!(
+                die_defect(d, 7, 0.25, &universe),
+                die_defect(d, 7, 0.25, &universe)
+            );
+        }
+        assert!((0..1000u32).all(|d| die_defect(d, 7, 0.0, &universe).is_none()));
+        assert!((0..100u32).all(|d| die_defect(d, 7, 1.0, &universe).is_some()));
+    }
+}

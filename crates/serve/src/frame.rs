@@ -1,0 +1,576 @@
+//! The `aidft-wire-v1` framing codec.
+//!
+//! Every message on a tester↔die connection is one frame:
+//!
+//! ```text
+//! +--------+------+-------+-----------+-----------------+----------+
+//! | magic  | type | flags | len (u32) | payload (len B) | crc u64  |
+//! | 0xA1DF |  u8  |  u8   | LE        |                 | FNV-1a   |
+//! +--------+------+-------+-----------+-----------------+----------+
+//! ```
+//!
+//! The checksum covers header and payload, so a torn write, a flipped
+//! bit, or a mid-frame disconnect is always detected ([`FrameError`]),
+//! never misparsed. Bit vectors travel LSB-first-packed with an explicit
+//! bit count ([`dft_compress::pack_bits`]); set padding bits are
+//! rejected so every vector has exactly one encoding. Decoding is
+//! cursor-checked throughout — malformed input yields an error, never a
+//! panic or an out-of-bounds read.
+
+use std::io::{self, Read, Write};
+
+use dft_checkpoint::fnv1a;
+use dft_compress::{pack_bits, unpack_bits};
+
+/// First two bytes of every frame.
+const MAGIC: u16 = 0xA1DF;
+/// Protocol version carried in `Hello` (bumped on wire changes).
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Upper bound on a frame payload; larger lengths are rejected before
+/// any allocation so a corrupt length field cannot balloon memory.
+pub const MAX_PAYLOAD: usize = 1 << 24;
+
+/// Header bytes before the payload (magic + type + flags + len).
+const HEADER_LEN: usize = 8;
+/// Trailing checksum bytes.
+const CRC_LEN: usize = 8;
+
+/// Why a frame failed to decode.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The byte stream ended mid-frame (torn tail or dropped
+    /// connection).
+    Torn,
+    /// The first two bytes were not the frame magic.
+    BadMagic,
+    /// The checksum trailer did not match header + payload.
+    BadChecksum,
+    /// The length field exceeded [`MAX_PAYLOAD`].
+    TooLarge,
+    /// The payload was structurally malformed (the message names the
+    /// offending field).
+    BadPayload(&'static str),
+    /// A transport-level I/O error other than a clean truncation.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn => write!(f, "torn frame (stream ended mid-frame)"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::TooLarge => write!(f, "frame payload exceeds limit"),
+            FrameError::BadPayload(what) => write!(f, "malformed frame payload: {what}"),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    /// A short read is a torn frame; anything else is transport I/O.
+    fn from(e: io::Error) -> FrameError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Torn
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// One test pattern as it travels to a die: either raw simulation bits
+/// or the EDT-compressed form the die's on-chip decompressor expands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stimulus {
+    /// Uncompressed full-width pattern (bypass mode: unscannable
+    /// designs or cubes the encoder rejected).
+    Flat(Vec<bool>),
+    /// EDT-compressed: directly-driven primary-input bits plus the
+    /// per-shift-cycle channel injections (`channel_bits[cycle]`, one
+    /// inner vector per shift cycle, `channels` bits each).
+    Edt {
+        /// Primary-input bits, netlist source order.
+        pi_bits: Vec<bool>,
+        /// Channel bits per decompressor shift cycle.
+        channel_bits: Vec<Vec<bool>>,
+    },
+}
+
+/// One protocol message. The session state machine (DESIGN.md) is:
+/// client sends `Hello`, server answers `Welcome` (with the resume
+/// window for reconnects), then streams `Window` frames while the
+/// client uploads one `Signature` per window; failing dies get retest
+/// `Window`s, then `Verdict` and `Bye` close the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: die introduces itself.
+    Hello {
+        /// The die's fleet index.
+        die_id: u32,
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Server → client: session accepted; geometry and resume point.
+    Welcome {
+        /// Echoed die index.
+        die_id: u32,
+        /// First window the server will stream (>0 after a reconnect).
+        resume_window: u32,
+        /// Windows in the full broadcast.
+        total_windows: u32,
+        /// Full simulation pattern width (PIs + scan cells).
+        pattern_width: u32,
+        /// MISR signature width the die must upload.
+        misr_width: u32,
+    },
+    /// Server → client: one pattern window to evaluate.
+    Window {
+        /// Window index in the broadcast.
+        window_idx: u32,
+        /// `true` when this is an adaptive-retest replay.
+        retest: bool,
+        /// The window's patterns.
+        stimuli: Vec<Stimulus>,
+    },
+    /// Client → server: the MISR signature over one window's responses.
+    Signature {
+        /// The uploading die.
+        die_id: u32,
+        /// Window the signature covers.
+        window_idx: u32,
+        /// MISR state after absorbing the window's responses.
+        bits: Vec<bool>,
+    },
+    /// Server → client: final per-die outcome.
+    Verdict {
+        /// The judged die.
+        die_id: u32,
+        /// `true` when every window's signature matched golden.
+        passed: bool,
+        /// `true` when mismatches triggered a retest pass.
+        retested: bool,
+        /// Ship grade (`full` / `degraded-N` / `scrap`).
+        grade: String,
+    },
+    /// Server → client: session over, close the connection.
+    Bye,
+}
+
+const TY_HELLO: u8 = 1;
+const TY_WELCOME: u8 = 2;
+const TY_WINDOW: u8 = 3;
+const TY_SIGNATURE: u8 = 4;
+const TY_VERDICT: u8 = 5;
+const TY_BYE: u8 = 6;
+
+// --- payload cursor helpers -------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bits(buf: &mut Vec<u8>, bits: &[bool]) {
+    put_u32(buf, bits.len() as u32);
+    buf.extend_from_slice(&pack_bits(bits));
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FrameError::BadPayload("short payload"))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn bits(&mut self) -> Result<Vec<bool>, FrameError> {
+        let count = self.u32()? as usize;
+        if count > MAX_PAYLOAD * 8 {
+            return Err(FrameError::BadPayload("bit count exceeds frame limit"));
+        }
+        let bytes = self.take(count.div_ceil(8))?;
+        unpack_bits(bytes, count).ok_or(FrameError::BadPayload("set padding bits"))
+    }
+
+    fn done(&self) -> Result<(), FrameError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::BadPayload("trailing payload bytes"))
+        }
+    }
+}
+
+impl Stimulus {
+    fn put(&self, buf: &mut Vec<u8>) {
+        match self {
+            Stimulus::Flat(bits) => {
+                buf.push(0);
+                put_bits(buf, bits);
+            }
+            Stimulus::Edt {
+                pi_bits,
+                channel_bits,
+            } => {
+                buf.push(1);
+                put_bits(buf, pi_bits);
+                put_u32(buf, channel_bits.len() as u32);
+                for cycle in channel_bits {
+                    put_bits(buf, cycle);
+                }
+            }
+        }
+    }
+
+    fn get(c: &mut Cursor<'_>) -> Result<Stimulus, FrameError> {
+        match c.u8()? {
+            0 => Ok(Stimulus::Flat(c.bits()?)),
+            1 => {
+                let pi_bits = c.bits()?;
+                let cycles = c.u32()? as usize;
+                if cycles > MAX_PAYLOAD {
+                    return Err(FrameError::BadPayload("cycle count exceeds frame limit"));
+                }
+                let mut channel_bits = Vec::with_capacity(cycles.min(1 << 16));
+                for _ in 0..cycles {
+                    channel_bits.push(c.bits()?);
+                }
+                Ok(Stimulus::Edt {
+                    pi_bits,
+                    channel_bits,
+                })
+            }
+            _ => Err(FrameError::BadPayload("unknown stimulus tag")),
+        }
+    }
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TY_HELLO,
+            Frame::Welcome { .. } => TY_WELCOME,
+            Frame::Window { .. } => TY_WINDOW,
+            Frame::Signature { .. } => TY_SIGNATURE,
+            Frame::Verdict { .. } => TY_VERDICT,
+            Frame::Bye => TY_BYE,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Hello { die_id, version } => {
+                put_u32(&mut p, *die_id);
+                put_u16(&mut p, *version);
+            }
+            Frame::Welcome {
+                die_id,
+                resume_window,
+                total_windows,
+                pattern_width,
+                misr_width,
+            } => {
+                put_u32(&mut p, *die_id);
+                put_u32(&mut p, *resume_window);
+                put_u32(&mut p, *total_windows);
+                put_u32(&mut p, *pattern_width);
+                put_u32(&mut p, *misr_width);
+            }
+            Frame::Window {
+                window_idx,
+                retest,
+                stimuli,
+            } => {
+                put_u32(&mut p, *window_idx);
+                p.push(u8::from(*retest));
+                put_u32(&mut p, stimuli.len() as u32);
+                for s in stimuli {
+                    s.put(&mut p);
+                }
+            }
+            Frame::Signature {
+                die_id,
+                window_idx,
+                bits,
+            } => {
+                put_u32(&mut p, *die_id);
+                put_u32(&mut p, *window_idx);
+                put_bits(&mut p, bits);
+            }
+            Frame::Verdict {
+                die_id,
+                passed,
+                retested,
+                grade,
+            } => {
+                put_u32(&mut p, *die_id);
+                p.push(u8::from(*passed));
+                p.push(u8::from(*retested));
+                put_u32(&mut p, grade.len() as u32);
+                p.extend_from_slice(grade.as_bytes());
+            }
+            Frame::Bye => {}
+        }
+        p
+    }
+
+    fn parse(ty: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        let mut c = Cursor::new(payload);
+        let frame = match ty {
+            TY_HELLO => Frame::Hello {
+                die_id: c.u32()?,
+                version: c.u16()?,
+            },
+            TY_WELCOME => Frame::Welcome {
+                die_id: c.u32()?,
+                resume_window: c.u32()?,
+                total_windows: c.u32()?,
+                pattern_width: c.u32()?,
+                misr_width: c.u32()?,
+            },
+            TY_WINDOW => {
+                let window_idx = c.u32()?;
+                let retest = c.u8()? != 0;
+                let n = c.u32()? as usize;
+                if n > MAX_PAYLOAD {
+                    return Err(FrameError::BadPayload("stimulus count exceeds limit"));
+                }
+                let mut stimuli = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    stimuli.push(Stimulus::get(&mut c)?);
+                }
+                Frame::Window {
+                    window_idx,
+                    retest,
+                    stimuli,
+                }
+            }
+            TY_SIGNATURE => Frame::Signature {
+                die_id: c.u32()?,
+                window_idx: c.u32()?,
+                bits: c.bits()?,
+            },
+            TY_VERDICT => {
+                let die_id = c.u32()?;
+                let passed = c.u8()? != 0;
+                let retested = c.u8()? != 0;
+                let len = c.u32()? as usize;
+                let grade = std::str::from_utf8(c.take(len)?)
+                    .map_err(|_| FrameError::BadPayload("grade not UTF-8"))?
+                    .to_owned();
+                Frame::Verdict {
+                    die_id,
+                    passed,
+                    retested,
+                    grade,
+                }
+            }
+            TY_BYE => Frame::Bye,
+            _ => return Err(FrameError::BadPayload("unknown frame type")),
+        };
+        c.done()?;
+        Ok(frame)
+    }
+
+    /// Encodes the frame to its full wire bytes (header, payload,
+    /// checksum trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(self.type_byte());
+        buf.push(0); // flags, reserved
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let crc = fnv1a(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the frame
+    /// and the bytes it consumed. `Err(Torn)` when `buf` holds only a
+    /// prefix of a frame; structural errors otherwise. Never panics.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Torn);
+        }
+        if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let ty = buf[2];
+        let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge);
+        }
+        let total = HEADER_LEN + len + CRC_LEN;
+        if buf.len() < total {
+            return Err(FrameError::Torn);
+        }
+        let crc = u64::from_le_bytes(buf[total - CRC_LEN..total].try_into().unwrap());
+        if fnv1a(&buf[..total - CRC_LEN]) != crc {
+            return Err(FrameError::BadChecksum);
+        }
+        let frame = Frame::parse(ty, &buf[HEADER_LEN..HEADER_LEN + len])?;
+        Ok((frame, total))
+    }
+}
+
+/// Reads exactly one frame from `r`. A stream that ends mid-frame (or
+/// before any byte of one) is [`FrameError::Torn`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if u16::from_le_bytes([header[0], header[1]]) != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::TooLarge);
+    }
+    let mut rest = vec![0u8; len + CRC_LEN];
+    r.read_exact(&mut rest)?;
+    let mut whole = header.to_vec();
+    whole.extend_from_slice(&rest);
+    Frame::decode(&whole).map(|(f, _)| f)
+}
+
+/// Writes one frame to `w`.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Chaos hook: writes only the first half of the frame's bytes, then
+/// flushes — the receiver sees a torn frame and must recover by
+/// reconnecting.
+pub fn write_frame_torn(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let bytes = frame.encode();
+    w.write_all(&bytes[..bytes.len() / 2])?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                die_id: 7,
+                version: PROTOCOL_VERSION,
+            },
+            Frame::Welcome {
+                die_id: 7,
+                resume_window: 2,
+                total_windows: 9,
+                pattern_width: 33,
+                misr_width: 17,
+            },
+            Frame::Window {
+                window_idx: 3,
+                retest: true,
+                stimuli: vec![
+                    Stimulus::Flat(vec![true, false, true]),
+                    Stimulus::Edt {
+                        pi_bits: vec![false; 5],
+                        channel_bits: vec![vec![true, false], vec![false, true]],
+                    },
+                ],
+            },
+            Frame::Signature {
+                die_id: 7,
+                window_idx: 3,
+                bits: vec![true; 17],
+            },
+            Frame::Verdict {
+                die_id: 7,
+                passed: false,
+                retested: true,
+                grade: "degraded-1".to_owned(),
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_frame_type() {
+        for f in frames() {
+            let bytes = f.encode();
+            let (back, used) = Frame::decode(&bytes).expect("decodes");
+            assert_eq!(back, f);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn truncation_and_tampering_detected() {
+        let bytes = frames()[2].encode();
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                Frame::decode(&bytes[..cut]),
+                Err(FrameError::Torn)
+            ));
+        }
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN] ^= 1;
+        assert!(matches!(Frame::decode(&bad), Err(FrameError::BadChecksum)));
+        let mut wrong_magic = bytes;
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            Frame::decode(&wrong_magic),
+            Err(FrameError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let mut buf = Vec::new();
+        for f in frames() {
+            write_frame(&mut buf, &f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in frames() {
+            assert_eq!(read_frame(&mut r).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Torn)));
+    }
+
+    #[test]
+    fn torn_write_is_detected_by_reader() {
+        let mut buf = Vec::new();
+        write_frame_torn(&mut buf, &frames()[1]).unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Torn)));
+    }
+}

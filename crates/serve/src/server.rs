@@ -1,0 +1,604 @@
+//! The fleet orchestrator: TCP pattern server + in-process die clients.
+//!
+//! [`run_fleet`] binds a loopback listener, spawns one session thread
+//! per accepted die connection, and drives the configured number of
+//! client worker threads through the die queue. Each session streams
+//! pattern windows through a **bounded** channel (at most
+//! [`WINDOW_PIPELINE`] windows in flight per die), so a slow or
+//! chaos-delayed die stalls only its own pipeline, never the broadcast.
+//! Failing dies get an adaptive retest pass, then route through the
+//! BISR/harvest path for a ship grade. Fleet state checkpoints to an
+//! `aidft-serve-v1` journal; cancellation and `AIDFT_CHAOS` faults
+//! (dropped connections, torn frames, delayed dies, torn checkpoint
+//! writes) are first-class.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dft_aichip::{ssn_plan, DeliveryStyle};
+use dft_checkpoint::{ChaosSite, CkptError, FramedJournal};
+use dft_netlist::Netlist;
+use dft_repair::{plan_degradation, ShipGrade};
+
+use crate::die::{die_defect, DieClient, DieSim};
+use crate::fleet::{DieOutcome, FleetState, FleetSummary};
+use crate::frame::{
+    read_frame, write_frame, write_frame_torn, Frame, FrameError, PROTOCOL_VERSION,
+};
+use crate::stimulus::{ServeConfig, ServedStimulus};
+
+/// Windows in flight per die session before the writer blocks — the
+/// bounded-channel backpressure knob.
+pub(crate) const WINDOW_PIPELINE: usize = 4;
+
+/// Everything [`run_fleet`] needs besides the design and config.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOpts {
+    /// Counter sink (shared by server, sessions, and die clients).
+    pub metrics: dft_metrics::MetricsHandle,
+    /// Span sink.
+    pub trace: dft_trace::TraceHandle,
+    /// Cooperative cancellation (SIGTERM lands here).
+    pub cancel: dft_checkpoint::CancelToken,
+    /// Chaos knobs (`drop`, `tear`, `delay`, `io` fire in the serve
+    /// paths).
+    pub chaos: dft_checkpoint::ChaosConfig,
+    /// Fleet-state journal; `None` disables checkpointing.
+    pub journal: Option<FramedJournal>,
+    /// Resume from the journal's newest record instead of starting
+    /// fresh.
+    pub resume: bool,
+}
+
+/// Why a fleet run did not complete.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport-level failure (bind, accept).
+    Io(io::Error),
+    /// Checkpoint journal failure (resume mismatch, unreadable file).
+    Checkpoint(CkptError),
+    /// Cancelled cooperatively; state up to `done` dies is journaled.
+    Interrupted {
+        /// Journal path, when checkpointing was on.
+        checkpoint: Option<PathBuf>,
+        /// Dies with a recorded verdict at cancellation.
+        done: usize,
+        /// Fleet size.
+        dies: usize,
+    },
+    /// A die client failed in a non-recoverable way (protocol bug).
+    Client(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Checkpoint(e) => write!(f, "serve checkpoint error: {e}"),
+            ServeError::Interrupted { done, dies, .. } => {
+                write!(f, "serve interrupted after {done}/{dies} dies")
+            }
+            ServeError::Client(msg) => write!(f, "die client error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The completed run: final state, summary, and throughput inputs.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Final fleet state (per-die signatures included).
+    pub state: FleetState,
+    /// Aggregated totals.
+    pub summary: FleetSummary,
+    /// Wall clock of the serve phase (stimulus build excluded).
+    pub wall: Duration,
+    /// Dies restored from the checkpoint instead of streamed.
+    pub resumed_dies: usize,
+    /// Patterns in the broadcast.
+    pub patterns: usize,
+    /// Cubes the EDT encoder accepted.
+    pub edt_encoded: usize,
+    /// Patterns shipped flat.
+    pub edt_flat: usize,
+}
+
+/// Per-die in-flight progress, shared across reconnected sessions.
+struct DieProgress {
+    /// Consecutively verified initial-pass windows (the reconnect
+    /// resume point).
+    verified: u32,
+    /// Uploaded signature per window (retest overwrites).
+    sigs: Vec<Option<Vec<bool>>>,
+    /// Windows whose signature mismatched golden.
+    mismatched: BTreeSet<u32>,
+    /// The retest pass completed.
+    retest_done: bool,
+    /// Sessions opened for this die (salts chaos ordinals so a
+    /// reconnect does not replay the same injected fault forever).
+    attempts: u64,
+}
+
+struct Shared<'a> {
+    stim: &'a ServedStimulus<'a>,
+    cfg: &'a ServeConfig,
+    opts: &'a ServeOpts,
+    state: Mutex<FleetState>,
+    progress: Mutex<HashMap<u32, DieProgress>>,
+    shutdown: AtomicBool,
+    interrupted: AtomicBool,
+    ckpt_seq: AtomicU64,
+    client_error: Mutex<Option<String>>,
+}
+
+impl Shared<'_> {
+    /// Appends the current fleet state to the journal (chaos `io` knob
+    /// tears the write; both outcomes are non-fatal — the journal
+    /// realigns on the next append).
+    fn checkpoint(&self) {
+        let Some(journal) = &self.opts.journal else {
+            return;
+        };
+        let seq = self.ckpt_seq.fetch_add(1, Ordering::Relaxed);
+        let body = self.state.lock().unwrap().to_body();
+        let torn = self.opts.chaos.fires(ChaosSite::CkptIo, seq);
+        let result = if torn {
+            journal.append_torn(seq, &body)
+        } else {
+            journal.append(seq, &body)
+        };
+        if let Some(m) = self.opts.metrics.get() {
+            match result {
+                Ok(bytes) => {
+                    m.ckpt_writes.inc();
+                    m.ckpt_bytes.add(bytes);
+                }
+                Err(_) => m.ckpt_write_failures.inc(),
+            }
+        }
+    }
+
+    /// Records one die's final outcome; checkpoints on cadence.
+    fn record(&self, outcome: DieOutcome) {
+        let done = {
+            let mut st = self.state.lock().unwrap();
+            st.done.insert(outcome.die_id, outcome);
+            st.done.len()
+        };
+        if done % self.cfg.checkpoint_every.max(1) == 0 {
+            self.checkpoint();
+        }
+    }
+}
+
+/// Computes a failing die's ship grade through the harvest path: a
+/// deterministic per-die bad-core map is screened against the
+/// harvesting floor, with the retest cost modeled on the per-core SSN
+/// schedule. One or three bad cores per failing die, so fleets exercise
+/// both the degraded-ship and the scrap outcome.
+fn harvest_grade(shared: &Shared<'_>, die_id: u32) -> ShipGrade {
+    let cfg = shared.cfg;
+    let cores = cfg.soc.num_cores.max(1);
+    let mut z = (cfg.seed ^ u64::from(die_id).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    let bad = (1 + ((z >> 7) & 1) * 2).min(cores as u64) as usize;
+    let mut pass_map = vec![true; cores];
+    for i in 0..bad {
+        pass_map[(z as usize).wrapping_add(i * 5) % cores] = false;
+    }
+    let cells = shared.stim.netlist().num_dffs().max(1);
+    let per_core_cycles = ssn_plan(
+        DeliveryStyle::DaisyChain,
+        1,
+        cells,
+        cfg.soc.chains_per_core.max(1),
+        shared.stim.patterns.len(),
+    )
+    .total_cycles;
+    let plan = plan_degradation(
+        &pass_map,
+        per_core_cycles,
+        &cfg.soc,
+        cfg.max_bad_cores,
+        &shared.opts.metrics,
+    );
+    if let (Some(m), ShipGrade::Degraded(_)) = (shared.opts.metrics.get(), plan.grade) {
+        m.serve_harvested.inc();
+    }
+    plan.grade
+}
+
+/// The signature-verifying half of a session: consumes `(window,
+/// retest)` tickets in stream order, reads the matching upload, checks
+/// it against golden, and updates the die's progress.
+fn verify_uploads(
+    shared: &Shared<'_>,
+    die_id: u32,
+    reader: &mut impl Read,
+    rx: Receiver<(u32, bool)>,
+) -> Result<(), FrameError> {
+    for (w, retest) in rx {
+        let frame = read_frame(reader)?;
+        let Frame::Signature {
+            die_id: did,
+            window_idx,
+            bits,
+        } = frame
+        else {
+            return Err(FrameError::BadPayload("expected Signature"));
+        };
+        if did != die_id || window_idx != w {
+            return Err(FrameError::BadPayload("signature out of order"));
+        }
+        if bits.len() != shared.stim.misr_width {
+            return Err(FrameError::BadPayload("signature width mismatch"));
+        }
+        let matched = bits == shared.stim.golden_sigs[w as usize];
+        let mut prog = shared.progress.lock().unwrap();
+        let p = prog.get_mut(&die_id).expect("progress entry");
+        p.sigs[w as usize] = Some(bits);
+        if !matched {
+            p.mismatched.insert(w);
+        }
+        if !retest {
+            p.verified = p.verified.max(w + 1);
+        }
+        drop(prog);
+        if let Some(m) = shared.opts.metrics.get() {
+            m.serve_signatures.inc();
+            if !matched {
+                m.serve_mismatches.inc();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Streams `windows` to the die with bounded in-flight backpressure,
+/// verifying uploads concurrently. Chaos may drop the connection or
+/// tear a frame mid-stream; cancellation is polled at every window.
+fn stream_windows(
+    shared: &Shared<'_>,
+    die_id: u32,
+    attempt: u64,
+    windows: &[(u32, bool)],
+    reader: &mut (impl Read + Send),
+    writer: &mut impl Write,
+) -> Result<(), FrameError> {
+    std::thread::scope(|s| {
+        let (tx, rx): (SyncSender<(u32, bool)>, _) = std::sync::mpsc::sync_channel(WINDOW_PIPELINE);
+        let verifier = s.spawn(|| verify_uploads(shared, die_id, reader, rx));
+        let mut write_result: Result<(), FrameError> = Ok(());
+        for &(w, retest) in windows {
+            if shared.opts.cancel.poll() {
+                shared.interrupted.store(true, Ordering::SeqCst);
+                write_result = Err(FrameError::Torn);
+                break;
+            }
+            let ordinal = (u64::from(die_id) << 32) | (attempt << 16) | u64::from(w);
+            if shared.opts.chaos.fires(ChaosSite::DropConn, ordinal) {
+                if let Some(m) = shared.opts.metrics.get() {
+                    m.serve_conn_drops.inc();
+                }
+                write_result = Err(FrameError::Torn);
+                break;
+            }
+            let frame = Frame::Window {
+                window_idx: w,
+                retest,
+                stimuli: shared.stim.windows[w as usize].clone(),
+            };
+            if shared.opts.chaos.fires(ChaosSite::TornFrame, ordinal) {
+                if let Some(m) = shared.opts.metrics.get() {
+                    m.serve_torn_frames.inc();
+                }
+                write_result = write_frame_torn(writer, &frame)
+                    .map_err(FrameError::from)
+                    .and(Err(FrameError::Torn));
+                break;
+            }
+            if let Err(e) = write_frame(writer, &frame) {
+                write_result = Err(FrameError::from(e));
+                break;
+            }
+            if let Some(m) = shared.opts.metrics.get() {
+                m.serve_windows.inc();
+                if retest {
+                    m.serve_retests.inc();
+                }
+            }
+            if tx.send((w, retest)).is_err() {
+                // Verifier bailed (torn upload); its error wins below.
+                break;
+            }
+        }
+        drop(tx);
+        let verify_result = verifier.join().expect("verifier never panics");
+        verify_result.and(write_result)
+    })
+}
+
+/// One accepted connection: handshake, stream remaining windows, retest
+/// mismatches, finalize. Errors end the session; the die reconnects and
+/// resumes from its last verified window.
+fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(FrameError::Io)?);
+    let mut writer = BufWriter::new(stream);
+    let Frame::Hello { die_id, version } = read_frame(&mut reader)? else {
+        return Err(FrameError::BadPayload("expected Hello"));
+    };
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadPayload("protocol version mismatch"));
+    }
+    if let Some(m) = shared.opts.metrics.get() {
+        m.serve_sessions.inc();
+    }
+    let _span = shared.opts.trace.span_arg("die_session", u64::from(die_id));
+    let total = shared.stim.total_windows() as u32;
+
+    // A die that already has a verdict (resume, or a drop between
+    // recording and Bye) just gets its verdict replayed.
+    let recorded = shared.state.lock().unwrap().done.get(&die_id).cloned();
+    if let Some(out) = recorded {
+        write_frame(
+            &mut writer,
+            &Frame::Welcome {
+                die_id,
+                resume_window: total,
+                total_windows: total,
+                pattern_width: shared.stim.pattern_width as u32,
+                misr_width: shared.stim.misr_width as u32,
+            },
+        )?;
+        write_frame(
+            &mut writer,
+            &Frame::Verdict {
+                die_id,
+                passed: out.passed,
+                retested: out.retested,
+                grade: out.grade.to_string(),
+            },
+        )?;
+        return write_frame(&mut writer, &Frame::Bye).map_err(FrameError::from);
+    }
+
+    let (resume_window, attempt) = {
+        let mut prog = shared.progress.lock().unwrap();
+        let p = prog.entry(die_id).or_insert_with(|| DieProgress {
+            verified: 0,
+            sigs: vec![None; total as usize],
+            mismatched: BTreeSet::new(),
+            retest_done: false,
+            attempts: 0,
+        });
+        p.attempts += 1;
+        (p.verified, p.attempts)
+    };
+    write_frame(
+        &mut writer,
+        &Frame::Welcome {
+            die_id,
+            resume_window,
+            total_windows: total,
+            pattern_width: shared.stim.pattern_width as u32,
+            misr_width: shared.stim.misr_width as u32,
+        },
+    )?;
+
+    // Initial pass: the windows not yet verified.
+    let initial: Vec<(u32, bool)> = (resume_window..total).map(|w| (w, false)).collect();
+    stream_windows(shared, die_id, attempt, &initial, &mut reader, &mut writer)?;
+
+    // Adaptive retest: replay every mismatched window once.
+    let retest: Vec<(u32, bool)> = {
+        let prog = shared.progress.lock().unwrap();
+        let p = &prog[&die_id];
+        if p.retest_done {
+            Vec::new()
+        } else {
+            p.mismatched.iter().map(|&w| (w, true)).collect()
+        }
+    };
+    let retested = !retest.is_empty();
+    if retested {
+        stream_windows(shared, die_id, attempt, &retest, &mut reader, &mut writer)?;
+        shared
+            .progress
+            .lock()
+            .unwrap()
+            .get_mut(&die_id)
+            .expect("progress entry")
+            .retest_done = true;
+    }
+
+    // Finalize: verdict, harvest for failures, record, close.
+    let (passed, signatures) = {
+        let prog = shared.progress.lock().unwrap();
+        let p = &prog[&die_id];
+        let sigs: Vec<Vec<bool>> = p
+            .sigs
+            .iter()
+            .map(|s| s.clone().expect("all windows verified"))
+            .collect();
+        (p.mismatched.is_empty(), sigs)
+    };
+    let grade = if passed {
+        ShipGrade::Full
+    } else {
+        harvest_grade(shared, die_id)
+    };
+    let defective = die_defect(
+        die_id,
+        shared.cfg.seed,
+        shared.cfg.defect_rate,
+        &shared.stim.universe,
+    )
+    .is_some();
+    shared.record(DieOutcome {
+        die_id,
+        defective,
+        passed,
+        retested,
+        grade,
+        signatures,
+    });
+    write_frame(
+        &mut writer,
+        &Frame::Verdict {
+            die_id,
+            passed,
+            retested,
+            grade: grade.to_string(),
+        },
+    )?;
+    write_frame(&mut writer, &Frame::Bye).map_err(FrameError::from)
+}
+
+/// Runs a whole fleet: builds the broadcast, serves every die over
+/// loopback TCP with `cfg.client_threads` concurrent die clients, and
+/// returns the final state. The result is bit-identical for any thread
+/// count, kernel, chaos setting, and any kill/resume split.
+pub fn run_fleet(
+    nl: &Netlist,
+    cfg: &ServeConfig,
+    opts: &ServeOpts,
+) -> Result<FleetReport, ServeError> {
+    let stim = ServedStimulus::build(nl, cfg, &opts.metrics, &opts.trace);
+    let sim = DieSim::new(nl, &stim);
+    let fingerprint = cfg.fingerprint(nl.name());
+    let state = match (&opts.journal, opts.resume) {
+        (Some(j), true) => {
+            let st =
+                FleetState::resume(j, nl.name(), fingerprint).map_err(ServeError::Checkpoint)?;
+            if let Some(m) = opts.metrics.get() {
+                m.serve_resumes.inc();
+            }
+            st
+        }
+        _ => FleetState::new(nl.name(), fingerprint, cfg.dies),
+    };
+    let resumed_dies = state.done.len();
+    let pending: VecDeque<u32> = (0..cfg.dies as u32)
+        .filter(|d| !state.done.contains_key(d))
+        .collect();
+
+    let shared = Shared {
+        stim: &stim,
+        cfg,
+        opts,
+        state: Mutex::new(state),
+        progress: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        interrupted: AtomicBool::new(false),
+        ckpt_seq: AtomicU64::new(resumed_dies as u64),
+        client_error: Mutex::new(None),
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(ServeError::Io)?;
+    listener.set_nonblocking(true).map_err(ServeError::Io)?;
+    let addr = listener.local_addr().map_err(ServeError::Io)?;
+    let queue = Mutex::new(pending);
+
+    let start = Instant::now();
+    let _t = opts.trace.phase_span("serve_fleet");
+    std::thread::scope(|s| {
+        // Acceptor: one session thread per connection, drained on
+        // shutdown.
+        let shared_ref = &shared;
+        s.spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    s.spawn(move || {
+                        if session(shared_ref, stream).is_err() {
+                            // Recoverable: the die reconnects and the
+                            // session resumes from its verified windows.
+                        }
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if shared_ref.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => return,
+            }
+        });
+
+        // Client worker pool.
+        let mut workers = Vec::new();
+        for _ in 0..cfg.client_threads.max(1) {
+            let queue = &queue;
+            let sim = &sim;
+            let stim = &stim;
+            workers.push(s.spawn(move || loop {
+                if shared_ref.interrupted.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Some(die_id) = queue.lock().unwrap().pop_front() else {
+                    return;
+                };
+                let client = DieClient {
+                    die_id,
+                    addr,
+                    stim,
+                    sim,
+                    cfg,
+                    chaos: shared_ref.opts.chaos,
+                    metrics: shared_ref.opts.metrics.clone(),
+                };
+                match client.run() {
+                    Ok(_) => {}
+                    Err(FrameError::Torn) | Err(FrameError::Io(_))
+                        if shared_ref.interrupted.load(Ordering::SeqCst) => {}
+                    Err(e) => {
+                        let mut slot = shared_ref.client_error.lock().unwrap();
+                        slot.get_or_insert_with(|| format!("die {die_id}: {e}"));
+                        shared_ref.interrupted.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        shared.shutdown.store(true, Ordering::SeqCst);
+    });
+    let wall = start.elapsed();
+
+    // Final checkpoint: a complete run journals its full state; an
+    // interrupted one journals everything recorded so far.
+    shared.checkpoint();
+    if let Some(msg) = shared.client_error.lock().unwrap().take() {
+        return Err(ServeError::Client(msg));
+    }
+    let final_state = shared.state.lock().unwrap().clone();
+    if shared.interrupted.load(Ordering::SeqCst) || opts.cancel.is_cancelled() {
+        return Err(ServeError::Interrupted {
+            checkpoint: opts.journal.as_ref().map(|j| j.path().to_path_buf()),
+            done: final_state.done.len(),
+            dies: cfg.dies,
+        });
+    }
+    let summary = final_state.summary(stim.total_windows());
+    Ok(FleetReport {
+        state: final_state,
+        summary,
+        wall,
+        resumed_dies,
+        patterns: stim.patterns.len(),
+        edt_encoded: stim.edt_encoded,
+        edt_flat: stim.edt_flat,
+    })
+}

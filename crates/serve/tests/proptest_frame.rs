@@ -1,0 +1,146 @@
+//! Property tests for the `aidft-serve` wire codec: encode → decode is
+//! the identity for arbitrary frames, any truncation of a valid frame
+//! is reported as `Torn` (never mis-parsed, never a panic), and fully
+//! arbitrary byte soup always comes back as a clean error.
+
+use proptest::prelude::*;
+
+use dft_serve::{Frame, FrameError, Stimulus, MAX_PAYLOAD};
+
+/// SplitMix64: one seed → an arbitrary-but-deterministic frame, the
+/// same construction idiom the checkpoint property tests use (the
+/// vendored mini-proptest has no composite strategies).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn bits(&mut self, max: u64) -> Vec<bool> {
+        (0..self.below(max)).map(|_| self.next() & 1 == 1).collect()
+    }
+
+    fn stimulus(&mut self) -> Stimulus {
+        if self.next() & 1 == 0 {
+            Stimulus::Flat(self.bits(64))
+        } else {
+            Stimulus::Edt {
+                pi_bits: self.bits(16),
+                channel_bits: (0..self.below(6)).map(|_| self.bits(8)).collect(),
+            }
+        }
+    }
+
+    fn frame(&mut self) -> Frame {
+        match self.below(6) {
+            0 => Frame::Hello {
+                die_id: self.next() as u32,
+                version: self.next() as u16,
+            },
+            1 => Frame::Welcome {
+                die_id: self.next() as u32,
+                resume_window: self.next() as u32,
+                total_windows: self.next() as u32,
+                pattern_width: self.next() as u32,
+                misr_width: self.next() as u32,
+            },
+            2 => Frame::Window {
+                window_idx: self.next() as u32,
+                retest: self.next() & 1 == 1,
+                stimuli: (0..self.below(5)).map(|_| self.stimulus()).collect(),
+            },
+            3 => Frame::Signature {
+                die_id: self.next() as u32,
+                window_idx: self.next() as u32,
+                bits: self.bits(64),
+            },
+            4 => Frame::Verdict {
+                die_id: self.next() as u32,
+                passed: self.next() & 1 == 1,
+                retested: self.next() & 1 == 1,
+                grade: match self.below(3) {
+                    0 => String::new(),
+                    1 => "full".to_owned(),
+                    _ => format!("degraded-{}", self.below(16)),
+                },
+            },
+            _ => Frame::Bye,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode roundtrips every frame, consuming exactly the
+    /// encoded bytes (trailing stream data is untouched).
+    #[test]
+    fn roundtrip(seed in 0u64..u64::MAX, trailing in 0usize..16) {
+        let f = Gen(seed).frame();
+        let mut wire = f.encode();
+        let encoded_len = wire.len();
+        let mut g = Gen(seed ^ 0x7E57);
+        for _ in 0..trailing {
+            wire.push(g.next() as u8);
+        }
+        let (back, used) = Frame::decode(&wire).expect("valid frame decodes");
+        prop_assert_eq!(back, f);
+        prop_assert_eq!(used, encoded_len);
+    }
+
+    /// Every strict prefix of a valid frame is a torn tail: reported as
+    /// `Torn` (so the peer reconnects) — never a mis-parse, never a
+    /// panic.
+    #[test]
+    fn truncation_is_detected(seed in 0u64..u64::MAX, cut in 0usize..4096) {
+        let f = Gen(seed).frame();
+        let wire = f.encode();
+        let cut = cut % wire.len().max(1);
+        match Frame::decode(&wire[..cut]) {
+            Err(FrameError::Torn) => {}
+            other => prop_assert!(false, "cut at {cut}/{} gave {other:?}", wire.len()),
+        }
+    }
+
+    /// Arbitrary byte soup never panics and never silently yields a
+    /// frame unless it happens to be a bit-exact valid encoding (the
+    /// checksum makes that astronomically unlikely for random input).
+    #[test]
+    fn garbage_never_panics(seed in 0u64..u64::MAX, len in 0usize..256) {
+        let mut g = Gen(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| g.next() as u8).collect();
+        let _ = Frame::decode(&bytes);
+    }
+
+    /// Flipping any single byte of a valid frame is caught by the
+    /// magic, length, checksum, or payload validation — never accepted
+    /// as the original frame.
+    #[test]
+    fn corruption_is_rejected(seed in 0u64..u64::MAX, pos in 0usize..4096, delta in 1u8..=255) {
+        let f = Gen(seed).frame();
+        let mut wire = f.encode();
+        let pos = pos % wire.len();
+        wire[pos] = wire[pos].wrapping_add(delta);
+        if let Ok((back, _)) = Frame::decode(&wire) {
+            prop_assert_ne!(back, f);
+        }
+    }
+}
+
+/// The length guard is load-bearing: a header advertising more than
+/// `MAX_PAYLOAD` must be rejected before any allocation.
+#[test]
+fn oversized_length_rejected() {
+    let mut wire = Frame::Bye.encode();
+    wire[4..8].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+    assert!(matches!(Frame::decode(&wire), Err(FrameError::TooLarge)));
+}

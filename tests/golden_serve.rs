@@ -1,0 +1,104 @@
+//! Golden-value regression suite for the test-floor fleet service:
+//! locks the full fleet summary (dies tested, failed, retested,
+//! harvested, ...) for a fixed 16-die mac4 fleet, on both simulation
+//! kernels. Every number is deterministic — defects are seeded from the
+//! fleet seed, signatures from the kernel contract — so any drift means
+//! an algorithmic change, intentional or not.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```sh
+//! AIDFT_BLESS_GOLDEN=1 cargo test -p dft-core --test golden_serve -- --nocapture
+//! ```
+//!
+//! and paste the printed literal over `GOLDEN_FLEET`.
+
+use dft_core::config::KernelKind;
+use dft_core::netlist::generators::benchmark_suite;
+use dft_core::netlist::Netlist;
+use dft_core::serve::{run_fleet, FleetSummary, ServeConfig, ServeOpts};
+
+/// Expected summary for the golden fleet (16 dies of mac4, default
+/// seed/rate/windows). `windows_per_die` is part of the lock: it moves
+/// only if the broadcast itself changes shape.
+const GOLDEN_FLEET: FleetSummary = FleetSummary {
+    dies: 16,
+    tested: 16,
+    passed: 11,
+    failed: 5,
+    defective: 5,
+    retested: 5,
+    harvested: 1,
+    scrapped: 4,
+    full: 11,
+    signatures: 32,
+    windows_per_die: 2,
+};
+
+fn mac4() -> Netlist {
+    benchmark_suite()
+        .into_iter()
+        .find(|c| c.name == "mac4")
+        .expect("mac4 in the benchmark suite")
+        .netlist
+}
+
+fn bless_mode() -> bool {
+    std::env::var("AIDFT_BLESS_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn golden_cfg(kernel: KernelKind) -> ServeConfig {
+    ServeConfig {
+        dies: 16,
+        client_threads: 2,
+        kernel: Some(kernel),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn golden_fleet_summary_both_kernels() {
+    let nl = mac4();
+    let tape = run_fleet(&nl, &golden_cfg(KernelKind::Tape), &ServeOpts::default())
+        .unwrap()
+        .summary;
+    if bless_mode() {
+        println!("const GOLDEN_FLEET: FleetSummary = FleetSummary {{");
+        println!("    dies: {},", tape.dies);
+        println!("    tested: {},", tape.tested);
+        println!("    passed: {},", tape.passed);
+        println!("    failed: {},", tape.failed);
+        println!("    defective: {},", tape.defective);
+        println!("    retested: {},", tape.retested);
+        println!("    harvested: {},", tape.harvested);
+        println!("    scrapped: {},", tape.scrapped);
+        println!("    full: {},", tape.full);
+        println!("    signatures: {},", tape.signatures);
+        println!("    windows_per_die: {},", tape.windows_per_die);
+        println!("}};");
+        return;
+    }
+    assert_eq!(
+        tape, GOLDEN_FLEET,
+        "tape-kernel fleet summary drifted — if intentional, re-bless \
+         with AIDFT_BLESS_GOLDEN=1 (see file header)"
+    );
+    // The kernel contract says signatures are bit-identical across
+    // engines, so the whole summary must match too.
+    let legacy = run_fleet(&nl, &golden_cfg(KernelKind::Legacy), &ServeOpts::default())
+        .unwrap()
+        .summary;
+    assert_eq!(legacy, GOLDEN_FLEET, "legacy-kernel fleet summary");
+}
+
+/// The rendered report is part of the stable CLI surface (CI diffs it
+/// with the wall-clock suffix stripped): lock its shape.
+#[test]
+fn golden_report_shape() {
+    let nl = mac4();
+    let report = run_fleet(&nl, &golden_cfg(KernelKind::Tape), &ServeOpts::default()).unwrap();
+    let text = report.summary.render(std::time::Duration::from_millis(1));
+    assert!(text.starts_with("fleet: 16 dies, 2 windows each"));
+    assert!(text.contains("tested 16 | passed"));
+    assert!(text.contains("signatures verified 32"));
+}

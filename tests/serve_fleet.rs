@@ -1,0 +1,136 @@
+//! Fleet-service integration: a real loopback TCP server and 64 die
+//! clients, checked bit-for-bit against the no-server reference, across
+//! client thread counts, chaos-injected transport faults, and a
+//! kill/resume split. The invariant throughout: the final fleet state
+//! is a pure function of `(design, ServeConfig)` — scheduling, chaos,
+//! and checkpointing must never leak into it.
+
+use std::path::PathBuf;
+
+use dft_core::checkpoint::{CancelToken, ChaosConfig, FramedJournal};
+use dft_core::metrics::MetricsHandle;
+use dft_core::netlist::generators::mac_pe;
+use dft_core::serve::{
+    die_reference_signatures, run_fleet, DieSim, ServeConfig, ServeError, ServeOpts,
+    ServedStimulus, SERVE_FORMAT,
+};
+use dft_core::trace::TraceHandle;
+
+fn ckpt_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aidft-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.ckpt"));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+#[test]
+fn sixty_four_dies_match_reference_across_thread_counts() {
+    let nl = mac_pe(4);
+    let cfg = ServeConfig {
+        dies: 64,
+        client_threads: 1,
+        ..ServeConfig::default()
+    };
+    let serial = run_fleet(&nl, &cfg, &ServeOpts::default()).unwrap();
+    assert_eq!(serial.state.done.len(), 64, "every die reaches a verdict");
+
+    // Every die's uploaded signatures must be bit-identical to the
+    // single-die reference computed without any server or socket.
+    let stim = ServedStimulus::build(
+        &nl,
+        &cfg,
+        &MetricsHandle::default(),
+        &TraceHandle::disabled(),
+    );
+    let sim = DieSim::new(&nl, &stim);
+    for (id, outcome) in &serial.state.done {
+        let reference = die_reference_signatures(&stim, &sim, &cfg, *id);
+        assert_eq!(outcome.signatures, reference, "die {id} signatures");
+        assert_eq!(
+            outcome.passed,
+            reference == stim.golden_sigs,
+            "die {id} verdict consistent with its signatures"
+        );
+    }
+
+    // Four concurrent die clients: interleaving changes, state does not.
+    let cfg4 = ServeConfig {
+        client_threads: 4,
+        ..cfg
+    };
+    let threaded = run_fleet(&nl, &cfg4, &ServeOpts::default()).unwrap();
+    assert_eq!(threaded.state, serial.state, "client_threads 4 vs 1");
+    assert_eq!(threaded.summary, serial.summary);
+}
+
+#[test]
+fn chaos_transport_faults_do_not_change_the_verdict() {
+    let nl = mac_pe(4);
+    let cfg = ServeConfig {
+        dies: 16,
+        client_threads: 4,
+        ..ServeConfig::default()
+    };
+    let clean = run_fleet(&nl, &cfg, &ServeOpts::default()).unwrap();
+    let chaos = ChaosConfig::parse("drop=0.15,tear=0.15,delay=0.1,delay_ms=2,seed=3").unwrap();
+    let opts = ServeOpts {
+        chaos,
+        ..ServeOpts::default()
+    };
+    let noisy = run_fleet(&nl, &cfg, &opts).unwrap();
+    assert_eq!(
+        noisy.state, clean.state,
+        "chaos must be invisible in the state"
+    );
+    assert_eq!(noisy.summary, clean.summary);
+}
+
+#[test]
+fn chaos_killed_fleet_resumes_to_the_identical_state() {
+    let nl = mac_pe(4);
+    let cfg = ServeConfig {
+        dies: 24,
+        client_threads: 2,
+        checkpoint_every: 1,
+        ..ServeConfig::default()
+    };
+    let baseline = run_fleet(&nl, &cfg, &ServeOpts::default()).unwrap();
+
+    // Kill mid-stream: the cancel token trips on the Nth window poll
+    // while chaos drops connections and tears frames.
+    let path = ckpt_path("serve-resume");
+    let token = CancelToken::new();
+    token.trip_after_polls(20);
+    let opts = ServeOpts {
+        cancel: token,
+        chaos: ChaosConfig::parse("drop=0.1,tear=0.1,seed=7").unwrap(),
+        journal: Some(FramedJournal::new(&path, SERVE_FORMAT)),
+        ..ServeOpts::default()
+    };
+    match run_fleet(&nl, &cfg, &opts) {
+        Err(ServeError::Interrupted {
+            checkpoint,
+            done,
+            dies,
+        }) => {
+            assert_eq!(dies, 24);
+            assert!(done < 24, "interrupt must land mid-fleet (done {done})");
+            assert_eq!(checkpoint.as_deref(), Some(path.as_path()));
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+
+    // Resume from the journal: restored dies are not re-streamed, and
+    // the final state matches the uninterrupted baseline exactly.
+    let opts = ServeOpts {
+        journal: Some(FramedJournal::new(&path, SERVE_FORMAT)),
+        resume: true,
+        ..ServeOpts::default()
+    };
+    let resumed = run_fleet(&nl, &cfg, &opts).unwrap();
+    assert!(resumed.resumed_dies > 0, "checkpoint must restore dies");
+    assert_eq!(resumed.state, baseline.state, "resume vs uninterrupted");
+    assert_eq!(resumed.summary, baseline.summary);
+    std::fs::remove_file(&path).ok();
+}
