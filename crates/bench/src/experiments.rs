@@ -946,10 +946,13 @@ pub fn serve_report() {
          \"client_threads\":{}}},\n  \
          \"summary\": {{\"tested\":{},\"passed\":{},\"failed\":{},\"defective\":{},\
          \"retested\":{},\"full\":{},\"harvested\":{},\"scrapped\":{},\
+         \"quarantined\":{},\"untested\":{},\"dppm_risk\":{},\
          \"signatures\":{}}},\n  \
          \"throughput\": {{\"dies_per_sec\":{dies_per_sec:.2},\
          \"signatures_per_sec\":{sigs_per_sec:.2},\"retest_rate\":{retest_rate:.4}}},\n  \
-         \"transport\": {{\"windows_sent\":{},\"conn_drops\":{},\"torn_frames\":{}}}\n}}\n",
+         \"transport\": {{\"windows_sent\":{},\"conn_drops\":{},\"torn_frames\":{},\
+         \"retries\":{},\"backoff_ns\":{},\"quarantined\":{},\"heartbeats\":{},\
+         \"idle_reaps\":{},\"corrupt_frames\":{}}}\n}}\n",
         s.dies,
         s.windows_per_die,
         cfg.window_patterns,
@@ -965,10 +968,19 @@ pub fn serve_report() {
         s.full,
         s.harvested,
         s.scrapped,
+        s.quarantined,
+        s.untested,
+        s.dppm_risk,
         s.signatures,
         snap.counter("serve_windows"),
         snap.counter("serve_conn_drops"),
         snap.counter("serve_torn_frames"),
+        snap.counter("serve_retries"),
+        snap.counter("serve_backoff_ns"),
+        snap.counter("serve_quarantined"),
+        snap.counter("serve_heartbeats"),
+        snap.counter("serve_idle_reaps"),
+        snap.counter("serve_corrupt_frames"),
     );
     std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
     println!(

@@ -34,6 +34,18 @@ pub enum ChaosSite {
     /// Delay a die's signature upload by [`ChaosConfig::delay`]
     /// (exercises per-session backpressure and slow-die isolation).
     DelayDie,
+    /// Stall the server mid-stream: hold the connection open and
+    /// silent for [`ChaosConfig::stall`] (exercises client read
+    /// deadlines — the peer must time out, not hang).
+    StallServer,
+    /// Accept a session's `Hello` and then go silent without a
+    /// `Welcome` — a half-open connection (exercises handshake
+    /// deadlines and the reconnect budget).
+    HalfOpenConn,
+    /// Corrupt a signature upload in flight: the frame arrives
+    /// complete but fails its checksum (exercises checksum rejection
+    /// and that a corrupt upload is never recorded).
+    CorruptFrame,
 }
 
 impl ChaosSite {
@@ -46,6 +58,9 @@ impl ChaosSite {
             ChaosSite::DropConn => 0xC2B2_AE3D_27D4_EB4F,
             ChaosSite::TornFrame => 0x1656_67B1_9E37_79F9,
             ChaosSite::DelayDie => 0x2545_F491_4F6C_DD1D,
+            ChaosSite::StallServer => 0x8EBC_6AF0_9C88_C6E3,
+            ChaosSite::HalfOpenConn => 0x5899_65CC_7537_4E9B,
+            ChaosSite::CorruptFrame => 0x1D8E_4E27_C47D_124F,
         }
     }
 }
@@ -68,10 +83,19 @@ impl ChaosSite {
 /// | `clock_ms` | clock-skip length in milliseconds                   | 100     |
 /// | `drop`     | probability a tester↔die connection is dropped      | 0.0     |
 /// | `tear`     | probability a frame write is torn mid-frame         | 0.0     |
+/// | `stall`    | probability the server stalls silent mid-stream     | 0.0     |
+/// | `halfopen` | probability a session goes half-open after `Hello`  | 0.0     |
+/// | `corrupt`  | probability a signature upload is corrupted         | 0.0     |
+/// | `stall_ms` | how long a stalled/half-open peer holds the socket  | 250     |
 /// | `seed`     | decision seed (replays are exact)                   | 0       |
 ///
 /// The serve layer's delayed-die site ([`ChaosSite::DelayDie`]) fires
 /// on the shared `delay`/`delay_ms` knobs (with an independent salt).
+/// `stall`/`halfopen`/`corrupt` drive the resilience layer: stalled and
+/// half-open peers must hit liveness deadlines (never hang a thread),
+/// corrupted uploads must be rejected by the checksum, and a die whose
+/// reconnect budget is exhausted must be quarantined `Untestable` —
+/// the fleet always completes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosConfig {
     /// Probability a worker's fault batch panics.
@@ -90,6 +114,17 @@ pub struct ChaosConfig {
     pub drop_prob: f64,
     /// Probability a frame write is torn (partial bytes, then dropped).
     pub tear_prob: f64,
+    /// Probability the server stalls silent mid-stream (connection held
+    /// open past the client's read deadline).
+    pub stall_prob: f64,
+    /// Probability a session goes half-open: `Hello` accepted, then
+    /// silence instead of `Welcome`.
+    pub halfopen_prob: f64,
+    /// Probability a die's signature upload is corrupted in flight.
+    pub corrupt_prob: f64,
+    /// How long a stalled or half-open peer holds the socket before
+    /// dropping it.
+    pub stall: Duration,
     /// Seed for the deterministic decision hash.
     pub seed: u64,
 }
@@ -105,6 +140,10 @@ impl Default for ChaosConfig {
             clock_skip: Duration::from_millis(100),
             drop_prob: 0.0,
             tear_prob: 0.0,
+            stall_prob: 0.0,
+            halfopen_prob: 0.0,
+            corrupt_prob: 0.0,
+            stall: Duration::from_millis(250),
             seed: 0,
         }
     }
@@ -124,6 +163,9 @@ impl ChaosConfig {
             || self.clock_skip_prob > 0.0
             || self.drop_prob > 0.0
             || self.tear_prob > 0.0
+            || self.stall_prob > 0.0
+            || self.halfopen_prob > 0.0
+            || self.corrupt_prob > 0.0
     }
 
     /// Reads `AIDFT_CHAOS` from the environment. `None` when unset or
@@ -173,6 +215,10 @@ impl ChaosConfig {
                 "clock_ms" => cfg.clock_skip = Duration::from_millis(uval()?),
                 "drop" => cfg.drop_prob = fval()?,
                 "tear" => cfg.tear_prob = fval()?,
+                "stall" => cfg.stall_prob = fval()?,
+                "halfopen" => cfg.halfopen_prob = fval()?,
+                "corrupt" => cfg.corrupt_prob = fval()?,
+                "stall_ms" => cfg.stall = Duration::from_millis(uval()?),
                 "seed" => cfg.seed = uval()?,
                 other => return Err(format!("unknown chaos knob `{other}`")),
             }
@@ -192,6 +238,9 @@ impl ChaosConfig {
             ChaosSite::DropConn => self.drop_prob,
             ChaosSite::TornFrame => self.tear_prob,
             ChaosSite::DelayDie => self.delay_prob,
+            ChaosSite::StallServer => self.stall_prob,
+            ChaosSite::HalfOpenConn => self.halfopen_prob,
+            ChaosSite::CorruptFrame => self.corrupt_prob,
         };
         if prob <= 0.0 {
             return false;
@@ -221,7 +270,8 @@ mod tests {
     #[test]
     fn parse_full_knob_list() {
         let c = ChaosConfig::parse(
-            "panic=0.02,delay=0.01,delay_ms=5,io=0.2,clock=0.01,clock_ms=50,drop=0.1,tear=0.05,seed=7",
+            "panic=0.02,delay=0.01,delay_ms=5,io=0.2,clock=0.01,clock_ms=50,drop=0.1,tear=0.05,\
+             stall=0.04,halfopen=0.03,corrupt=0.02,stall_ms=80,seed=7",
         )
         .unwrap();
         assert_eq!(c.panic_prob, 0.02);
@@ -232,10 +282,17 @@ mod tests {
         assert_eq!(c.clock_skip, Duration::from_millis(50));
         assert_eq!(c.drop_prob, 0.1);
         assert_eq!(c.tear_prob, 0.05);
+        assert_eq!(c.stall_prob, 0.04);
+        assert_eq!(c.halfopen_prob, 0.03);
+        assert_eq!(c.corrupt_prob, 0.02);
+        assert_eq!(c.stall, Duration::from_millis(80));
         assert_eq!(c.seed, 7);
         assert!(c.is_active());
         assert!(ChaosConfig::parse("drop=1.0").unwrap().is_active());
         assert!(ChaosConfig::parse("tear=1.0").unwrap().is_active());
+        assert!(ChaosConfig::parse("stall=1.0").unwrap().is_active());
+        assert!(ChaosConfig::parse("halfopen=1.0").unwrap().is_active());
+        assert!(ChaosConfig::parse("corrupt=1.0").unwrap().is_active());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! as a `ckpt <format> <seq>` header, a line-oriented body, and an
 //! `end <crc>` trailer whose FNV-1a checksum covers everything above it.
 //! That framing is useful beyond ATPG state — the serve fleet journal
-//! (`aidft-serve-v1`) needs exactly the same torn-tail-tolerant,
+//! (`aidft-serve-v2`) needs exactly the same torn-tail-tolerant,
 //! append-only durability — so the format-agnostic half lives here:
 //! frame a body, validate a candidate record, and scan a journal file
 //! newest-first for the latest record that checks out.

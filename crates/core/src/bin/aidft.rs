@@ -14,10 +14,15 @@
 //! `serve` streams compressed pattern windows to a simulated die fleet
 //! over loopback TCP and verifies the uploaded MISR signatures. It
 //! accepts `--dies N` (fleet size, default 16), `--window K` (patterns
-//! per window, default 32), and `--client-threads N` (concurrent die
-//! clients, default from `--threads`), plus the durability flags below
-//! (`--checkpoint-every` counts dies). The final fleet state is
-//! bit-identical for any thread count and any kill/resume split.
+//! per window, default 32), `--client-threads N` (concurrent die
+//! clients, default from `--threads`), `--max-reconnects N` (circuit-
+//! breaker budget per die before it is quarantined `Untestable`,
+//! default 32), and `--backoff-base MS` (base of the deterministic
+//! reconnect backoff schedule, default 1; `0` disables backoff), plus
+//! the durability flags below (`--checkpoint-every` counts dies). The
+//! final fleet state is bit-identical for any thread count and any
+//! kill/resume split; a fleet with an unreachable die completes and
+//! reports it quarantined instead of hanging.
 //!
 //! `atpg`, `flow`, and `bist` accept `--threads N` (`0` = one worker per
 //! hardware thread, the default; `1` = serial). The `AIDFT_THREADS`
@@ -346,6 +351,8 @@ fn main() -> ExitCode {
                 .map(|n| n as usize)
                 .unwrap_or_else(|| threads.clamp(1, 8))
                 .max(1);
+            let max_reconnects = extract_u64_flag(&mut rest, "--max-reconnects")?;
+            let backoff_base = extract_u64_flag(&mut rest, "--backoff-base")?;
             if let Some(extra) = rest.first() {
                 return Err(DftError::usage(format!("unknown serve argument `{extra}`")));
             }
@@ -374,6 +381,12 @@ fn main() -> ExitCode {
             };
             if let Some(n) = dur_opts.every {
                 cfg.checkpoint_every = n as usize;
+            }
+            if let Some(n) = max_reconnects {
+                cfg.max_reconnects = n.min(u64::from(u32::MAX)) as u32;
+            }
+            if let Some(ms) = backoff_base {
+                cfg.backoff_base_ms = ms;
             }
             let report = run_fleet(nl, &cfg, &opts);
             progress.finish();

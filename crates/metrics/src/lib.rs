@@ -300,6 +300,12 @@ registry! {
         serve_conn_drops: "Die connections dropped (chaos-injected or real).",
         serve_torn_frames: "Torn frames detected by the codec (chaos-injected or real).",
         serve_resumes: "Fleet runs resumed from a serve checkpoint journal.",
+        serve_retries: "Die reconnect attempts that went through the backoff schedule.",
+        serve_backoff_ns: "Nanoseconds of deterministic reconnect backoff slept by die clients.",
+        serve_quarantined: "Dies quarantined Untestable by a tripped circuit breaker.",
+        serve_heartbeats: "Heartbeat frames sent by slow dies to prove liveness.",
+        serve_idle_reaps: "Sessions closed by the server's idle-session reaper.",
+        serve_corrupt_frames: "Corrupted uploads injected by chaos and rejected on checksum.",
     }
     histograms {
         podem_backtracks_per_call: "Distribution of backtracks per PODEM call (log2 buckets).",

@@ -13,14 +13,17 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use dft_aichip::seeded_defect;
-use dft_checkpoint::{ChaosConfig, ChaosSite};
+use dft_checkpoint::{CancelToken, ChaosConfig, ChaosSite};
 use dft_compress::Misr;
 use dft_fault::Fault;
 use dft_logicsim::{AnyKernel, FaultSim, PatternSet, Response, SimKernel};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
 
-use crate::frame::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
+use crate::frame::{
+    read_frame, write_frame, write_frame_corrupt, Frame, FrameError, PROTOCOL_VERSION,
+};
+use crate::resilience::{apply_deadlines, BackoffPolicy, ClientOutcome};
 use crate::stimulus::{window_signatures, ServeConfig, ServedStimulus};
 
 /// The defect seeded into die `die_id`, or `None` for a healthy die.
@@ -107,8 +110,9 @@ pub fn die_reference_signatures(
 }
 
 /// One die's client: connects, handshakes, evaluates streamed windows,
-/// uploads signatures, and reconnects through chaos-injected drops and
-/// torn frames until the server issues a verdict.
+/// uploads signatures, and walks the circuit breaker — Closed (a live
+/// session) → Backoff (deterministic jittered reconnect delays) →
+/// Quarantined (reconnect budget exhausted, die declared `Untestable`).
 pub struct DieClient<'a> {
     /// Fleet index.
     pub die_id: u32,
@@ -120,21 +124,23 @@ pub struct DieClient<'a> {
     pub sim: &'a DieSim<'a>,
     /// Run configuration.
     pub cfg: &'a ServeConfig,
-    /// Chaos knobs (the die honors `DelayDie`).
+    /// Chaos knobs (the die honors `DelayDie` and `CorruptFrame`).
     pub chaos: ChaosConfig,
     /// Counter sink.
     pub metrics: MetricsHandle,
+    /// Fleet cancel token: a cancelled run stops retrying immediately
+    /// so an interrupted fleet never mistakes shutdown for a dead die.
+    pub cancel: CancelToken,
 }
 
-/// Reconnect attempts before a die gives up. Chaos drop/tear
-/// probabilities are per-window, so even aggressive settings converge
-/// well inside this budget; hitting it means the server is gone.
-const MAX_CONNECTS: usize = 32;
-
 impl DieClient<'_> {
-    /// Runs the die to its verdict. `Ok(true)` when the server reported
-    /// the die passed.
-    pub fn run(&self) -> Result<bool, FrameError> {
+    /// Runs the die to an outcome: the server's verdict, or quarantine
+    /// once the reconnect budget (`cfg.max_reconnects` reconnects after
+    /// the initial attempt) is exhausted. Recoverable transport errors
+    /// (torn streams, I/O faults, deadline expiries, corrupt frames)
+    /// re-arm the breaker through a deterministic backoff sleep; only
+    /// protocol-level errors escape as `Err`.
+    pub fn run(&self) -> Result<ClientOutcome, FrameError> {
         let decoder = self.stim.decoder();
         let defect = die_defect(
             self.die_id,
@@ -142,22 +148,42 @@ impl DieClient<'_> {
             self.cfg.defect_rate,
             &self.stim.universe,
         );
-        let mut last_err: Option<FrameError> = None;
-        for _attempt in 0..MAX_CONNECTS {
-            match self.session(&decoder, defect) {
-                Ok(passed) => return Ok(passed),
-                // Drops and tears are recoverable: reconnect and let the
-                // server resume from the last verified window.
-                Err(FrameError::Torn) | Err(FrameError::Io(_)) => {
+        let backoff = BackoffPolicy::from_config(self.cfg);
+        let mut last_err = FrameError::Torn;
+        for attempt in 0..=self.cfg.max_reconnects {
+            if attempt > 0 {
+                // Shutdown beats retry: surface the transport error so
+                // the interrupted fleet tears down instead of looping
+                // toward a spurious quarantine.
+                if self.cancel.is_cancelled() {
+                    return Err(last_err);
+                }
+                let delay = backoff.delay(self.die_id, attempt);
+                if let Some(m) = self.metrics.get() {
+                    m.serve_retries.inc();
+                    m.serve_backoff_ns.add(delay.as_nanos() as u64);
+                }
+                std::thread::sleep(delay);
+            }
+            match self.session(&decoder, defect, attempt) {
+                Ok(passed) => return Ok(ClientOutcome::Verdict { passed }),
+                // Recoverable: reconnect and let the server resume from
+                // the last verified window. The *actual* error is kept —
+                // an operator needs to tell a stalled tester (Timeout)
+                // from a half-open link (Torn) from an I/O fault.
+                Err(e) if e.is_recoverable() => {
                     if let Some(m) = self.metrics.get() {
                         m.serve_conn_drops.inc();
                     }
-                    last_err = Some(FrameError::Torn);
+                    last_err = e;
                 }
                 Err(e) => return Err(e),
             }
         }
-        Err(last_err.unwrap_or(FrameError::Torn))
+        Ok(ClientOutcome::Quarantined {
+            attempts: self.cfg.max_reconnects + 1,
+            last_error: last_err,
+        })
     }
 
     /// One connection's worth of protocol, ending at `Bye` or a
@@ -166,9 +192,11 @@ impl DieClient<'_> {
         &self,
         decoder: &crate::stimulus::StimulusDecoder<'_>,
         defect: Option<Fault>,
+        attempt: u32,
     ) -> Result<bool, FrameError> {
         let stream = TcpStream::connect(self.addr).map_err(FrameError::Io)?;
         stream.set_nodelay(true).ok();
+        apply_deadlines(&stream, self.cfg.io_timeout());
         let mut reader = BufReader::new(stream.try_clone().map_err(FrameError::Io)?);
         let mut writer = BufWriter::new(stream);
         write_frame(
@@ -202,24 +230,53 @@ impl DieClient<'_> {
                     stimuli,
                     ..
                 }) => {
+                    // Chaos sites on the die keep the serve ordinal
+                    // shape `(die, attempt, window)` so firings are a
+                    // pure function of per-die protocol position —
+                    // never of thread interleaving or wall clock.
+                    let ordinal = (u64::from(self.die_id) << 32)
+                        | (u64::from(attempt) << 16)
+                        | u64::from(window_idx);
+                    // Chaos: a slow die. A heartbeat goes out first so
+                    // the server's idle reaper can tell "slow" from
+                    // "gone"; the bounded per-session channel means the
+                    // stall affects only this die's window pipeline.
+                    let delayed = self.chaos.fires(ChaosSite::DelayDie, ordinal);
+                    if delayed {
+                        write_frame(
+                            &mut writer,
+                            &Frame::Heartbeat {
+                                die_id: self.die_id,
+                            },
+                        )?;
+                        if let Some(m) = self.metrics.get() {
+                            m.serve_heartbeats.inc();
+                        }
+                    }
                     let patterns = decoder.decode_window(&stimuli)?;
                     let sig = self
                         .sim
                         .window_signature(&patterns, defect, self.stim.misr_width);
-                    // Chaos: a slow die. The bounded per-session channel
-                    // means it stalls only its own window pipeline.
-                    let ordinal = u64::from(self.die_id) * 1009 + u64::from(window_idx);
-                    if self.chaos.fires(ChaosSite::DelayDie, ordinal) {
+                    if delayed {
                         std::thread::sleep(self.chaos.delay.min(Duration::from_millis(50)));
                     }
-                    write_frame(
-                        &mut writer,
-                        &Frame::Signature {
-                            die_id: self.die_id,
-                            window_idx,
-                            bits: sig,
-                        },
-                    )?;
+                    let frame = Frame::Signature {
+                        die_id: self.die_id,
+                        window_idx,
+                        bits: sig,
+                    };
+                    // Chaos: a corrupted upload. The server rejects it
+                    // on checksum and tears the session down; the die
+                    // reconnects and re-uploads from the last verified
+                    // window, so state never sees the bad bits.
+                    if self.chaos.fires(ChaosSite::CorruptFrame, ordinal) {
+                        if let Some(m) = self.metrics.get() {
+                            m.serve_corrupt_frames.inc();
+                        }
+                        write_frame_corrupt(&mut writer, &frame)?;
+                    } else {
+                        write_frame(&mut writer, &frame)?;
+                    }
                 }
                 Ok(Frame::Verdict { passed: p, .. }) => passed = p,
                 Ok(Frame::Bye) => return Ok(passed),

@@ -1,4 +1,4 @@
-//! Durable fleet state: per-die outcomes, the `aidft-serve-v1`
+//! Durable fleet state: per-die outcomes, the `aidft-serve-v2`
 //! checkpoint body, and the human-facing summary.
 //!
 //! The fleet journal rides on [`dft_checkpoint::FramedJournal`], so it
@@ -15,8 +15,11 @@ use dft_checkpoint::CkptError;
 use dft_compress::{pack_bits, unpack_bits};
 use dft_repair::ShipGrade;
 
-/// Journal format id for fleet checkpoints.
-pub const SERVE_FORMAT: &str = "aidft-serve-v1";
+/// Journal format id for fleet checkpoints. v2 added the quarantined
+/// flag to each die record (and `-` for an empty signature list); v1
+/// journals are refused by the framing layer's format check, exactly
+/// like any other foreign checkpoint.
+pub const SERVE_FORMAT: &str = "aidft-serve-v2";
 
 /// The final record of one tested die.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,9 +32,15 @@ pub struct DieOutcome {
     pub passed: bool,
     /// `true` when mismatches triggered the adaptive retest pass.
     pub retested: bool,
-    /// Ship grade from the harvest path (`Full` for passing dies).
+    /// `true` when the circuit breaker tripped: the die exhausted its
+    /// reconnect budget and is `Untestable` — no verdict on its
+    /// silicon exists, only on its reachability.
+    pub quarantined: bool,
+    /// Ship grade from the harvest path (`Full` for passing dies,
+    /// `Scrap` for quarantined ones — untestable silicon never ships).
     pub grade: ShipGrade,
     /// The die's uploaded MISR signature per window (post-retest).
+    /// Empty for quarantined dies.
     pub signatures: Vec<Vec<bool>>,
 }
 
@@ -80,8 +89,9 @@ impl FleetState {
         }
     }
 
-    /// Serializes to the `aidft-serve-v1` record body (the part between
-    /// the framing header and trailer).
+    /// Serializes to the `aidft-serve-v2` record body (the part between
+    /// the framing header and trailer). A quarantined die has no
+    /// signatures; the empty list serializes as `-`.
     pub fn to_body(&self) -> String {
         let mut body = format!(
             "design {}\nconfig {:016x}\ndies {}\n",
@@ -90,13 +100,18 @@ impl FleetState {
         for d in self.done.values() {
             let sigs: Vec<String> = d.signatures.iter().map(|s| bits_to_hex(s)).collect();
             body.push_str(&format!(
-                "die {} {} {} {} {} {}\n",
+                "die {} {} {} {} {} {} {}\n",
                 d.die_id,
                 u8::from(d.defective),
                 u8::from(d.passed),
                 u8::from(d.retested),
+                u8::from(d.quarantined),
                 d.grade,
-                sigs.join(",")
+                if sigs.is_empty() {
+                    "-".to_owned()
+                } else {
+                    sigs.join(",")
+                }
             ));
         }
         body
@@ -116,9 +131,14 @@ impl FleetState {
             let defective = f.next()? == "1";
             let passed = f.next()? == "1";
             let retested = f.next()? == "1";
+            let quarantined = f.next()? == "1";
             let grade: ShipGrade = f.next()?.parse().ok()?;
-            let signatures: Option<Vec<Vec<bool>>> =
-                f.next()?.split(',').map(hex_to_bits).collect();
+            let sigs_field = f.next()?;
+            let signatures: Option<Vec<Vec<bool>>> = if sigs_field == "-" {
+                Some(Vec::new())
+            } else {
+                sigs_field.split(',').map(hex_to_bits).collect()
+            };
             if f.next().is_some() {
                 return None;
             }
@@ -129,6 +149,7 @@ impl FleetState {
                     defective,
                     passed,
                     retested,
+                    quarantined,
                     grade,
                     signatures: signatures?,
                 },
@@ -172,14 +193,25 @@ impl FleetState {
     }
 
     /// Aggregates the summary counters from the per-die outcomes.
-    pub fn summary(&self, windows_per_die: usize) -> FleetSummary {
+    /// Quarantined dies are *not* failures — no verdict on their
+    /// silicon exists — so they tally only as quarantined/scrapped;
+    /// `untested` covers them plus any die without a recorded outcome,
+    /// and `dppm_risk` prices the exposure of the quarantine set at
+    /// the fleet's expected defect rate (defects per million if the
+    /// untestable dies had shipped untested).
+    pub fn summary(&self, windows_per_die: usize, defect_rate: f64) -> FleetSummary {
         let mut s = FleetSummary {
             dies: self.dies,
-            tested: self.done.len(),
             windows_per_die,
             ..FleetSummary::default()
         };
         for d in self.done.values() {
+            if d.quarantined {
+                s.quarantined += 1;
+                s.scrapped += 1;
+                continue;
+            }
+            s.tested += 1;
             if d.passed {
                 s.passed += 1;
             } else {
@@ -198,6 +230,10 @@ impl FleetState {
             }
             s.signatures += d.signatures.len();
         }
+        s.untested = s.dies.saturating_sub(s.tested);
+        s.dppm_risk = (defect_rate.clamp(0.0, 1.0) * 1e6 * s.quarantined as f64
+            / s.dies.max(1) as f64)
+            .round() as u64;
         s
     }
 }
@@ -223,6 +259,15 @@ pub struct FleetSummary {
     pub scrapped: usize,
     /// Dies shipped at full grade.
     pub full: usize,
+    /// Dies quarantined `Untestable` by a tripped circuit breaker.
+    pub quarantined: usize,
+    /// Dies with no verdict on their silicon: quarantined plus any
+    /// still pending (a completed fleet has `untested == quarantined`).
+    pub untested: usize,
+    /// Defect exposure of the quarantine set, in defects per million:
+    /// what shipping the untestable dies blind would cost at the
+    /// fleet's expected defect rate.
+    pub dppm_risk: u64,
     /// Signatures uploaded and verified (final, post-retest).
     pub signatures: usize,
     /// Windows in the broadcast.
@@ -238,6 +283,7 @@ impl FleetSummary {
             "fleet: {} dies, {} windows each ({:.3} s)\n\
              tested {} | passed {} | failed {} | defective {}\n\
              retested {} | full {} | harvested {} | scrapped {}\n\
+             quarantined {} | untested {} | dppm-risk {}\n\
              signatures verified {}\n",
             self.dies,
             self.windows_per_die,
@@ -250,6 +296,9 @@ impl FleetSummary {
             self.full,
             self.harvested,
             self.scrapped,
+            self.quarantined,
+            self.untested,
+            self.dppm_risk,
             self.signatures,
         )
     }
@@ -268,6 +317,7 @@ mod tests {
                 defective: false,
                 passed: true,
                 retested: false,
+                quarantined: false,
                 grade: ShipGrade::Full,
                 signatures: vec![vec![true, false, true], vec![false; 3]],
             },
@@ -279,8 +329,23 @@ mod tests {
                 defective: true,
                 passed: false,
                 retested: true,
+                quarantined: false,
                 grade: ShipGrade::Degraded(1),
                 signatures: vec![vec![true; 3], vec![true, true, false]],
+            },
+        );
+        // A tripped breaker: no signatures ever verified, `-` on the
+        // wire, scrap disposition.
+        st.done.insert(
+            3,
+            DieOutcome {
+                die_id: 3,
+                defective: true,
+                passed: false,
+                retested: false,
+                quarantined: true,
+                grade: ShipGrade::Scrap,
+                signatures: Vec::new(),
             },
         );
         st
@@ -310,7 +375,7 @@ mod tests {
 
     #[test]
     fn summary_counts() {
-        let s = sample().summary(2);
+        let s = sample().summary(2, 0.25);
         assert_eq!(s.tested, 2);
         assert_eq!(s.passed, 1);
         assert_eq!(s.failed, 1);
@@ -318,8 +383,15 @@ mod tests {
         assert_eq!(s.harvested, 1);
         assert_eq!(s.full, 1);
         assert_eq!(s.signatures, 4);
+        // The quarantined die is untested and scrapped, not failed.
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.scrapped, 1);
+        assert_eq!(s.untested, 2); // die 3 quarantined + die 1 pending
+                                   // 0.25 defect rate * 1 quarantined / 4 dies = 62500 DPPM.
+        assert_eq!(s.dppm_risk, 62_500);
         // Render is deterministic apart from the stripped time suffix.
         let r = s.render(Duration::from_millis(1));
         assert!(r.contains("tested 2 | passed 1 | failed 1"));
+        assert!(r.contains("quarantined 1 | untested 2 | dppm-risk 62500"));
     }
 }

@@ -50,6 +50,10 @@ pub enum FrameError {
     /// The payload was structurally malformed (the message names the
     /// offending field).
     BadPayload(&'static str),
+    /// A read or write hit its socket deadline: the peer is stalled or
+    /// half-open. Liveness only — the session is torn down and the
+    /// client reconnects; no state is derived from the timing.
+    Timeout,
     /// A transport-level I/O error other than a clean truncation.
     Io(io::Error),
 }
@@ -62,6 +66,7 @@ impl std::fmt::Display for FrameError {
             FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
             FrameError::TooLarge => write!(f, "frame payload exceeds limit"),
             FrameError::BadPayload(what) => write!(f, "malformed frame payload: {what}"),
+            FrameError::Timeout => write!(f, "peer deadline exceeded (stalled or half-open)"),
             FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
         }
     }
@@ -70,13 +75,30 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 impl From<io::Error> for FrameError {
-    /// A short read is a torn frame; anything else is transport I/O.
+    /// A short read is a torn frame; a deadline expiry is a timeout
+    /// (`WouldBlock` is what Unix returns for an elapsed `SO_RCVTIMEO`);
+    /// anything else is transport I/O.
     fn from(e: io::Error) -> FrameError {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            FrameError::Torn
-        } else {
-            FrameError::Io(e)
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => FrameError::Torn,
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::Timeout,
+            _ => FrameError::Io(e),
         }
+    }
+}
+
+impl FrameError {
+    /// `true` for transport-level failures a client recovers from by
+    /// reconnecting (the session resumes from its last verified
+    /// window): torn streams, dropped connections, deadline expiries,
+    /// and checksum-corrupted frames. Protocol-level errors (bad magic,
+    /// malformed payloads, oversized frames) are bugs, not weather, and
+    /// are surfaced instead of retried.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Torn | FrameError::Io(_) | FrameError::Timeout | FrameError::BadChecksum
+        )
     }
 }
 
@@ -156,6 +178,14 @@ pub enum Frame {
     },
     /// Server → client: session over, close the connection.
     Bye,
+    /// Client → server: liveness beacon. A die about to run a long
+    /// window evaluation announces it is alive so the server's idle
+    /// deadline does not reap a slow-but-healthy session. Carries no
+    /// state; the server only counts it against the heartbeat budget.
+    Heartbeat {
+        /// The die announcing liveness.
+        die_id: u32,
+    },
 }
 
 const TY_HELLO: u8 = 1;
@@ -164,6 +194,7 @@ const TY_WINDOW: u8 = 3;
 const TY_SIGNATURE: u8 = 4;
 const TY_VERDICT: u8 = 5;
 const TY_BYE: u8 = 6;
+const TY_HEARTBEAT: u8 = 7;
 
 // --- payload cursor helpers -------------------------------------------
 
@@ -284,6 +315,7 @@ impl Frame {
             Frame::Signature { .. } => TY_SIGNATURE,
             Frame::Verdict { .. } => TY_VERDICT,
             Frame::Bye => TY_BYE,
+            Frame::Heartbeat { .. } => TY_HEARTBEAT,
         }
     }
 
@@ -341,6 +373,9 @@ impl Frame {
                 p.extend_from_slice(grade.as_bytes());
             }
             Frame::Bye => {}
+            Frame::Heartbeat { die_id } => {
+                put_u32(&mut p, *die_id);
+            }
         }
         p
     }
@@ -397,6 +432,7 @@ impl Frame {
                 }
             }
             TY_BYE => Frame::Bye,
+            TY_HEARTBEAT => Frame::Heartbeat { die_id: c.u32()? },
             _ => return Err(FrameError::BadPayload("unknown frame type")),
         };
         c.done()?;
@@ -480,6 +516,19 @@ pub fn write_frame_torn(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.flush()
 }
 
+/// Chaos hook: writes the whole frame with one payload bit flipped —
+/// the frame arrives complete and well-framed but fails its checksum,
+/// so the receiver must reject it (`BadChecksum`) rather than act on
+/// corrupted content. The header is left intact so the corruption is
+/// caught by the checksum, not by framing.
+pub fn write_frame_corrupt(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let mut bytes = frame.encode();
+    let at = HEADER_LEN.min(bytes.len() - 1);
+    bytes[at] ^= 0x01;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +569,7 @@ mod tests {
                 grade: "degraded-1".to_owned(),
             },
             Frame::Bye,
+            Frame::Heartbeat { die_id: 7 },
         ]
     }
 
@@ -572,5 +622,32 @@ mod tests {
         write_frame_torn(&mut buf, &frames()[1]).unwrap();
         let mut r = &buf[..];
         assert!(matches!(read_frame(&mut r), Err(FrameError::Torn)));
+    }
+
+    #[test]
+    fn corrupt_write_is_rejected_by_checksum() {
+        for f in frames() {
+            let mut buf = Vec::new();
+            write_frame_corrupt(&mut buf, &f).unwrap();
+            let mut r = &buf[..];
+            assert!(
+                matches!(read_frame(&mut r), Err(FrameError::BadChecksum)),
+                "corrupted {f:?} must fail its checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_classification_and_recoverability() {
+        let would_block = io::Error::new(io::ErrorKind::WouldBlock, "rcvtimeo");
+        assert!(matches!(FrameError::from(would_block), FrameError::Timeout));
+        let timed_out = io::Error::new(io::ErrorKind::TimedOut, "sndtimeo");
+        assert!(matches!(FrameError::from(timed_out), FrameError::Timeout));
+        assert!(FrameError::Timeout.is_recoverable());
+        assert!(FrameError::Torn.is_recoverable());
+        assert!(FrameError::BadChecksum.is_recoverable());
+        assert!(!FrameError::BadMagic.is_recoverable());
+        assert!(!FrameError::BadPayload("x").is_recoverable());
+        assert!(!FrameError::TooLarge.is_recoverable());
     }
 }

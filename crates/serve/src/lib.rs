@@ -25,12 +25,18 @@
 //!   BISR/harvest path, checkpoint/resume of fleet state through a
 //!   [`dft_checkpoint::FramedJournal`], cooperative cancellation, and
 //!   `AIDFT_CHAOS` tester faults (dropped connections, torn frames,
-//!   delayed dies).
+//!   delayed dies, stalled servers, half-open connections, corrupted
+//!   uploads).
+//! * [`BackoffPolicy`] / [`ClientOutcome`] — the resilience layer:
+//!   deterministic seeded reconnect backoff, socket deadlines plus a
+//!   [`Frame::Heartbeat`] liveness channel, and a per-die circuit
+//!   breaker (Closed → Backoff → Quarantined) that turns a dead die
+//!   into an `Untestable` quarantine verdict instead of a hung fleet.
 //!
 //! Determinism contract: the final [`FleetState`] — per-die signatures,
-//! verdicts, grades — is a pure function of the design and
-//! [`ServeConfig`], independent of client thread count, kernel choice,
-//! kill/resume cycles, and connection-level chaos.
+//! verdicts, grades, quarantines — is a pure function of the design,
+//! [`ServeConfig`], and chaos config, independent of client thread
+//! count, kernel choice, kill/resume cycles, and wall-clock timing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,14 +44,16 @@
 mod die;
 mod fleet;
 mod frame;
+mod resilience;
 mod server;
 mod stimulus;
 
 pub use die::{die_defect, die_reference_signatures, DieSim};
 pub use fleet::{DieOutcome, FleetState, FleetSummary, SERVE_FORMAT};
 pub use frame::{
-    read_frame, write_frame, write_frame_torn, Frame, FrameError, Stimulus, MAX_PAYLOAD,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, write_frame_corrupt, write_frame_torn, Frame, FrameError, Stimulus,
+    MAX_PAYLOAD, PROTOCOL_VERSION,
 };
+pub use resilience::{apply_deadlines, BackoffPolicy, ClientOutcome};
 pub use server::{run_fleet, FleetReport, ServeError, ServeOpts};
 pub use stimulus::{ServeConfig, ServedStimulus, StimulusDecoder};

@@ -8,9 +8,17 @@
 //! chaos-delayed die stalls only its own pipeline, never the broadcast.
 //! Failing dies get an adaptive retest pass, then route through the
 //! BISR/harvest path for a ship grade. Fleet state checkpoints to an
-//! `aidft-serve-v1` journal; cancellation and `AIDFT_CHAOS` faults
-//! (dropped connections, torn frames, delayed dies, torn checkpoint
-//! writes) are first-class.
+//! `aidft-serve-v2` journal; cancellation and `AIDFT_CHAOS` faults
+//! (dropped connections, torn frames, delayed dies, stalled servers,
+//! half-open connections, corrupted uploads, torn checkpoint writes)
+//! are first-class.
+//!
+//! Liveness is bounded on both sides: sockets carry read/write
+//! deadlines, the verifier tolerates at most `max_heartbeats`
+//! consecutive [`Frame::Heartbeat`]s before the idle-session reaper
+//! closes the stream, and a die whose client exhausts its reconnect
+//! budget is recorded quarantined (`Untestable`) instead of hanging
+//! the fleet.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -31,7 +39,12 @@ use crate::fleet::{DieOutcome, FleetState, FleetSummary};
 use crate::frame::{
     read_frame, write_frame, write_frame_torn, Frame, FrameError, PROTOCOL_VERSION,
 };
+use crate::resilience::{apply_deadlines, ClientOutcome};
 use crate::stimulus::{ServeConfig, ServedStimulus};
+
+/// Ceiling on a chaos-injected stall or half-open hold, so the chaos
+/// matrix can never park a session thread indefinitely.
+const MAX_STALL: Duration = Duration::from_secs(1);
 
 /// Windows in flight per die session before the writer blocks — the
 /// bounded-channel backpressure knob.
@@ -46,8 +59,8 @@ pub struct ServeOpts {
     pub trace: dft_trace::TraceHandle,
     /// Cooperative cancellation (SIGTERM lands here).
     pub cancel: dft_checkpoint::CancelToken,
-    /// Chaos knobs (`drop`, `tear`, `delay`, `io` fire in the serve
-    /// paths).
+    /// Chaos knobs (`drop`, `tear`, `delay`, `stall`, `halfopen`,
+    /// `corrupt`, `io` fire in the serve paths).
     pub chaos: dft_checkpoint::ChaosConfig,
     /// Fleet-state journal; `None` disables checkpointing.
     pub journal: Option<FramedJournal>,
@@ -165,16 +178,44 @@ impl Shared<'_> {
         }
     }
 
-    /// Records one die's final outcome; checkpoints on cadence.
+    /// Records one die's final outcome; checkpoints on cadence. First
+    /// record wins: a server verdict (always issued before the client
+    /// can observe the session's end) is never displaced by a late
+    /// quarantine from the same die's client.
     fn record(&self, outcome: DieOutcome) {
         let done = {
             let mut st = self.state.lock().unwrap();
-            st.done.insert(outcome.die_id, outcome);
+            st.done.entry(outcome.die_id).or_insert(outcome);
             st.done.len()
         };
         if done % self.cfg.checkpoint_every.max(1) == 0 {
             self.checkpoint();
         }
+    }
+
+    /// Records a tripped circuit breaker: the die is `Untestable` —
+    /// no signatures, `Scrap` grade, `quarantined` flag set. Pure in
+    /// deterministic inputs (defect seeding, attempt counts), so the
+    /// quarantine verdict is identical on every run and resume.
+    fn record_quarantine(&self, die_id: u32) {
+        if let Some(m) = self.opts.metrics.get() {
+            m.serve_quarantined.inc();
+        }
+        self.record(DieOutcome {
+            die_id,
+            defective: die_defect(
+                die_id,
+                self.cfg.seed,
+                self.cfg.defect_rate,
+                &self.stim.universe,
+            )
+            .is_some(),
+            passed: false,
+            retested: false,
+            quarantined: true,
+            grade: ShipGrade::Scrap,
+            signatures: Vec::new(),
+        });
     }
 }
 
@@ -219,7 +260,10 @@ fn harvest_grade(shared: &Shared<'_>, die_id: u32) -> ShipGrade {
 
 /// The signature-verifying half of a session: consumes `(window,
 /// retest)` tickets in stream order, reads the matching upload, checks
-/// it against golden, and updates the die's progress.
+/// it against golden, and updates the die's progress. A slow die may
+/// interleave [`Frame::Heartbeat`]s before each signature; more than
+/// `max_heartbeats` consecutive ones means the peer is idle, not slow,
+/// and the reaper closes the session.
 fn verify_uploads(
     shared: &Shared<'_>,
     die_id: u32,
@@ -227,14 +271,28 @@ fn verify_uploads(
     rx: Receiver<(u32, bool)>,
 ) -> Result<(), FrameError> {
     for (w, retest) in rx {
-        let frame = read_frame(reader)?;
-        let Frame::Signature {
-            die_id: did,
-            window_idx,
-            bits,
-        } = frame
-        else {
-            return Err(FrameError::BadPayload("expected Signature"));
+        let mut heartbeats = 0u32;
+        let (did, window_idx, bits) = loop {
+            match read_frame(reader)? {
+                Frame::Heartbeat { die_id: did } => {
+                    if did != die_id {
+                        return Err(FrameError::BadPayload("heartbeat from wrong die"));
+                    }
+                    heartbeats += 1;
+                    if heartbeats > shared.cfg.max_heartbeats {
+                        if let Some(m) = shared.opts.metrics.get() {
+                            m.serve_idle_reaps.inc();
+                        }
+                        return Err(FrameError::Timeout);
+                    }
+                }
+                Frame::Signature {
+                    die_id,
+                    window_idx,
+                    bits,
+                } => break (die_id, window_idx, bits),
+                _ => return Err(FrameError::BadPayload("expected Signature")),
+            }
         };
         if did != die_id || window_idx != w {
             return Err(FrameError::BadPayload("signature out of order"));
@@ -285,6 +343,15 @@ fn stream_windows(
                 break;
             }
             let ordinal = (u64::from(die_id) << 32) | (attempt << 16) | u64::from(w);
+            // Chaos: a stalled tester. The stream goes silent past the
+            // client's deadline, then tears — the die surfaces
+            // `Timeout` (deadline armed) or `Torn` (EOF), both
+            // recoverable, neither visible in state.
+            if shared.opts.chaos.fires(ChaosSite::StallServer, ordinal) {
+                std::thread::sleep(shared.opts.chaos.stall.min(MAX_STALL));
+                write_result = Err(FrameError::Timeout);
+                break;
+            }
             if shared.opts.chaos.fires(ChaosSite::DropConn, ordinal) {
                 if let Some(m) = shared.opts.metrics.get() {
                     m.serve_conn_drops.inc();
@@ -332,6 +399,9 @@ fn stream_windows(
 /// resumes from its last verified window.
 fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
     stream.set_nodelay(true).ok();
+    // The server's own deadlines: a half-open *client* can never park
+    // this session thread either.
+    apply_deadlines(&stream, shared.cfg.io_timeout());
     let mut reader = BufReader::new(stream.try_clone().map_err(FrameError::Io)?);
     let mut writer = BufWriter::new(stream);
     let Frame::Hello { die_id, version } = read_frame(&mut reader)? else {
@@ -345,6 +415,34 @@ fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
     }
     let _span = shared.opts.trace.span_arg("die_session", u64::from(die_id));
     let total = shared.stim.total_windows() as u32;
+
+    // Every accepted session bumps the die's attempt counter — replay
+    // sessions included — so chaos ordinals advance with each
+    // connection and never replay the same injected fault forever.
+    let (resume_window, attempt) = {
+        let mut prog = shared.progress.lock().unwrap();
+        let p = prog.entry(die_id).or_insert_with(|| DieProgress {
+            verified: 0,
+            sigs: vec![None; total as usize],
+            mismatched: BTreeSet::new(),
+            retest_done: false,
+            attempts: 0,
+        });
+        p.attempts += 1;
+        (p.verified, p.attempts)
+    };
+
+    // Chaos: a half-open connection — the server accepted and read
+    // Hello, then went silent. The hold is bounded; the client's
+    // deadline (or the close) surfaces it as Timeout/Torn.
+    if shared
+        .opts
+        .chaos
+        .fires(ChaosSite::HalfOpenConn, (u64::from(die_id) << 32) | attempt)
+    {
+        std::thread::sleep(shared.opts.chaos.stall.min(MAX_STALL));
+        return Err(FrameError::Timeout);
+    }
 
     // A die that already has a verdict (resume, or a drop between
     // recording and Bye) just gets its verdict replayed.
@@ -371,19 +469,6 @@ fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
         )?;
         return write_frame(&mut writer, &Frame::Bye).map_err(FrameError::from);
     }
-
-    let (resume_window, attempt) = {
-        let mut prog = shared.progress.lock().unwrap();
-        let p = prog.entry(die_id).or_insert_with(|| DieProgress {
-            verified: 0,
-            sigs: vec![None; total as usize],
-            mismatched: BTreeSet::new(),
-            retest_done: false,
-            attempts: 0,
-        });
-        p.attempts += 1;
-        (p.verified, p.attempts)
-    };
     write_frame(
         &mut writer,
         &Frame::Welcome {
@@ -449,6 +534,7 @@ fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
         defective,
         passed,
         retested,
+        quarantined: false,
         grade,
         signatures,
     });
@@ -466,8 +552,10 @@ fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
 
 /// Runs a whole fleet: builds the broadcast, serves every die over
 /// loopback TCP with `cfg.client_threads` concurrent die clients, and
-/// returns the final state. The result is bit-identical for any thread
-/// count, kernel, chaos setting, and any kill/resume split.
+/// returns the final state. The result is a pure function of
+/// `(design, cfg, chaos config)` — bit-identical for any thread count,
+/// kernel, wall-clock timing, and any kill/resume split. Dies whose
+/// circuit breaker trips are quarantined, never hung on.
 pub fn run_fleet(
     nl: &Netlist,
     cfg: &ServeConfig,
@@ -556,11 +644,34 @@ pub fn run_fleet(
                     cfg,
                     chaos: shared_ref.opts.chaos,
                     metrics: shared_ref.opts.metrics.clone(),
+                    cancel: shared_ref.opts.cancel.clone(),
                 };
                 match client.run() {
-                    Ok(_) => {}
-                    Err(FrameError::Torn) | Err(FrameError::Io(_))
-                        if shared_ref.interrupted.load(Ordering::SeqCst) => {}
+                    Ok(ClientOutcome::Verdict { .. }) => {}
+                    // Breaker tripped: quarantine the die so the fleet
+                    // completes — unless the run is shutting down, in
+                    // which case the "dead die" is really a cancelled
+                    // server and recording would poison the resume.
+                    Ok(ClientOutcome::Quarantined { .. }) => {
+                        if !shared_ref.interrupted.load(Ordering::SeqCst)
+                            && !shared_ref.opts.cancel.is_cancelled()
+                        {
+                            shared_ref.record_quarantine(die_id);
+                        }
+                    }
+                    // Recoverable errors only escape `run()` on
+                    // shutdown (the client stops retrying when the
+                    // cancel token fires). The client may observe the
+                    // token before any server session has polled it and
+                    // set `interrupted`, so consult both — and latch
+                    // the flag so sibling workers stop dequeuing.
+                    Err(e)
+                        if e.is_recoverable()
+                            && (shared_ref.interrupted.load(Ordering::SeqCst)
+                                || shared_ref.opts.cancel.is_cancelled()) =>
+                    {
+                        shared_ref.interrupted.store(true, Ordering::SeqCst);
+                    }
                     Err(e) => {
                         let mut slot = shared_ref.client_error.lock().unwrap();
                         slot.get_or_insert_with(|| format!("die {die_id}: {e}"));
@@ -591,7 +702,7 @@ pub fn run_fleet(
             dies: cfg.dies,
         });
     }
-    let summary = final_state.summary(stim.total_windows());
+    let summary = final_state.summary(stim.total_windows(), cfg.defect_rate);
     Ok(FleetReport {
         state: final_state,
         summary,

@@ -49,6 +49,23 @@ pub struct ServeConfig {
     /// Checkpoint cadence: journal the fleet state every N finished
     /// dies.
     pub checkpoint_every: usize,
+    /// Circuit-breaker budget: reconnect attempts per die before the
+    /// breaker trips and the die is quarantined `Untestable`. This is
+    /// state-bearing (it decides verdicts), so it *does* enter the
+    /// fingerprint.
+    pub max_reconnects: u32,
+    /// Base delay (ms) of the deterministic reconnect backoff
+    /// schedule; `0` disables backoff. Liveness-only: excluded from
+    /// the fingerprint.
+    pub backoff_base_ms: u64,
+    /// Socket read/write deadline (ms) for both halves of a session;
+    /// `0` leaves sockets blocking. Liveness-only: excluded from the
+    /// fingerprint.
+    pub io_timeout_ms: u64,
+    /// Consecutive heartbeats the server tolerates from an idle
+    /// uploader before the idle-session reaper closes it.
+    /// Liveness-only: excluded from the fingerprint.
+    pub max_heartbeats: u32,
     /// SoC geometry for the harvest path.
     pub soc: dft_aichip::SocConfig,
     /// Explicit kernel choice; `None` honors `AIDFT_KERNEL`.
@@ -69,6 +86,10 @@ impl Default for ServeConfig {
             client_threads: 1,
             max_bad_cores: 2,
             checkpoint_every: 4,
+            max_reconnects: 32,
+            backoff_base_ms: 1,
+            io_timeout_ms: 5000,
+            max_heartbeats: 16,
             soc: dft_aichip::SocConfig::default(),
             kernel: None,
         }
@@ -78,12 +99,15 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Content fingerprint for checkpoint compatibility: everything
     /// that changes the broadcast or the verdicts. Thread counts,
-    /// checkpoint cadence, and the kernel (bit-identical by contract)
-    /// are excluded so a resume may cross any of them.
+    /// checkpoint cadence, liveness knobs (backoff base, I/O deadline,
+    /// heartbeat tolerance), and the kernel (bit-identical by
+    /// contract) are excluded so a resume may cross any of them. The
+    /// reconnect budget `max_reconnects` decides quarantine verdicts,
+    /// so it is included.
     pub fn fingerprint(&self, design: &str) -> u64 {
         let canon = format!(
             "serve design={design} dies={} window={} random={} seed={} defect={:x} \
-             chains={} channels={} ring={} maxbad={} cores={}",
+             chains={} channels={} ring={} maxbad={} cores={} reconnects={}",
             self.dies,
             self.window_patterns,
             self.random_patterns,
@@ -94,8 +118,14 @@ impl ServeConfig {
             self.ring_len,
             self.max_bad_cores,
             self.soc.num_cores,
+            self.max_reconnects,
         );
         fnv1a(canon.as_bytes())
+    }
+
+    /// The socket deadline as a `Duration`, `None` when disabled.
+    pub fn io_timeout(&self) -> Option<std::time::Duration> {
+        (self.io_timeout_ms > 0).then(|| std::time::Duration::from_millis(self.io_timeout_ms))
     }
 }
 
@@ -338,10 +368,20 @@ mod tests {
         b.client_threads = 4;
         b.checkpoint_every = 1;
         b.kernel = Some(KernelKind::Legacy);
+        b.backoff_base_ms = 0;
+        b.io_timeout_ms = 50;
+        b.max_heartbeats = 2;
         assert_eq!(a.fingerprint("mac4"), b.fingerprint("mac4"));
         let mut c = a;
         c.dies = 17;
         assert_ne!(a.fingerprint("mac4"), c.fingerprint("mac4"));
         assert_ne!(a.fingerprint("mac4"), a.fingerprint("sys2x2"));
+        // The reconnect budget decides verdicts, so it is content.
+        let mut d = a;
+        d.max_reconnects = 3;
+        assert_ne!(a.fingerprint("mac4"), d.fingerprint("mac4"));
+        assert_eq!(a.io_timeout(), Some(std::time::Duration::from_secs(5)));
+        d.io_timeout_ms = 0;
+        assert_eq!(d.io_timeout(), None);
     }
 }

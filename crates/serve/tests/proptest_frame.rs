@@ -41,7 +41,7 @@ impl Gen {
     }
 
     fn frame(&mut self) -> Frame {
-        match self.below(6) {
+        match self.below(7) {
             0 => Frame::Hello {
                 die_id: self.next() as u32,
                 version: self.next() as u16,
@@ -63,7 +63,10 @@ impl Gen {
                 window_idx: self.next() as u32,
                 bits: self.bits(64),
             },
-            4 => Frame::Verdict {
+            4 => Frame::Heartbeat {
+                die_id: self.next() as u32,
+            },
+            5 => Frame::Verdict {
                 die_id: self.next() as u32,
                 passed: self.next() & 1 == 1,
                 retested: self.next() & 1 == 1,

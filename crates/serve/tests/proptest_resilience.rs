@@ -1,0 +1,76 @@
+//! Property tests for the resilience layer's backoff schedule: the
+//! delay is a pure function of `(seed, die, attempt)` — identical
+//! across calls, call orders, and thread interleavings — and always
+//! lives inside its exponential envelope. These are the properties the
+//! fleet determinism contract leans on: if the schedule depended on
+//! anything ambient, quarantine decisions could drift between runs.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use dft_serve::BackoffPolicy;
+
+const EXP_CAP: u32 = 5;
+const MAX_BACKOFF: Duration = Duration::from_millis(200);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same `(seed, die, attempt)` → same delay, always.
+    #[test]
+    fn schedule_is_pure(seed in 0u64..u64::MAX, base_ms in 0u64..16, die in 0u32..4096, attempt in 0u32..64) {
+        let a = BackoffPolicy::new(Duration::from_millis(base_ms), seed);
+        let b = BackoffPolicy::new(Duration::from_millis(base_ms), seed);
+        prop_assert_eq!(a.delay(die, attempt), b.delay(die, attempt));
+    }
+
+    /// Every delay sits in `[slot/2, slot)` for its exponential slot
+    /// (or at the absolute cap), and attempt 0 / zero base are free.
+    #[test]
+    fn schedule_respects_envelope(seed in 0u64..u64::MAX, base_ms in 1u64..16, die in 0u32..4096, attempt in 1u32..64) {
+        let p = BackoffPolicy::new(Duration::from_millis(base_ms), seed);
+        let d = p.delay(die, attempt);
+        let slot = Duration::from_millis(base_ms) * 2u32.pow((attempt - 1).min(EXP_CAP));
+        prop_assert!(d == MAX_BACKOFF || (d >= slot / 2 && d < slot), "{d:?} outside {slot:?}");
+        prop_assert!(d <= MAX_BACKOFF);
+        prop_assert_eq!(p.delay(die, 0), Duration::ZERO);
+        prop_assert_eq!(BackoffPolicy::new(Duration::ZERO, seed).delay(die, attempt), Duration::ZERO);
+    }
+
+    /// The schedule is independent of evaluation order and thread
+    /// interleaving: concurrent lookups agree bit-for-bit with a
+    /// serial sweep, and a reversed sweep agrees with a forward one.
+    #[test]
+    fn schedule_is_interleaving_invariant(seed in 0u64..u64::MAX, base_ms in 1u64..8) {
+        let p = BackoffPolicy::new(Duration::from_millis(base_ms), seed);
+        let serial: Vec<Vec<Duration>> = (0..16u32)
+            .map(|die| (1..=10u32).map(|a| p.delay(die, a)).collect())
+            .collect();
+        let reversed: Vec<Vec<Duration>> = (0..16u32)
+            .map(|die| {
+                let mut v: Vec<Duration> = (1..=10u32).rev().map(|a| p.delay(die, a)).collect();
+                v.reverse();
+                v
+            })
+            .collect();
+        prop_assert_eq!(&serial, &reversed);
+        let threaded: Vec<Vec<Duration>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16u32)
+                .map(|die| s.spawn(move || (1..=10u32).map(|a| p.delay(die, a)).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        prop_assert_eq!(&serial, &threaded);
+    }
+
+    /// Jitter decorrelates dies: with a workable base, at least two
+    /// dies in any 64-die fleet disagree on some attempt's delay (no
+    /// thundering-herd reconnects).
+    #[test]
+    fn jitter_separates_dies(seed in 0u64..u64::MAX, base_ms in 2u64..16) {
+        let p = BackoffPolicy::new(Duration::from_millis(base_ms), seed);
+        let varied = (0..64u32).any(|die| p.delay(die, 3) != p.delay((die + 1) % 64, 3));
+        prop_assert!(varied, "all 64 dies share one delay");
+    }
+}

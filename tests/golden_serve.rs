@@ -31,6 +31,9 @@ const GOLDEN_FLEET: FleetSummary = FleetSummary {
     harvested: 1,
     scrapped: 4,
     full: 11,
+    quarantined: 0,
+    untested: 0,
+    dppm_risk: 0,
     signatures: 32,
     windows_per_die: 2,
 };
@@ -73,6 +76,9 @@ fn golden_fleet_summary_both_kernels() {
         println!("    harvested: {},", tape.harvested);
         println!("    scrapped: {},", tape.scrapped);
         println!("    full: {},", tape.full);
+        println!("    quarantined: {},", tape.quarantined);
+        println!("    untested: {},", tape.untested);
+        println!("    dppm_risk: {},", tape.dppm_risk);
         println!("    signatures: {},", tape.signatures);
         println!("    windows_per_die: {},", tape.windows_per_die);
         println!("}};");
@@ -100,5 +106,6 @@ fn golden_report_shape() {
     let text = report.summary.render(std::time::Duration::from_millis(1));
     assert!(text.starts_with("fleet: 16 dies, 2 windows each"));
     assert!(text.contains("tested 16 | passed"));
+    assert!(text.contains("quarantined 0 | untested 0 | dppm-risk 0"));
     assert!(text.contains("signatures verified 32"));
 }

@@ -2,8 +2,11 @@
 //! clients, checked bit-for-bit against the no-server reference, across
 //! client thread counts, chaos-injected transport faults, and a
 //! kill/resume split. The invariant throughout: the final fleet state
-//! is a pure function of `(design, ServeConfig)` — scheduling, chaos,
-//! and checkpointing must never leak into it.
+//! is a pure function of `(design, ServeConfig, chaos config)` —
+//! scheduling, wall-clock timing, and checkpointing must never leak
+//! into it. Chaos that only perturbs transport is invisible; chaos
+//! that makes a die unreachable produces the *same* quarantine verdict
+//! on every run.
 
 use std::path::PathBuf;
 
@@ -133,4 +136,158 @@ fn chaos_killed_fleet_resumes_to_the_identical_state() {
     assert_eq!(resumed.state, baseline.state, "resume vs uninterrupted");
     assert_eq!(resumed.summary, baseline.summary);
     std::fs::remove_file(&path).ok();
+}
+
+/// A permanently dead server path: every session goes half-open right
+/// after Hello. The fleet must still complete — no hang — with every
+/// die quarantined `Untestable`, and the verdicts must be bit-identical
+/// across client thread counts.
+#[test]
+fn halfopen_dead_fleet_completes_and_quarantines_every_die() {
+    let nl = mac_pe(4);
+    let cfg = ServeConfig {
+        dies: 8,
+        client_threads: 1,
+        max_reconnects: 2,
+        backoff_base_ms: 0,
+        ..ServeConfig::default()
+    };
+    let chaos = ChaosConfig::parse("halfopen=1.0,stall_ms=5,seed=11").unwrap();
+    let opts = ServeOpts {
+        chaos,
+        ..ServeOpts::default()
+    };
+    let serial = run_fleet(&nl, &cfg, &opts).unwrap();
+    assert_eq!(serial.state.done.len(), 8, "fleet completes, never hangs");
+    assert!(
+        serial.state.done.values().all(|d| d.quarantined),
+        "every die is quarantined"
+    );
+    assert!(
+        serial.state.done.values().all(|d| d.signatures.is_empty()),
+        "quarantined dies carry no signatures"
+    );
+    assert_eq!(serial.summary.tested, 0);
+    assert_eq!(serial.summary.quarantined, 8);
+    assert_eq!(serial.summary.untested, 8);
+    assert_eq!(serial.summary.scrapped, 8);
+    // 0.25 defect rate, whole fleet quarantined: 250k DPPM exposure.
+    assert_eq!(serial.summary.dppm_risk, 250_000);
+
+    let cfg4 = ServeConfig {
+        client_threads: 4,
+        ..cfg
+    };
+    let threaded = run_fleet(&nl, &cfg4, &opts).unwrap();
+    assert_eq!(threaded.state, serial.state, "client_threads 4 vs 1");
+    assert_eq!(threaded.summary, serial.summary);
+}
+
+/// The full acceptance matrix for degraded verdicts: under a chaos mix
+/// of half-open connections, stalled streams, and corrupted uploads
+/// with a tight reconnect budget, some dies quarantine and some pass —
+/// and the final state is bit-identical across client thread counts
+/// AND across a kill/`--resume` split run under the *same* chaos.
+#[test]
+fn mixed_chaos_quarantine_is_identical_across_threads_and_resume() {
+    let nl = mac_pe(4);
+    let chaos_knobs = "halfopen=0.4,stall=0.2,corrupt=0.15,stall_ms=2,seed=9";
+    let cfg = ServeConfig {
+        dies: 16,
+        client_threads: 1,
+        checkpoint_every: 1,
+        max_reconnects: 2,
+        backoff_base_ms: 0,
+        ..ServeConfig::default()
+    };
+    let opts_with = || ServeOpts {
+        chaos: ChaosConfig::parse(chaos_knobs).unwrap(),
+        ..ServeOpts::default()
+    };
+    let baseline = run_fleet(&nl, &cfg, &opts_with()).unwrap();
+    assert_eq!(baseline.state.done.len(), 16, "fleet completes");
+    let q = baseline.summary.quarantined;
+    assert!(q > 0, "chaos mix must trip at least one breaker");
+    assert!(q < 16, "chaos mix must let some dies finish (got {q})");
+    assert_eq!(baseline.summary.untested, q);
+
+    // Thread-count invariance under the same chaos.
+    let cfg4 = ServeConfig {
+        client_threads: 4,
+        ..cfg
+    };
+    let threaded = run_fleet(&nl, &cfg4, &opts_with()).unwrap();
+    assert_eq!(threaded.state, baseline.state, "client_threads 4 vs 1");
+
+    // Kill/resume split under the same chaos: quarantine decisions are
+    // replayed from deterministic attempt counts, never persisted
+    // half-made.
+    let path = ckpt_path("serve-quarantine-resume");
+    let token = CancelToken::new();
+    token.trip_after_polls(12);
+    let opts = ServeOpts {
+        cancel: token,
+        journal: Some(FramedJournal::new(&path, SERVE_FORMAT)),
+        ..opts_with()
+    };
+    match run_fleet(&nl, &cfg, &opts) {
+        Err(ServeError::Interrupted { done, dies, .. }) => {
+            assert_eq!(dies, 16);
+            assert!(done < 16, "interrupt must land mid-fleet (done {done})");
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+    let opts = ServeOpts {
+        journal: Some(FramedJournal::new(&path, SERVE_FORMAT)),
+        resume: true,
+        ..opts_with()
+    };
+    let resumed = run_fleet(&nl, &cfg, &opts).unwrap();
+    assert_eq!(resumed.state, baseline.state, "resume vs uninterrupted");
+    assert_eq!(resumed.summary, baseline.summary);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Liveness knobs never touch state: with tight socket deadlines and a
+/// zero-tolerance idle reaper, stalls surface as client timeouts and
+/// heartbeats get sessions reaped — yet with a full reconnect budget
+/// every die still converges to exactly the clean-run verdict.
+#[test]
+fn deadlines_and_reaper_bound_liveness_without_changing_state() {
+    let nl = mac_pe(4);
+    let clean_cfg = ServeConfig {
+        dies: 8,
+        client_threads: 2,
+        ..ServeConfig::default()
+    };
+    let clean = run_fleet(&nl, &clean_cfg, &ServeOpts::default()).unwrap();
+
+    let cfg = ServeConfig {
+        io_timeout_ms: 50,
+        max_heartbeats: 0,
+        ..clean_cfg
+    };
+    let chaos = ChaosConfig::parse("stall=0.3,delay=0.3,delay_ms=2,stall_ms=200,seed=5").unwrap();
+    let handle = MetricsHandle::enabled();
+    let opts = ServeOpts {
+        chaos,
+        metrics: handle.clone(),
+        ..ServeOpts::default()
+    };
+    let noisy = run_fleet(&nl, &cfg, &opts).unwrap();
+    assert_eq!(
+        noisy.state, clean.state,
+        "deadlines and reaps are liveness-only — state must not move"
+    );
+    assert_eq!(noisy.summary.quarantined, 0);
+    let snap = handle.snapshot().unwrap();
+    assert!(
+        snap.counter("serve_heartbeats") > 0,
+        "delay chaos heartbeats"
+    );
+    assert!(snap.counter("serve_idle_reaps") > 0, "reaper fired");
+    assert!(
+        snap.counter("serve_retries") > 0,
+        "backoff retries happened"
+    );
 }
