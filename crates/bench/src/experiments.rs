@@ -888,12 +888,16 @@ pub fn repair_report() {
 /// `serve` — test-floor fleet-service throughput. Streams the whole
 /// mac4 broadcast to a 32-die simulated fleet over loopback TCP,
 /// verifies every uploaded MISR signature, and reports dies/sec,
-/// signatures/sec, and the adaptive-retest rate. Writes
-/// `BENCH_serve.json`; the `trend` block carries total wall clock and
-/// the fleet pass fraction as coverage, so `bench trend --ratchet
-/// serve` guards both throughput and yield.
+/// signatures/sec, and the adaptive-retest rate. A telemetry session
+/// rides along (sampler only — no scrape endpoint, no event stream) to
+/// measure peak rolling throughput and the p99 window round-trip.
+/// Writes `BENCH_serve.json`; the `trend` block carries total wall
+/// clock, the fleet pass fraction as coverage, peak dies/sec (higher-
+/// better), and p99 window latency (lower-better), all gated by
+/// `bench trend`.
 pub fn serve_report() {
     use dft_core::serve::{run_fleet, ServeConfig, ServeOpts};
+    use dft_core::telemetry::{TelemetryConfig, TelemetrySession};
 
     let circuits = selected_circuits(&["mac4"]);
     let nl = &circuits[0].netlist;
@@ -907,12 +911,19 @@ pub fn serve_report() {
         },
         ..ServeConfig::default()
     };
+    let tele_cfg = TelemetryConfig {
+        period: std::time::Duration::from_millis(25),
+        ..TelemetryConfig::default()
+    };
+    let tele = TelemetrySession::start(tele_cfg, handle.clone()).expect("telemetry session");
     let opts = ServeOpts {
         metrics: handle.clone(),
+        telemetry: tele.handle(),
         ..ServeOpts::default()
     };
     let report = run_fleet(nl, &cfg, &opts).expect("serve fleet");
     let wall_ns = wall_start.elapsed().as_nanos();
+    let tele_final = tele.finish();
 
     let s = report.summary;
     let serve_secs = report.wall.as_secs_f64().max(1e-9);
@@ -921,6 +932,25 @@ pub fn serve_report() {
     let retest_rate = s.retested as f64 / s.tested.max(1) as f64;
     let pass_fraction = s.passed as f64 / s.tested.max(1) as f64;
     let snap = handle.snapshot().expect("metrics enabled");
+    // A short run can outpace the 25 ms sampler (peak gauge 0) or
+    // settle every window between ticks (p99 NaN); fall back to the
+    // whole-run figures so the trend block always has a number.
+    let peak_dies_per_sec = if tele_final.peak_dies_per_sec > 0.0 {
+        tele_final.peak_dies_per_sec
+    } else {
+        dies_per_sec
+    };
+    let p99_window_us = if tele_final.p99_window_latency_us.is_finite() {
+        tele_final.p99_window_latency_us
+    } else {
+        0.0
+    };
+    let sig_p99_us = if tele_final.final_sample.signature_p99_us.is_finite() {
+        tele_final.final_sample.signature_p99_us
+    } else {
+        0.0
+    };
+    let tele_samples = tele_final.samples;
 
     println!(
         "SERVE: mac4 fleet, {} dies x {} windows, {} client threads",
@@ -936,11 +966,18 @@ pub fn serve_report() {
          retest rate {:.1}%",
         retest_rate * 100.0
     );
+    println!(
+        "telemetry: {} samples, peak {peak_dies_per_sec:.0} dies/s, \
+         p99 window {p99_window_us:.0} us",
+        tele_final.samples
+    );
     println!("shape: defective dies always mismatch, retest, and route to harvest/scrap.");
 
     let json = format!(
         "{{\n  \"trend\": {{\"experiment\":\"serve\",\"wall_clock_ns\":{wall_ns},\
-         \"coverage\":{pass_fraction:.6}}},\n  \
+         \"coverage\":{pass_fraction:.6},\
+         \"peak_dies_per_sec\":{peak_dies_per_sec:.2},\
+         \"p99_window_latency_us\":{p99_window_us:.2}}},\n  \
          \"fleet\": {{\"design\":\"mac4\",\"dies\":{},\"windows_per_die\":{},\
          \"window_patterns\":{},\"patterns\":{},\"edt_encoded\":{},\"edt_flat\":{},\
          \"client_threads\":{}}},\n  \
@@ -952,7 +989,11 @@ pub fn serve_report() {
          \"signatures_per_sec\":{sigs_per_sec:.2},\"retest_rate\":{retest_rate:.4}}},\n  \
          \"transport\": {{\"windows_sent\":{},\"conn_drops\":{},\"torn_frames\":{},\
          \"retries\":{},\"backoff_ns\":{},\"quarantined\":{},\"heartbeats\":{},\
-         \"idle_reaps\":{},\"corrupt_frames\":{}}}\n}}\n",
+         \"idle_reaps\":{},\"corrupt_frames\":{}}},\n  \
+         \"telemetry\": {{\"samples\":{tele_samples},\
+         \"peak_dies_per_sec\":{peak_dies_per_sec:.2},\
+         \"p99_window_latency_us\":{p99_window_us:.2},\
+         \"signature_p99_us\":{sig_p99_us:.2}}}\n}}\n",
         s.dies,
         s.windows_per_die,
         cfg.window_patterns,

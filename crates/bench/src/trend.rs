@@ -30,6 +30,12 @@ pub struct TrendEntry {
     /// Headline quality figure (test coverage, yield), when the
     /// experiment has one.
     pub coverage: Option<f64>,
+    /// Peak rolling fleet throughput from the telemetry sampler
+    /// (`serve` only; higher is better).
+    pub peak_dies_per_sec: Option<f64>,
+    /// p99 window round-trip latency from the telemetry sampler,
+    /// microseconds (`serve` only; lower is better).
+    pub p99_window_latency_us: Option<f64>,
 }
 
 /// A current sample joined with its predecessor.
@@ -43,6 +49,12 @@ pub struct TrendDelta {
     pub wall_delta: Option<f64>,
     /// Relative coverage change (`-0.25` = 25% less coverage).
     pub coverage_delta: Option<f64>,
+    /// Relative peak-throughput change (`-0.25` = 25% less peak;
+    /// higher is better).
+    pub peak_delta: Option<f64>,
+    /// Relative p99 window-latency change (`+0.25` = 25% slower tail;
+    /// lower is better).
+    pub p99_delta: Option<f64>,
     /// True when this experiment breaches the regression threshold.
     pub regressed: bool,
 }
@@ -60,8 +72,11 @@ impl TrendReport {
     /// The markdown delta table.
     pub fn markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str("| experiment | wall-clock | Δ wall | coverage | Δ coverage | status |\n");
-        out.push_str("|---|---:|---:|---:|---:|---|\n");
+        out.push_str(
+            "| experiment | wall-clock | Δ wall | coverage | Δ coverage | peak d/s | \
+             p99 win µs | status |\n",
+        );
+        out.push_str("|---|---:|---:|---:|---:|---:|---:|---|\n");
         for d in &self.deltas {
             let wall_ms = d.current.wall_clock_ns as f64 / 1e6;
             let wall_delta = match d.wall_delta {
@@ -76,11 +91,20 @@ impl TrendReport {
                 Some(x) => format!("{:+.2}%", x * 100.0),
                 None => "-".to_owned(),
             };
+            let figure = |v: Option<f64>, delta: Option<f64>| match v {
+                Some(v) => match delta {
+                    Some(x) => format!("{v:.0} ({:+.1}%)", x * 100.0),
+                    None => format!("{v:.0}"),
+                },
+                None => "-".to_owned(),
+            };
+            let peak = figure(d.current.peak_dies_per_sec, d.peak_delta);
+            let p99 = figure(d.current.p99_window_latency_us, d.p99_delta);
             let status = if d.regressed { "REGRESSED" } else { "ok" };
             let _ = writeln!(
                 out,
-                "| {} | {:.3} ms | {} | {} | {} | {} |",
-                d.current.experiment, wall_ms, wall_delta, cov, cov_delta, status
+                "| {} | {:.3} ms | {} | {} | {} | {} | {} | {} |",
+                d.current.experiment, wall_ms, wall_delta, cov, cov_delta, peak, p99, status
             );
         }
         out
@@ -91,30 +115,32 @@ impl TrendReport {
     pub fn to_json(&self) -> String {
         let mut entries = String::new();
         let mut deltas = String::new();
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.6}"),
+            None => "null".to_owned(),
+        };
         for (i, d) in self.deltas.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let cov = match d.current.coverage {
-                Some(c) => format!("{c:.6}"),
-                None => "null".to_owned(),
-            };
             let _ = write!(
                 entries,
-                "{sep}\n    {{\"experiment\":\"{}\",\"wall_clock_ns\":{},\"coverage\":{}}}",
-                d.current.experiment, d.current.wall_clock_ns, cov
+                "{sep}\n    {{\"experiment\":\"{}\",\"wall_clock_ns\":{},\"coverage\":{},\
+                 \"peak_dies_per_sec\":{},\"p99_window_latency_us\":{}}}",
+                d.current.experiment,
+                d.current.wall_clock_ns,
+                opt(d.current.coverage),
+                opt(d.current.peak_dies_per_sec),
+                opt(d.current.p99_window_latency_us)
             );
-            let wall_delta = match d.wall_delta {
-                Some(x) => format!("{x:.6}"),
-                None => "null".to_owned(),
-            };
-            let cov_delta = match d.coverage_delta {
-                Some(x) => format!("{x:.6}"),
-                None => "null".to_owned(),
-            };
             let _ = write!(
                 deltas,
                 "{sep}\n    {{\"experiment\":\"{}\",\"wall_delta\":{},\"coverage_delta\":{},\
-                 \"regressed\":{}}}",
-                d.current.experiment, wall_delta, cov_delta, d.regressed
+                 \"peak_delta\":{},\"p99_delta\":{},\"regressed\":{}}}",
+                d.current.experiment,
+                opt(d.wall_delta),
+                opt(d.coverage_delta),
+                opt(d.peak_delta),
+                opt(d.p99_delta),
+                d.regressed
             );
         }
         format!(
@@ -133,6 +159,8 @@ pub fn extract_trend(text: &str) -> Option<TrendEntry> {
         experiment: t.get("experiment")?.as_str()?.to_owned(),
         wall_clock_ns: t.get("wall_clock_ns")?.as_u64()?,
         coverage: t.get("coverage").and_then(Json::as_f64),
+        peak_dies_per_sec: t.get("peak_dies_per_sec").and_then(Json::as_f64),
+        p99_window_latency_us: t.get("p99_window_latency_us").and_then(Json::as_f64),
     })
 }
 
@@ -151,6 +179,8 @@ pub fn parse_previous(text: &str) -> Vec<TrendEntry> {
                 experiment: t.get("experiment")?.as_str()?.to_owned(),
                 wall_clock_ns: t.get("wall_clock_ns")?.as_u64()?,
                 coverage: t.get("coverage").and_then(Json::as_f64),
+                peak_dies_per_sec: t.get("peak_dies_per_sec").and_then(Json::as_f64),
+                p99_window_latency_us: t.get("p99_window_latency_us").and_then(Json::as_f64),
             })
         })
         .collect()
@@ -171,17 +201,32 @@ pub fn compare(
             let wall_delta = prev.filter(|p| p.wall_clock_ns > 0).map(|p| {
                 (cur.wall_clock_ns as f64 - p.wall_clock_ns as f64) / p.wall_clock_ns as f64
             });
-            let coverage_delta = match (prev.and_then(|p| p.coverage), cur.coverage) {
+            let rel = |p: Option<f64>, c: Option<f64>| match (p, c) {
                 (Some(p), Some(c)) if p > 0.0 => Some((c - p) / p),
                 _ => None,
             };
+            let coverage_delta = rel(prev.and_then(|p| p.coverage), cur.coverage);
+            let peak_delta = rel(
+                prev.and_then(|p| p.peak_dies_per_sec),
+                cur.peak_dies_per_sec,
+            );
+            let p99_delta = rel(
+                prev.and_then(|p| p.p99_window_latency_us),
+                cur.p99_window_latency_us,
+            );
+            // Direction per figure: wall-clock and p99 latency regress
+            // upward, coverage and peak throughput regress downward.
             let regressed = wall_delta.is_some_and(|x| x > max_regress)
-                || coverage_delta.is_some_and(|x| -x > max_regress);
+                || coverage_delta.is_some_and(|x| -x > max_regress)
+                || peak_delta.is_some_and(|x| -x > max_regress)
+                || p99_delta.is_some_and(|x| x > max_regress);
             TrendDelta {
                 current: cur,
                 previous: prev.cloned(),
                 wall_delta,
                 coverage_delta,
+                peak_delta,
+                p99_delta,
                 regressed,
             }
         })
@@ -272,6 +317,16 @@ mod tests {
             experiment: name.to_owned(),
             wall_clock_ns: wall,
             coverage: cov,
+            peak_dies_per_sec: None,
+            p99_window_latency_us: None,
+        }
+    }
+
+    fn serve_entry(wall: u64, peak: f64, p99: f64) -> TrendEntry {
+        TrendEntry {
+            peak_dies_per_sec: Some(peak),
+            p99_window_latency_us: Some(p99),
+            ..entry("serve", wall, Some(0.8))
         }
     }
 
@@ -356,6 +411,39 @@ mod tests {
         assert!(check_ratchet(&report, "ppsfp")
             .unwrap_err()
             .contains("no previous baseline"));
+    }
+
+    #[test]
+    fn peak_throughput_drop_regresses_and_latency_growth_regresses() {
+        let prev = [serve_entry(1_000_000, 4000.0, 800.0)];
+        // Peak throughput fell 50%: regressed even with flat wall-clock.
+        let report = compare(vec![serve_entry(1_000_000, 2000.0, 800.0)], &prev, 0.20);
+        assert!(report.regressed);
+        assert_eq!(report.deltas[0].peak_delta, Some(-0.5));
+        // p99 tail doubled: regressed.
+        let report = compare(vec![serve_entry(1_000_000, 4000.0, 1600.0)], &prev, 0.20);
+        assert!(report.regressed);
+        assert_eq!(report.deltas[0].p99_delta, Some(1.0));
+        // Both figures improving never regresses.
+        let report = compare(vec![serve_entry(900_000, 5000.0, 600.0)], &prev, 0.20);
+        assert!(!report.regressed);
+    }
+
+    #[test]
+    fn telemetry_figures_roundtrip_through_trend_json() {
+        let report = compare(vec![serve_entry(123, 4096.0, 750.5)], &[], 0.20);
+        let text = report.to_json();
+        assert!(text.contains("\"peak_dies_per_sec\":4096.000000"));
+        assert!(text.contains("\"p99_window_latency_us\":750.500000"));
+        let back = parse_previous(&text);
+        assert_eq!(back, vec![serve_entry(123, 4096.0, 750.5)]);
+        // Entries without the figures stay null and parse back as None.
+        let report = compare(vec![entry("metrics", 1, Some(0.9))], &[], 0.20);
+        assert!(report.to_json().contains("\"peak_dies_per_sec\":null"));
+        assert_eq!(
+            parse_previous(&report.to_json()),
+            vec![entry("metrics", 1, Some(0.9))]
+        );
     }
 
     #[test]

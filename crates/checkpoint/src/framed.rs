@@ -119,6 +119,31 @@ pub(crate) fn scan_last<T>(
     None
 }
 
+/// Scans `text` oldest-first and returns *every* record of `format`
+/// that `parse` accepts, in file order. Torn tails and corrupt records
+/// are skipped silently, like [`scan_last`] — a journal is allowed to
+/// carry damage, never to propagate it.
+pub(crate) fn scan_all<T>(text: &str, format: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    let header = format!("ckpt {format} ");
+    let mut starts: Vec<usize> = Vec::new();
+    let mut at = 0usize;
+    while let Some(pos) = text[at..].find(&header) {
+        let abs = at + pos;
+        if abs == 0 || text.as_bytes()[abs - 1] == b'\n' {
+            starts.push(abs);
+        }
+        at = abs + header.len();
+    }
+    starts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &start)| {
+            let end = starts.get(i + 1).copied().unwrap_or(text.len());
+            parse(&text[start..end])
+        })
+        .collect()
+}
+
 /// An append-only journal of [`frame_record`]-framed records for one
 /// format id. The generic counterpart of [`crate::Journal`]: same
 /// torn-tail realignment on append, same newest-first recovery on load,
@@ -158,6 +183,23 @@ impl FramedJournal {
     /// returns an error. The previous record stays recoverable.
     pub fn append_torn(&self, seq: u64, body: &str) -> io::Result<u64> {
         append_record(&self.path, &frame_record(self.format, seq, body), true)
+    }
+
+    /// Loads *every* complete, checksum-valid record as `(seq, body)`,
+    /// oldest-first. Torn or corrupt records in the middle are skipped;
+    /// an empty result is not an error (the caller decides whether a
+    /// record-free journal is a problem). This is the replay primitive
+    /// for append-only event streams (e.g. the `aidft-telemetry-v1`
+    /// journal), where checkpoint recovery wants the newest record but
+    /// an auditor wants the whole history.
+    pub fn load_all(&self) -> Result<Vec<(u64, String)>, CkptError> {
+        let text = std::fs::read_to_string(&self.path).map_err(|e| CkptError::Io {
+            path: self.path.display().to_string(),
+            source: e,
+        })?;
+        Ok(scan_all(&text, self.format, |t| {
+            parse_framed(t, self.format)
+        }))
     }
 
     /// Loads the newest complete, checksum-valid record as
@@ -210,6 +252,27 @@ mod tests {
         // Realignment keeps the next record loadable.
         j.append(2, "state c\n").unwrap();
         assert_eq!(j.load_last().unwrap(), (2, "state c\n".to_owned()));
+        std::fs::remove_file(j.path()).unwrap();
+    }
+
+    #[test]
+    fn load_all_replays_history_and_skips_damage() {
+        let j = FramedJournal::new(temp("framed-all.ckpt"), "test-v1");
+        j.append(0, "a\n").unwrap();
+        j.append(1, "b\n").unwrap();
+        assert!(j.append_torn(2, "torn\n").is_err());
+        j.append(3, "c\n").unwrap();
+        let all = j.load_all().unwrap();
+        assert_eq!(
+            all,
+            vec![
+                (0, "a\n".to_owned()),
+                (1, "b\n".to_owned()),
+                (3, "c\n".to_owned()),
+            ]
+        );
+        // load_last still sees only the newest; load_all agrees on it.
+        assert_eq!(j.load_last().unwrap(), all.last().unwrap().clone());
         std::fs::remove_file(j.path()).unwrap();
     }
 

@@ -9,6 +9,8 @@
 //! aidft diagnose <design.bench> <log.json> diagnose a failure log
 //! aidft repair   [--max-bad-cores N]       BISR + core-harvesting demo
 //! aidft serve    <design.bench>            test-floor fleet server
+//! aidft top      <addr>                    live fleet dashboard
+//! aidft fleet-stats <addr>                 one-shot stats scrape
 //! ```
 //!
 //! `serve` streams compressed pattern windows to a simulated die fleet
@@ -23,6 +25,24 @@
 //! final fleet state is bit-identical for any thread count and any
 //! kill/resume split; a fleet with an unreachable die completes and
 //! reports it quarantined instead of hanging.
+//!
+//! Live telemetry (strictly read-only — the final fleet state is
+//! unchanged with it on or off):
+//!
+//! - `--stats-addr ADDR` — publish a scrape endpoint for the run
+//!   (Prometheus text at `/metrics`, JSON at `/stats.json`; `:0` picks
+//!   an ephemeral port, printed on stderr). Implies suppressing the
+//!   one-line progress spinner.
+//! - `--events PATH` — append an `aidft-telemetry-v1` JSONL event
+//!   stream (session transitions, quarantines, checkpoints, chaos
+//!   injections, retests) to a framed journal at PATH.
+//!
+//! `aidft top <addr> [--interval-ms N] [--frames N]` attaches to a
+//! serving fleet's `--stats-addr` endpoint and redraws a multi-line
+//! dashboard (fleet gauges, breaker states, rolling rates, latency
+//! quantiles) until the run ends. `aidft fleet-stats <addr>
+//! [--metrics]` scrapes once and prints the JSON (or raw Prometheus
+//! text) to stdout.
 //!
 //! `atpg`, `flow`, and `bist` accept `--threads N` (`0` = one worker per
 //! hardware thread, the default; `1` = serial). The `AIDFT_THREADS`
@@ -87,8 +107,9 @@ use dft_core::logicsim::PatternSet;
 use dft_core::metrics::MetricsHandle;
 use dft_core::netlist::generators::benchmark_suite;
 use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
-use dft_core::progress::ProgressLine;
+use dft_core::progress::{self, Dashboard, ProgressLine};
 use dft_core::serve::{run_fleet, ServeConfig, ServeError, ServeOpts, SERVE_FORMAT};
+use dft_core::telemetry::{self, TelemetryConfig, TelemetrySession};
 use dft_core::trace::{TraceConfig, TraceHandle, TraceSession};
 use dft_core::{DftError, DftFlow, PartialResult};
 
@@ -353,10 +374,35 @@ fn main() -> ExitCode {
                 .max(1);
             let max_reconnects = extract_u64_flag(&mut rest, "--max-reconnects")?;
             let backoff_base = extract_u64_flag(&mut rest, "--backoff-base")?;
+            let stats_addr = extract_path_flag(&mut rest, "--stats-addr")?;
+            let events_path = extract_path_flag(&mut rest, "--events")?;
             if let Some(extra) = rest.first() {
                 return Err(DftError::usage(format!("unknown serve argument `{extra}`")));
             }
             let handle = MetricsHandle::enabled();
+            // Telemetry first: a bound scrape endpoint owns the live
+            // view, so the one-line spinner must stay suppressed before
+            // the reporter spawns.
+            let tele = if stats_addr.is_some() || events_path.is_some() {
+                if stats_addr.is_some() {
+                    progress::set_suppressed(true);
+                }
+                let cfg = TelemetryConfig {
+                    stats_addr: stats_addr.clone(),
+                    events_path: events_path.as_ref().map(std::path::PathBuf::from),
+                    ..TelemetryConfig::default()
+                };
+                let session = TelemetrySession::start(cfg, handle.clone())
+                    .map_err(|e| DftError::io("start telemetry", e))?;
+                if let Some(addr) = session.stats_addr() {
+                    // Stderr only: the stdout summary must stay
+                    // byte-identical to a run without telemetry.
+                    eprintln!("aidft: stats endpoint listening on {addr}");
+                }
+                Some(session)
+            } else {
+                None
+            };
             let progress = ProgressLine::spawn(trace.clone(), handle.clone());
             let token = CancelToken::new();
             cancel_on_signals(token.clone());
@@ -372,6 +418,10 @@ fn main() -> ExitCode {
                 chaos: dur_opts.chaos.unwrap_or_default(),
                 journal,
                 resume: dur_opts.resume.is_some(),
+                telemetry: tele
+                    .as_ref()
+                    .map(TelemetrySession::handle)
+                    .unwrap_or_default(),
             };
             let mut cfg = ServeConfig {
                 dies: dies.max(1),
@@ -390,6 +440,19 @@ fn main() -> ExitCode {
             }
             let report = run_fleet(nl, &cfg, &opts);
             progress.finish();
+            if let Some(session) = tele {
+                let fin = session.finish();
+                progress::set_suppressed(false);
+                eprintln!(
+                    "aidft: telemetry: {} samples, {} scrapes, {} events, \
+                     peak {:.1} dies/s, p99 window {:.0} us",
+                    fin.samples,
+                    fin.scrapes,
+                    fin.events,
+                    fin.peak_dies_per_sec,
+                    fin.p99_window_latency_us
+                );
+            }
             let report = report.map_err(|e| lift_serve_error(nl.name(), e))?;
             if report.resumed_dies > 0 {
                 say!(
@@ -410,8 +473,17 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             }
         }
+        Some("top") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            run_top(&mut rest)
+        }
+        Some("fleet-stats") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            run_fleet_stats(&mut rest)
+        }
         _ => Err(DftError::usage(
-            "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair|serve> [--threads N] \
+            "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair|serve|top|fleet-stats> \
+             [--threads N] \
              [--metrics-json <path>] [--trace <path>] [--trace-jsonl <path>] \
              [--checkpoint <path>] [--checkpoint-every <faults>] [--phase-timeout <ms>] \
              [--resume <path>] <args>; `-` as a path writes to stdout; see README",
@@ -711,6 +783,135 @@ fn run_repair_demo(
     }
 
     write_metrics(out, metrics_path, &handle)
+}
+
+/// The `top` command: attach to a serving fleet's `--stats-addr`
+/// endpoint and redraw a live dashboard until the run ends. Before the
+/// first successful scrape the endpoint is polled patiently (the serve
+/// may still be compiling its stimulus); after it, the endpoint
+/// disappearing means the fleet finished — a clean exit, not an error.
+fn run_top(rest: &mut Vec<String>) -> Result<(), DftError> {
+    let interval_ms = extract_u64_flag(rest, "--interval-ms")?
+        .unwrap_or(500)
+        .max(50);
+    let frames_cap = extract_u64_flag(rest, "--frames")?;
+    let addr = match rest.as_slice() {
+        [addr] => addr.clone(),
+        _ => {
+            return Err(DftError::usage(
+                "usage: aidft top <addr> [--interval-ms N] [--frames N]",
+            ))
+        }
+    };
+    let mut dash = Dashboard::new();
+    let mut attached = false;
+    let mut frames = 0u64;
+    let mut misses = 0u32;
+    loop {
+        match telemetry::scrape(addr.as_str(), "/metrics") {
+            Ok(text) => {
+                attached = true;
+                misses = 0;
+                frames += 1;
+                dash.draw(&top_frame(&addr, &telemetry::parse_prometheus(&text)));
+                if frames_cap.is_some_and(|cap| frames >= cap) {
+                    return Ok(());
+                }
+            }
+            Err(e) => {
+                misses += 1;
+                if attached {
+                    dash.clear();
+                    eprintln!("aidft top: endpoint {addr} closed after {frames} frame(s)");
+                    return Ok(());
+                }
+                if misses >= 20 {
+                    return Err(DftError::io(format!("scrape {addr}"), e));
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(if attached {
+            interval_ms
+        } else {
+            200
+        }));
+    }
+}
+
+/// Renders one `aidft top` frame from parsed `/metrics` scrape pairs.
+fn top_frame(addr: &str, pairs: &[(String, f64)]) -> Vec<String> {
+    let v = |name: &str| telemetry::pair_value(pairs, name).unwrap_or(f64::NAN);
+    // The info metric carries the design as a label, so it is matched
+    // by prefix rather than by full name.
+    let design = pairs
+        .iter()
+        .find_map(|(n, _)| {
+            n.strip_prefix("aidft_fleet_info{design=\"")
+                .and_then(|s| s.strip_suffix("\"}"))
+        })
+        .unwrap_or("?");
+    vec![
+        format!(
+            "aidft top - {addr}  design {design}  sample #{:.0}  up {:.1}s",
+            v("aidft_sample_seq"),
+            v("aidft_uptime_ms") / 1000.0
+        ),
+        format!(
+            "fleet    {:.0}/{:.0} dies done, {:.0} windows/die, {:.0} sessions active, \
+             {:.0} windows in flight",
+            v("aidft_fleet_dies_done"),
+            v("aidft_fleet_dies"),
+            v("aidft_fleet_windows_per_die"),
+            v("aidft_sessions_active"),
+            v("aidft_windows_in_flight")
+        ),
+        format!(
+            "breaker  {:.0} closed, {:.0} backoff, {:.0} quarantined",
+            v("aidft_breaker_closed"),
+            v("aidft_breaker_backoff"),
+            v("aidft_breaker_quarantined")
+        ),
+        format!(
+            "rates    {:.1} dies/s (peak {:.1}), {:.1} signatures/s",
+            v("aidft_dies_per_sec"),
+            v("aidft_peak_dies_per_sec"),
+            v("aidft_signatures_per_sec")
+        ),
+        format!(
+            "latency  window p50 {:.0} us / p99 {:.0} us, signature p50 {:.0} us / p99 {:.0} us",
+            v("aidft_window_latency_us_p50"),
+            v("aidft_window_latency_us_p99"),
+            v("aidft_signature_latency_us_p50"),
+            v("aidft_signature_latency_us_p99")
+        ),
+    ]
+}
+
+/// The `fleet-stats` command: one scrape of a live endpoint, printed to
+/// stdout (JSON by default, raw Prometheus text with `--metrics`).
+fn run_fleet_stats(rest: &mut Vec<String>) -> Result<(), DftError> {
+    let metrics = if let Some(pos) = rest.iter().position(|a| a == "--metrics") {
+        rest.remove(pos);
+        true
+    } else {
+        false
+    };
+    let addr = match rest.as_slice() {
+        [addr] => addr.clone(),
+        _ => {
+            return Err(DftError::usage(
+                "usage: aidft fleet-stats <addr> [--metrics]",
+            ))
+        }
+    };
+    let path = if metrics { "/metrics" } else { "/stats.json" };
+    let body = telemetry::scrape(addr.as_str(), path)
+        .map_err(|e| DftError::io(format!("scrape {addr}"), e))?;
+    print!("{body}");
+    if !body.ends_with('\n') {
+        println!();
+    }
+    Ok(())
 }
 
 /// Removes `<flag> <n>` from `args` and returns the parsed integer, if

@@ -67,6 +67,10 @@ pub use dft_repair as repair;
 /// Re-export of `dft-serve` (test-floor pattern server).
 pub use dft_serve as serve;
 
+/// Re-export of `dft-telemetry` (live fleet telemetry: scrape endpoint,
+/// event stream, sampler).
+pub use dft_telemetry as telemetry;
+
 pub mod config;
 mod error;
 pub mod progress;

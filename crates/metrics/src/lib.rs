@@ -81,6 +81,45 @@ impl Counter {
 /// holds everything `>= 2^16`.
 pub const HISTOGRAM_BUCKETS: usize = 17;
 
+/// The value range `[lo, hi]` a log2 bucket covers: bucket 0 holds
+/// `0..=1`, bucket `i < 16` holds `2^i ..= 2^(i+1) - 1`, and the open
+/// top bucket is treated as one final octave (`2^16 ..= 2^17`) so
+/// quantile estimates stay finite.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        _ if i < HISTOGRAM_BUCKETS - 1 => (1 << i, (1 << (i + 1)) - 1),
+        _ => (1 << (HISTOGRAM_BUCKETS - 1), 1 << HISTOGRAM_BUCKETS),
+    }
+}
+
+/// Quantile estimate over log2 bucket counts: finds the bucket holding
+/// rank `q * total` and interpolates linearly inside it. `q` is clamped
+/// to `[0, 1]`; `None` when the histogram is empty. This is the one
+/// shared estimator for p50/p99 readouts — callers should not re-derive
+/// bucket math from [`HISTOGRAM_BUCKETS`].
+pub fn histogram_quantile(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let mut seen = 0.0f64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = seen + c as f64;
+        if next >= target {
+            let (lo, hi) = bucket_bounds(i);
+            let frac = ((target - seen) / c as f64).clamp(0.0, 1.0);
+            return Some(lo as f64 + frac * (hi - lo) as f64);
+        }
+        seen = next;
+    }
+    Some(bucket_bounds(HISTOGRAM_BUCKETS - 1).1 as f64)
+}
+
 /// A log2-bucketed histogram of event magnitudes (e.g. backtracks per
 /// PODEM call). Fixed buckets keep recording allocation-free and the
 /// merge across threads a plain per-bucket sum.
@@ -401,6 +440,85 @@ impl MetricsSnapshot {
             .unwrap_or(0)
     }
 
+    /// Quantile estimate of the histogram `name` via
+    /// [`histogram_quantile`]; `None` when absent or empty.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, b)| histogram_quantile(b, q))
+    }
+
+    /// The per-instrument change since `earlier`: saturating
+    /// subtraction by name across counters, histogram buckets, and
+    /// timers. Both snapshots normally come from the same registry
+    /// (same names in the same order — the fast path); names missing
+    /// from `earlier` are treated as zero, so a delta across registry
+    /// generations is still well-defined. This is the sampler
+    /// primitive: a periodic observer snapshots, deltas against its
+    /// previous capture, and derives interval rates without ever
+    /// resetting the live registry.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let prev_counter = |i: usize, name: &str| -> u64 {
+            match earlier.counters.get(i) {
+                Some((n, v)) if *n == name => *v,
+                _ => earlier.counter(name),
+            }
+        };
+        let counters = self
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, (n, v))| (*n, v.saturating_sub(prev_counter(i, n))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .enumerate()
+            .map(|(i, (n, b))| {
+                let zero = [0u64; HISTOGRAM_BUCKETS];
+                let prev = match earlier.histograms.get(i) {
+                    Some((pn, pb)) if pn == n => pb,
+                    _ => earlier
+                        .histograms
+                        .iter()
+                        .find(|(pn, _)| pn == n)
+                        .map(|(_, pb)| pb)
+                        .unwrap_or(&zero),
+                };
+                (*n, std::array::from_fn(|j| b[j].saturating_sub(prev[j])))
+            })
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .enumerate()
+            .map(|(i, (n, t))| {
+                let prev = match earlier.timers.get(i) {
+                    Some((pn, pt)) if pn == n => *pt,
+                    _ => earlier
+                        .timers
+                        .iter()
+                        .find(|(pn, _)| pn == n)
+                        .map(|(_, pt)| *pt)
+                        .unwrap_or_default(),
+                };
+                (
+                    *n,
+                    TimerSnapshot {
+                        nanos: t.nanos.saturating_sub(prev.nanos),
+                        count: t.count.saturating_sub(prev.count),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+            timers,
+        }
+    }
+
     /// `true` when the scheduling-independent parts (counters and
     /// histograms, not timers) are identical — the comparison the
     /// thread-count determinism tests use.
@@ -535,6 +653,100 @@ mod tests {
         let sb = b.snapshot();
         assert!(sa.deterministic_eq(&sb));
         assert_ne!(sa, sb, "full equality must still see the timers");
+    }
+
+    #[test]
+    fn delta_subtracts_by_name_and_saturates() {
+        let m = Metrics::new();
+        m.serve_windows.add(10);
+        m.podem_backtracks_per_call.record(4);
+        m.t_atpg_random.record(Duration::from_nanos(100));
+        let earlier = m.snapshot();
+        m.serve_windows.add(7);
+        m.serve_signatures.add(3);
+        m.podem_backtracks_per_call.record(4);
+        m.t_atpg_random.record(Duration::from_nanos(50));
+        let d = m.snapshot().delta(&earlier);
+        assert_eq!(d.counter("serve_windows"), 7);
+        assert_eq!(d.counter("serve_signatures"), 3);
+        assert_eq!(d.counter("podem_calls"), 0);
+        assert_eq!(d.histogram_count("podem_backtracks_per_call"), 1);
+        let t = d
+            .timers
+            .iter()
+            .find(|(n, _)| *n == "t_atpg_random")
+            .unwrap();
+        assert_eq!(
+            t.1,
+            TimerSnapshot {
+                nanos: 50,
+                count: 1
+            }
+        );
+        // A later snapshot subtracted from an earlier one saturates at
+        // zero instead of wrapping.
+        let d = earlier.delta(&m.snapshot());
+        assert_eq!(d.counter("serve_windows"), 0);
+        // Delta against an empty snapshot is the identity.
+        let empty = MetricsSnapshot {
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            timers: Vec::new(),
+        };
+        let id = m.snapshot().delta(&empty);
+        assert_eq!(id.counter("serve_windows"), 17);
+        assert_eq!(id.histogram_count("podem_backtracks_per_call"), 2);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_value_line() {
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(1), (2, 3));
+        assert_eq!(bucket_bounds(15), (1 << 15, (1 << 16) - 1));
+        // Adjacent buckets tile without gaps below the open top.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i).1 + 1, bucket_bounds(i + 1).0);
+        }
+    }
+
+    #[test]
+    fn quantile_estimates_track_the_distribution() {
+        let h = Histogram::default();
+        assert_eq!(histogram_quantile(&h.buckets(), 0.5), None);
+        for _ in 0..99 {
+            h.record(8); // bucket 3: [8, 15]
+        }
+        h.record(40_000); // bucket 15
+        let b = h.buckets();
+        let p50 = histogram_quantile(&b, 0.5).unwrap();
+        assert!((8.0..=15.0).contains(&p50), "p50 {p50}");
+        let p99 = histogram_quantile(&b, 0.99).unwrap();
+        assert!((8.0..=15.0).contains(&p99), "p99 {p99}");
+        let p999 = histogram_quantile(&b, 0.9999).unwrap();
+        assert!(p999 >= (1 << 15) as f64, "p99.99 {p999}");
+        // Quantiles are monotone in q and clamped outside [0, 1].
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(
+            histogram_quantile(&b, -1.0),
+            histogram_quantile(&b, 0.0),
+            "q clamps low"
+        );
+        assert_eq!(
+            histogram_quantile(&b, 2.0),
+            histogram_quantile(&b, 1.0),
+            "q clamps high"
+        );
+        // The snapshot convenience sees the same estimate.
+        let m = Metrics::new();
+        for _ in 0..4 {
+            m.edt_care_bits_per_cube.record(8);
+        }
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.histogram_quantile("edt_care_bits_per_cube", 0.5),
+            histogram_quantile(&m.edt_care_bits_per_cube.buckets(), 0.5)
+        );
+        assert_eq!(snap.histogram_quantile("missing", 0.5), None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use dft_fault::Fault;
 use dft_logicsim::{AnyKernel, FaultSim, PatternSet, Response, SimKernel};
 use dft_metrics::MetricsHandle;
 use dft_netlist::Netlist;
+use dft_telemetry::{SessionState, TelemetryEvent, TelemetryHandle};
 
 use crate::frame::{
     read_frame, write_frame, write_frame_corrupt, Frame, FrameError, PROTOCOL_VERSION,
@@ -131,6 +132,9 @@ pub struct DieClient<'a> {
     /// Fleet cancel token: a cancelled run stops retrying immediately
     /// so an interrupted fleet never mistakes shutdown for a dead die.
     pub cancel: CancelToken,
+    /// Live telemetry sink: breaker-state gauges and chaos events.
+    /// Read-only observation — never consulted for any decision.
+    pub telemetry: TelemetryHandle,
 }
 
 impl DieClient<'_> {
@@ -149,6 +153,7 @@ impl DieClient<'_> {
             &self.stim.universe,
         );
         let backoff = BackoffPolicy::from_config(self.cfg);
+        let mut breaker = self.telemetry.breaker(self.die_id);
         let mut last_err = FrameError::Torn;
         for attempt in 0..=self.cfg.max_reconnects {
             if attempt > 0 {
@@ -158,6 +163,7 @@ impl DieClient<'_> {
                 if self.cancel.is_cancelled() {
                     return Err(last_err);
                 }
+                breaker.set(SessionState::Backoff, u64::from(attempt));
                 let delay = backoff.delay(self.die_id, attempt);
                 if let Some(m) = self.metrics.get() {
                     m.serve_retries.inc();
@@ -165,6 +171,7 @@ impl DieClient<'_> {
                 }
                 std::thread::sleep(delay);
             }
+            breaker.set(SessionState::Closed, u64::from(attempt));
             match self.session(&decoder, defect, attempt) {
                 Ok(passed) => return Ok(ClientOutcome::Verdict { passed }),
                 // Recoverable: reconnect and let the server resume from
@@ -180,10 +187,17 @@ impl DieClient<'_> {
                 Err(e) => return Err(e),
             }
         }
-        Ok(ClientOutcome::Quarantined {
+        let outcome = ClientOutcome::Quarantined {
             attempts: self.cfg.max_reconnects + 1,
             last_error: last_err,
-        })
+        };
+        // Quarantine is sticky in the gauges: the count survives the
+        // guard, matching the die's `Untestable` verdict.
+        breaker.set(
+            outcome.final_state(),
+            u64::from(self.cfg.max_reconnects) + 1,
+        );
+        Ok(outcome)
     }
 
     /// One connection's worth of protocol, ending at `Bye` or a
@@ -243,6 +257,11 @@ impl DieClient<'_> {
                     // stall affects only this die's window pipeline.
                     let delayed = self.chaos.fires(ChaosSite::DelayDie, ordinal);
                     if delayed {
+                        self.telemetry.emit(TelemetryEvent::Chaos {
+                            site: "delay-die",
+                            die: self.die_id,
+                            ordinal,
+                        });
                         write_frame(
                             &mut writer,
                             &Frame::Heartbeat {
@@ -273,6 +292,11 @@ impl DieClient<'_> {
                         if let Some(m) = self.metrics.get() {
                             m.serve_corrupt_frames.inc();
                         }
+                        self.telemetry.emit(TelemetryEvent::Chaos {
+                            site: "corrupt-frame",
+                            die: self.die_id,
+                            ordinal,
+                        });
                         write_frame_corrupt(&mut writer, &frame)?;
                     } else {
                         write_frame(&mut writer, &frame)?;

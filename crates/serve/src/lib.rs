@@ -32,6 +32,14 @@
 //!   [`Frame::Heartbeat`] liveness channel, and a per-die circuit
 //!   breaker (Closed → Backoff → Quarantined) that turns a dead die
 //!   into an `Untestable` quarantine verdict instead of a hung fleet.
+//! * Telemetry hooks — every layer reports into an optional
+//!   [`dft_telemetry::TelemetryHandle`] ([`ServeOpts::telemetry`]):
+//!   breaker-state and in-flight gauges, window/signature latency
+//!   histograms, and `aidft-telemetry-v1` events for session
+//!   transitions, quarantines, checkpoints, retests, and chaos
+//!   injections. Strictly read-only: no fleet thread ever blocks on
+//!   telemetry, and the determinism contract below holds with the
+//!   sampler on or off.
 //!
 //! Determinism contract: the final [`FleetState`] — per-die signatures,
 //! verdicts, grades, quarantines — is a pure function of the design,

@@ -17,7 +17,10 @@
 //!   exhausted the breaker trips and the die is quarantined into the
 //!   `Untestable` verdict class ([`ClientOutcome::Quarantined`]). The
 //!   fleet always completes; quarantined dies are reported with
-//!   DPPM-risk accounting instead of blocking the floor.
+//!   DPPM-risk accounting instead of blocking the floor. The walk is
+//!   mirrored live in the telemetry gauges
+//!   ([`dft_telemetry::SessionState`]) and the `aidft-telemetry-v1`
+//!   event stream — observation only, never consulted for a decision.
 //! * **Deadlines** — sockets carry read/write timeouts
 //!   ([`apply_deadlines`]) so a stalled or half-open peer surfaces as
 //!   [`FrameError::Timeout`](crate::FrameError::Timeout) in bounded
@@ -114,6 +117,18 @@ pub enum ClientOutcome {
     },
 }
 
+impl ClientOutcome {
+    /// The terminal breaker state this outcome leaves the die in, as
+    /// mirrored by the live telemetry gauges: a verdict closes out of
+    /// `Closed`, a tripped breaker parks in `Quarantined` permanently.
+    pub fn final_state(&self) -> dft_telemetry::SessionState {
+        match self {
+            ClientOutcome::Verdict { .. } => dft_telemetry::SessionState::Closed,
+            ClientOutcome::Quarantined { .. } => dft_telemetry::SessionState::Quarantined,
+        }
+    }
+}
+
 /// Arms the socket's read and write deadlines. `None` (or a zero
 /// timeout upstream) leaves the socket blocking — liveness protection
 /// off, exactly the pre-resilience behaviour.
@@ -169,5 +184,19 @@ mod tests {
         let off = BackoffPolicy::new(Duration::ZERO, 7);
         assert_eq!(off.delay(1, 1), Duration::ZERO);
         assert_eq!(p.delay(1, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn outcomes_map_to_terminal_breaker_states() {
+        let verdict = ClientOutcome::Verdict { passed: true };
+        assert_eq!(verdict.final_state(), dft_telemetry::SessionState::Closed);
+        let tripped = ClientOutcome::Quarantined {
+            attempts: 3,
+            last_error: FrameError::Torn,
+        };
+        assert_eq!(
+            tripped.final_state(),
+            dft_telemetry::SessionState::Quarantined
+        );
     }
 }

@@ -33,6 +33,7 @@ use dft_aichip::{ssn_plan, DeliveryStyle};
 use dft_checkpoint::{ChaosSite, CkptError, FramedJournal};
 use dft_netlist::Netlist;
 use dft_repair::{plan_degradation, ShipGrade};
+use dft_telemetry::{bridge, TelemetryEvent};
 
 use crate::die::{die_defect, DieClient, DieSim};
 use crate::fleet::{DieOutcome, FleetState, FleetSummary};
@@ -67,6 +68,11 @@ pub struct ServeOpts {
     /// Resume from the journal's newest record instead of starting
     /// fresh.
     pub resume: bool,
+    /// Live telemetry sink (fleet gauges, scrape sample, event stream);
+    /// disabled by default. Strictly read-only with respect to fleet
+    /// state: enabling it cannot change a verdict, a signature, or the
+    /// deterministic metrics registry.
+    pub telemetry: dft_telemetry::TelemetryHandle,
 }
 
 /// Why a fleet run did not complete.
@@ -168,14 +174,19 @@ impl Shared<'_> {
             journal.append(seq, &body)
         };
         if let Some(m) = self.opts.metrics.get() {
-            match result {
+            match &result {
                 Ok(bytes) => {
                     m.ckpt_writes.inc();
-                    m.ckpt_bytes.add(bytes);
+                    m.ckpt_bytes.add(*bytes);
                 }
                 Err(_) => m.ckpt_write_failures.inc(),
             }
         }
+        self.opts.telemetry.emit(TelemetryEvent::Checkpoint {
+            seq,
+            bytes: result.as_ref().copied().unwrap_or(0),
+            ok: result.is_ok(),
+        });
     }
 
     /// Records one die's final outcome; checkpoints on cadence. First
@@ -188,6 +199,7 @@ impl Shared<'_> {
             st.done.entry(outcome.die_id).or_insert(outcome);
             st.done.len()
         };
+        self.opts.telemetry.set_dies_done(done as u64);
         if done % self.cfg.checkpoint_every.max(1) == 0 {
             self.checkpoint();
         }
@@ -201,15 +213,23 @@ impl Shared<'_> {
         if let Some(m) = self.opts.metrics.get() {
             m.serve_quarantined.inc();
         }
+        let defective = die_defect(
+            die_id,
+            self.cfg.seed,
+            self.cfg.defect_rate,
+            &self.stim.universe,
+        )
+        .is_some();
+        bridge::mark_quarantine(
+            &self.opts.trace,
+            &self.opts.telemetry,
+            die_id,
+            defective,
+            self.cfg.max_reconnects + 1,
+        );
         self.record(DieOutcome {
             die_id,
-            defective: die_defect(
-                die_id,
-                self.cfg.seed,
-                self.cfg.defect_rate,
-                &self.stim.universe,
-            )
-            .is_some(),
+            defective,
             passed: false,
             retested: false,
             quarantined: true,
@@ -268,9 +288,12 @@ fn verify_uploads(
     shared: &Shared<'_>,
     die_id: u32,
     reader: &mut impl Read,
-    rx: Receiver<(u32, bool)>,
+    rx: Receiver<(u32, bool, Option<Instant>)>,
+    settled: &AtomicU64,
 ) -> Result<(), FrameError> {
-    for (w, retest) in rx {
+    let tele = &shared.opts.telemetry;
+    for (w, retest, sent_at) in rx {
+        let read_start = tele.is_enabled().then(Instant::now);
         let mut heartbeats = 0u32;
         let (did, window_idx, bits) = loop {
             match read_frame(reader)? {
@@ -317,6 +340,14 @@ fn verify_uploads(
                 m.serve_mismatches.inc();
             }
         }
+        if let Some(at) = sent_at {
+            tele.record_window_latency_us(at.elapsed().as_micros() as u64);
+        }
+        if let Some(at) = read_start {
+            tele.record_signature_latency_us(at.elapsed().as_micros() as u64);
+        }
+        tele.windows_settled(1);
+        settled.fetch_add(1, Ordering::Relaxed);
     }
     Ok(())
 }
@@ -332,9 +363,13 @@ fn stream_windows(
     reader: &mut (impl Read + Send),
     writer: &mut impl Write,
 ) -> Result<(), FrameError> {
+    let tele = &shared.opts.telemetry;
+    let settled = AtomicU64::new(0);
     std::thread::scope(|s| {
-        let (tx, rx): (SyncSender<(u32, bool)>, _) = std::sync::mpsc::sync_channel(WINDOW_PIPELINE);
-        let verifier = s.spawn(|| verify_uploads(shared, die_id, reader, rx));
+        let (tx, rx): (SyncSender<(u32, bool, Option<Instant>)>, _) =
+            std::sync::mpsc::sync_channel(WINDOW_PIPELINE);
+        let verifier = s.spawn(|| verify_uploads(shared, die_id, reader, rx, &settled));
+        let mut sent = 0u64;
         let mut write_result: Result<(), FrameError> = Ok(());
         for &(w, retest) in windows {
             if shared.opts.cancel.poll() {
@@ -348,6 +383,7 @@ fn stream_windows(
             // `Timeout` (deadline armed) or `Torn` (EOF), both
             // recoverable, neither visible in state.
             if shared.opts.chaos.fires(ChaosSite::StallServer, ordinal) {
+                bridge::mark_chaos(&shared.opts.trace, tele, "stall-server", die_id, ordinal);
                 std::thread::sleep(shared.opts.chaos.stall.min(MAX_STALL));
                 write_result = Err(FrameError::Timeout);
                 break;
@@ -356,6 +392,7 @@ fn stream_windows(
                 if let Some(m) = shared.opts.metrics.get() {
                     m.serve_conn_drops.inc();
                 }
+                bridge::mark_chaos(&shared.opts.trace, tele, "drop-conn", die_id, ordinal);
                 write_result = Err(FrameError::Torn);
                 break;
             }
@@ -368,6 +405,7 @@ fn stream_windows(
                 if let Some(m) = shared.opts.metrics.get() {
                     m.serve_torn_frames.inc();
                 }
+                bridge::mark_chaos(&shared.opts.trace, tele, "torn-frame", die_id, ordinal);
                 write_result = write_frame_torn(writer, &frame)
                     .map_err(FrameError::from)
                     .and(Err(FrameError::Torn));
@@ -383,13 +421,19 @@ fn stream_windows(
                     m.serve_retests.inc();
                 }
             }
-            if tx.send((w, retest)).is_err() {
+            let sent_at = tele.is_enabled().then(Instant::now);
+            tele.window_sent();
+            sent += 1;
+            if tx.send((w, retest, sent_at)).is_err() {
                 // Verifier bailed (torn upload); its error wins below.
                 break;
             }
         }
         drop(tx);
         let verify_result = verifier.join().expect("verifier never panics");
+        // Tickets abandoned with a dying session still leave the
+        // in-flight gauge (the verifier settles the processed ones).
+        tele.windows_settled(sent.saturating_sub(settled.load(Ordering::Relaxed)));
         verify_result.and(write_result)
     })
 }
@@ -413,6 +457,7 @@ fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
     if let Some(m) = shared.opts.metrics.get() {
         m.serve_sessions.inc();
     }
+    let _session_gauge = shared.opts.telemetry.session_scope();
     let _span = shared.opts.trace.span_arg("die_session", u64::from(die_id));
     let total = shared.stim.total_windows() as u32;
 
@@ -440,6 +485,13 @@ fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
         .chaos
         .fires(ChaosSite::HalfOpenConn, (u64::from(die_id) << 32) | attempt)
     {
+        bridge::mark_chaos(
+            &shared.opts.trace,
+            &shared.opts.telemetry,
+            "half-open",
+            die_id,
+            (u64::from(die_id) << 32) | attempt,
+        );
         std::thread::sleep(shared.opts.chaos.stall.min(MAX_STALL));
         return Err(FrameError::Timeout);
     }
@@ -496,6 +548,12 @@ fn session(shared: &Shared<'_>, stream: TcpStream) -> Result<(), FrameError> {
     };
     let retested = !retest.is_empty();
     if retested {
+        bridge::mark_retest(
+            &shared.opts.trace,
+            &shared.opts.telemetry,
+            die_id,
+            retest.len() as u64,
+        );
         stream_windows(shared, die_id, attempt, &retest, &mut reader, &mut writer)?;
         shared
             .progress
@@ -576,6 +634,9 @@ pub fn run_fleet(
         _ => FleetState::new(nl.name(), fingerprint, cfg.dies),
     };
     let resumed_dies = state.done.len();
+    opts.telemetry
+        .begin_fleet(nl.name(), cfg.dies as u64, stim.total_windows() as u64);
+    opts.telemetry.set_dies_done(resumed_dies as u64);
     let pending: VecDeque<u32> = (0..cfg.dies as u32)
         .filter(|d| !state.done.contains_key(d))
         .collect();
@@ -645,6 +706,7 @@ pub fn run_fleet(
                     chaos: shared_ref.opts.chaos,
                     metrics: shared_ref.opts.metrics.clone(),
                     cancel: shared_ref.opts.cancel.clone(),
+                    telemetry: shared_ref.opts.telemetry.clone(),
                 };
                 match client.run() {
                     Ok(ClientOutcome::Verdict { .. }) => {}

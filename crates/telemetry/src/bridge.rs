@@ -1,0 +1,53 @@
+//! Span→event bridge: one call site marks a fleet milestone in *both*
+//! observability systems.
+//!
+//! The trace timeline ([`dft_trace`]) and the telemetry event stream
+//! answer different questions about the same moment — "where in the
+//! timeline did die 7 get quarantined?" versus "stream me every
+//! quarantine verdict as it happens". Rather than sprinkle paired calls
+//! through the serve crate (and inevitably let them drift), the bridge
+//! owns the pairing: each marker emits a trace instant and the matching
+//! [`TelemetryEvent`], each half independently gated on its handle
+//! being enabled.
+
+use dft_trace::TraceHandle;
+
+use crate::events::TelemetryEvent;
+use crate::TelemetryHandle;
+
+/// Marks a quarantine verdict: trace instant `quarantine` (arg = die
+/// id) plus a [`TelemetryEvent::Quarantine`].
+pub fn mark_quarantine(
+    trace: &TraceHandle,
+    telemetry: &TelemetryHandle,
+    die: u32,
+    defective: bool,
+    attempts: u32,
+) {
+    trace.instant("quarantine", die as u64);
+    telemetry.emit(TelemetryEvent::Quarantine {
+        die,
+        defective,
+        attempts,
+    });
+}
+
+/// Marks a retest grant: trace instant `retest` (arg = die id) plus a
+/// [`TelemetryEvent::Retest`].
+pub fn mark_retest(trace: &TraceHandle, telemetry: &TelemetryHandle, die: u32, windows: u64) {
+    trace.instant("retest", die as u64);
+    telemetry.emit(TelemetryEvent::Retest { die, windows });
+}
+
+/// Marks a chaos injection: trace instant `chaos` (arg = ordinal) plus
+/// a [`TelemetryEvent::Chaos`] naming the site.
+pub fn mark_chaos(
+    trace: &TraceHandle,
+    telemetry: &TelemetryHandle,
+    site: &'static str,
+    die: u32,
+    ordinal: u64,
+) {
+    trace.instant("chaos", ordinal);
+    telemetry.emit(TelemetryEvent::Chaos { site, die, ordinal });
+}

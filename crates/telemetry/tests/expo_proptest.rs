@@ -1,0 +1,108 @@
+//! Property tests for the scrape exposition: for *any* sample — hostile
+//! design names included — the Prometheus rendering is stable-ordered,
+//! single-line-per-pair, correctly escaped, and parses back to exactly
+//! the canonical pair list.
+//!
+//! The vendored mini-proptest has no string or collection strategies,
+//! so each case draws a seed and a hostile design name, and the sample
+//! fields are expanded from the seed with SplitMix64 in plain code.
+
+use dft_metrics::HISTOGRAM_BUCKETS;
+use dft_telemetry::{pair_value, parse_prometheus, TelemetrySample, STATS_SCHEMA};
+use proptest::prelude::*;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn sample_from_seed(seed: u64, design: &str) -> TelemetrySample {
+    let mut st = seed;
+    let mut int = |m: u64| splitmix64(&mut st) % m;
+    let mut s = TelemetrySample {
+        design: design.to_owned(),
+        seq: int(1 << 32),
+        uptime_ms: int(1 << 40),
+        dies: int(100_000),
+        dies_done: int(100_000),
+        windows_per_die: int(1 << 20),
+        sessions_active: int(4096),
+        windows_in_flight: int(1 << 20),
+        closed: int(4096),
+        backoff: int(4096),
+        quarantined: int(4096),
+        scrapes: int(1 << 30),
+        ..TelemetrySample::default()
+    };
+    let mut f = |m: f64| (splitmix64(&mut st) % (1 << 40)) as f64 / 1024.0 % m;
+    s.dies_per_sec = f(1e6);
+    s.signatures_per_sec = f(1e7);
+    s.peak_dies_per_sec = f(1e6);
+    s.window_p50_us = f(1e6);
+    s.window_p99_us = f(1e6);
+    s.signature_p50_us = f(1e6);
+    s.signature_p99_us = f(1e6);
+    for i in 0..HISTOGRAM_BUCKETS {
+        s.window_buckets[i] = splitmix64(&mut st) % 10_000;
+        s.signature_buckets[i] = splitmix64(&mut st) % 10_000;
+    }
+    let names = [
+        "serve_signatures",
+        "serve_windows",
+        "serve_retries",
+        "atpg_patterns",
+    ];
+    let n = (splitmix64(&mut st) % (names.len() as u64 + 1)) as usize;
+    s.counters = names[..n]
+        .iter()
+        .map(|name| ((*name).to_owned(), splitmix64(&mut st) >> 1))
+        .collect();
+    s
+}
+
+proptest! {
+    #[test]
+    fn prometheus_exposition_roundtrips_and_is_stable(
+        seed in 0u64..u64::MAX,
+        design in proptest::select(vec![
+            "mac4",
+            "",
+            "plain-design_v2",
+            "quo\"ted",
+            "back\\slash",
+            "new\nline",
+            "evil } label{x=\"1\"} 9",
+            "mix\\\"ed\ncase\\",
+            "π-design 设计",
+        ]),
+    ) {
+        let s = sample_from_seed(seed, design);
+        let text = s.to_prometheus();
+        // Stable order: rendering twice is byte-identical.
+        prop_assert_eq!(&text, &s.to_prometheus());
+        // Escaping holds: every pair renders as exactly one line, so
+        // line count is comments + pairs even with newlines in labels.
+        let pairs = s.expo_pairs();
+        let lines = text.lines().count();
+        let comments = text.lines().filter(|l| l.starts_with('#')).count();
+        prop_assert_eq!(lines, comments + pairs.len());
+        // Parse round-trip: names identical, values identical bits
+        // (all values finite here, so equality is exact).
+        let parsed = parse_prometheus(&text);
+        prop_assert_eq!(parsed.len(), pairs.len());
+        for ((pn, pv), (n, v)) in parsed.iter().zip(pairs.iter()) {
+            prop_assert_eq!(pn, n);
+            prop_assert_eq!(pv.to_bits(), v.to_bits());
+        }
+        // The info line survives hostile design names.
+        prop_assert_eq!(pair_value(&parsed, &pairs[0].0), Some(1.0));
+        // JSON side: stable, schema-tagged, and also single-line safe.
+        let json = s.to_json();
+        prop_assert!(json.starts_with(&format!("{{\"schema\":\"{STATS_SCHEMA}\"")));
+        prop_assert_eq!(&json, &s.to_json());
+        prop_assert!(!json.contains('\n'));
+    }
+}

@@ -543,6 +543,19 @@ impl std::fmt::Display for ForestError {
 impl std::error::Error for ForestError {}
 
 impl TraceDump {
+    /// The `arg` payloads of every [`EventKind::Instant`] named `name`,
+    /// in timeline order. The lookup half of a span→event bridge: a
+    /// subsystem marks point events (`quarantine`, `retest`, ...) on
+    /// the trace timeline, and an observer joins them back out by name
+    /// without walking the span forest.
+    pub fn instants_named(&self, name: &str) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant && e.name == name)
+            .map(|e| e.arg)
+            .collect()
+    }
+
     /// Pairs each thread's Begin/End events into a forest of
     /// [`SpanNode`]s (top-level spans of every thread, in start order).
     /// Errors on an unmatched Begin or End — which can only happen after
@@ -650,6 +663,20 @@ mod tests {
         let g = t.timed_span("phase");
         std::thread::sleep(Duration::from_millis(1));
         assert!(g.finish() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn instants_filter_by_name_in_timeline_order() {
+        let session = TraceSession::new(TraceConfig::default());
+        let t = session.handle();
+        t.instant("quarantine", 3);
+        t.instant("retest", 9);
+        t.instant("quarantine", 7);
+        t.counter("quarantine", 99); // a counter, not an instant
+        let dump = session.snapshot();
+        assert_eq!(dump.instants_named("quarantine"), vec![3, 7]);
+        assert_eq!(dump.instants_named("retest"), vec![9]);
+        assert!(dump.instants_named("absent").is_empty());
     }
 
     #[test]
