@@ -46,6 +46,21 @@ pub enum ChaosSite {
     /// complete but fails its checksum (exercises checksum rejection
     /// and that a corrupt upload is never recorded).
     CorruptFrame,
+    /// Fail a journal write with EIO before any byte reaches the file
+    /// (exercises replica fallback — the record must survive on a
+    /// sibling replica).
+    DiskEio,
+    /// Write only a deterministic prefix of a journal record, then
+    /// fail (exercises torn-record skipping under real truncation
+    /// lengths, not just the half-record `CkptIo` tear).
+    DiskShortWrite,
+    /// Flip one deterministically-chosen bit of a journal record and
+    /// report *success* — silent corruption, detected only by the
+    /// per-record checksum at load/fsck time.
+    DiskBitRot,
+    /// Write the full record but fail the flush, modelling an fsync
+    /// error where on-disk durability is unknown to the writer.
+    DiskFsyncFail,
 }
 
 impl ChaosSite {
@@ -61,6 +76,10 @@ impl ChaosSite {
             ChaosSite::StallServer => 0x8EBC_6AF0_9C88_C6E3,
             ChaosSite::HalfOpenConn => 0x5899_65CC_7537_4E9B,
             ChaosSite::CorruptFrame => 0x1D8E_4E27_C47D_124F,
+            ChaosSite::DiskEio => 0xE703_7ED1_A0B4_28DB,
+            ChaosSite::DiskShortWrite => 0x3C79_AC49_2BA7_B653,
+            ChaosSite::DiskBitRot => 0x6C62_272E_07BB_0142,
+            ChaosSite::DiskFsyncFail => 0x27D4_EB2F_1656_67C5,
         }
     }
 }
@@ -87,6 +106,10 @@ impl ChaosSite {
 /// | `halfopen` | probability a session goes half-open after `Hello`  | 0.0     |
 /// | `corrupt`  | probability a signature upload is corrupted         | 0.0     |
 /// | `stall_ms` | how long a stalled/half-open peer holds the socket  | 250     |
+/// | `eio`      | probability a journal write fails with EIO          | 0.0     |
+/// | `shortwrite` | probability a journal write is cut short          | 0.0     |
+/// | `bitrot`   | probability a journal record lands with one bit flipped | 0.0 |
+/// | `fsync_fail` | probability a journal flush reports failure       | 0.0     |
 /// | `seed`     | decision seed (replays are exact)                   | 0       |
 ///
 /// The serve layer's delayed-die site ([`ChaosSite::DelayDie`]) fires
@@ -125,6 +148,18 @@ pub struct ChaosConfig {
     /// How long a stalled or half-open peer holds the socket before
     /// dropping it.
     pub stall: Duration,
+    /// Probability a journal write fails with EIO before any byte
+    /// reaches the file.
+    pub eio_prob: f64,
+    /// Probability a journal write is cut short at a deterministic
+    /// prefix, then fails.
+    pub shortwrite_prob: f64,
+    /// Probability a journal record lands with one bit silently
+    /// flipped (the write still reports success).
+    pub bitrot_prob: f64,
+    /// Probability a journal flush reports failure after the bytes
+    /// were written.
+    pub fsync_fail_prob: f64,
     /// Seed for the deterministic decision hash.
     pub seed: u64,
 }
@@ -144,6 +179,10 @@ impl Default for ChaosConfig {
             halfopen_prob: 0.0,
             corrupt_prob: 0.0,
             stall: Duration::from_millis(250),
+            eio_prob: 0.0,
+            shortwrite_prob: 0.0,
+            bitrot_prob: 0.0,
+            fsync_fail_prob: 0.0,
             seed: 0,
         }
     }
@@ -166,6 +205,16 @@ impl ChaosConfig {
             || self.stall_prob > 0.0
             || self.halfopen_prob > 0.0
             || self.corrupt_prob > 0.0
+            || self.has_disk_faults()
+    }
+
+    /// `true` when any of the disk-fault knobs can fire (the subset
+    /// the journal writer's [`crate::ChaosWriter`] layer cares about).
+    pub fn has_disk_faults(&self) -> bool {
+        self.eio_prob > 0.0
+            || self.shortwrite_prob > 0.0
+            || self.bitrot_prob > 0.0
+            || self.fsync_fail_prob > 0.0
     }
 
     /// Reads `AIDFT_CHAOS` from the environment. `None` when unset or
@@ -219,6 +268,10 @@ impl ChaosConfig {
                 "halfopen" => cfg.halfopen_prob = fval()?,
                 "corrupt" => cfg.corrupt_prob = fval()?,
                 "stall_ms" => cfg.stall = Duration::from_millis(uval()?),
+                "eio" => cfg.eio_prob = fval()?,
+                "shortwrite" => cfg.shortwrite_prob = fval()?,
+                "bitrot" => cfg.bitrot_prob = fval()?,
+                "fsync_fail" => cfg.fsync_fail_prob = fval()?,
                 "seed" => cfg.seed = uval()?,
                 other => return Err(format!("unknown chaos knob `{other}`")),
             }
@@ -241,6 +294,10 @@ impl ChaosConfig {
             ChaosSite::StallServer => self.stall_prob,
             ChaosSite::HalfOpenConn => self.halfopen_prob,
             ChaosSite::CorruptFrame => self.corrupt_prob,
+            ChaosSite::DiskEio => self.eio_prob,
+            ChaosSite::DiskShortWrite => self.shortwrite_prob,
+            ChaosSite::DiskBitRot => self.bitrot_prob,
+            ChaosSite::DiskFsyncFail => self.fsync_fail_prob,
         };
         if prob <= 0.0 {
             return false;
@@ -256,7 +313,7 @@ impl ChaosConfig {
 }
 
 /// SplitMix64: the standard 64-bit finalizer-style mixer.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -293,6 +350,24 @@ mod tests {
         assert!(ChaosConfig::parse("stall=1.0").unwrap().is_active());
         assert!(ChaosConfig::parse("halfopen=1.0").unwrap().is_active());
         assert!(ChaosConfig::parse("corrupt=1.0").unwrap().is_active());
+    }
+
+    #[test]
+    fn parse_disk_fault_knobs() {
+        let c =
+            ChaosConfig::parse("eio=0.1,shortwrite=0.2,bitrot=0.3,fsync_fail=0.4,seed=11").unwrap();
+        assert_eq!(c.eio_prob, 0.1);
+        assert_eq!(c.shortwrite_prob, 0.2);
+        assert_eq!(c.bitrot_prob, 0.3);
+        assert_eq!(c.fsync_fail_prob, 0.4);
+        assert!(c.is_active() && c.has_disk_faults());
+        for knob in ["eio", "shortwrite", "bitrot", "fsync_fail"] {
+            let one = ChaosConfig::parse(&format!("{knob}=1.0")).unwrap();
+            assert!(one.is_active(), "{knob} should activate chaos");
+            assert!(one.has_disk_faults(), "{knob} is a disk fault");
+        }
+        assert!(!ChaosConfig::parse("io=0.5").unwrap().has_disk_faults());
+        assert!(ChaosConfig::parse("bitrot=2.0").is_err());
     }
 
     #[test]

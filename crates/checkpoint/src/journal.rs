@@ -145,6 +145,12 @@ pub enum CkptError {
         /// Value of the resuming run.
         found: String,
     },
+    /// The journal holds zero intact records and cannot be repaired —
+    /// corrupt beyond repair (`aidft fsck` exit code 5).
+    Corrupt {
+        /// Journal path.
+        path: String,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -162,6 +168,9 @@ impl fmt::Display for CkptError {
                 f,
                 "checkpoint {what} mismatch: checkpoint has `{expected}`, this run has `{found}`"
             ),
+            CkptError::Corrupt { path } => {
+                write!(f, "{path}: corrupt beyond repair (no intact record)")
+            }
         }
     }
 }
@@ -366,16 +375,41 @@ fn parse_section<'a, I: Iterator<Item = &'a str>>(
     Some(s)
 }
 
-/// Handle to an `aidft-ckpt-v1` journal file.
+/// Handle to an `aidft-ckpt-v1` journal file. Optionally writes N-way
+/// replicas ([`Journal::with_replicas`]) and injects seeded disk
+/// faults ([`Journal::with_disk_chaos`]), sharing the storage layer
+/// with [`crate::FramedJournal`].
 #[derive(Debug, Clone)]
 pub struct Journal {
     path: PathBuf,
+    replicas: u32,
+    chaos: crate::ChaosConfig,
 }
 
 impl Journal {
-    /// A journal at `path` (created on first append).
+    /// A journal at `path` (created on first append), unreplicated and
+    /// chaos-free.
     pub fn new(path: impl Into<PathBuf>) -> Journal {
-        Journal { path: path.into() }
+        Journal {
+            path: path.into(),
+            replicas: 1,
+            chaos: crate::ChaosConfig::disabled(),
+        }
+    }
+
+    /// Writes every record to `n` replica files (clamped to at least
+    /// 1); loads fall back to the newest intact record across them.
+    pub fn with_replicas(mut self, n: u32) -> Journal {
+        self.replicas = n.max(1);
+        self
+    }
+
+    /// Routes every append through the disk-fault chaos layer driven
+    /// by `chaos` (the `eio=`/`shortwrite=`/`bitrot=`/`fsync_fail=`
+    /// knobs), keyed per `(seq, replica)`.
+    pub fn with_disk_chaos(mut self, chaos: crate::ChaosConfig) -> Journal {
+        self.chaos = chaos;
+        self
     }
 
     /// The journal path.
@@ -384,9 +418,18 @@ impl Journal {
     }
 
     /// Appends one complete record; returns the bytes written.
-    /// Torn-tail realignment is shared with [`crate::FramedJournal`].
+    /// Torn-tail realignment is shared with [`crate::FramedJournal`],
+    /// and with replicas configured the append succeeds when at least
+    /// one replica took the full record.
     pub fn append(&self, state: &CkptState, seq: u64) -> io::Result<u64> {
-        crate::framed::append_record(&self.path, &state.to_record(seq), false)
+        crate::framed::append_replicated(
+            &self.path,
+            &state.to_record(seq),
+            false,
+            self.replicas,
+            &self.chaos,
+            seq,
+        )
     }
 
     /// Chaos hook: simulates a write failure by appending only a torn
@@ -394,21 +437,33 @@ impl Journal {
     /// record stays recoverable — exactly what a kill mid-write leaves
     /// behind.
     pub fn append_torn(&self, state: &CkptState, seq: u64) -> io::Result<u64> {
-        crate::framed::append_record(&self.path, &state.to_record(seq), true)
+        crate::framed::append_replicated(
+            &self.path,
+            &state.to_record(seq),
+            true,
+            self.replicas,
+            &self.chaos,
+            seq,
+        )
     }
 
     /// Loads the newest complete, checksum-valid record. Torn tails and
-    /// corrupt records are skipped; only a journal with *no* valid
-    /// record is an error.
+    /// corrupt records are skipped, and with replicas configured the
+    /// newest intact record on *any* replica wins; only a journal with
+    /// no valid record anywhere is an error.
     pub fn load_last(&self) -> Result<CkptState, CkptError> {
-        let text = std::fs::read_to_string(&self.path).map_err(|e| CkptError::Io {
-            path: self.path.display().to_string(),
-            source: e,
-        })?;
-        crate::framed::scan_last(&text, CKPT_FORMAT, CkptState::parse_record).ok_or_else(|| {
-            CkptError::NoValidRecord {
-                path: self.path.display().to_string(),
-            }
+        self.load_last_report().map(|(state, _)| state)
+    }
+
+    /// [`Journal::load_last`] plus the [`crate::RecoveryReport`]
+    /// describing the damage the load stepped over and which replica
+    /// served the record — any intact record resumes bit-identically,
+    /// so a degraded report is an observability signal, not an error.
+    pub fn load_last_report(&self) -> Result<(CkptState, crate::RecoveryReport), CkptError> {
+        crate::framed::load_last_replicated(&self.path, CKPT_FORMAT, self.replicas, |t| {
+            let state = CkptState::parse_record(t)?;
+            let seq: u64 = t.lines().next()?.split_whitespace().nth(2)?.parse().ok()?;
+            Some((seq, state))
         })
     }
 }

@@ -31,11 +31,15 @@
 mod cancel;
 mod chaos;
 mod framed;
+pub mod fsck;
+mod io_chaos;
 mod journal;
+pub mod scrub;
 
 pub use cancel::CancelToken;
 pub use chaos::{ChaosConfig, ChaosSite};
-pub use framed::{frame_record, parse_framed, FramedJournal};
+pub use framed::{frame_record, parse_framed, replica_path, FramedJournal, RecoveryReport};
+pub use io_chaos::{decide as decide_disk_fault, disk_ordinal, ChaosWriter, DiskFault};
 pub use journal::{
     fnv1a, CkptError, CkptPhase, CkptSection, CkptState, CkptStatus, Journal, CKPT_FORMAT,
 };

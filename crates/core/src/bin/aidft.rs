@@ -11,6 +11,7 @@
 //! aidft serve    <design.bench>            test-floor fleet server
 //! aidft top      <addr>                    live fleet dashboard
 //! aidft fleet-stats <addr>                 one-shot stats scrape
+//! aidft fsck     <journal> [--repair]      validate/repair a journal
 //! ```
 //!
 //! `serve` streams compressed pattern windows to a simulated die fleet
@@ -80,15 +81,28 @@
 //! - `--resume <path>` — continue from the newest complete checkpoint
 //!   in the journal; the finished run is bit-identical to an
 //!   uninterrupted one.
+//! - `--checkpoint-replicas <n>` — mirror every checkpoint append to
+//!   `n` journal replicas (`<path>`, `<path>.r1`, ...). Resume falls
+//!   back to the newest intact record across all replicas, so one
+//!   rotted or torn copy costs nothing.
 //!
 //! The `AIDFT_CHAOS` environment variable enables deterministic fault
 //! injection (worker panics, delayed batches, torn checkpoint writes,
-//! deadline-clock skips) for durability testing; see EXPERIMENTS.md for
-//! the knob table.
+//! deadline-clock skips, and disk faults on journal appends — `eio=`,
+//! `shortwrite=`, `bitrot=`, `fsync_fail=`) for durability testing;
+//! see EXPERIMENTS.md for the knob table.
+//!
+//! `aidft fsck <journal> [--repair]` validates any of the three framed
+//! journal formats (`aidft-ckpt-v1`, `aidft-serve-v2`,
+//! `aidft-telemetry-v1`): per-record verdicts (intact / bad-crc /
+//! torn), scrub-index cross-check, and a summary verdict. `--repair`
+//! rewrites the journal as a clean copy holding exactly the intact
+//! records. A journal with zero intact records exits `5`.
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error,
 //! `3` interrupted (a resume checkpoint path is printed when one was
-//! written), `4` lost worker (panic).
+//! written), `4` lost worker (panic), `5` journal corrupt beyond
+//! repair (`fsck`).
 //!
 //! Generator names for `gen`: anything from the benchmark suite (`c17`,
 //! `s27`, `add8`, `mult8`, `alu8`, `mac4`, `sys4x4`, ...).
@@ -101,14 +115,14 @@ use std::time::Duration;
 
 use dft_core::atpg::{Atpg, AtpgConfig, AtpgError, Durability};
 use dft_core::bist::LogicBist;
-use dft_core::checkpoint::{CancelToken, ChaosConfig, FramedJournal, Journal};
+use dft_core::checkpoint::{fsck, CancelToken, ChaosConfig, CkptError, FramedJournal, Journal};
 use dft_core::diagnosis::{diagnose, FailureLog};
 use dft_core::logicsim::PatternSet;
 use dft_core::metrics::MetricsHandle;
 use dft_core::netlist::generators::benchmark_suite;
 use dft_core::netlist::{kind_histogram, parse_bench, write_bench, Netlist, NetlistStats};
 use dft_core::progress::{self, Dashboard, ProgressLine};
-use dft_core::serve::{run_fleet, ServeConfig, ServeError, ServeOpts, SERVE_FORMAT};
+use dft_core::serve::{run_fleet, BackoffPolicy, ServeConfig, ServeError, ServeOpts, SERVE_FORMAT};
 use dft_core::telemetry::{self, TelemetryConfig, TelemetrySession};
 use dft_core::trace::{TraceConfig, TraceHandle, TraceSession};
 use dft_core::{DftError, DftFlow, PartialResult};
@@ -172,11 +186,29 @@ struct DurOpts {
     timeout_ms: u64,
     /// Journal to resume from (`--resume`).
     resume: Option<String>,
+    /// Replica count for journal appends (`--checkpoint-replicas`).
+    replicas: Option<u64>,
     /// Parsed `AIDFT_CHAOS` configuration, when set and active.
     chaos: Option<ChaosConfig>,
 }
 
 impl DurOpts {
+    /// The configured replica count (default 1, floor 1).
+    fn replica_count(&self) -> u32 {
+        self.replicas.unwrap_or(1).clamp(1, u64::from(u32::MAX)) as u32
+    }
+
+    /// A checkpoint journal at `path` with the replica count and disk
+    /// chaos applied. Writes and resume loads must both go through
+    /// this so recovery scans the same replica set the appends fed.
+    fn journal(&self, path: &str) -> Journal {
+        let mut j = Journal::new(path).with_replicas(self.replica_count());
+        if let Some(chaos) = self.chaos {
+            j = j.with_disk_chaos(chaos);
+        }
+        j
+    }
+
     /// Builds the engine-side [`Durability`] handle: cancellation token
     /// wired to the process signals, journal, cadence, chaos, and the
     /// loaded resume state.
@@ -185,7 +217,7 @@ impl DurOpts {
         cancel_on_signals(token.clone());
         let mut dur = Durability::new(token);
         if let Some(path) = self.checkpoint.as_ref().or(self.resume.as_ref()) {
-            dur = dur.with_journal(Journal::new(path));
+            dur = dur.with_journal(self.journal(path));
         }
         if let Some(n) = self.every {
             dur = dur.checkpoint_every(n);
@@ -194,7 +226,15 @@ impl DurOpts {
             dur = dur.with_chaos(chaos);
         }
         if let Some(path) = &self.resume {
-            dur = dur.resume_from(Journal::new(path).load_last()?);
+            let (state, recovery) = self.journal(path).load_last_report()?;
+            if recovery.degraded() {
+                eprintln!(
+                    "aidft: resume healed over {} damaged record(s) \
+                     (served from replica {})",
+                    recovery.damaged, recovery.source_replica
+                );
+            }
+            dur = dur.resume_from(state);
         }
         Ok(dur)
     }
@@ -212,6 +252,7 @@ fn main() -> ExitCode {
             every: extract_u64_flag(&mut args, "--checkpoint-every")?,
             timeout_ms: extract_u64_flag(&mut args, "--phase-timeout")?.unwrap_or(0),
             resume: extract_path_flag(&mut args, "--resume")?,
+            replicas: extract_u64_flag(&mut args, "--checkpoint-replicas")?,
             chaos: ChaosConfig::from_env()
                 .map_err(|e| DftError::usage(format!("bad AIDFT_CHAOS value: {e}")))?,
         };
@@ -410,7 +451,14 @@ fn main() -> ExitCode {
                 .checkpoint
                 .as_ref()
                 .or(dur_opts.resume.as_ref())
-                .map(|p| FramedJournal::new(p, SERVE_FORMAT));
+                .map(|p| {
+                    let mut j =
+                        FramedJournal::new(p, SERVE_FORMAT).with_replicas(dur_opts.replica_count());
+                    if let Some(chaos) = dur_opts.chaos {
+                        j = j.with_disk_chaos(chaos);
+                    }
+                    j
+                });
             let opts = ServeOpts {
                 metrics: handle.clone(),
                 trace: trace.clone(),
@@ -481,12 +529,17 @@ fn main() -> ExitCode {
             let mut rest: Vec<String> = args[1..].to_vec();
             run_fleet_stats(&mut rest)
         }
+        Some("fsck") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            run_fsck(&mut rest)
+        }
         _ => Err(DftError::usage(
-            "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair|serve|top|fleet-stats> \
+            "usage: aidft <stats|atpg|flow|bist|gen|diagnose|repair|serve|top|fleet-stats|fsck> \
              [--threads N] \
              [--metrics-json <path>] [--trace <path>] [--trace-jsonl <path>] \
              [--checkpoint <path>] [--checkpoint-every <faults>] [--phase-timeout <ms>] \
-             [--resume <path>] <args>; `-` as a path writes to stdout; see README",
+             [--resume <path>] [--checkpoint-replicas <n>] <args>; \
+             `-` as a path writes to stdout; see README",
         )),
     };
     let result = result.and_then(|()| {
@@ -516,6 +569,7 @@ fn main() -> ExitCode {
                 DftError::Usage(_) => 2,
                 DftError::Interrupted { .. } => 3,
                 DftError::WorkerPanic { .. } => 4,
+                DftError::CorruptJournal { .. } => 5,
                 _ => 1,
             })
         }
@@ -785,11 +839,66 @@ fn run_repair_demo(
     write_metrics(out, metrics_path, &handle)
 }
 
+/// The `fsck` command: scan (or `--repair`) a framed journal and print
+/// the per-record report. Zero intact records is the corrupt-beyond-
+/// repair verdict, exit code 5.
+fn run_fsck(rest: &mut Vec<String>) -> Result<(), DftError> {
+    let repair = if let Some(pos) = rest.iter().position(|a| a == "--repair") {
+        rest.remove(pos);
+        true
+    } else {
+        false
+    };
+    let path = match rest.as_slice() {
+        [path] => path.clone(),
+        _ => return Err(DftError::usage("usage: aidft fsck <journal> [--repair]")),
+    };
+    let target = std::path::Path::new(&path);
+    let report = if repair {
+        fsck::repair(target)
+    } else {
+        fsck::scan(target)
+    }
+    .map_err(|e| match e {
+        CkptError::Corrupt { path } => DftError::CorruptJournal { path },
+        other => other.into(),
+    })?;
+    print!("{}", report.render());
+    if !report.records.is_empty() && report.intact() == 0 {
+        return Err(DftError::CorruptJournal { path });
+    }
+    Ok(())
+}
+
+/// Scrapes `addr` with a short retry window: connection-refused errors
+/// are retried on the seeded deterministic backoff schedule for ~2 s
+/// (covering a serve endpoint that has not finished binding yet); any
+/// other error is returned immediately.
+fn scrape_with_retry(addr: &str, path: &str) -> std::io::Result<String> {
+    let policy = BackoffPolicy::new(Duration::from_millis(25), 0x5C8A_9E01);
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut attempt = 0u32;
+    loop {
+        match telemetry::scrape(addr, path) {
+            Ok(body) => return Ok(body),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionRefused
+                    && std::time::Instant::now() < deadline =>
+            {
+                attempt += 1;
+                std::thread::sleep(policy.delay(0, attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// The `top` command: attach to a serving fleet's `--stats-addr`
 /// endpoint and redraw a live dashboard until the run ends. Before the
-/// first successful scrape the endpoint is polled patiently (the serve
-/// may still be compiling its stimulus); after it, the endpoint
-/// disappearing means the fleet finished — a clean exit, not an error.
+/// first successful scrape the endpoint is polled patiently with the
+/// connection-refused retry schedule (the serve may still be compiling
+/// its stimulus); after it, the endpoint disappearing means the fleet
+/// finished — a clean exit, not an error.
 fn run_top(rest: &mut Vec<String>) -> Result<(), DftError> {
     let interval_ms = extract_u64_flag(rest, "--interval-ms")?
         .unwrap_or(500)
@@ -808,7 +917,15 @@ fn run_top(rest: &mut Vec<String>) -> Result<(), DftError> {
     let mut frames = 0u64;
     let mut misses = 0u32;
     loop {
-        match telemetry::scrape(addr.as_str(), "/metrics") {
+        // Pre-attach scrapes absorb connection-refused internally (the
+        // endpoint may still be binding), so the miss budget here only
+        // has to cover slower failure modes.
+        let scraped = if attached {
+            telemetry::scrape(addr.as_str(), "/metrics")
+        } else {
+            scrape_with_retry(addr.as_str(), "/metrics")
+        };
+        match scraped {
             Ok(text) => {
                 attached = true;
                 misses = 0;
@@ -825,7 +942,7 @@ fn run_top(rest: &mut Vec<String>) -> Result<(), DftError> {
                     eprintln!("aidft top: endpoint {addr} closed after {frames} frame(s)");
                     return Ok(());
                 }
-                if misses >= 20 {
+                if misses >= 5 {
                     return Err(DftError::io(format!("scrape {addr}"), e));
                 }
             }
@@ -905,7 +1022,7 @@ fn run_fleet_stats(rest: &mut Vec<String>) -> Result<(), DftError> {
         }
     };
     let path = if metrics { "/metrics" } else { "/stats.json" };
-    let body = telemetry::scrape(addr.as_str(), path)
+    let body = scrape_with_retry(addr.as_str(), path)
         .map_err(|e| DftError::io(format!("scrape {addr}"), e))?;
     print!("{body}");
     if !body.ends_with('\n') {

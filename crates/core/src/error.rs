@@ -96,6 +96,14 @@ pub enum DftError {
     /// has no complete record, or belongs to a different design or
     /// configuration.
     Checkpoint(CkptError),
+    /// An `aidft fsck` verdict: the journal holds zero intact records
+    /// and cannot be repaired. Maps to CLI exit code 5 so tooling can
+    /// tell "restore from a replica or rerun" apart from ordinary
+    /// checkpoint trouble.
+    CorruptJournal {
+        /// The journal path.
+        path: String,
+    },
 }
 
 impl DftError {
@@ -184,6 +192,9 @@ impl fmt::Display for DftError {
                 }
             }
             DftError::Checkpoint(e) => write!(f, "cannot resume: {e}"),
+            DftError::CorruptJournal { path } => {
+                write!(f, "{path}: corrupt beyond repair (no intact record)")
+            }
         }
     }
 }
@@ -198,7 +209,8 @@ impl std::error::Error for DftError {
             DftError::Usage(_)
             | DftError::Aborted { .. }
             | DftError::WorkerPanic { .. }
-            | DftError::Interrupted { .. } => None,
+            | DftError::Interrupted { .. }
+            | DftError::CorruptJournal { .. } => None,
         }
     }
 }

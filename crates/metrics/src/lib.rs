@@ -327,6 +327,7 @@ registry! {
         ckpt_bytes: "Bytes appended to checkpoint journals.",
         ckpt_write_failures: "Checkpoint writes that failed (real or chaos-injected I/O errors).",
         ckpt_resumes: "Runs resumed from a checkpoint journal.",
+        ckpt_scrub_repairs: "Damaged journal records healed over during resume (replica fallback or corrupt-record skipping).",
         cancel_requests: "Cooperative cancellations observed (signals and phase deadlines).",
         chaos_clock_skips: "Chaos-injected deadline-clock skips applied at checkpoint boundaries.",
         // --- Test-floor service ---

@@ -171,7 +171,21 @@ impl FleetState {
         design: &str,
         fingerprint: u64,
     ) -> Result<FleetState, CkptError> {
-        let (_seq, body) = journal.load_last()?;
+        Self::resume_with_report(journal, design, fingerprint).map(|(state, _)| state)
+    }
+
+    /// [`FleetState::resume`] plus the storage-layer
+    /// [`dft_checkpoint::RecoveryReport`]: how many damaged records
+    /// the load stepped over and which replica served the winning one.
+    /// Any intact record resumes to a bit-identical final fleet, so a
+    /// degraded report is an observability signal (scrub metric,
+    /// `storage` telemetry event), never an error.
+    pub fn resume_with_report(
+        journal: &dft_checkpoint::FramedJournal,
+        design: &str,
+        fingerprint: u64,
+    ) -> Result<(FleetState, dft_checkpoint::RecoveryReport), CkptError> {
+        let ((_seq, body), report) = journal.load_last_report()?;
         let state = FleetState::parse_body(&body).ok_or_else(|| CkptError::NoValidRecord {
             path: journal.path().display().to_string(),
         })?;
@@ -189,7 +203,7 @@ impl FleetState {
                 found: format!("{fingerprint:016x}"),
             });
         }
-        Ok(state)
+        Ok((state, report))
     }
 
     /// Aggregates the summary counters from the per-die outcomes.

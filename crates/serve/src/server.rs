@@ -624,10 +624,20 @@ pub fn run_fleet(
     let fingerprint = cfg.fingerprint(nl.name());
     let state = match (&opts.journal, opts.resume) {
         (Some(j), true) => {
-            let st =
-                FleetState::resume(j, nl.name(), fingerprint).map_err(ServeError::Checkpoint)?;
+            let (st, recovery) = FleetState::resume_with_report(j, nl.name(), fingerprint)
+                .map_err(ServeError::Checkpoint)?;
             if let Some(m) = opts.metrics.get() {
                 m.serve_resumes.inc();
+                if recovery.degraded() {
+                    m.ckpt_scrub_repairs.add(recovery.damaged.max(1));
+                }
+            }
+            if recovery.degraded() {
+                opts.telemetry.emit(TelemetryEvent::Storage {
+                    op: "recover",
+                    damaged: recovery.damaged,
+                    replica: recovery.source_replica,
+                });
             }
             st
         }
@@ -758,6 +768,11 @@ pub fn run_fleet(
     }
     let final_state = shared.state.lock().unwrap().clone();
     if shared.interrupted.load(Ordering::SeqCst) || opts.cancel.is_cancelled() {
+        // Flush the event stream before unwinding: the sampler's next
+        // tick will never come, and the final batch (the checkpoint
+        // and session events of the interruption itself) must survive
+        // for post-mortem replay.
+        opts.telemetry.flush_events();
         return Err(ServeError::Interrupted {
             checkpoint: opts.journal.as_ref().map(|j| j.path().to_path_buf()),
             done: final_state.done.len(),

@@ -24,7 +24,14 @@ pub const EVENTS_FORMAT: &str = "aidft-telemetry-v1";
 
 /// Event kinds recognised by [`validate_events`], in no particular
 /// order. Kept in sync with [`TelemetryEvent::kind`].
-pub const EVENT_KINDS: [&str; 5] = ["session", "quarantine", "checkpoint", "chaos", "retest"];
+pub const EVENT_KINDS: [&str; 6] = [
+    "session",
+    "quarantine",
+    "checkpoint",
+    "chaos",
+    "retest",
+    "storage",
+];
 
 /// One fleet state transition, serialised as a single JSON line:
 /// `{"v":1,"seq":N,"ms":M,"kind":"...",...}` where `ms` is
@@ -55,6 +62,13 @@ pub enum TelemetryEvent {
     },
     /// A session was granted a retest stream of failing windows.
     Retest { die: u32, windows: u64 },
+    /// The storage layer healed a journal load: damaged records were
+    /// stepped over and/or the record came from a fallback replica.
+    Storage {
+        op: &'static str,
+        damaged: u64,
+        replica: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -66,6 +80,7 @@ impl TelemetryEvent {
             TelemetryEvent::Checkpoint { .. } => "checkpoint",
             TelemetryEvent::Chaos { .. } => "chaos",
             TelemetryEvent::Retest { .. } => "retest",
+            TelemetryEvent::Storage { .. } => "storage",
         }
     }
 
@@ -101,6 +116,11 @@ impl TelemetryEvent {
             TelemetryEvent::Retest { die, windows } => {
                 format!(",\"die\":{die},\"windows\":{windows}}}")
             }
+            TelemetryEvent::Storage {
+                op,
+                damaged,
+                replica,
+            } => format!(",\"op\":\"{op}\",\"damaged\":{damaged},\"replica\":{replica}}}"),
         };
         head + &tail
     }

@@ -189,6 +189,18 @@ impl TelemetryHandle {
         }
     }
 
+    /// Durably flushes any buffered event lines to the journal *now*.
+    /// The SIGTERM/cancel path calls this before unwinding so an
+    /// interrupted fleet's final batch of events is not lost waiting
+    /// for a sampler tick that will never come.
+    pub fn flush_events(&self) {
+        if let Some(inner) = &self.0 {
+            if let Some(log) = inner.events() {
+                log.flush();
+            }
+        }
+    }
+
     /// RAII guard bumping the active-session gauge for one server-side
     /// session.
     pub fn session_scope(&self) -> SessionScope {
@@ -386,6 +398,21 @@ impl TelemetrySession {
     }
 }
 
+/// A session dropped without [`TelemetrySession::finish`] (an error
+/// unwind or interrupted run) still stops its threads cleanly — and
+/// the sampler's final tick flushes the event stream, so the journal
+/// keeps everything emitted before the unwind.
+impl Drop for TelemetrySession {
+    fn drop(&mut self) {
+        if let Some(s) = self.sampler.take() {
+            s.stop();
+        }
+        if let Some(s) = self.server.take() {
+            s.stop();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +469,45 @@ mod tests {
         assert_eq!(fin.events, 3);
         let stats = validate_events(&events).unwrap();
         assert_eq!(stats.events, 3);
+        std::fs::remove_file(&events).unwrap();
+    }
+
+    #[test]
+    fn interrupted_session_keeps_its_events() {
+        let dir = std::env::temp_dir().join(format!("aidft-tele-lib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("interrupted-events.jsonl");
+        let _ = std::fs::remove_file(&events);
+        let session = TelemetrySession::start(
+            TelemetryConfig {
+                events_path: Some(events.clone()),
+                // A period far longer than the test: without the
+                // explicit flush / final-tick-on-drop, these events
+                // would still be buffered when the session dies.
+                period: Duration::from_secs(3600),
+                ..TelemetryConfig::default()
+            },
+            MetricsHandle::disabled(),
+        )
+        .unwrap();
+        let h = session.handle();
+        h.emit(TelemetryEvent::Retest { die: 1, windows: 2 });
+        h.flush_events();
+        assert_eq!(read_events(&events).unwrap().len(), 1);
+
+        // Events emitted after the flush survive a drop-without-finish
+        // (the cancel/SIGTERM unwind path).
+        h.emit(TelemetryEvent::Storage {
+            op: "recover",
+            damaged: 1,
+            replica: 1,
+        });
+        drop(session);
+        let lines = read_events(&events).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"kind\":\"storage\""));
+        assert!(lines[1].contains("\"damaged\":1"));
+        validate_events(&events).unwrap();
         std::fs::remove_file(&events).unwrap();
     }
 

@@ -10,8 +10,7 @@
 //! the final `FleetState` is bit-identical with the sampler on or off.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -100,23 +99,26 @@ pub(crate) fn take_sample(inner: &Inner, metrics: &MetricsHandle, history: &mut 
 }
 
 /// Handle to the running sampler thread; `stop` takes a final sample,
-/// flushes the event log, and joins.
+/// flushes the event log, and joins. The inter-tick wait is a condvar
+/// timeout, not a plain sleep, so a stop request (fleet done, error
+/// unwind, SIGTERM) wakes the thread immediately instead of waiting
+/// out the remainder of a tick period.
 #[derive(Debug)]
 pub(crate) struct Sampler {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl Sampler {
     pub(crate) fn spawn(inner: Arc<Inner>, metrics: MetricsHandle, period: Duration) -> Sampler {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let flag = Arc::clone(&stop);
         let thread = thread::Builder::new()
             .name("aidft-telemetry".into())
             .spawn(move || {
                 let mut history: VecDeque<Capture> = VecDeque::new();
                 loop {
-                    let last = flag.load(Ordering::Relaxed);
+                    let last = *flag.0.lock().unwrap();
                     take_sample(&inner, &metrics, &mut history);
                     if let Some(log) = inner.events() {
                         log.flush();
@@ -124,7 +126,10 @@ impl Sampler {
                     if last {
                         break;
                     }
-                    thread::sleep(period);
+                    let guard = flag.0.lock().unwrap();
+                    if !*guard {
+                        let _ = flag.1.wait_timeout(guard, period).unwrap();
+                    }
                 }
             })
             .expect("spawn telemetry sampler");
@@ -134,9 +139,11 @@ impl Sampler {
         }
     }
 
-    /// Requests the final tick and joins the thread.
+    /// Requests the final tick, wakes the thread if it is mid-wait,
+    /// and joins.
     pub(crate) fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        *self.stop.0.lock().unwrap() = true;
+        self.stop.1.notify_all();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
